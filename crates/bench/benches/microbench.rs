@@ -1,0 +1,110 @@
+//! Criterion micro-benchmarks for the hot paths of the architecture:
+//! hashing, signatures, certificate verification, PBFT message processing
+//! and the storage engine.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use sbft_consensus::messages::batch_digest;
+use sbft_consensus::{ConsensusAction, OrderingProtocol, PbftReplica};
+use sbft_crypto::{CryptoProvider, Sha256, SimSigner};
+use sbft_storage::{VersionedStore, YcsbTable};
+use sbft_types::{
+    Batch, ClientId, ComponentId, FaultParams, Key, NodeId, Operation, SimDuration, Transaction,
+    TxnId, Value,
+};
+
+fn bench_sha256(c: &mut Criterion) {
+    let data = vec![0xabu8; 4096];
+    c.bench_function("sha256_4kib", |b| {
+        b.iter(|| Sha256::digest(std::hint::black_box(&data)))
+    });
+}
+
+fn bench_signatures(c: &mut Criterion) {
+    let provider = CryptoProvider::new(1);
+    let store = provider.key_store();
+    let node = ComponentId::Node(NodeId(0));
+    let kp = store.keypair_for(node);
+    let digest = Sha256::digest(b"benchmark message");
+    let sig = SimSigner::sign(&kp, &digest);
+    c.bench_function("signature_sign", |b| {
+        b.iter(|| SimSigner::sign(std::hint::black_box(&kp), std::hint::black_box(&digest)))
+    });
+    c.bench_function("signature_verify", |b| {
+        b.iter(|| SimSigner::verify(store, node, &digest, std::hint::black_box(&sig)))
+    });
+}
+
+fn make_batch(size: usize) -> Batch {
+    Batch::new(
+        (0..size)
+            .map(|i| {
+                Transaction::new(
+                    TxnId::new(ClientId((i % 16) as u32), i as u64),
+                    vec![Operation::ReadModifyWrite(Key(i as u64), 7)],
+                )
+            })
+            .collect(),
+    )
+}
+
+fn bench_batch_digest(c: &mut Criterion) {
+    let batch = make_batch(100);
+    c.bench_function("batch_digest_100_txns", |b| {
+        b.iter(|| batch_digest(std::hint::black_box(&batch)))
+    });
+}
+
+fn bench_pbft_preprepare(c: &mut Criterion) {
+    // Measures a primary ordering one 100-transaction batch (pre-prepare
+    // creation plus its own prepare), the per-batch hot path of the shim.
+    let provider = CryptoProvider::new(2);
+    let params = FaultParams::for_shim_size(8);
+    c.bench_function("pbft_primary_submit_batch_100", |b| {
+        b.iter_batched(
+            || {
+                (
+                    PbftReplica::new(
+                        NodeId(0),
+                        params,
+                        provider.handle(ComponentId::Node(NodeId(0))),
+                        SimDuration::from_millis(100),
+                        1_000,
+                    ),
+                    make_batch(100),
+                )
+            },
+            |(mut replica, batch)| {
+                let actions: Vec<ConsensusAction> = replica.submit_batch(batch);
+                std::hint::black_box(actions)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_storage(c: &mut Criterion) {
+    let table = YcsbTable::populate(100_000);
+    let store = table.store();
+    c.bench_function("kvstore_get", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 1) % 100_000;
+            std::hint::black_box(store.get(Key(i)))
+        })
+    });
+    let write_store = VersionedStore::new();
+    c.bench_function("kvstore_put", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            write_store.put(Key(i % 4096), Value::new(i))
+        })
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_sha256, bench_signatures, bench_batch_digest, bench_pbft_preprepare, bench_storage
+);
+criterion_main!(benches);

@@ -1,0 +1,184 @@
+//! Shared experiment plumbing for the figure-regeneration binaries.
+//!
+//! The paper runs every experiment for 180 s on OCI machines with up to
+//! 88 k clients. The reproduction runs on a virtual-time simulator, so each
+//! data point uses a scaled-down but *shape-preserving* setup: a few
+//! hundred milliseconds of simulated time and a client population scaled by
+//! roughly 1:100 (the scaling is recorded in `EXPERIMENTS.md`). Relative
+//! comparisons — who wins, by how much, where curves bend — are what the
+//! binaries report.
+
+use sbft_core::system::ShimProtocol;
+use sbft_core::{ShimAttack, SystemBuilder};
+use sbft_serverless::cloud::CloudFaultPlan;
+use sbft_serverless::CostModel;
+use sbft_sim::{RunMetrics, SimHarness, SimParams};
+use sbft_types::{NodeId, SimDuration, SystemConfig};
+
+/// One data point of an experiment.
+#[derive(Clone, Debug)]
+pub struct PointConfig {
+    /// Figure identifier ("fig5", "fig6i", …), used in the output rows.
+    pub figure: &'static str,
+    /// Series label (e.g. "SERVBFT-8", "PBFT", "NOSHIM").
+    pub series: String,
+    /// The swept x value (number of clients, executors, batch size, …).
+    pub x: f64,
+    /// System configuration for this point.
+    pub config: SystemConfig,
+    /// Shim protocol for this point.
+    pub protocol: ShimProtocol,
+    /// Number of active closed-loop clients.
+    pub clients: usize,
+    /// Measured window of simulated time.
+    pub duration: SimDuration,
+    /// Warm-up excluded from measurement.
+    pub warmup: SimDuration,
+    /// Attacks injected at shim nodes.
+    pub attacks: Vec<(NodeId, ShimAttack)>,
+    /// Byzantine executors per batch at the cloud.
+    pub cloud_faults: CloudFaultPlan,
+    /// Workload seed.
+    pub seed: u64,
+    /// `Some(k)`: all execution happens on the edge with `k` execution
+    /// threads (the Figure 8 `PBFT-k-ET` baselines); `None`: serverless.
+    pub edge_execution_threads: Option<usize>,
+    /// Whether serverless invocations are billed (off for edge-only runs).
+    pub bill_serverless: bool,
+}
+
+impl PointConfig {
+    /// A point with sensible defaults for the given figure/series/x.
+    #[must_use]
+    pub fn new(figure: &'static str, series: impl Into<String>, x: f64, config: SystemConfig) -> Self {
+        PointConfig {
+            figure,
+            series: series.into(),
+            x,
+            config,
+            protocol: ShimProtocol::Pbft,
+            clients: 400,
+            duration: SimDuration::from_millis(400),
+            warmup: SimDuration::from_millis(150),
+            attacks: Vec::new(),
+            cloud_faults: CloudFaultPlan::default(),
+            seed: 42,
+            edge_execution_threads: None,
+            bill_serverless: true,
+        }
+    }
+}
+
+/// The measured result of one data point.
+#[derive(Clone, Debug)]
+pub struct PointResult {
+    /// The point that was run.
+    pub figure: &'static str,
+    /// Series label.
+    pub series: String,
+    /// The swept x value.
+    pub x: f64,
+    /// Raw metrics from the simulator.
+    pub metrics: RunMetrics,
+    /// Cost in cents per kilo-transaction (Figure 8 metric).
+    pub cents_per_ktxn: f64,
+}
+
+impl PointResult {
+    /// Formats the result as one CSV row.
+    #[must_use]
+    pub fn row(&self) -> String {
+        format!(
+            "{},{},{:.1},{:.0},{:.4},{:.4},{:.4},{:.3},{:.3}",
+            self.figure,
+            self.series,
+            self.x,
+            self.metrics.throughput_tps(),
+            self.metrics.avg_latency_secs(),
+            self.metrics.latency.p50_secs(),
+            self.metrics.latency.p99_secs(),
+            self.metrics.abort_rate(),
+            self.cents_per_ktxn,
+        )
+    }
+}
+
+/// Prints the CSV header used by every figure binary.
+pub fn print_header() {
+    println!(
+        "figure,series,x,throughput_tps,avg_latency_s,p50_s,p99_s,abort_rate,cents_per_ktxn"
+    );
+}
+
+/// Runs one data point and prints its CSV row.
+pub fn run_point(point: PointConfig) -> PointResult {
+    let result = run_point_silent(point);
+    println!("{}", result.row());
+    result
+}
+
+/// Runs one data point on the simulator without printing.
+pub fn run_point_silent(point: PointConfig) -> PointResult {
+    let clients = point.clients.max(1);
+    let mut config = point.config.clone();
+    config.workload.num_clients = clients;
+
+    let mut builder = SystemBuilder::new(config.clone())
+        .protocol(point.protocol)
+        .clients(clients)
+        .cloud_faults(point.cloud_faults)
+        .seed(point.seed);
+    for (node, attack) in &point.attacks {
+        builder = builder.attack(*node, attack.clone());
+    }
+    let system = builder.build();
+
+    let params = SimParams {
+        duration: point.duration,
+        warmup: point.warmup,
+        num_clients: clients,
+        seed: point.seed,
+        edge_execution_threads: point.edge_execution_threads,
+        ..SimParams::default()
+    };
+    let metrics = SimHarness::new(system, params).run();
+
+    // Cost accounting: the shim nodes + verifier machines run for the whole
+    // wall-clock window; executors are billed per invocation.
+    let machines = match point.protocol {
+        ShimProtocol::NoShim => 2,
+        _ => config.fault.n_r + 1,
+    };
+    let mut report = metrics.cost_report(&CostModel::default(), machines, config.shim_cores, 16.0);
+    if !point.bill_serverless {
+        report.serverless_dollars = 0.0;
+    }
+    PointResult {
+        figure: point.figure,
+        series: point.series,
+        x: point.x,
+        cents_per_ktxn: report.cents_per_ktxn(),
+        metrics,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_point_produces_nonzero_throughput() {
+        let mut cfg = SystemConfig::with_shim_size(4);
+        cfg.workload.num_records = 2_000;
+        cfg.workload.batch_size = 10;
+        let mut point = PointConfig::new("figX", "TEST", 1.0, cfg);
+        point.clients = 40;
+        point.duration = SimDuration::from_millis(200);
+        point.warmup = SimDuration::from_millis(50);
+        let result = run_point(point);
+        assert!(result.metrics.throughput_tps() > 0.0);
+        let row = result.row();
+        assert!(row.starts_with("figX,TEST,1.0,"));
+        assert_eq!(row.split(',').count(), 9);
+    }
+}

@@ -1,0 +1,23 @@
+//! # sbft-bench
+//!
+//! The experiment harness that regenerates every figure of the paper's
+//! evaluation (Section IX), plus Criterion micro-benchmarks for the hot
+//! paths (hashing, signatures, PBFT message processing, the storage
+//! engine).
+//!
+//! Each figure has a dedicated binary in `src/bin/` (see `DESIGN.md` for
+//! the experiment index). All binaries share the [`experiment`] module:
+//! it builds a scaled-down configuration (documented in `EXPERIMENTS.md`),
+//! runs it on the discrete-event simulator and prints one row per data
+//! point in a fixed format:
+//!
+//! ```text
+//! figure, series, x, throughput_tps, avg_latency_s, p50_s, p99_s, abort_rate, cents_per_ktxn
+//! ```
+
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+pub mod experiment;
+
+pub use experiment::{print_header, run_point, run_point_silent, PointConfig, PointResult};

@@ -1,0 +1,143 @@
+//! The batching front-end.
+//!
+//! "We also require clients and edge nodes to employ batching and run
+//! consensuses on batches of 100 client transactions" (Section IX, Setup).
+//! The batcher accumulates incoming client transactions at the primary and
+//! releases a batch either when it reaches the configured size or when the
+//! batch timeout expires (so a lightly loaded system does not wait
+//! forever). Figure 6(iii)–(iv) sweeps the batch size from 10 to 8000.
+
+use sbft_types::{Batch, SimDuration, SimTime, Transaction};
+
+/// Accumulates client transactions into consensus batches.
+#[derive(Debug)]
+pub struct Batcher {
+    batch_size: usize,
+    max_wait: SimDuration,
+    pending: Vec<Transaction>,
+    oldest_pending: Option<SimTime>,
+}
+
+impl Batcher {
+    /// Creates a batcher releasing batches of `batch_size` transactions, or
+    /// earlier once the oldest pending transaction has waited `max_wait`.
+    ///
+    /// # Panics
+    /// Panics if `batch_size` is zero.
+    #[must_use]
+    pub fn new(batch_size: usize, max_wait: SimDuration) -> Self {
+        assert!(batch_size > 0, "batch size must be positive");
+        Batcher {
+            batch_size,
+            max_wait,
+            pending: Vec::with_capacity(batch_size),
+            oldest_pending: None,
+        }
+    }
+
+    /// The configured batch size.
+    #[must_use]
+    pub fn batch_size(&self) -> usize {
+        self.batch_size
+    }
+
+    /// Number of transactions waiting for a batch.
+    #[must_use]
+    pub fn pending(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Adds a transaction; returns a full batch if the size threshold is
+    /// reached.
+    pub fn push(&mut self, txn: Transaction, now: SimTime) -> Option<Batch> {
+        if self.pending.is_empty() {
+            self.oldest_pending = Some(now);
+        }
+        self.pending.push(txn);
+        if self.pending.len() >= self.batch_size {
+            return self.flush();
+        }
+        None
+    }
+
+    /// Releases whatever is pending if the oldest transaction has waited at
+    /// least `max_wait` (called on a periodic tick).
+    pub fn poll(&mut self, now: SimTime) -> Option<Batch> {
+        match self.oldest_pending {
+            Some(oldest) if now.since(oldest) >= self.max_wait && !self.pending.is_empty() => {
+                self.flush()
+            }
+            _ => None,
+        }
+    }
+
+    /// Releases all pending transactions as a batch immediately.
+    pub fn flush(&mut self) -> Option<Batch> {
+        if self.pending.is_empty() {
+            return None;
+        }
+        self.oldest_pending = None;
+        let txns = std::mem::take(&mut self.pending);
+        Some(Batch::new(txns))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sbft_types::{ClientId, Key, Operation, TxnId};
+
+    fn txn(counter: u64) -> Transaction {
+        Transaction::new(
+            TxnId::new(ClientId(0), counter),
+            vec![Operation::Read(Key(counter))],
+        )
+    }
+
+    #[test]
+    fn releases_full_batches() {
+        let mut b = Batcher::new(3, SimDuration::from_millis(10));
+        assert!(b.push(txn(0), SimTime::ZERO).is_none());
+        assert!(b.push(txn(1), SimTime::ZERO).is_none());
+        let batch = b.push(txn(2), SimTime::ZERO).expect("full batch");
+        assert_eq!(batch.len(), 3);
+        assert_eq!(b.pending(), 0);
+    }
+
+    #[test]
+    fn poll_releases_stale_partial_batches() {
+        let mut b = Batcher::new(100, SimDuration::from_millis(10));
+        b.push(txn(0), SimTime::from_millis(0));
+        assert!(b.poll(SimTime::from_millis(5)).is_none(), "not stale yet");
+        let batch = b.poll(SimTime::from_millis(10)).expect("timeout flush");
+        assert_eq!(batch.len(), 1);
+        assert!(b.poll(SimTime::from_millis(20)).is_none(), "nothing pending");
+    }
+
+    #[test]
+    fn flush_empties_pending() {
+        let mut b = Batcher::new(10, SimDuration::from_millis(10));
+        assert!(b.flush().is_none());
+        b.push(txn(0), SimTime::ZERO);
+        b.push(txn(1), SimTime::ZERO);
+        assert_eq!(b.flush().unwrap().len(), 2);
+        assert_eq!(b.pending(), 0);
+    }
+
+    #[test]
+    fn wait_clock_resets_after_release() {
+        let mut b = Batcher::new(2, SimDuration::from_millis(10));
+        b.push(txn(0), SimTime::from_millis(0));
+        let _ = b.push(txn(1), SimTime::from_millis(1)).unwrap();
+        // New transaction arrives much later; its own clock starts now.
+        b.push(txn(2), SimTime::from_millis(100));
+        assert!(b.poll(SimTime::from_millis(105)).is_none());
+        assert!(b.poll(SimTime::from_millis(110)).is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "batch size")]
+    fn zero_batch_size_rejected() {
+        let _ = Batcher::new(0, SimDuration::ZERO);
+    }
+}

@@ -1,0 +1,306 @@
+//! The per-sequence-number consensus log.
+//!
+//! Each shim node keeps, per sequence number, the pre-prepare it accepted
+//! and the prepare/commit votes it has collected. The log also remembers
+//! which entries have reached the *prepared* and *committed* states so the
+//! quorum checks are idempotent, and it is garbage-collected below the last
+//! stable (featherweight) checkpoint.
+
+use crate::messages::{Commit, Prepare};
+use sbft_types::{Batch, Digest, NodeId, SeqNum, Signature, ViewNumber};
+use std::collections::BTreeMap;
+
+/// Log entry for one sequence number.
+#[derive(Clone, Debug, Default)]
+pub struct LogEntry {
+    /// View in which the pre-prepare was accepted.
+    pub view: Option<ViewNumber>,
+    /// Digest of the accepted batch.
+    pub digest: Option<Digest>,
+    /// The batch itself (present on nodes that received the pre-prepare).
+    pub batch: Option<Batch>,
+    /// Prepare votes collected, by sender.
+    pub prepares: BTreeMap<NodeId, Prepare>,
+    /// Commit votes collected, by sender.
+    pub commits: BTreeMap<NodeId, Commit>,
+    /// Whether the entry reached the prepared state.
+    pub prepared: bool,
+    /// Whether the entry reached the committed state.
+    pub committed: bool,
+}
+
+impl LogEntry {
+    /// Whether a pre-prepare has been accepted for this entry.
+    #[must_use]
+    pub fn pre_prepared(&self) -> bool {
+        self.digest.is_some()
+    }
+
+    /// The commit signatures collected so far, as certificate entries.
+    #[must_use]
+    pub fn certificate_entries(&self) -> Vec<(NodeId, Signature)> {
+        self.commits
+            .iter()
+            .map(|(node, commit)| (*node, commit.signature))
+            .collect()
+    }
+}
+
+/// The ordered log of consensus entries.
+#[derive(Clone, Debug, Default)]
+pub struct ConsensusLog {
+    entries: BTreeMap<SeqNum, LogEntry>,
+    /// Everything at or below this sequence number has been garbage
+    /// collected (covered by a stable checkpoint).
+    stable_seq: SeqNum,
+}
+
+impl ConsensusLog {
+    /// Creates an empty log.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The entry for `seq`, created on demand.
+    pub fn entry_mut(&mut self, seq: SeqNum) -> &mut LogEntry {
+        self.entries.entry(seq).or_default()
+    }
+
+    /// The entry for `seq`, if any votes or a pre-prepare were recorded.
+    #[must_use]
+    pub fn entry(&self, seq: SeqNum) -> Option<&LogEntry> {
+        self.entries.get(&seq)
+    }
+
+    /// Records an accepted pre-prepare. Returns `false` if a *different*
+    /// digest was already accepted at this sequence number in the same view
+    /// (the equivocation guard of Figure 3, line 10).
+    pub fn accept_pre_prepare(
+        &mut self,
+        seq: SeqNum,
+        view: ViewNumber,
+        digest: Digest,
+        batch: Batch,
+    ) -> bool {
+        let entry = self.entry_mut(seq);
+        if let (Some(v), Some(d)) = (entry.view, entry.digest) {
+            if v == view && d != digest {
+                return false;
+            }
+        }
+        // A re-proposal in a later view (after a view change) restarts the
+        // agreement for this slot: the prepared state from the old view does
+        // not carry over, only commitment does.
+        if entry.view != Some(view) && !entry.committed {
+            entry.prepared = false;
+        }
+        entry.view = Some(view);
+        entry.digest = Some(digest);
+        entry.batch = Some(batch);
+        true
+    }
+
+    /// Adds a prepare vote and returns the number of distinct voters.
+    pub fn add_prepare(&mut self, prepare: Prepare) -> usize {
+        let entry = self.entry_mut(prepare.seq);
+        entry.prepares.insert(prepare.sender, prepare);
+        entry.prepares.len()
+    }
+
+    /// Adds a commit vote and returns the number of distinct voters.
+    pub fn add_commit(&mut self, commit: Commit) -> usize {
+        let entry = self.entry_mut(commit.seq);
+        entry.commits.insert(commit.sender, commit);
+        entry.commits.len()
+    }
+
+    /// Sequence numbers that are prepared but not yet committed (reported
+    /// in `VIEWCHANGE` messages).
+    #[must_use]
+    pub fn prepared_uncommitted(&self) -> Vec<(SeqNum, ViewNumber, Digest)> {
+        self.entries
+            .iter()
+            .filter(|(_, e)| e.prepared && !e.committed)
+            .filter_map(|(seq, e)| Some((*seq, e.view?, e.digest?)))
+            .collect()
+    }
+
+    /// Highest sequence number with any record in the log.
+    #[must_use]
+    pub fn max_seq(&self) -> SeqNum {
+        self.entries.keys().next_back().copied().unwrap_or_default()
+    }
+
+    /// Highest committed sequence number.
+    #[must_use]
+    pub fn max_committed(&self) -> SeqNum {
+        self.entries
+            .iter()
+            .filter(|(_, e)| e.committed)
+            .map(|(s, _)| *s)
+            .next_back()
+            .unwrap_or_default()
+    }
+
+    /// Whether the entry at `seq` is committed.
+    #[must_use]
+    pub fn is_committed(&self, seq: SeqNum) -> bool {
+        self.entries.get(&seq).is_some_and(|e| e.committed)
+    }
+
+    /// The last stable checkpoint sequence number.
+    #[must_use]
+    pub fn stable_seq(&self) -> SeqNum {
+        self.stable_seq
+    }
+
+    /// Garbage-collects every entry at or below `seq` (a new stable
+    /// checkpoint). Entries above are kept.
+    pub fn collect_below(&mut self, seq: SeqNum) {
+        self.stable_seq = self.stable_seq.max(seq);
+        self.entries.retain(|s, _| *s > seq);
+    }
+
+    /// Number of live entries (for tests and memory accounting).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the log holds no live entries.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Sequence numbers at or below `seq` that this node has *not*
+    /// committed — the gaps a featherweight checkpoint lets a node in the
+    /// dark detect.
+    #[must_use]
+    pub fn missing_up_to(&self, seq: SeqNum) -> Vec<SeqNum> {
+        (self.stable_seq.0 + 1..=seq.0)
+            .map(SeqNum)
+            .filter(|s| !self.is_committed(*s))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sbft_types::{ClientId, Key, MacTag, Operation, Transaction, TxnId};
+
+    fn batch() -> Batch {
+        Batch::single(Transaction::new(
+            TxnId::new(ClientId(0), 0),
+            vec![Operation::Read(Key(1))],
+        ))
+    }
+
+    fn digest(n: u8) -> Digest {
+        Digest::from_bytes([n; 32])
+    }
+
+    fn prepare(seq: u64, sender: u32) -> Prepare {
+        Prepare {
+            view: ViewNumber(0),
+            seq: SeqNum(seq),
+            digest: digest(1),
+            sender: NodeId(sender),
+            mac: MacTag::ZERO,
+        }
+    }
+
+    fn commit(seq: u64, sender: u32) -> Commit {
+        Commit {
+            view: ViewNumber(0),
+            seq: SeqNum(seq),
+            digest: digest(1),
+            sender: NodeId(sender),
+            signature: Signature::ZERO,
+        }
+    }
+
+    #[test]
+    fn accept_pre_prepare_rejects_equivocation() {
+        let mut log = ConsensusLog::new();
+        assert!(log.accept_pre_prepare(SeqNum(1), ViewNumber(0), digest(1), batch()));
+        // Same digest again is fine (duplicate delivery).
+        assert!(log.accept_pre_prepare(SeqNum(1), ViewNumber(0), digest(1), batch()));
+        // A different digest at the same (view, seq) is equivocation.
+        assert!(!log.accept_pre_prepare(SeqNum(1), ViewNumber(0), digest(2), batch()));
+        // A different digest in a *new* view is allowed (view change re-proposal).
+        assert!(log.accept_pre_prepare(SeqNum(1), ViewNumber(1), digest(2), batch()));
+    }
+
+    #[test]
+    fn votes_count_distinct_senders_only() {
+        let mut log = ConsensusLog::new();
+        assert_eq!(log.add_prepare(prepare(1, 0)), 1);
+        assert_eq!(log.add_prepare(prepare(1, 0)), 1, "duplicate sender not counted");
+        assert_eq!(log.add_prepare(prepare(1, 1)), 2);
+        assert_eq!(log.add_commit(commit(1, 2)), 1);
+        assert_eq!(log.add_commit(commit(1, 3)), 2);
+    }
+
+    #[test]
+    fn certificate_entries_mirror_commit_votes() {
+        let mut log = ConsensusLog::new();
+        log.add_commit(commit(1, 0));
+        log.add_commit(commit(1, 2));
+        let entries = log.entry(SeqNum(1)).unwrap().certificate_entries();
+        let nodes: Vec<u32> = entries.iter().map(|(n, _)| n.0).collect();
+        assert_eq!(nodes, vec![0, 2]);
+    }
+
+    #[test]
+    fn prepared_uncommitted_reports_in_flight_entries() {
+        let mut log = ConsensusLog::new();
+        log.accept_pre_prepare(SeqNum(1), ViewNumber(0), digest(1), batch());
+        log.entry_mut(SeqNum(1)).prepared = true;
+        log.accept_pre_prepare(SeqNum(2), ViewNumber(0), digest(1), batch());
+        log.entry_mut(SeqNum(2)).prepared = true;
+        log.entry_mut(SeqNum(2)).committed = true;
+        let pending = log.prepared_uncommitted();
+        assert_eq!(pending.len(), 1);
+        assert_eq!(pending[0].0, SeqNum(1));
+    }
+
+    #[test]
+    fn garbage_collection_drops_old_entries() {
+        let mut log = ConsensusLog::new();
+        for s in 1..=10 {
+            log.accept_pre_prepare(SeqNum(s), ViewNumber(0), digest(1), batch());
+            log.entry_mut(SeqNum(s)).committed = true;
+        }
+        assert_eq!(log.len(), 10);
+        log.collect_below(SeqNum(7));
+        assert_eq!(log.len(), 3);
+        assert_eq!(log.stable_seq(), SeqNum(7));
+        assert!(log.entry(SeqNum(7)).is_none());
+        assert!(log.entry(SeqNum(8)).is_some());
+    }
+
+    #[test]
+    fn missing_up_to_finds_gaps() {
+        let mut log = ConsensusLog::new();
+        for s in [1u64, 2, 4, 6] {
+            log.entry_mut(SeqNum(s)).committed = true;
+        }
+        assert_eq!(log.missing_up_to(SeqNum(6)), vec![SeqNum(3), SeqNum(5)]);
+        assert_eq!(log.max_committed(), SeqNum(6));
+        log.collect_below(SeqNum(3));
+        // Gaps below the stable checkpoint no longer count as missing.
+        assert_eq!(log.missing_up_to(SeqNum(6)), vec![SeqNum(5)]);
+    }
+
+    #[test]
+    fn max_seq_tracks_highest_entry() {
+        let mut log = ConsensusLog::new();
+        assert_eq!(log.max_seq(), SeqNum(0));
+        log.entry_mut(SeqNum(5));
+        log.entry_mut(SeqNum(3));
+        assert_eq!(log.max_seq(), SeqNum(5));
+    }
+}

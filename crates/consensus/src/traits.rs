@@ -1,0 +1,44 @@
+//! The common interface implemented by every shim ordering protocol.
+
+use crate::actions::{ConsensusAction, ConsensusTimer};
+use crate::messages::ConsensusMessage;
+use sbft_types::{Batch, NodeId, ViewNumber};
+
+/// A deterministic ordering-protocol state machine running on one shim
+/// node. `PbftReplica`, `CftReplica` and `NoShim` all implement this trait,
+/// which is what lets the Figure 7 baseline comparison swap the shim
+/// protocol without touching the rest of the architecture.
+pub trait OrderingProtocol {
+    /// Submits a client batch for ordering. Only meaningful on the node
+    /// currently acting as primary/leader; other nodes ignore it.
+    fn submit_batch(&mut self, batch: Batch) -> Vec<ConsensusAction>;
+
+    /// Handles a consensus message received from another shim node.
+    fn handle_message(&mut self, from: NodeId, msg: ConsensusMessage) -> Vec<ConsensusAction>;
+
+    /// Handles the expiry of a previously requested timer.
+    fn handle_timer(&mut self, timer: ConsensusTimer) -> Vec<ConsensusAction>;
+
+    /// Explicitly requests a primary replacement (used by the ServerlessBFT
+    /// recovery paths: `REPLACE` messages from the verifier and expiry of
+    /// the re-transmission timer `Υ`).
+    fn request_view_change(&mut self) -> Vec<ConsensusAction>;
+
+    /// The view (or ballot) this node is currently in.
+    fn view(&self) -> ViewNumber;
+
+    /// The primary/leader of the current view.
+    fn primary(&self) -> NodeId;
+
+    /// This node's identifier.
+    fn node_id(&self) -> NodeId;
+
+    /// Whether this node is the primary of the current view.
+    fn is_primary(&self) -> bool {
+        self.primary() == self.node_id()
+    }
+
+    /// Short protocol name used in experiment output ("PBFT", "CFT",
+    /// "NoShim").
+    fn name(&self) -> &'static str;
+}

@@ -1,0 +1,224 @@
+//! Best-effort conflict avoidance (Section VI-C).
+//!
+//! When read-write sets are known before execution, the primary borrows the
+//! queueing strategy of deterministic databases (Calvin, QueCC, Q-Store):
+//! it keeps a *logical* lock map over data items (no values, just who holds
+//! them), only spawns executors for a batch once it has logically locked
+//! every item the batch writes, dispatches non-conflicting batches in
+//! parallel, and releases the locks when the verifier confirms the batch.
+//! This avoids the aborts that plague the unknown-read-write-set case.
+
+use sbft_types::{Key, RwSetKeys, SeqNum};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Lock footprint of one batch: every key read and written by any of its
+/// transactions.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct BatchFootprint {
+    /// Keys read by the batch.
+    pub reads: BTreeSet<Key>,
+    /// Keys written by the batch.
+    pub writes: BTreeSet<Key>,
+}
+
+impl BatchFootprint {
+    /// Builds the footprint from the declared read-write sets of a batch's
+    /// transactions.
+    #[must_use]
+    pub fn from_rwsets<'a, I: IntoIterator<Item = &'a RwSetKeys>>(rwsets: I) -> Self {
+        let mut fp = BatchFootprint::default();
+        for rw in rwsets {
+            fp.reads.extend(rw.read_keys.iter().copied());
+            fp.writes.extend(rw.write_keys.iter().copied());
+        }
+        fp
+    }
+
+    /// Whether two footprints conflict (shared item with at least one
+    /// writer).
+    #[must_use]
+    pub fn conflicts_with(&self, other: &BatchFootprint) -> bool {
+        self.writes.intersection(&other.writes).next().is_some()
+            || self.writes.intersection(&other.reads).next().is_some()
+            || self.reads.intersection(&other.writes).next().is_some()
+    }
+}
+
+/// The primary's conflict-avoidance planner.
+#[derive(Debug, Default)]
+pub struct BestEffortPlanner {
+    /// Batches whose executors have been spawned and whose locks are held.
+    in_flight: BTreeMap<SeqNum, BatchFootprint>,
+    /// Committed batches waiting for their conflicts to clear, in sequence
+    /// order.
+    waiting: BTreeMap<SeqNum, BatchFootprint>,
+    /// Completed batches (for idempotence checks).
+    completed: BTreeSet<SeqNum>,
+}
+
+impl BestEffortPlanner {
+    /// Creates an empty planner.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of batches currently executing (locks held).
+    #[must_use]
+    pub fn in_flight(&self) -> usize {
+        self.in_flight.len()
+    }
+
+    /// Number of batches queued behind conflicts.
+    #[must_use]
+    pub fn waiting(&self) -> usize {
+        self.waiting.len()
+    }
+
+    fn dispatchable(&self, seq: SeqNum, fp: &BatchFootprint) -> bool {
+        // Must not conflict with anything currently holding locks …
+        if self.in_flight.values().any(|held| held.conflicts_with(fp)) {
+            return false;
+        }
+        // … nor overtake an earlier *waiting* batch it conflicts with
+        // (that would violate the shim's commit order for those items).
+        if self
+            .waiting
+            .range(..seq)
+            .any(|(_, earlier)| earlier.conflicts_with(fp))
+        {
+            return false;
+        }
+        true
+    }
+
+    /// Registers a newly committed batch and returns every batch (in
+    /// sequence order) that may be dispatched now.
+    pub fn enqueue(&mut self, seq: SeqNum, footprint: BatchFootprint) -> Vec<SeqNum> {
+        if self.completed.contains(&seq) || self.in_flight.contains_key(&seq) {
+            return Vec::new();
+        }
+        self.waiting.insert(seq, footprint);
+        self.release_ready()
+    }
+
+    /// Marks a batch as validated by the verifier, releasing its logical
+    /// locks, and returns every batch that may be dispatched now.
+    pub fn complete(&mut self, seq: SeqNum) -> Vec<SeqNum> {
+        if self.in_flight.remove(&seq).is_some() {
+            self.completed.insert(seq);
+        }
+        self.release_ready()
+    }
+
+    /// Moves every currently dispatchable waiting batch to in-flight.
+    fn release_ready(&mut self) -> Vec<SeqNum> {
+        let mut released = Vec::new();
+        loop {
+            let next = self
+                .waiting
+                .iter()
+                .find(|(seq, fp)| self.dispatchable(**seq, fp))
+                .map(|(seq, _)| *seq);
+            match next {
+                Some(seq) => {
+                    let fp = self.waiting.remove(&seq).expect("present");
+                    self.in_flight.insert(seq, fp);
+                    released.push(seq);
+                }
+                None => break,
+            }
+        }
+        released
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fp(reads: &[u64], writes: &[u64]) -> BatchFootprint {
+        BatchFootprint {
+            reads: reads.iter().copied().map(Key).collect(),
+            writes: writes.iter().copied().map(Key).collect(),
+        }
+    }
+
+    #[test]
+    fn non_conflicting_batches_dispatch_immediately_and_in_parallel() {
+        let mut p = BestEffortPlanner::new();
+        assert_eq!(p.enqueue(SeqNum(1), fp(&[1], &[2])), vec![SeqNum(1)]);
+        assert_eq!(p.enqueue(SeqNum(2), fp(&[3], &[4])), vec![SeqNum(2)]);
+        assert_eq!(p.in_flight(), 2);
+        assert_eq!(p.waiting(), 0);
+    }
+
+    #[test]
+    fn conflicting_batch_waits_for_completion() {
+        let mut p = BestEffortPlanner::new();
+        assert_eq!(p.enqueue(SeqNum(1), fp(&[], &[10])), vec![SeqNum(1)]);
+        // Batch 2 reads what batch 1 writes.
+        assert!(p.enqueue(SeqNum(2), fp(&[10], &[])).is_empty());
+        assert_eq!(p.waiting(), 1);
+        // Completion of batch 1 releases batch 2.
+        assert_eq!(p.complete(SeqNum(1)), vec![SeqNum(2)]);
+        assert_eq!(p.in_flight(), 1);
+    }
+
+    #[test]
+    fn later_batch_cannot_overtake_earlier_conflicting_waiter() {
+        let mut p = BestEffortPlanner::new();
+        let _ = p.enqueue(SeqNum(1), fp(&[], &[5]));
+        // Batch 2 conflicts with 1 (waits). Batch 3 conflicts with 2 but
+        // not with 1 — it must still wait behind 2 to preserve order.
+        assert!(p.enqueue(SeqNum(2), fp(&[5], &[6])).is_empty());
+        assert!(p.enqueue(SeqNum(3), fp(&[6], &[])).is_empty());
+        let released = p.complete(SeqNum(1));
+        assert_eq!(released, vec![SeqNum(2)], "3 stays blocked behind 2");
+        assert_eq!(p.complete(SeqNum(2)), vec![SeqNum(3)]);
+    }
+
+    #[test]
+    fn independent_batch_overtakes_blocked_ones() {
+        let mut p = BestEffortPlanner::new();
+        let _ = p.enqueue(SeqNum(1), fp(&[], &[5]));
+        assert!(p.enqueue(SeqNum(2), fp(&[5], &[])).is_empty());
+        // Batch 3 touches completely different keys: it can run now.
+        assert_eq!(p.enqueue(SeqNum(3), fp(&[7], &[8])), vec![SeqNum(3)]);
+    }
+
+    #[test]
+    fn write_write_conflicts_serialize() {
+        let mut p = BestEffortPlanner::new();
+        let _ = p.enqueue(SeqNum(1), fp(&[], &[9]));
+        assert!(p.enqueue(SeqNum(2), fp(&[], &[9])).is_empty());
+        assert_eq!(p.complete(SeqNum(1)), vec![SeqNum(2)]);
+    }
+
+    #[test]
+    fn read_read_sharing_is_not_a_conflict() {
+        let mut p = BestEffortPlanner::new();
+        let _ = p.enqueue(SeqNum(1), fp(&[3], &[]));
+        assert_eq!(p.enqueue(SeqNum(2), fp(&[3], &[])), vec![SeqNum(2)]);
+    }
+
+    #[test]
+    fn duplicate_enqueue_and_complete_are_idempotent() {
+        let mut p = BestEffortPlanner::new();
+        assert_eq!(p.enqueue(SeqNum(1), fp(&[], &[1])), vec![SeqNum(1)]);
+        assert!(p.enqueue(SeqNum(1), fp(&[], &[1])).is_empty());
+        assert_eq!(p.complete(SeqNum(1)), Vec::<SeqNum>::new());
+        assert!(p.complete(SeqNum(1)).is_empty());
+        assert!(p.enqueue(SeqNum(1), fp(&[], &[1])).is_empty(), "completed batches never re-dispatch");
+    }
+
+    #[test]
+    fn footprint_built_from_rwsets() {
+        use sbft_types::RwSetKeys;
+        let a = RwSetKeys::new([Key(1)], [Key(2)]);
+        let b = RwSetKeys::new([Key(3)], [Key(2)]);
+        let fp = BatchFootprint::from_rwsets([&a, &b]);
+        assert_eq!(fp.reads.len(), 2);
+        assert_eq!(fp.writes.len(), 1);
+    }
+}

@@ -1,0 +1,872 @@
+//! The shim-node role.
+//!
+//! A shim node is an edge device that (1) accepts signed client requests,
+//! (2) batches them and runs the ordering protocol, (3) once a batch
+//! commits, spawns serverless executors carrying the execution certificate
+//! `C` (Figure 3, primary role), and (4) participates in the recovery paths
+//! of Figure 4: forwarding `ERROR` messages to the primary under the
+//! re-transmission timer `Υ`, honouring `REPLACE` messages from the
+//! verifier, and replacing the primary through the ordering protocol's view
+//! change when timers expire.
+//!
+//! The same state machine covers all spawning modes: primary-only spawning
+//! (default), decentralized spawning (Section VI-B), and the planner-gated
+//! spawning used when read-write sets are known (Section VI-C).
+
+use crate::events::{
+    Action, BatchValidated, ClientRequest, Destination, ProtocolMessage, ProtocolTimer,
+    RecoverySubject,
+};
+use crate::planner::{BatchFootprint, BestEffortPlanner};
+use sbft_consensus::{Batcher, ConsensusAction, ConsensusMessage, OrderingProtocol};
+use sbft_crypto::{CommitCertificate, CryptoHandle};
+use sbft_serverless::{ExecuteRequest, Invoker};
+use sbft_types::{
+    Batch, ComponentId, ConflictHandling, NodeId, SeqNum, SimTime, SpawningMode, SystemConfig,
+    ViewNumber,
+};
+use std::collections::BTreeMap;
+
+/// A committed batch that may still need spawning or re-spawning.
+#[derive(Clone, Debug)]
+struct CommittedBatch {
+    view: ViewNumber,
+    batch: Batch,
+    certificate: CommitCertificate,
+    spawned: bool,
+}
+
+/// The shim-node role state machine.
+pub struct ShimNode {
+    me: NodeId,
+    config: SystemConfig,
+    crypto: CryptoHandle,
+    ordering: Box<dyn OrderingProtocol + Send>,
+    batcher: Batcher,
+    invoker: Invoker,
+    planner: Option<BestEffortPlanner>,
+    /// Batches committed locally that the verifier has not validated yet.
+    committed: BTreeMap<SeqNum, CommittedBatch>,
+    /// Transactions this node has already placed in a batch, so that client
+    /// re-transmissions and forwarded `ERROR(⟨T⟩_C)` messages are not
+    /// ordered twice.
+    seen_txns: std::collections::HashSet<sbft_types::TxnId>,
+    /// The view in which each re-transmission timer `Υ` was started. If the
+    /// view has already changed when the timer fires, the new primary gets a
+    /// fresh chance instead of triggering yet another view change (this is
+    /// what prevents one byzantine primary from cascading the shim through
+    /// many views when many `ERROR` messages arrive at once).
+    retransmit_view: std::collections::HashMap<RecoverySubject, ViewNumber>,
+    batches_committed: u64,
+    executors_spawned: u64,
+    requests_forwarded: u64,
+}
+
+impl ShimNode {
+    /// Creates a shim node around an ordering protocol instance.
+    #[must_use]
+    pub fn new(
+        me: NodeId,
+        config: SystemConfig,
+        crypto: CryptoHandle,
+        ordering: Box<dyn OrderingProtocol + Send>,
+    ) -> Self {
+        let batcher = Batcher::new(
+            config.workload.batch_size,
+            sbft_types::SimDuration::from_millis(5),
+        );
+        let invoker = Invoker::new(me, config.regions.clone());
+        let planner = matches!(config.conflict_handling, ConflictHandling::KnownRwSets)
+            .then(BestEffortPlanner::new);
+        ShimNode {
+            me,
+            config,
+            crypto,
+            ordering,
+            batcher,
+            invoker,
+            planner,
+            committed: BTreeMap::new(),
+            seen_txns: std::collections::HashSet::new(),
+            retransmit_view: std::collections::HashMap::new(),
+            batches_committed: 0,
+            executors_spawned: 0,
+            requests_forwarded: 0,
+        }
+    }
+
+    /// This node's identifier.
+    #[must_use]
+    pub fn id(&self) -> NodeId {
+        self.me
+    }
+
+    /// Whether this node is the primary of the current view.
+    #[must_use]
+    pub fn is_primary(&self) -> bool {
+        self.ordering.is_primary()
+    }
+
+    /// The primary of the current view.
+    #[must_use]
+    pub fn primary(&self) -> NodeId {
+        self.ordering.primary()
+    }
+
+    /// The ordering protocol's current view.
+    #[must_use]
+    pub fn view(&self) -> ViewNumber {
+        self.ordering.view()
+    }
+
+    /// Name of the ordering protocol in use ("PBFT", "CFT", "NoShim").
+    #[must_use]
+    pub fn protocol_name(&self) -> &'static str {
+        self.ordering.name()
+    }
+
+    /// Batches this node has committed locally.
+    #[must_use]
+    pub fn batches_committed(&self) -> u64 {
+        self.batches_committed
+    }
+
+    /// Executors this node has spawned (and will be reimbursed for).
+    #[must_use]
+    pub fn executors_spawned(&self) -> u64 {
+        self.executors_spawned
+    }
+
+    /// Client requests this node forwarded to the primary.
+    #[must_use]
+    pub fn requests_forwarded(&self) -> u64 {
+        self.requests_forwarded
+    }
+
+    fn component(&self) -> ComponentId {
+        ComponentId::Node(self.me)
+    }
+
+    // ---- client requests and batching ---------------------------------------
+
+    /// Handles a signed client request (Figure 3, primary role).
+    pub fn on_client_request(&mut self, req: &ClientRequest, now: SimTime) -> Vec<Action> {
+        let digest = ClientRequest::signing_digest(&req.txn);
+        if !self.crypto.verify(
+            ComponentId::Client(req.txn.id.client),
+            &digest,
+            &req.signature,
+        ) {
+            return Vec::new(); // not well-formed
+        }
+        if !self.is_primary() {
+            // Clients normally target the primary; a node that is not the
+            // primary forwards the request (e.g. after a view change).
+            self.requests_forwarded += 1;
+            return vec![Action::send(
+                self.component(),
+                Destination::Node(self.primary()),
+                ProtocolMessage::ClientRequest(req.clone()),
+            )];
+        }
+        self.order_transaction(req.txn.clone(), now)
+    }
+
+    /// Places a transaction in the ordering pipeline (primary only),
+    /// skipping transactions this node has already batched.
+    fn order_transaction(&mut self, txn: sbft_types::Transaction, now: SimTime) -> Vec<Action> {
+        if !self.seen_txns.insert(txn.id) {
+            return Vec::new(); // duplicate (client retry or forwarded ERROR)
+        }
+        if !self.config.batching_enabled {
+            return self.submit_batch(Batch::single(txn));
+        }
+        match self.batcher.push(txn, now) {
+            Some(batch) => self.submit_batch(batch),
+            None => Vec::new(),
+        }
+    }
+
+    /// Periodic tick releasing partially filled batches.
+    pub fn poll_batcher(&mut self, now: SimTime) -> Vec<Action> {
+        if !self.is_primary() {
+            return Vec::new();
+        }
+        match self.batcher.poll(now) {
+            Some(batch) => self.submit_batch(batch),
+            None => Vec::new(),
+        }
+    }
+
+    fn submit_batch(&mut self, batch: Batch) -> Vec<Action> {
+        let consensus_actions = self.ordering.submit_batch(batch);
+        self.translate(consensus_actions)
+    }
+
+    // ---- consensus plumbing ---------------------------------------------------
+
+    /// Handles a consensus message from another shim node.
+    pub fn on_consensus_message(&mut self, from: NodeId, msg: ConsensusMessage) -> Vec<Action> {
+        let actions = self.ordering.handle_message(from, msg);
+        self.translate(actions)
+    }
+
+    fn translate(&mut self, actions: Vec<ConsensusAction>) -> Vec<Action> {
+        let mut out = Vec::new();
+        for action in actions {
+            match action {
+                ConsensusAction::Broadcast(msg) => out.push(Action::send(
+                    self.component(),
+                    Destination::AllNodes,
+                    ProtocolMessage::Consensus(msg),
+                )),
+                ConsensusAction::Send(to, msg) => out.push(Action::send(
+                    self.component(),
+                    Destination::Node(to),
+                    ProtocolMessage::Consensus(msg),
+                )),
+                ConsensusAction::StartTimer { timer, duration } => out.push(Action::StartTimer {
+                    timer: ProtocolTimer::Consensus(timer),
+                    duration,
+                }),
+                ConsensusAction::CancelTimer(timer) => {
+                    out.push(Action::CancelTimer(ProtocolTimer::Consensus(timer)));
+                }
+                ConsensusAction::Committed {
+                    view,
+                    seq,
+                    batch,
+                    certificate,
+                } => out.extend(self.on_committed(view, seq, batch, certificate)),
+                ConsensusAction::ViewInstalled { .. } => out.extend(self.on_view_installed()),
+                ConsensusAction::CaughtUp { .. } => {}
+            }
+        }
+        out
+    }
+
+    fn on_committed(
+        &mut self,
+        view: ViewNumber,
+        seq: SeqNum,
+        batch: Batch,
+        certificate: Option<CommitCertificate>,
+    ) -> Vec<Action> {
+        self.batches_committed += 1;
+        let len = batch.len();
+        // Baseline protocols (CFT / NoShim) produce no certificate; an
+        // empty certificate stands in so the message flow stays identical
+        // (executors and the verifier are configured with a quorum of 0).
+        let certificate = certificate.unwrap_or_else(|| {
+            CommitCertificate::new(view, seq, sbft_consensus::messages::batch_digest(&batch), vec![])
+        });
+        self.committed.insert(
+            seq,
+            CommittedBatch {
+                view,
+                batch,
+                certificate,
+                spawned: false,
+            },
+        );
+        let mut actions = vec![Action::BatchCommitted { seq, len }];
+
+        if !self.should_spawn() {
+            return actions;
+        }
+        if self.planner.is_some() {
+            // Known read-write sets: ask the planner which batches may be
+            // dispatched without conflicting with in-flight ones.
+            let footprint = {
+                let entry = self.committed.get(&seq).expect("just inserted");
+                let rwsets: Vec<_> = entry
+                    .batch
+                    .txns
+                    .iter()
+                    .map(|t| t.declared_rwset.clone().unwrap_or_else(|| t.inferred_rwset()))
+                    .collect();
+                BatchFootprint::from_rwsets(rwsets.iter())
+            };
+            let ready = self
+                .planner
+                .as_mut()
+                .expect("planner present")
+                .enqueue(seq, footprint);
+            for ready_seq in ready {
+                actions.extend(self.spawn_for(ready_seq));
+            }
+        } else {
+            actions.extend(self.spawn_for(seq));
+        }
+        actions
+    }
+
+    fn should_spawn(&self) -> bool {
+        match self.config.spawning {
+            SpawningMode::PrimaryOnly => self.is_primary(),
+            SpawningMode::Decentralized => true,
+        }
+    }
+
+    /// How many executors this node spawns per committed batch.
+    fn spawn_count(&self) -> usize {
+        match self.config.spawning {
+            SpawningMode::PrimaryOnly => self.config.executors_per_batch(),
+            SpawningMode::Decentralized => self.config.fault.decentralized_spawn_count(),
+        }
+    }
+
+    fn spawn_for(&mut self, seq: SeqNum) -> Vec<Action> {
+        let count = self.spawn_count();
+        let Some(entry) = self.committed.get_mut(&seq) else {
+            return Vec::new();
+        };
+        if entry.spawned {
+            return Vec::new();
+        }
+        entry.spawned = true;
+        let digest = entry.certificate.batch_digest;
+        let signing = ExecuteRequest::signing_digest(entry.view, seq, &digest, self.me);
+        let execute = ExecuteRequest {
+            view: entry.view,
+            seq,
+            digest,
+            batch: entry.batch.clone(),
+            certificate: entry.certificate.clone(),
+            spawner: self.me,
+            signature: self.crypto.sign(&signing),
+        };
+        let plan = self.invoker.plan(seq, count);
+        self.executors_spawned += plan.requests.len() as u64;
+        plan.requests
+            .into_iter()
+            .map(|request| Action::SpawnExecutor {
+                request,
+                execute: execute.clone(),
+            })
+            .collect()
+    }
+
+    /// When this node becomes the primary of a new view it re-spawns
+    /// executors for every batch that committed but was never validated by
+    /// the verifier (otherwise a view change could leave committed batches
+    /// stranded without executors).
+    fn on_view_installed(&mut self) -> Vec<Action> {
+        if !self.is_primary() {
+            return Vec::new();
+        }
+        let stranded: Vec<SeqNum> = self
+            .committed
+            .iter()
+            .filter(|(_, e)| !e.spawned)
+            .map(|(s, _)| *s)
+            .collect();
+        let mut actions = Vec::new();
+        for seq in stranded {
+            actions.extend(self.spawn_for(seq));
+        }
+        actions
+    }
+
+    // ---- verifier-driven recovery -----------------------------------------------
+
+    /// Handles messages from the verifier (Figure 4, node role) and other
+    /// non-consensus messages.
+    pub fn on_message(&mut self, msg: &ProtocolMessage) -> Vec<Action> {
+        self.on_message_at(msg, SimTime::ZERO)
+    }
+
+    /// Like [`Self::on_message`] but with the current time, needed when the
+    /// message may cause the primary to batch a carried client request.
+    pub fn on_message_at(&mut self, msg: &ProtocolMessage, now: SimTime) -> Vec<Action> {
+        match msg {
+            ProtocolMessage::Error(err) => {
+                if self.is_primary() {
+                    // The onus is on the primary to resolve the ERROR: order
+                    // the carried request (missing transaction case) or
+                    // re-spawn executors for the missing sequence number.
+                    return match (&err.subject, &err.request) {
+                        (RecoverySubject::Txn(_), Some(request)) => {
+                            self.order_transaction(request.txn.clone(), now)
+                        }
+                        (RecoverySubject::Seq(seq), _) => self.respawn(*seq),
+                        _ => Vec::new(),
+                    };
+                }
+                // Start the re-transmission timer Υ and forward the ERROR to
+                // the primary.
+                self.retransmit_view.insert(err.subject, self.view());
+                vec![
+                    Action::StartTimer {
+                        timer: ProtocolTimer::Retransmit(err.subject),
+                        duration: self.config.timers.retransmit_timeout,
+                    },
+                    Action::send(
+                        self.component(),
+                        Destination::Node(self.primary()),
+                        ProtocolMessage::Error(err.clone()),
+                    ),
+                ]
+            }
+            ProtocolMessage::Ack(ack) => {
+                vec![Action::CancelTimer(ProtocolTimer::Retransmit(ack.subject))]
+            }
+            ProtocolMessage::Replace(_) => {
+                let actions = self.ordering.request_view_change();
+                self.translate(actions)
+            }
+            ProtocolMessage::BatchValidated(validated) => self.on_batch_validated(*validated),
+            _ => Vec::new(),
+        }
+    }
+
+    /// Re-spawns executors for a batch this node committed but whose
+    /// execution never completed at the verifier (missing `k_max`).
+    fn respawn(&mut self, seq: SeqNum) -> Vec<Action> {
+        if let Some(entry) = self.committed.get_mut(&seq) {
+            entry.spawned = false;
+        }
+        if self.should_spawn() {
+            self.spawn_for(seq)
+        } else {
+            Vec::new()
+        }
+    }
+
+    fn on_batch_validated(&mut self, validated: BatchValidated) -> Vec<Action> {
+        self.committed.remove(&validated.seq);
+        let ready = match &mut self.planner {
+            Some(planner) => planner.complete(validated.seq),
+            None => Vec::new(),
+        };
+        let mut actions = Vec::new();
+        if self.should_spawn() {
+            for seq in ready {
+                actions.extend(self.spawn_for(seq));
+            }
+        }
+        actions
+    }
+
+    /// Handles the expiry of a timer owned by this node.
+    pub fn on_timer(&mut self, timer: ProtocolTimer, now: SimTime) -> Vec<Action> {
+        match timer {
+            ProtocolTimer::Consensus(t) => {
+                let actions = self.ordering.handle_timer(t);
+                self.translate(actions)
+            }
+            ProtocolTimer::Retransmit(subject) => {
+                // The primary failed to resolve the verifier's ERROR before
+                // Υ expired: it must be byzantine, replace it — unless the
+                // primary has already been replaced since the ERROR arrived,
+                // in which case the new primary gets a fresh chance.
+                let started_in = self.retransmit_view.remove(&subject);
+                if started_in == Some(self.view()) {
+                    let actions = self.ordering.request_view_change();
+                    self.translate(actions)
+                } else {
+                    Vec::new()
+                }
+            }
+            ProtocolTimer::BatchPoll => self.poll_batcher(now),
+            _ => Vec::new(),
+        }
+    }
+
+    /// Read access to the recovery subject of a retransmit timer (tests).
+    #[must_use]
+    pub fn retransmit_subject(timer: &ProtocolTimer) -> Option<RecoverySubject> {
+        match timer {
+            ProtocolTimer::Retransmit(s) => Some(*s),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::events::{envelopes, ErrorMessage, ReplaceMessage};
+    use sbft_consensus::{CftReplica, NoShim, PbftReplica};
+    use sbft_crypto::CryptoProvider;
+    use sbft_types::{ClientId, Key, Operation, Signature, Transaction, TxnId};
+    use std::sync::Arc;
+
+    struct Shim {
+        nodes: Vec<ShimNode>,
+        provider: Arc<CryptoProvider>,
+        config: SystemConfig,
+    }
+
+    /// Default test configuration: a 4-node shim batching 2 transactions.
+    fn base_config() -> SystemConfig {
+        let mut config = SystemConfig::with_shim_size(4);
+        config.workload.batch_size = 2;
+        config
+    }
+
+    fn make_shim(config: SystemConfig) -> Shim {
+        let provider = CryptoProvider::new(21);
+        let nodes = (0..config.fault.n_r as u32)
+            .map(|i| {
+                let ordering: Box<dyn OrderingProtocol + Send> = Box::new(PbftReplica::new(
+                    NodeId(i),
+                    config.fault,
+                    provider.handle(ComponentId::Node(NodeId(i))),
+                    config.timers.node_timeout,
+                    config.timers.checkpoint_interval,
+                ));
+                ShimNode::new(
+                    NodeId(i),
+                    config.clone(),
+                    provider.handle(ComponentId::Node(NodeId(i))),
+                    ordering,
+                )
+            })
+            .collect();
+        Shim {
+            nodes,
+            provider,
+            config,
+        }
+    }
+
+    fn signed_request(provider: &Arc<CryptoProvider>, client: u32, counter: u64) -> ClientRequest {
+        let txn = Transaction::new(
+            TxnId::new(ClientId(client), counter),
+            vec![Operation::ReadModifyWrite(Key(counter), 1)],
+        );
+        let digest = ClientRequest::signing_digest(&txn);
+        ClientRequest {
+            signature: provider
+                .handle(ComponentId::Client(ClientId(client)))
+                .sign(&digest),
+            txn,
+        }
+    }
+
+    /// Drives consensus messages among the shim nodes until quiescence,
+    /// collecting every non-consensus action per node.
+    fn run_consensus(shim: &mut Shim, origin: usize, actions: Vec<Action>) -> Vec<(NodeId, Action)> {
+        let mut external = Vec::new();
+        let mut queue: std::collections::VecDeque<(usize, usize, ConsensusMessage)> =
+            std::collections::VecDeque::new();
+        let n = shim.nodes.len();
+        let push_actions = |origin: usize,
+                                actions: Vec<Action>,
+                                queue: &mut std::collections::VecDeque<(usize, usize, ConsensusMessage)>,
+                                external: &mut Vec<(NodeId, Action)>| {
+            for a in actions {
+                match &a {
+                    Action::Send(env) => match (&env.to, &env.msg) {
+                        (Destination::AllNodes, ProtocolMessage::Consensus(msg)) => {
+                            for to in 0..n {
+                                if to != origin {
+                                    queue.push_back((origin, to, msg.clone()));
+                                }
+                            }
+                        }
+                        (Destination::Node(to), ProtocolMessage::Consensus(msg)) => {
+                            queue.push_back((origin, to.0 as usize, msg.clone()));
+                        }
+                        _ => external.push((NodeId(origin as u32), a.clone())),
+                    },
+                    _ => external.push((NodeId(origin as u32), a.clone())),
+                }
+            }
+        };
+        push_actions(origin, actions, &mut queue, &mut external);
+        while let Some((from, to, msg)) = queue.pop_front() {
+            let acts = shim.nodes[to].on_consensus_message(NodeId(from as u32), msg);
+            push_actions(to, acts, &mut queue, &mut external);
+        }
+        external
+    }
+
+    #[test]
+    fn primary_batches_requests_and_spawns_after_commit() {
+        let mut shim = make_shim(base_config());
+        let provider = Arc::clone(&shim.provider);
+        // First request only fills the batcher.
+        let a0 = shim.nodes[0].on_client_request(&signed_request(&provider, 0, 0), SimTime::ZERO);
+        assert!(a0.is_empty());
+        // Second request releases a batch of 2 and starts consensus.
+        let a1 = shim.nodes[0].on_client_request(&signed_request(&provider, 1, 0), SimTime::ZERO);
+        assert!(a1.iter().any(|a| a.sends_kind("PREPREPARE")));
+        let external = run_consensus(&mut shim, 0, a1);
+        // Only the primary spawns, and it spawns executors_per_batch of them.
+        let spawns: Vec<_> = external
+            .iter()
+            .filter(|(n, a)| *n == NodeId(0) && matches!(a, Action::SpawnExecutor { .. }))
+            .collect();
+        assert_eq!(spawns.len(), shim.config.executors_per_batch());
+        assert_eq!(shim.config.workload.batch_size, 2);
+        let other_spawns = external
+            .iter()
+            .filter(|(n, a)| *n != NodeId(0) && matches!(a, Action::SpawnExecutor { .. }))
+            .count();
+        assert_eq!(other_spawns, 0);
+        // Every node observed the commit.
+        let commits = external
+            .iter()
+            .filter(|(_, a)| matches!(a, Action::BatchCommitted { .. }))
+            .count();
+        assert_eq!(commits, 4);
+        assert_eq!(shim.nodes[0].executors_spawned(), 3);
+    }
+
+    #[test]
+    fn spawned_execute_requests_verify_at_executors() {
+        let mut shim = make_shim(base_config());
+        let provider = Arc::clone(&shim.provider);
+        let _ = shim.nodes[0].on_client_request(&signed_request(&provider, 0, 0), SimTime::ZERO);
+        let a1 = shim.nodes[0].on_client_request(&signed_request(&provider, 1, 0), SimTime::ZERO);
+        let external = run_consensus(&mut shim, 0, a1);
+        let execute = external
+            .iter()
+            .find_map(|(_, a)| match a {
+                Action::SpawnExecutor { execute, .. } => Some(execute.clone()),
+                _ => None,
+            })
+            .expect("spawn action");
+        // The certificate carried by the EXECUTE message verifies.
+        assert!(execute
+            .certificate
+            .verify(shim.provider.key_store(), 3, 4)
+            .is_ok());
+        assert_eq!(execute.spawner, NodeId(0));
+    }
+
+    #[test]
+    fn malformed_client_request_is_dropped() {
+        let mut shim = make_shim(base_config());
+        let mut req = signed_request(&shim.provider.clone(), 0, 0);
+        req.signature = Signature::ZERO;
+        assert!(shim.nodes[0]
+            .on_client_request(&req, SimTime::ZERO)
+            .is_empty());
+    }
+
+    #[test]
+    fn non_primary_forwards_requests_to_primary() {
+        let mut shim = make_shim(base_config());
+        let provider = Arc::clone(&shim.provider);
+        let actions = shim.nodes[2].on_client_request(&signed_request(&provider, 0, 0), SimTime::ZERO);
+        let env = actions[0].as_send().unwrap();
+        assert_eq!(env.to, Destination::Node(NodeId(0)));
+        assert_eq!(env.msg.kind(), "CLIENT-REQUEST");
+        assert_eq!(shim.nodes[2].requests_forwarded(), 1);
+    }
+
+    #[test]
+    fn decentralized_spawning_makes_every_node_spawn() {
+        let mut config = base_config();
+        config.spawning = SpawningMode::Decentralized;
+        let mut shim = make_shim(config);
+        let provider = Arc::clone(&shim.provider);
+        let _ = shim.nodes[0].on_client_request(&signed_request(&provider, 0, 0), SimTime::ZERO);
+        let a1 = shim.nodes[0].on_client_request(&signed_request(&provider, 1, 0), SimTime::ZERO);
+        let external = run_consensus(&mut shim, 0, a1);
+        // n_E (3) ≤ n_R (4), so every node spawns exactly one executor.
+        for i in 0..4u32 {
+            let spawns = external
+                .iter()
+                .filter(|(n, a)| *n == NodeId(i) && matches!(a, Action::SpawnExecutor { .. }))
+                .count();
+            assert_eq!(spawns, 1, "node {i}");
+        }
+    }
+
+    #[test]
+    fn error_from_verifier_starts_retransmit_timer_and_forwards() {
+        let mut shim = make_shim(base_config());
+        let err = ProtocolMessage::Error(ErrorMessage {
+            subject: RecoverySubject::Seq(SeqNum(3)),
+            request: None,
+            signature: Signature::ZERO,
+        });
+        let actions = shim.nodes[2].on_message(&err);
+        assert!(actions
+            .iter()
+            .any(|a| matches!(a, Action::StartTimer { timer: ProtocolTimer::Retransmit(_), .. })));
+        let env = envelopes(&actions)[0];
+        assert_eq!(env.to, Destination::Node(NodeId(0)), "forwarded to the primary");
+        // The matching ACK cancels the timer.
+        let ack = ProtocolMessage::Ack(crate::events::AckMessage {
+            subject: RecoverySubject::Seq(SeqNum(3)),
+            signature: Signature::ZERO,
+        });
+        let actions = shim.nodes[2].on_message(&ack);
+        assert!(actions
+            .iter()
+            .any(|a| matches!(a, Action::CancelTimer(ProtocolTimer::Retransmit(_)))));
+    }
+
+    #[test]
+    fn replace_from_verifier_triggers_view_change() {
+        let mut shim = make_shim(base_config());
+        let replace = ProtocolMessage::Replace(ReplaceMessage {
+            subject: RecoverySubject::Seq(SeqNum(1)),
+            signature: Signature::ZERO,
+        });
+        let actions = shim.nodes[1].on_message(&replace);
+        assert!(actions.iter().any(|a| a.sends_kind("VIEWCHANGE")));
+    }
+
+    #[test]
+    fn retransmit_timer_expiry_triggers_view_change() {
+        let mut shim = make_shim(base_config());
+        // The verifier reported a missing request; Υ is armed in view 0.
+        let err = ProtocolMessage::Error(ErrorMessage {
+            subject: RecoverySubject::Seq(SeqNum(1)),
+            request: None,
+            signature: Signature::ZERO,
+        });
+        let _ = shim.nodes[1].on_message(&err);
+        // The primary never resolved it before Υ expired: view change.
+        let actions = shim.nodes[1].on_timer(
+            ProtocolTimer::Retransmit(RecoverySubject::Seq(SeqNum(1))),
+            SimTime::ZERO,
+        );
+        assert!(actions.iter().any(|a| a.sends_kind("VIEWCHANGE")));
+    }
+
+    #[test]
+    fn retransmit_timer_is_forgiven_after_a_view_change() {
+        let mut shim = make_shim(base_config());
+        let err = ProtocolMessage::Error(ErrorMessage {
+            subject: RecoverySubject::Seq(SeqNum(1)),
+            request: None,
+            signature: Signature::ZERO,
+        });
+        let _ = shim.nodes[1].on_message(&err);
+        // The primary is replaced before Υ expires (for another reason).
+        let _ = shim.nodes[1].on_message(&ProtocolMessage::Replace(ReplaceMessage {
+            subject: RecoverySubject::Seq(SeqNum(1)),
+            signature: Signature::ZERO,
+        }));
+        // Υ now fires, but the view already moved on: no further escalation.
+        // (The node's own view only advances once a quorum exists, so fake
+        // the comparison by checking that no VIEWCHANGE for view 2 is sent.)
+        let actions = shim.nodes[1].on_timer(
+            ProtocolTimer::Retransmit(RecoverySubject::Seq(SeqNum(1))),
+            SimTime::ZERO,
+        );
+        // The node already voted for view 1 when handling REPLACE, so the
+        // timer expiry must not push it to vote again for a later view.
+        for action in &actions {
+            if let Some(env) = action.as_send() {
+                if let ProtocolMessage::Consensus(
+                    sbft_consensus::ConsensusMessage::ViewChange(vc),
+                ) = &env.msg
+                {
+                    assert!(vc.new_view <= sbft_types::ViewNumber(1));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn planner_gates_spawning_for_conflicting_batches() {
+        let mut config = SystemConfig::with_shim_size(4);
+        config.conflict_handling = ConflictHandling::KnownRwSets;
+        config.workload.batch_size = 1;
+        let mut shim = make_shim(config);
+        let provider = Arc::clone(&shim.provider);
+        // Two conflicting single-transaction batches (both RMW key 7).
+        let mk = |client: u32| {
+            let txn = Transaction::new(
+                TxnId::new(ClientId(client), 0),
+                vec![Operation::ReadModifyWrite(Key(7), 1)],
+            )
+            .with_inferred_rwset();
+            let digest = ClientRequest::signing_digest(&txn);
+            ClientRequest {
+                signature: provider
+                    .handle(ComponentId::Client(ClientId(client)))
+                    .sign(&digest),
+                txn,
+            }
+        };
+        let a1 = shim.nodes[0].on_client_request(&mk(0), SimTime::ZERO);
+        let ext1 = run_consensus(&mut shim, 0, a1);
+        let spawns1 = ext1
+            .iter()
+            .filter(|(_, a)| matches!(a, Action::SpawnExecutor { .. }))
+            .count();
+        assert_eq!(spawns1, 3, "first batch spawns immediately");
+        let a2 = shim.nodes[0].on_client_request(&mk(1), SimTime::ZERO);
+        let ext2 = run_consensus(&mut shim, 0, a2);
+        let spawns2 = ext2
+            .iter()
+            .filter(|(_, a)| matches!(a, Action::SpawnExecutor { .. }))
+            .count();
+        assert_eq!(spawns2, 0, "conflicting batch waits for the first to finish");
+        // The verifier validates batch 1; batch 2 is released.
+        let actions = shim.nodes[0].on_message(&ProtocolMessage::BatchValidated(BatchValidated {
+            seq: SeqNum(1),
+            committed: 1,
+            aborted: 0,
+        }));
+        let spawns3 = actions
+            .iter()
+            .filter(|a| matches!(a, Action::SpawnExecutor { .. }))
+            .count();
+        assert_eq!(spawns3, 3, "validation releases the conflicting batch");
+    }
+
+    #[test]
+    fn unknown_rwsets_spawn_three_f_plus_one_executors() {
+        let mut config = SystemConfig::with_shim_size(4);
+        config.conflict_handling = ConflictHandling::UnknownRwSets;
+        config.workload.batch_size = 1;
+        let mut shim = make_shim(config);
+        let provider = Arc::clone(&shim.provider);
+        let a = shim.nodes[0].on_client_request(&signed_request(&provider, 0, 0), SimTime::ZERO);
+        let external = run_consensus(&mut shim, 0, a);
+        let spawns = external
+            .iter()
+            .filter(|(_, a)| matches!(a, Action::SpawnExecutor { .. }))
+            .count();
+        assert_eq!(spawns, 4, "3·f_E + 1 executors with f_E = 1");
+    }
+
+    #[test]
+    fn cft_and_noshim_orderings_also_spawn() {
+        let config = {
+            let mut c = SystemConfig::with_shim_size(4);
+            c.workload.batch_size = 1;
+            c
+        };
+        let provider = CryptoProvider::new(5);
+        // CFT-backed shim node (single-node degenerate cluster for the test).
+        let mut cft_node = ShimNode::new(
+            NodeId(0),
+            config.clone(),
+            provider.handle(ComponentId::Node(NodeId(0))),
+            Box::new(CftReplica::new(
+                NodeId(0),
+                sbft_types::FaultParams { n_r: 1, f_r: 0, n_e: 3, f_e: 1 },
+                config.timers.node_timeout,
+            )),
+        );
+        let req = signed_request(&provider, 0, 0);
+        let actions = cft_node.on_client_request(&req, SimTime::ZERO);
+        assert!(actions.iter().any(|a| matches!(a, Action::SpawnExecutor { .. })));
+        // NoShim node.
+        let mut noshim = ShimNode::new(
+            NodeId(0),
+            config.clone(),
+            provider.handle(ComponentId::Node(NodeId(0))),
+            Box::new(NoShim::new(NodeId(0))),
+        );
+        let req = signed_request(&provider, 1, 0);
+        let actions = noshim.on_client_request(&req, SimTime::ZERO);
+        let spawns = actions
+            .iter()
+            .filter(|a| matches!(a, Action::SpawnExecutor { .. }))
+            .count();
+        assert_eq!(spawns, config.executors_per_batch());
+        assert_eq!(noshim.protocol_name(), "NoShim");
+    }
+}

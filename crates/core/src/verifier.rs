@@ -1,0 +1,854 @@
+//! The trusted verifier `V`.
+//!
+//! The verifier is a lightweight wrapper around the on-premise data-store
+//! (Section IV-D). It collects well-formed `VERIFY` messages from the
+//! executors, waits for `f_E + 1` matching results, enforces the sequence
+//! order the shim agreed on (`k_max` and the pending list `π`), runs the
+//! concurrency-control check against storage, applies the writes, and
+//! replies to the clients and the shim primary. It also implements:
+//!
+//! * the **flooding mitigation** of Section V-C (ignore further `VERIFY`
+//!   messages once a request is matched),
+//! * the **request-suppression recovery** of Figure 4 (client retries are
+//!   answered with a re-sent `RESPONSE`, an `ERROR(k_max)`, an
+//!   `ERROR(⟨T⟩_C)` or a `REPLACE`, followed by an `ACK` once resolved),
+//! * the **byzantine-abort detection** of Section VI-B for conflicting
+//!   transactions with unknown read-write sets (abort timer per batch,
+//!   `REPLACE` when fewer than `2f_E + 1` executors answered, abort when
+//!   enough answered but results do not match).
+
+use crate::events::{
+    AbortMessage, Action, AckMessage, BatchValidated, ClientRequest, Destination, ErrorMessage,
+    ProtocolMessage, ProtocolTimer, RecoverySubject, ReplaceMessage, ResponseMessage,
+};
+use sbft_crypto::CryptoHandle;
+use sbft_serverless::VerifyMessage;
+use sbft_storage::{ConcurrencyChecker, VersionedStore};
+use sbft_types::{
+    ComponentId, ConflictHandling, ExecutorId, FaultParams, SeqNum, SimDuration, TxnId, TxnOutcome,
+};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::sync::Arc;
+
+/// Per-batch bookkeeping while `VERIFY` messages are being collected.
+#[derive(Debug, Default)]
+struct SeqState {
+    verifies: BTreeMap<ExecutorId, VerifyMessage>,
+    matched: Option<VerifyMessage>,
+    abort_tagged: bool,
+    timer_started: bool,
+}
+
+/// The verifier role state machine.
+pub struct Verifier {
+    crypto: CryptoHandle,
+    store: Arc<VersionedStore>,
+    params: FaultParams,
+    conflict_handling: ConflictHandling,
+    abort_timeout: SimDuration,
+    /// Commit-certificate quorum `VERIFY` messages must carry (0 for the
+    /// CFT / NoShim baselines, which cannot produce certificates).
+    cert_quorum: usize,
+
+    /// Sequence number of the next request to be validated.
+    kmax: SeqNum,
+    /// The pending list `π` plus in-progress collection state.
+    pending: BTreeMap<SeqNum, SeqState>,
+    /// Responses already sent, kept to answer client re-transmissions.
+    responded: HashMap<TxnId, ProtocolMessage>,
+    /// Which batch each transaction was ordered in (learned from `VERIFY`).
+    txn_location: HashMap<TxnId, SeqNum>,
+    /// Recovery subjects we broadcast an `ERROR`/`REPLACE` for and still
+    /// owe an `ACK`.
+    outstanding: BTreeSet<RecoverySubject>,
+
+    committed_txns: u64,
+    aborted_txns: u64,
+    ignored_verifies: u64,
+    validated_batches: u64,
+}
+
+impl Verifier {
+    /// Creates the verifier.
+    #[must_use]
+    pub fn new(
+        crypto: CryptoHandle,
+        store: Arc<VersionedStore>,
+        params: FaultParams,
+        conflict_handling: ConflictHandling,
+        abort_timeout: SimDuration,
+        cert_quorum: usize,
+    ) -> Self {
+        Verifier {
+            crypto,
+            store,
+            params,
+            conflict_handling,
+            abort_timeout,
+            cert_quorum,
+            kmax: SeqNum(1),
+            pending: BTreeMap::new(),
+            responded: HashMap::new(),
+            txn_location: HashMap::new(),
+            outstanding: BTreeSet::new(),
+            committed_txns: 0,
+            aborted_txns: 0,
+            ignored_verifies: 0,
+            validated_batches: 0,
+        }
+    }
+
+    /// Sequence number of the next batch the verifier will validate.
+    #[must_use]
+    pub fn kmax(&self) -> SeqNum {
+        self.kmax
+    }
+
+    /// Transactions whose writes have been applied.
+    #[must_use]
+    pub fn committed_txns(&self) -> u64 {
+        self.committed_txns
+    }
+
+    /// Transactions aborted (stale reads or byzantine-abort detection).
+    #[must_use]
+    pub fn aborted_txns(&self) -> u64 {
+        self.aborted_txns
+    }
+
+    /// `VERIFY` messages ignored by the flooding mitigation.
+    #[must_use]
+    pub fn ignored_verifies(&self) -> u64 {
+        self.ignored_verifies
+    }
+
+    /// Batches fully validated so far.
+    #[must_use]
+    pub fn validated_batches(&self) -> u64 {
+        self.validated_batches
+    }
+
+    /// Number of batches sitting in the pending list `π` (matched or
+    /// still collecting votes) ahead of `k_max`.
+    #[must_use]
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+
+    fn validate_reads(&self) -> bool {
+        !matches!(self.conflict_handling, ConflictHandling::NonConflicting)
+    }
+
+    fn me(&self) -> ComponentId {
+        ComponentId::Verifier
+    }
+
+    fn sign_marker(&self, label: &str, a: u64, b: u64) -> sbft_types::Signature {
+        self.crypto.sign(&sbft_crypto::digest_u64s(label, &[a, b]))
+    }
+
+    // ---- VERIFY handling ---------------------------------------------------
+
+    /// Handles a `VERIFY` message from an executor (Figure 3, lines 21–29).
+    pub fn on_verify(&mut self, msg: &VerifyMessage) -> Vec<Action> {
+        // Well-formedness: executor signature and certificate.
+        if !self.crypto.verify(
+            ComponentId::Executor(msg.executor),
+            &msg.result_digest,
+            &msg.signature,
+        ) {
+            return Vec::new();
+        }
+        if self.cert_quorum > 0
+            && msg
+                .certificate
+                .verify(
+                    self.crypto.provider().key_store(),
+                    self.cert_quorum,
+                    self.params.n_r,
+                )
+                .is_err()
+        {
+            return Vec::new();
+        }
+
+        // Already validated requests and already matched batches: ignore
+        // (the flooding mitigation of Section V-C).
+        if msg.seq < self.kmax {
+            self.ignored_verifies += 1;
+            return Vec::new();
+        }
+        let quorum = self.params.verify_quorum();
+        let abort_timeout = self.abort_timeout;
+        let track_aborts = matches!(self.conflict_handling, ConflictHandling::UnknownRwSets);
+        let state = self.pending.entry(msg.seq).or_default();
+        if state.matched.is_some() {
+            self.ignored_verifies += 1;
+            return Vec::new();
+        }
+        if state.verifies.contains_key(&msg.executor) {
+            // Duplicate VERIFY from the same executor (flooding attack).
+            self.ignored_verifies += 1;
+            return Vec::new();
+        }
+        state.verifies.insert(msg.executor, msg.clone());
+
+        let mut actions = Vec::new();
+        // Start the abort-detection timer on the first VERIFY for this
+        // batch (only needed when conflicts with unknown rw-sets are
+        // possible, Section VI-B).
+        if track_aborts && !state.timer_started {
+            state.timer_started = true;
+            actions.push(Action::StartTimer {
+                timer: ProtocolTimer::VerifierAbort(msg.seq),
+                duration: abort_timeout,
+            });
+        }
+
+        // Record where each transaction lives for client-retry handling.
+        for r in &msg.results {
+            self.txn_location.insert(r.txn, msg.seq);
+        }
+
+        // Count matching results.
+        let state = self.pending.get_mut(&msg.seq).expect("state exists");
+        let matching = state
+            .verifies
+            .values()
+            .filter(|v| v.result_digest == msg.result_digest)
+            .count();
+        if matching >= quorum {
+            state.matched = Some(msg.clone());
+            if state.timer_started {
+                actions.push(Action::CancelTimer(ProtocolTimer::VerifierAbort(msg.seq)));
+            }
+            actions.extend(self.advance_kmax());
+        }
+        actions
+    }
+
+    /// Validates every batch at the head of the order that is matched (or
+    /// abort-tagged), advancing `k_max` (Figure 3, lines 24–29).
+    fn advance_kmax(&mut self) -> Vec<Action> {
+        let mut actions = Vec::new();
+        loop {
+            let Some(state) = self.pending.get(&self.kmax) else { break };
+            if state.matched.is_none() && !state.abort_tagged {
+                break;
+            }
+            let seq = self.kmax;
+            let state = self.pending.remove(&seq).expect("present");
+            if let Some(matched) = state.matched {
+                actions.extend(self.apply_batch(seq, &matched));
+            } else {
+                actions.extend(self.abort_batch(seq, &state));
+            }
+            self.kmax = self.kmax.next();
+        }
+        actions
+    }
+
+    /// Applies a matched batch: per-transaction concurrency check, storage
+    /// update, client responses, primary notification, ACKs.
+    fn apply_batch(&mut self, seq: SeqNum, matched: &VerifyMessage) -> Vec<Action> {
+        let mut actions = Vec::new();
+        let mut committed = 0u32;
+        let mut aborted = 0u32;
+        for result in &matched.results {
+            let outcome =
+                ConcurrencyChecker::check_and_apply(&self.store, &result.rwset, self.validate_reads());
+            let (msg, txn_outcome) = if outcome.is_applied() {
+                committed += 1;
+                self.committed_txns += 1;
+                (
+                    ProtocolMessage::Response(ResponseMessage {
+                        txn: result.txn,
+                        seq,
+                        outcome: TxnOutcome::Committed,
+                        output: result.output,
+                        signature: self.sign_marker("response", seq.0, result.output),
+                    }),
+                    TxnOutcome::Committed,
+                )
+            } else {
+                aborted += 1;
+                self.aborted_txns += 1;
+                (
+                    ProtocolMessage::Abort(AbortMessage {
+                        txn: result.txn,
+                        seq,
+                        signature: self.sign_marker("abort", seq.0, result.txn.counter),
+                    }),
+                    TxnOutcome::Aborted,
+                )
+            };
+            let _ = txn_outcome;
+            self.responded.insert(result.txn, msg.clone());
+            actions.push(Action::send(
+                self.me(),
+                Destination::Client(result.txn.client),
+                msg,
+            ));
+            actions.extend(self.resolve_subject(RecoverySubject::Txn(result.txn)));
+        }
+        self.validated_batches += 1;
+        actions.push(Action::send(
+            self.me(),
+            Destination::AllNodes,
+            ProtocolMessage::BatchValidated(BatchValidated {
+                seq,
+                committed,
+                aborted,
+            }),
+        ));
+        actions.extend(self.resolve_subject(RecoverySubject::Seq(seq)));
+        actions
+    }
+
+    /// Aborts a whole batch (byzantine-abort detection, Section VI-B).
+    fn abort_batch(&mut self, seq: SeqNum, state: &SeqState) -> Vec<Action> {
+        let mut actions = Vec::new();
+        // Any received VERIFY tells us which transactions (and clients) the
+        // batch contains.
+        let Some(sample) = state.verifies.values().next() else {
+            return actions;
+        };
+        let mut aborted = 0u32;
+        for result in &sample.results {
+            aborted += 1;
+            self.aborted_txns += 1;
+            let msg = ProtocolMessage::Abort(AbortMessage {
+                txn: result.txn,
+                seq,
+                signature: self.sign_marker("abort", seq.0, result.txn.counter),
+            });
+            self.responded.insert(result.txn, msg.clone());
+            actions.push(Action::send(
+                self.me(),
+                Destination::Client(result.txn.client),
+                msg,
+            ));
+            actions.extend(self.resolve_subject(RecoverySubject::Txn(result.txn)));
+        }
+        self.validated_batches += 1;
+        actions.push(Action::send(
+            self.me(),
+            Destination::AllNodes,
+            ProtocolMessage::BatchValidated(BatchValidated {
+                seq,
+                committed: 0,
+                aborted,
+            }),
+        ));
+        actions.extend(self.resolve_subject(RecoverySubject::Seq(seq)));
+        actions
+    }
+
+    /// Broadcasts an `ACK` if the subject had an outstanding `ERROR`.
+    fn resolve_subject(&mut self, subject: RecoverySubject) -> Vec<Action> {
+        if !self.outstanding.remove(&subject) {
+            return Vec::new();
+        }
+        vec![Action::send(
+            self.me(),
+            Destination::AllNodes,
+            ProtocolMessage::Ack(AckMessage {
+                subject,
+                signature: self.sign_marker("ack", 0, 0),
+            }),
+        )]
+    }
+
+    // ---- abort-detection timer ----------------------------------------------
+
+    /// Handles the expiry of the abort-detection timer for `seq`
+    /// (Section VI-B, *Verifier Abort Detection*).
+    pub fn on_abort_timeout(&mut self, seq: SeqNum) -> Vec<Action> {
+        let blame_threshold = self.params.verify_blame_threshold();
+        let Some(state) = self.pending.get_mut(&seq) else {
+            return Vec::new(); // already validated
+        };
+        if state.matched.is_some() {
+            return Vec::new();
+        }
+        if state.verifies.len() < blame_threshold {
+            // Fewer than 2f_E + 1 executors answered: conservatively blame
+            // the primary and ask the shim to replace it.
+            let subject = RecoverySubject::Seq(seq);
+            self.outstanding.insert(subject);
+            return vec![Action::send(
+                self.me(),
+                Destination::AllNodes,
+                ProtocolMessage::Replace(ReplaceMessage {
+                    subject,
+                    signature: self.sign_marker("replace", seq.0, 0),
+                }),
+            )];
+        }
+        // Enough executors answered but their results conflict: the
+        // transaction(s) must be aborted. If this is the next batch in
+        // order we abort immediately, otherwise we tag it in π.
+        state.abort_tagged = true;
+        self.advance_kmax()
+    }
+
+    // ---- client re-transmissions ----------------------------------------------
+
+    /// Handles a client request re-transmitted directly to the verifier
+    /// (Figure 4, verifier role).
+    pub fn on_client_request(&mut self, req: &ClientRequest) -> Vec<Action> {
+        let digest = ClientRequest::signing_digest(&req.txn);
+        if !self.crypto.verify(
+            ComponentId::Client(req.txn.id.client),
+            &digest,
+            &req.signature,
+        ) {
+            return Vec::new();
+        }
+        let txn = req.txn.id;
+        // (i) Already answered: re-send the response.
+        if let Some(msg) = self.responded.get(&txn) {
+            return vec![Action::send(
+                self.me(),
+                Destination::Client(txn.client),
+                msg.clone(),
+            )];
+        }
+        match self.txn_location.get(&txn) {
+            Some(seq) => {
+                let matched = self
+                    .pending
+                    .get(seq)
+                    .is_some_and(|state| state.matched.is_some());
+                if matched {
+                    // (ii) The request sits in π waiting for k_max: tell the
+                    // shim which sequence number is missing.
+                    let subject = RecoverySubject::Seq(self.kmax);
+                    self.outstanding.insert(subject);
+                    vec![Action::send(
+                        self.me(),
+                        Destination::AllNodes,
+                        ProtocolMessage::Error(ErrorMessage {
+                            subject,
+                            request: None,
+                            signature: self.sign_marker("error", self.kmax.0, 0),
+                        }),
+                    )]
+                } else {
+                    // (iii) Some VERIFY messages arrived but not f_E + 1
+                    // matching ones: only a byzantine primary can cause
+                    // this, ask for its replacement.
+                    let subject = RecoverySubject::Txn(txn);
+                    self.outstanding.insert(subject);
+                    vec![Action::send(
+                        self.me(),
+                        Destination::AllNodes,
+                        ProtocolMessage::Replace(ReplaceMessage {
+                            subject,
+                            signature: self.sign_marker("replace", txn.counter, 1),
+                        }),
+                    )]
+                }
+            }
+            None => {
+                // No VERIFY message mentions this transaction: the shim may
+                // never have ordered it. The ERROR carries ⟨T⟩_C so the
+                // primary can order it (Figure 4, line 12).
+                let subject = RecoverySubject::Txn(txn);
+                self.outstanding.insert(subject);
+                vec![Action::send(
+                    self.me(),
+                    Destination::AllNodes,
+                    ProtocolMessage::Error(ErrorMessage {
+                        subject,
+                        request: Some(req.clone()),
+                        signature: self.sign_marker("error", txn.counter, 1),
+                    }),
+                )]
+            }
+        }
+    }
+
+    /// Entry point for all messages addressed to the verifier.
+    pub fn on_message(&mut self, msg: &ProtocolMessage) -> Vec<Action> {
+        match msg {
+            ProtocolMessage::Verify(v) => self.on_verify(v),
+            ProtocolMessage::ClientRequest(r) => self.on_client_request(r),
+            _ => Vec::new(),
+        }
+    }
+
+    /// Entry point for verifier timers.
+    pub fn on_timer(&mut self, timer: ProtocolTimer) -> Vec<Action> {
+        match timer {
+            ProtocolTimer::VerifierAbort(seq) => self.on_abort_timeout(seq),
+            _ => Vec::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sbft_crypto::certificate::commit_digest;
+    use sbft_crypto::{CommitCertificate, CryptoProvider, SimSigner};
+    use sbft_storage::YcsbTable;
+    use sbft_types::{
+        Batch, ClientId, Digest, Key, NodeId, Operation, ReadWriteSet, Transaction, TxnResult,
+        Value, Version, ViewNumber,
+    };
+
+    struct Fixture {
+        provider: Arc<CryptoProvider>,
+        store: Arc<VersionedStore>,
+    }
+
+    impl Fixture {
+        fn new() -> Self {
+            Fixture {
+                provider: CryptoProvider::new(5),
+                store: YcsbTable::populate(100).store().clone(),
+            }
+        }
+
+        fn verifier(&self, conflict: ConflictHandling) -> Verifier {
+            Verifier::new(
+                self.provider.handle(ComponentId::Verifier),
+                Arc::clone(&self.store),
+                FaultParams::for_shim_size(4),
+                conflict,
+                SimDuration::from_millis(100),
+                3,
+            )
+        }
+
+        fn certificate(&self, seq: u64, digest: Digest) -> CommitCertificate {
+            let cd = commit_digest(ViewNumber(0), SeqNum(seq), &digest);
+            let entries = (0..3u32)
+                .map(|n| {
+                    let kp = self
+                        .provider
+                        .key_store()
+                        .keypair_for(ComponentId::Node(NodeId(n)));
+                    (NodeId(n), SimSigner::sign(&kp, &cd))
+                })
+                .collect();
+            CommitCertificate::new(ViewNumber(0), SeqNum(seq), digest, entries)
+        }
+
+        /// Builds a VERIFY message from executor `executor` for batch `seq`
+        /// containing a single committed write of `value` to key 1 read at
+        /// `read_version`.
+        fn verify_msg(
+            &self,
+            executor: u64,
+            seq: u64,
+            client: u32,
+            value: u64,
+            read_version: u64,
+        ) -> VerifyMessage {
+            let txn_id = TxnId::new(ClientId(client), seq);
+            let mut rwset = ReadWriteSet::new();
+            rwset.record_read(Key(1), Version(read_version));
+            rwset.record_write(Key(2), Value::new(value));
+            let results = vec![TxnResult {
+                txn: txn_id,
+                output: value,
+                rwset,
+            }];
+            let digest = Digest::from_bytes([seq as u8; 32]);
+            let result_digest = VerifyMessage::digest_of_results(SeqNum(seq), &results);
+            let handle = self
+                .provider
+                .handle(ComponentId::Executor(ExecutorId(executor)));
+            let batch = Batch::single(Transaction::new(txn_id, vec![Operation::Read(Key(1))]));
+            VerifyMessage {
+                executor: ExecutorId(executor),
+                view: ViewNumber(0),
+                seq: SeqNum(seq),
+                batch_id: batch.id(),
+                batch_digest: digest,
+                results,
+                result_digest,
+                certificate: self.certificate(seq, digest),
+                signature: handle.sign(&result_digest),
+            }
+        }
+    }
+
+    fn response_kinds(actions: &[Action]) -> Vec<&'static str> {
+        crate::events::envelopes(actions)
+            .iter()
+            .map(|e| e.msg.kind())
+            .collect()
+    }
+
+    #[test]
+    fn two_matching_verifies_validate_and_respond() {
+        let fx = Fixture::new();
+        let mut v = fx.verifier(ConflictHandling::NonConflicting);
+        let m1 = fx.verify_msg(1, 1, 0, 42, 1);
+        let m2 = fx.verify_msg(2, 1, 0, 42, 1);
+        assert!(v.on_verify(&m1).is_empty(), "one VERIFY is not enough");
+        let actions = v.on_verify(&m2);
+        let kinds = response_kinds(&actions);
+        assert!(kinds.contains(&"RESPONSE"));
+        assert!(kinds.contains(&"BATCH-VALIDATED"));
+        assert_eq!(v.committed_txns(), 1);
+        assert_eq!(v.kmax(), SeqNum(2));
+        // The write was applied to storage.
+        assert_eq!(fx.store.get(Key(2)).unwrap().value, Value::new(42));
+    }
+
+    #[test]
+    fn mismatching_results_do_not_reach_quorum() {
+        let fx = Fixture::new();
+        let mut v = fx.verifier(ConflictHandling::NonConflicting);
+        let honest = fx.verify_msg(1, 1, 0, 42, 1);
+        let lying = fx.verify_msg(2, 1, 0, 999, 1);
+        assert!(v.on_verify(&honest).is_empty());
+        assert!(v.on_verify(&lying).is_empty());
+        assert_eq!(v.committed_txns(), 0);
+        // A third executor agreeing with the honest one resolves it.
+        let honest2 = fx.verify_msg(3, 1, 0, 42, 1);
+        let actions = v.on_verify(&honest2);
+        assert!(response_kinds(&actions).contains(&"RESPONSE"));
+        assert_eq!(fx.store.get(Key(2)).unwrap().value, Value::new(42));
+    }
+
+    #[test]
+    fn out_of_order_batches_wait_in_pi() {
+        let fx = Fixture::new();
+        let mut v = fx.verifier(ConflictHandling::NonConflicting);
+        // Batch 2 matches first but must wait for batch 1.
+        let _ = v.on_verify(&fx.verify_msg(1, 2, 1, 7, 1));
+        let actions = v.on_verify(&fx.verify_msg(2, 2, 1, 7, 1));
+        assert!(response_kinds(&actions).is_empty(), "batch 2 must wait for batch 1");
+        assert_eq!(v.kmax(), SeqNum(1));
+        assert_eq!(v.pending_len(), 1);
+        // Batch 1 arrives and both validate in order.
+        let _ = v.on_verify(&fx.verify_msg(3, 1, 0, 5, 1));
+        let actions = v.on_verify(&fx.verify_msg(4, 1, 0, 5, 1));
+        assert_eq!(v.kmax(), SeqNum(3));
+        let kinds = response_kinds(&actions);
+        assert_eq!(kinds.iter().filter(|k| **k == "RESPONSE").count(), 2);
+        assert_eq!(v.validated_batches(), 2);
+    }
+
+    #[test]
+    fn flooding_duplicates_are_ignored() {
+        let fx = Fixture::new();
+        let mut v = fx.verifier(ConflictHandling::NonConflicting);
+        let m1 = fx.verify_msg(1, 1, 0, 42, 1);
+        let _ = v.on_verify(&m1);
+        // The same executor floods the verifier with copies.
+        let _ = v.on_verify(&m1);
+        let _ = v.on_verify(&m1);
+        assert_eq!(v.ignored_verifies(), 2);
+        // Match the batch; further VERIFY messages for it are ignored too.
+        let _ = v.on_verify(&fx.verify_msg(2, 1, 0, 42, 1));
+        let _ = v.on_verify(&fx.verify_msg(3, 1, 0, 42, 1));
+        assert!(v.ignored_verifies() >= 3);
+        assert_eq!(v.committed_txns(), 1, "flooding does not double-apply writes");
+    }
+
+    #[test]
+    fn forged_executor_signature_rejected() {
+        let fx = Fixture::new();
+        let mut v = fx.verifier(ConflictHandling::NonConflicting);
+        let mut m = fx.verify_msg(1, 1, 0, 42, 1);
+        m.signature = sbft_types::Signature::ZERO;
+        assert!(v.on_verify(&m).is_empty());
+        assert_eq!(v.pending_len(), 0, "rejected messages are not stored");
+    }
+
+    #[test]
+    fn bad_certificate_rejected() {
+        let fx = Fixture::new();
+        let mut v = fx.verifier(ConflictHandling::NonConflicting);
+        let mut m = fx.verify_msg(1, 1, 0, 42, 1);
+        m.certificate.entries.truncate(1);
+        assert!(v.on_verify(&m).is_empty());
+    }
+
+    #[test]
+    fn stale_reads_abort_the_transaction_when_conflicts_tracked() {
+        let fx = Fixture::new();
+        let mut v = fx.verifier(ConflictHandling::UnknownRwSets);
+        // The executors read key 1 at version 1, but storage has moved on.
+        fx.store.put(Key(1), Value::new(123));
+        let m1 = fx.verify_msg(1, 1, 0, 42, 1);
+        let _ = v.on_verify(&m1);
+        let actions = v.on_verify(&fx.verify_msg(2, 1, 0, 42, 1));
+        let kinds = response_kinds(&actions);
+        assert!(kinds.contains(&"ABORT"));
+        assert_eq!(v.aborted_txns(), 1);
+        assert_eq!(v.committed_txns(), 0);
+        // Key 2 was not written.
+        assert_ne!(fx.store.get(Key(2)).unwrap().value, Value::new(42));
+    }
+
+    #[test]
+    fn abort_timer_starts_only_in_unknown_rwset_mode() {
+        let fx = Fixture::new();
+        let mut v = fx.verifier(ConflictHandling::UnknownRwSets);
+        let actions = v.on_verify(&fx.verify_msg(1, 1, 0, 42, 1));
+        assert!(actions
+            .iter()
+            .any(|a| matches!(a, Action::StartTimer { timer: ProtocolTimer::VerifierAbort(_), .. })));
+        let mut v2 = fx.verifier(ConflictHandling::NonConflicting);
+        let actions = v2.on_verify(&fx.verify_msg(1, 1, 0, 42, 1));
+        assert!(!actions
+            .iter()
+            .any(|a| matches!(a, Action::StartTimer { timer: ProtocolTimer::VerifierAbort(_), .. })));
+    }
+
+    #[test]
+    fn abort_timeout_with_few_verifies_blames_the_primary() {
+        let fx = Fixture::new();
+        let mut v = fx.verifier(ConflictHandling::UnknownRwSets);
+        // Only one executor answered (< 2f_E + 1 = 3).
+        let _ = v.on_verify(&fx.verify_msg(1, 1, 0, 42, 1));
+        let actions = v.on_abort_timeout(SeqNum(1));
+        assert!(actions.iter().any(|a| a.sends_kind("REPLACE")));
+        assert_eq!(v.aborted_txns(), 0, "blaming the primary does not abort yet");
+    }
+
+    #[test]
+    fn abort_timeout_with_enough_but_divergent_verifies_aborts() {
+        let fx = Fixture::new();
+        let mut v = fx.verifier(ConflictHandling::UnknownRwSets);
+        // 3 executors answered (≥ 2f_E + 1) but no two match.
+        let _ = v.on_verify(&fx.verify_msg(1, 1, 0, 1, 1));
+        let _ = v.on_verify(&fx.verify_msg(2, 1, 0, 2, 1));
+        let _ = v.on_verify(&fx.verify_msg(3, 1, 0, 3, 1));
+        let actions = v.on_abort_timeout(SeqNum(1));
+        assert!(actions.iter().any(|a| a.sends_kind("ABORT")));
+        assert_eq!(v.aborted_txns(), 1);
+        assert_eq!(v.kmax(), SeqNum(2), "the aborted batch no longer blocks the order");
+    }
+
+    #[test]
+    fn client_retry_resends_existing_response() {
+        let fx = Fixture::new();
+        let mut v = fx.verifier(ConflictHandling::NonConflicting);
+        let _ = v.on_verify(&fx.verify_msg(1, 1, 3, 42, 1));
+        let _ = v.on_verify(&fx.verify_msg(2, 1, 3, 42, 1));
+        // The client re-transmits its request to the verifier.
+        let txn = Transaction::new(TxnId::new(ClientId(3), 1), vec![Operation::Read(Key(1))]);
+        let digest = ClientRequest::signing_digest(&txn);
+        let req = ClientRequest {
+            signature: fx
+                .provider
+                .handle(ComponentId::Client(ClientId(3)))
+                .sign(&digest),
+            txn,
+        };
+        let actions = v.on_client_request(&req);
+        let env = actions[0].as_send().unwrap();
+        assert_eq!(env.to, Destination::Client(ClientId(3)));
+        assert_eq!(env.msg.kind(), "RESPONSE");
+    }
+
+    #[test]
+    fn client_retry_for_unknown_txn_raises_error() {
+        let fx = Fixture::new();
+        let mut v = fx.verifier(ConflictHandling::NonConflicting);
+        let txn = Transaction::new(TxnId::new(ClientId(5), 0), vec![Operation::Read(Key(1))]);
+        let digest = ClientRequest::signing_digest(&txn);
+        let req = ClientRequest {
+            signature: fx
+                .provider
+                .handle(ComponentId::Client(ClientId(5)))
+                .sign(&digest),
+            txn,
+        };
+        let actions = v.on_client_request(&req);
+        assert!(actions.iter().any(|a| a.sends_kind("ERROR")));
+    }
+
+    #[test]
+    fn client_retry_with_forged_signature_ignored() {
+        let fx = Fixture::new();
+        let mut v = fx.verifier(ConflictHandling::NonConflicting);
+        let txn = Transaction::new(TxnId::new(ClientId(5), 0), vec![Operation::Read(Key(1))]);
+        let req = ClientRequest {
+            txn,
+            signature: sbft_types::Signature::ZERO,
+        };
+        assert!(v.on_client_request(&req).is_empty());
+    }
+
+    #[test]
+    fn client_retry_while_waiting_in_pi_reports_kmax_and_acks_later() {
+        let fx = Fixture::new();
+        let mut v = fx.verifier(ConflictHandling::NonConflicting);
+        // Batch 2 is matched but batch 1 has not arrived.
+        let _ = v.on_verify(&fx.verify_msg(1, 2, 4, 9, 1));
+        let _ = v.on_verify(&fx.verify_msg(2, 2, 4, 9, 1));
+        let txn = Transaction::new(TxnId::new(ClientId(4), 2), vec![Operation::Read(Key(1))]);
+        let digest = ClientRequest::signing_digest(&txn);
+        let req = ClientRequest {
+            signature: fx
+                .provider
+                .handle(ComponentId::Client(ClientId(4)))
+                .sign(&digest),
+            txn,
+        };
+        let actions = v.on_client_request(&req);
+        let error = crate::events::envelopes(&actions)
+            .into_iter()
+            .find(|e| e.msg.kind() == "ERROR")
+            .expect("error broadcast");
+        match &error.msg {
+            ProtocolMessage::Error(e) => {
+                assert_eq!(e.subject, RecoverySubject::Seq(SeqNum(1)), "reports the missing k_max");
+            }
+            _ => unreachable!(),
+        }
+        // Batch 1 finally validates: the verifier ACKs the resolved subject.
+        let _ = v.on_verify(&fx.verify_msg(3, 1, 0, 5, 1));
+        let actions = v.on_verify(&fx.verify_msg(4, 1, 0, 5, 1));
+        assert!(actions.iter().any(|a| a.sends_kind("ACK")));
+    }
+
+    #[test]
+    fn client_retry_with_divergent_verifies_requests_replacement() {
+        let fx = Fixture::new();
+        let mut v = fx.verifier(ConflictHandling::UnknownRwSets);
+        // Verifies exist for the transaction but they do not match.
+        let _ = v.on_verify(&fx.verify_msg(1, 1, 6, 1, 1));
+        let _ = v.on_verify(&fx.verify_msg(2, 1, 6, 2, 1));
+        let txn = Transaction::new(TxnId::new(ClientId(6), 1), vec![Operation::Read(Key(1))]);
+        let digest = ClientRequest::signing_digest(&txn);
+        let req = ClientRequest {
+            signature: fx
+                .provider
+                .handle(ComponentId::Client(ClientId(6)))
+                .sign(&digest),
+            txn,
+        };
+        let actions = v.on_client_request(&req);
+        assert!(actions.iter().any(|a| a.sends_kind("REPLACE")));
+    }
+
+    #[test]
+    fn cert_quorum_zero_accepts_baseline_verifies() {
+        let fx = Fixture::new();
+        let mut v = Verifier::new(
+            fx.provider.handle(ComponentId::Verifier),
+            Arc::clone(&fx.store),
+            FaultParams::for_shim_size(4),
+            ConflictHandling::NonConflicting,
+            SimDuration::from_millis(100),
+            0,
+        );
+        let mut m = fx.verify_msg(1, 1, 0, 42, 1);
+        m.certificate.entries.clear();
+        let mut m2 = fx.verify_msg(2, 1, 0, 42, 1);
+        m2.certificate.entries.clear();
+        let _ = v.on_verify(&m);
+        let actions = v.on_verify(&m2);
+        assert!(response_kinds(&actions).contains(&"RESPONSE"));
+    }
+}

@@ -1,0 +1,146 @@
+//! Diffie–Hellman key exchange used to establish pairwise MAC secrets.
+//!
+//! The paper: "For MACs, signer and verifier use a common key, which is
+//! kept secret. We use Diffie–Hellman key exchange for securely sharing
+//! secret keys" (Section III). This module implements classic modular
+//! exponentiation Diffie–Hellman over a 61-bit safe-prime group. The group
+//! is far too small to be secure in production — it is a documented
+//! simulation substitute (see `DESIGN.md`) — but it exercises the real key
+//! agreement flow: both parties derive the same shared secret from each
+//! other's public contribution, and the derived secret seeds HMAC keys.
+
+use crate::hashing::digest_u64s;
+
+/// A 61-bit prime `p = 2^61 - 1` (a Mersenne prime) used as the modulus.
+pub const DH_PRIME: u64 = (1u64 << 61) - 1;
+
+/// The generator of the multiplicative group.
+pub const DH_GENERATOR: u64 = 5;
+
+/// One party's state in a Diffie–Hellman exchange.
+#[derive(Clone, Debug)]
+pub struct DhKeyExchange {
+    private: u64,
+    public: u64,
+}
+
+/// Modular multiplication avoiding 128-bit overflow issues.
+fn mul_mod(a: u64, b: u64, m: u64) -> u64 {
+    ((a as u128 * b as u128) % m as u128) as u64
+}
+
+/// Modular exponentiation by squaring.
+fn pow_mod(mut base: u64, mut exp: u64, m: u64) -> u64 {
+    let mut acc = 1u64;
+    base %= m;
+    while exp > 0 {
+        if exp & 1 == 1 {
+            acc = mul_mod(acc, base, m);
+        }
+        base = mul_mod(base, base, m);
+        exp >>= 1;
+    }
+    acc
+}
+
+impl DhKeyExchange {
+    /// Creates a party from a private exponent. The exponent is reduced to
+    /// a valid non-trivial value.
+    #[must_use]
+    pub fn new(private_seed: u64) -> Self {
+        // Avoid the trivial exponents 0 and 1.
+        let private = (private_seed % (DH_PRIME - 3)) + 2;
+        let public = pow_mod(DH_GENERATOR, private, DH_PRIME);
+        DhKeyExchange { private, public }
+    }
+
+    /// The public contribution `g^a mod p` to send to the peer.
+    #[must_use]
+    pub fn public_value(&self) -> u64 {
+        self.public
+    }
+
+    /// Computes the shared secret from the peer's public contribution.
+    #[must_use]
+    pub fn shared_secret(&self, peer_public: u64) -> u64 {
+        pow_mod(peer_public, self.private, DH_PRIME)
+    }
+
+    /// Derives a 32-byte MAC key from the shared secret, binding it to the
+    /// (unordered) pair of participant identifiers so each pair of
+    /// components gets a distinct key even if secrets collide.
+    #[must_use]
+    pub fn derive_mac_key(&self, peer_public: u64, id_a: u64, id_b: u64) -> [u8; 32] {
+        let secret = self.shared_secret(peer_public);
+        let (lo, hi) = if id_a <= id_b { (id_a, id_b) } else { (id_b, id_a) };
+        *digest_u64s("dh-mac-key", &[secret, lo, hi]).as_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn both_parties_derive_the_same_secret() {
+        let alice = DhKeyExchange::new(0x1234_5678_9abc_def0);
+        let bob = DhKeyExchange::new(0x0fed_cba9_8765_4321);
+        let s1 = alice.shared_secret(bob.public_value());
+        let s2 = bob.shared_secret(alice.public_value());
+        assert_eq!(s1, s2);
+        assert_ne!(s1, 0);
+    }
+
+    #[test]
+    fn different_peers_give_different_secrets() {
+        let alice = DhKeyExchange::new(11);
+        let bob = DhKeyExchange::new(22);
+        let carol = DhKeyExchange::new(33);
+        assert_ne!(
+            alice.shared_secret(bob.public_value()),
+            alice.shared_secret(carol.public_value())
+        );
+    }
+
+    #[test]
+    fn derived_mac_keys_match_and_are_order_independent() {
+        let alice = DhKeyExchange::new(7);
+        let bob = DhKeyExchange::new(13);
+        let k1 = alice.derive_mac_key(bob.public_value(), 1, 2);
+        let k2 = bob.derive_mac_key(alice.public_value(), 2, 1);
+        assert_eq!(k1, k2);
+    }
+
+    #[test]
+    fn trivial_seeds_avoid_degenerate_exponents() {
+        for seed in [0u64, 1, 2] {
+            let party = DhKeyExchange::new(seed);
+            assert_ne!(party.public_value(), 1, "seed {seed} produced g^0");
+        }
+    }
+
+    #[test]
+    fn pow_mod_matches_naive_small_cases() {
+        for base in 1..20u64 {
+            for exp in 0..10u64 {
+                let mut naive = 1u64;
+                for _ in 0..exp {
+                    naive = naive * base % 1_000_003;
+                }
+                assert_eq!(pow_mod(base, exp, 1_000_003), naive);
+            }
+        }
+    }
+
+    #[test]
+    fn generator_has_large_order() {
+        // The first few powers of g must all be distinct (sanity check that
+        // the group is not collapsing).
+        let mut seen = std::collections::HashSet::new();
+        let mut x = 1u64;
+        for _ in 0..1000 {
+            x = mul_mod(x, DH_GENERATOR, DH_PRIME);
+            assert!(seen.insert(x));
+        }
+    }
+}

@@ -1,0 +1,66 @@
+//! Convenience digest helpers built on [`crate::sha256::Sha256`].
+
+use crate::sha256::Sha256;
+use sbft_types::Digest;
+
+/// Hashes a byte slice.
+#[must_use]
+pub fn digest_bytes(data: &[u8]) -> Digest {
+    Sha256::digest(data)
+}
+
+/// Hashes the concatenation of several byte slices without copying them
+/// into one buffer (domain separation is the caller's responsibility).
+#[must_use]
+pub fn digest_concat(parts: &[&[u8]]) -> Digest {
+    let mut h = Sha256::new();
+    for p in parts {
+        h.update(p);
+    }
+    h.finalize()
+}
+
+/// Hashes a sequence of `u64` values (little-endian encoded). Used for
+/// digesting structured identifiers such as `(view, seq, batch)` tuples.
+#[must_use]
+pub fn digest_u64s(label: &str, values: &[u64]) -> Digest {
+    let mut h = Sha256::new();
+    h.update(label.as_bytes());
+    h.update(&[0u8]); // separator between label and payload
+    for v in values {
+        h.update(&v.to_le_bytes());
+    }
+    h.finalize()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn concat_equals_single_buffer() {
+        let a = b"hello ";
+        let b = b"world";
+        let mut joined = Vec::new();
+        joined.extend_from_slice(a);
+        joined.extend_from_slice(b);
+        assert_eq!(digest_concat(&[a, b]), digest_bytes(&joined));
+    }
+
+    #[test]
+    fn u64_digest_depends_on_label_and_values() {
+        let d1 = digest_u64s("preprepare", &[1, 2, 3]);
+        let d2 = digest_u64s("preprepare", &[1, 2, 4]);
+        let d3 = digest_u64s("prepare", &[1, 2, 3]);
+        assert_ne!(d1, d2);
+        assert_ne!(d1, d3);
+        assert_eq!(d1, digest_u64s("preprepare", &[1, 2, 3]));
+    }
+
+    #[test]
+    fn empty_inputs_are_valid() {
+        assert_eq!(digest_concat(&[]), digest_bytes(b""));
+        let d = digest_u64s("x", &[]);
+        assert!(!d.is_zero());
+    }
+}

@@ -1,0 +1,124 @@
+//! HMAC-SHA256 (RFC 2104), used for message authentication codes.
+//!
+//! The paper uses MACs for the `PREPREPARE` and `PREPARE` phases because
+//! they are cheaper than digital signatures and non-repudiation is not
+//! needed there; pairwise secret keys are established with Diffie–Hellman
+//! (see [`crate::dh`]).
+
+use crate::sha256::Sha256;
+use sbft_types::MacTag;
+
+const BLOCK_SIZE: usize = 64;
+const IPAD: u8 = 0x36;
+const OPAD: u8 = 0x5c;
+
+/// Computes `HMAC-SHA256(key, message)`.
+#[must_use]
+pub fn hmac_sha256(key: &[u8], message: &[u8]) -> MacTag {
+    // Keys longer than the block size are hashed first.
+    let mut key_block = [0u8; BLOCK_SIZE];
+    if key.len() > BLOCK_SIZE {
+        let hashed = Sha256::digest(key);
+        key_block[..32].copy_from_slice(hashed.as_bytes());
+    } else {
+        key_block[..key.len()].copy_from_slice(key);
+    }
+
+    let mut inner_pad = [0u8; BLOCK_SIZE];
+    let mut outer_pad = [0u8; BLOCK_SIZE];
+    for i in 0..BLOCK_SIZE {
+        inner_pad[i] = key_block[i] ^ IPAD;
+        outer_pad[i] = key_block[i] ^ OPAD;
+    }
+
+    let mut inner = Sha256::new();
+    inner.update(&inner_pad);
+    inner.update(message);
+    let inner_digest = inner.finalize();
+
+    let mut outer = Sha256::new();
+    outer.update(&outer_pad);
+    outer.update(inner_digest.as_bytes());
+    MacTag(*outer.finalize().as_bytes())
+}
+
+/// Verifies an HMAC tag in (logically) constant time.
+#[must_use]
+pub fn verify_hmac(key: &[u8], message: &[u8], tag: &MacTag) -> bool {
+    let expected = hmac_sha256(key, message);
+    // Constant-time comparison to mirror real implementations.
+    let mut diff = 0u8;
+    for (a, b) in expected.0.iter().zip(tag.0.iter()) {
+        diff |= a ^ b;
+    }
+    diff == 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(tag: &MacTag) -> String {
+        tag.0.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    /// RFC 4231 test case 1.
+    #[test]
+    fn rfc4231_case_1() {
+        let key = [0x0bu8; 20];
+        let tag = hmac_sha256(&key, b"Hi There");
+        assert_eq!(
+            hex(&tag),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
+        );
+    }
+
+    /// RFC 4231 test case 2 ("Jefe").
+    #[test]
+    fn rfc4231_case_2() {
+        let tag = hmac_sha256(b"Jefe", b"what do ya want for nothing?");
+        assert_eq!(
+            hex(&tag),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+        );
+    }
+
+    /// RFC 4231 test case 3 (0xaa key, 0xdd data).
+    #[test]
+    fn rfc4231_case_3() {
+        let key = [0xaau8; 20];
+        let data = [0xddu8; 50];
+        let tag = hmac_sha256(&key, &data);
+        assert_eq!(
+            hex(&tag),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe"
+        );
+    }
+
+    /// RFC 4231 test case 6: key longer than the block size.
+    #[test]
+    fn rfc4231_case_6_long_key() {
+        let key = [0xaau8; 131];
+        let tag = hmac_sha256(&key, b"Test Using Larger Than Block-Size Key - Hash Key First");
+        assert_eq!(
+            hex(&tag),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"
+        );
+    }
+
+    #[test]
+    fn verify_accepts_correct_and_rejects_tampered() {
+        let tag = hmac_sha256(b"secret", b"message");
+        assert!(verify_hmac(b"secret", b"message", &tag));
+        assert!(!verify_hmac(b"secret", b"messagE", &tag));
+        assert!(!verify_hmac(b"Secret", b"message", &tag));
+        let mut bad = tag;
+        bad.0[0] ^= 1;
+        assert!(!verify_hmac(b"secret", b"message", &bad));
+    }
+
+    #[test]
+    fn different_keys_give_different_tags() {
+        assert_ne!(hmac_sha256(b"k1", b"m"), hmac_sha256(b"k2", b"m"));
+    }
+}

@@ -1,0 +1,49 @@
+//! # sbft-crypto
+//!
+//! Cryptographic substrate for the ServerlessBFT serverless-edge
+//! architecture.
+//!
+//! The paper (Section III) relies on:
+//!
+//! * **Digital signatures** `⟨m⟩_R` for `COMMIT`, `EXECUTE`, `VERIFY`,
+//!   `RESPONSE` and client requests (CryptoPP in the original
+//!   implementation),
+//! * **MACs** for messages that do not need non-repudiation
+//!   (`PREPREPARE`, `PREPARE`),
+//! * a **collision-resistant hash** `H(·)` producing constant-size digests,
+//! * **Diffie–Hellman** key exchange for establishing pairwise MAC secrets,
+//! * optional **threshold signatures** to compress a `2f_R + 1` certificate
+//!   into a single constant-size signature.
+//!
+//! This crate implements SHA-256 and HMAC-SHA256 from scratch (tested
+//! against published vectors) and a deterministic keyed-hash signature
+//! scheme ([`signature::SimSigner`]) as the substitution for CryptoPP
+//! (documented in `DESIGN.md`): signing requires the private key, and
+//! verification goes through the trusted [`keys::KeyStore`] established at
+//! setup (the paper's public-key-certificate distribution). Byzantine
+//! components are assumed unable to forge signatures or subvert the hash,
+//! exactly as in the paper, so every certificate/quorum check in the
+//! protocol is exercised for real.
+
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+pub mod certificate;
+pub mod dh;
+pub mod hashing;
+pub mod hmac;
+pub mod keys;
+pub mod provider;
+pub mod sha256;
+pub mod signature;
+pub mod threshold;
+
+pub use certificate::CommitCertificate;
+pub use dh::DhKeyExchange;
+pub use hashing::{digest_bytes, digest_concat, digest_u64s};
+pub use hmac::hmac_sha256;
+pub use keys::{KeyPair, KeyStore, PublicKey, SecretKey};
+pub use provider::{CryptoHandle, CryptoProvider};
+pub use sha256::Sha256;
+pub use signature::SimSigner;
+pub use threshold::{ThresholdAggregator, ThresholdSignature};

@@ -1,0 +1,185 @@
+//! The per-deployment crypto provider and per-component handles.
+//!
+//! A [`CryptoProvider`] is created once per deployment from a master seed
+//! and shared (via `Arc`) by every simulated component. Each component gets
+//! a [`CryptoHandle`] bound to its own identity: the handle can sign and
+//! MAC only as that identity (mirroring "byzantine components cannot
+//! impersonate honest components") but can verify messages from anyone.
+
+use crate::hmac::{hmac_sha256, verify_hmac};
+use crate::keys::{KeyPair, KeyStore, PublicKey};
+use crate::signature::SimSigner;
+use sbft_types::{ComponentId, Digest, MacTag, Signature};
+use std::sync::Arc;
+
+/// Deployment-wide cryptographic material.
+#[derive(Clone, Debug)]
+pub struct CryptoProvider {
+    store: KeyStore,
+}
+
+/// A component-scoped handle to the deployment's cryptographic material.
+#[derive(Clone)]
+pub struct CryptoHandle {
+    me: ComponentId,
+    keypair: KeyPair,
+    provider: Arc<CryptoProvider>,
+}
+
+impl CryptoProvider {
+    /// Creates the provider for a deployment.
+    #[must_use]
+    pub fn new(master_seed: u64) -> Arc<Self> {
+        Arc::new(CryptoProvider {
+            store: KeyStore::new(master_seed),
+        })
+    }
+
+    /// The underlying trusted key registry.
+    #[must_use]
+    pub fn key_store(&self) -> &KeyStore {
+        &self.store
+    }
+
+    /// Creates the handle for `component`.
+    #[must_use]
+    pub fn handle(self: &Arc<Self>, component: ComponentId) -> CryptoHandle {
+        CryptoHandle {
+            me: component,
+            keypair: self.store.keypair_for(component),
+            provider: Arc::clone(self),
+        }
+    }
+
+    /// Verifies a digital signature claimed to be from `signer`.
+    #[must_use]
+    pub fn verify(&self, signer: ComponentId, digest: &Digest, sig: &Signature) -> bool {
+        SimSigner::verify(&self.store, signer, digest, sig)
+    }
+}
+
+impl CryptoHandle {
+    /// The identity this handle signs as.
+    #[must_use]
+    pub fn id(&self) -> ComponentId {
+        self.me
+    }
+
+    /// This component's public key.
+    #[must_use]
+    pub fn public_key(&self) -> PublicKey {
+        self.keypair.public
+    }
+
+    /// Signs a digest with this component's secret key (digital signature,
+    /// provides non-repudiation).
+    #[must_use]
+    pub fn sign(&self, digest: &Digest) -> Signature {
+        SimSigner::sign(&self.keypair, digest)
+    }
+
+    /// Verifies a digital signature from `signer` over `digest`.
+    #[must_use]
+    pub fn verify(&self, signer: ComponentId, digest: &Digest, sig: &Signature) -> bool {
+        self.provider.verify(signer, digest, sig)
+    }
+
+    /// Computes a MAC over `digest` for the channel between this component
+    /// and `to`, using the pairwise secret established at setup.
+    #[must_use]
+    pub fn mac_for(&self, to: ComponentId, digest: &Digest) -> MacTag {
+        let key = self.provider.store.mac_key(self.me, to);
+        hmac_sha256(&key, digest.as_bytes())
+    }
+
+    /// Verifies a MAC received from `from` over `digest`.
+    #[must_use]
+    pub fn verify_mac(&self, from: ComponentId, digest: &Digest, tag: &MacTag) -> bool {
+        let key = self.provider.store.mac_key(self.me, from);
+        verify_hmac(&key, digest.as_bytes(), tag)
+    }
+
+    /// Computes a MAC over `digest` for a broadcast to the whole group.
+    ///
+    /// PBFT broadcasts carry an *authenticator* — one MAC per receiver. To
+    /// avoid shipping `n` MACs per simulated message we model the
+    /// authenticator with a per-sender group key (the sender's self-channel
+    /// key): the wire-size model still charges for the full authenticator,
+    /// and verification still binds the message to the claimed sender.
+    #[must_use]
+    pub fn broadcast_mac(&self, digest: &Digest) -> MacTag {
+        let key = self.provider.store.mac_key(self.me, self.me);
+        hmac_sha256(&key, digest.as_bytes())
+    }
+
+    /// Verifies a broadcast MAC claimed to come from `from`.
+    #[must_use]
+    pub fn verify_broadcast_mac(&self, from: ComponentId, digest: &Digest, tag: &MacTag) -> bool {
+        let key = self.provider.store.mac_key(from, from);
+        verify_hmac(&key, digest.as_bytes(), tag)
+    }
+
+    /// Access to the shared provider (for certificate verification).
+    #[must_use]
+    pub fn provider(&self) -> &Arc<CryptoProvider> {
+        &self.provider
+    }
+}
+
+impl std::fmt::Debug for CryptoHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "CryptoHandle({})", self.me)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hashing::digest_u64s;
+    use sbft_types::{ClientId, NodeId};
+
+    fn digest(n: u64) -> Digest {
+        digest_u64s("provider-test", &[n])
+    }
+
+    #[test]
+    fn handles_sign_as_their_own_identity() {
+        let provider = CryptoProvider::new(99);
+        let node = provider.handle(ComponentId::Node(NodeId(0)));
+        let verifier = provider.handle(ComponentId::Verifier);
+
+        let sig = node.sign(&digest(1));
+        assert!(verifier.verify(ComponentId::Node(NodeId(0)), &digest(1), &sig));
+        assert!(!verifier.verify(ComponentId::Node(NodeId(1)), &digest(1), &sig));
+    }
+
+    #[test]
+    fn macs_work_between_the_right_pair_only() {
+        let provider = CryptoProvider::new(99);
+        let a = provider.handle(ComponentId::Node(NodeId(0)));
+        let b = provider.handle(ComponentId::Node(NodeId(1)));
+        let c = provider.handle(ComponentId::Node(NodeId(2)));
+
+        let tag = a.mac_for(b.id(), &digest(7));
+        assert!(b.verify_mac(a.id(), &digest(7), &tag));
+        assert!(!b.verify_mac(a.id(), &digest(8), &tag));
+        // A MAC for the (a, b) channel does not verify on the (a, c) channel.
+        assert!(!c.verify_mac(a.id(), &digest(7), &tag));
+    }
+
+    #[test]
+    fn client_and_node_handles_have_distinct_keys() {
+        let provider = CryptoProvider::new(5);
+        let n = provider.handle(ComponentId::Node(NodeId(4)));
+        let c = provider.handle(ComponentId::Client(ClientId(4)));
+        assert_ne!(n.public_key(), c.public_key());
+    }
+
+    #[test]
+    fn provider_verify_matches_handle_verify() {
+        let provider = CryptoProvider::new(5);
+        let n = provider.handle(ComponentId::Node(NodeId(1)));
+        let sig = n.sign(&digest(3));
+        assert!(provider.verify(n.id(), &digest(3), &sig));
+    }
+}

@@ -1,0 +1,352 @@
+//! The thread-based local cluster.
+//!
+//! [`LocalCluster::run`] takes an assembled [`sbft_core::System`], spawns
+//! one thread per shim node, one for the verifier and one executor-pool
+//! thread, and drives a closed-loop client population from the calling
+//! thread until the requested number of transactions has been committed
+//! (or a wall-clock deadline passes).
+
+use crossbeam_channel::{unbounded, Receiver, Sender};
+use sbft_core::events::{Action, Destination, Envelope, ProtocolMessage};
+use sbft_core::System;
+use sbft_types::{ClientId, ComponentId, NodeId, SimTime, TxnOutcome};
+use sbft_workloads::YcsbWorkload;
+use std::collections::HashMap;
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// What one node/verifier thread receives.
+struct Delivery {
+    from: ComponentId,
+    msg: ProtocolMessage,
+}
+
+/// Routing table: senders for every component plus the executor pool.
+#[derive(Clone)]
+struct Router {
+    nodes: Vec<Sender<Delivery>>,
+    verifier: Sender<Delivery>,
+    clients: Sender<Delivery>,
+    executor_pool: Sender<(sbft_serverless::SpawnRequest, sbft_serverless::ExecuteRequest)>,
+}
+
+impl Router {
+    fn route(&self, origin: ComponentId, actions: Vec<Action>) {
+        for action in actions {
+            match action {
+                Action::Send(Envelope { from, to, msg }) => match to {
+                    Destination::Node(n) => {
+                        if let Some(tx) = self.nodes.get(n.0 as usize) {
+                            let _ = tx.send(Delivery { from, msg });
+                        }
+                    }
+                    Destination::AllNodes => {
+                        for (i, tx) in self.nodes.iter().enumerate() {
+                            if ComponentId::Node(NodeId(i as u32)) != origin {
+                                let _ = tx.send(Delivery {
+                                    from,
+                                    msg: msg.clone(),
+                                });
+                            }
+                        }
+                    }
+                    Destination::Verifier => {
+                        let _ = self.verifier.send(Delivery { from, msg });
+                    }
+                    Destination::Client(_) => {
+                        let _ = self.clients.send(Delivery { from, msg });
+                    }
+                    Destination::Executor(_) => {}
+                },
+                Action::SpawnExecutor { request, execute } => {
+                    let _ = self.executor_pool.send((request, execute));
+                }
+                // Timers and metric hooks are not used on the happy path the
+                // thread runtime covers.
+                _ => {}
+            }
+        }
+    }
+}
+
+/// Summary of a local-cluster run.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ClusterReport {
+    /// Transactions committed (client received a `RESPONSE`).
+    pub committed: u64,
+    /// Transactions aborted.
+    pub aborted: u64,
+    /// Wall-clock time the run took.
+    pub elapsed: Duration,
+    /// Executors invoked by the pool.
+    pub executor_invocations: u64,
+}
+
+impl ClusterReport {
+    /// Committed transactions per wall-clock second.
+    #[must_use]
+    pub fn throughput_tps(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs <= 0.0 {
+            return 0.0;
+        }
+        self.committed as f64 / secs
+    }
+}
+
+/// The thread-based cluster driver.
+pub struct LocalCluster {
+    system: System,
+    num_clients: usize,
+    target_txns: u64,
+    deadline: Duration,
+    workload_seed: u64,
+}
+
+impl LocalCluster {
+    /// Creates a driver around an assembled system.
+    #[must_use]
+    pub fn new(system: System) -> Self {
+        LocalCluster {
+            system,
+            num_clients: 8,
+            target_txns: 200,
+            deadline: Duration::from_secs(10),
+            workload_seed: 1,
+        }
+    }
+
+    /// Number of closed-loop clients to drive.
+    #[must_use]
+    pub fn clients(mut self, n: usize) -> Self {
+        self.num_clients = n.max(1);
+        self
+    }
+
+    /// Number of committed transactions to wait for.
+    #[must_use]
+    pub fn target_txns(mut self, n: u64) -> Self {
+        self.target_txns = n.max(1);
+        self
+    }
+
+    /// Wall-clock safety deadline.
+    #[must_use]
+    pub fn deadline(mut self, d: Duration) -> Self {
+        self.deadline = d;
+        self
+    }
+
+    /// Runs the cluster until `target_txns` transactions commit or the
+    /// deadline passes, then shuts every thread down.
+    #[must_use]
+    pub fn run(self) -> ClusterReport {
+        let LocalCluster {
+            mut system,
+            num_clients,
+            target_txns,
+            deadline,
+            workload_seed,
+        } = self;
+        let num_clients = num_clients.min(system.clients.len()).max(1);
+
+        // Channels.
+        let mut node_rx: Vec<Receiver<Delivery>> = Vec::new();
+        let mut node_tx: Vec<Sender<Delivery>> = Vec::new();
+        for _ in 0..system.nodes.len() {
+            let (tx, rx) = unbounded();
+            node_tx.push(tx);
+            node_rx.push(rx);
+        }
+        let (verifier_tx, verifier_rx) = unbounded();
+        let (client_tx, client_rx) = unbounded::<Delivery>();
+        let (pool_tx, pool_rx) =
+            unbounded::<(sbft_serverless::SpawnRequest, sbft_serverless::ExecuteRequest)>();
+        let router = Router {
+            nodes: node_tx,
+            verifier: verifier_tx,
+            clients: client_tx,
+            executor_pool: pool_tx,
+        };
+
+        let start = Instant::now();
+        let mut handles = Vec::new();
+
+        // Shim node threads.
+        let nodes = std::mem::take(&mut system.nodes);
+        for (i, mut node) in nodes.into_iter().enumerate() {
+            let rx = node_rx.remove(0);
+            let router = router.clone();
+            handles.push(thread::spawn(move || {
+                let origin = ComponentId::Node(NodeId(i as u32));
+                while let Ok(delivery) = rx.recv() {
+                    let now = SimTime::from_micros(0);
+                    let actions = match &delivery.msg {
+                        ProtocolMessage::ClientRequest(req) => node.on_client_request(req, now),
+                        ProtocolMessage::Consensus(c) => match delivery.from.as_node() {
+                            Some(sender) => node.on_consensus_message(sender, c.clone()),
+                            None => Vec::new(),
+                        },
+                        other => node.on_message_at(other, now),
+                    };
+                    router.route(origin, actions);
+                    // Release any partial batch so small workloads finish.
+                    let flush = node.poll_batcher(SimTime::from_micros(u64::MAX / 2));
+                    router.route(origin, flush);
+                }
+            }));
+        }
+
+        // Executor pool thread: spawns an executor object per request and
+        // forwards its VERIFY messages to the verifier.
+        {
+            let router = router.clone();
+            let provider = system.provider.clone();
+            let storage = std::sync::Arc::clone(&system.storage);
+            let n_r = system.config.fault.n_r;
+            let cert_quorum = system.cert_quorum();
+            let mut next_executor: u64 = 0;
+            let invocations = std::sync::Arc::new(std::sync::atomic::AtomicU64::new(0));
+            let invocations_pool = std::sync::Arc::clone(&invocations);
+            handles.push(thread::spawn(move || {
+                while let Ok((request, execute)) = pool_rx.recv() {
+                    let id = sbft_types::ExecutorId(next_executor);
+                    next_executor += 1;
+                    invocations_pool.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    let executor = sbft_serverless::Executor::new(
+                        id,
+                        request.region,
+                        sbft_serverless::ExecutorBehavior::Honest,
+                        provider.handle(ComponentId::Executor(id)),
+                        sbft_storage::StorageReader::new(std::sync::Arc::clone(&storage)),
+                        n_r,
+                        cert_quorum,
+                    );
+                    if let Ok(output) = executor.handle_execute(&execute) {
+                        for verify in output.verify_messages {
+                            router.route(
+                                ComponentId::Executor(id),
+                                vec![Action::send(
+                                    ComponentId::Executor(id),
+                                    Destination::Verifier,
+                                    ProtocolMessage::Verify(verify),
+                                )],
+                            );
+                        }
+                    }
+                }
+            }));
+        }
+
+        // Verifier thread.
+        {
+            let router = router.clone();
+            let mut verifier = system.verifier;
+            handles.push(thread::spawn(move || {
+                while let Ok(delivery) = verifier_rx.recv() {
+                    let actions = verifier.on_message(&delivery.msg);
+                    router.route(ComponentId::Verifier, actions);
+                }
+            }));
+        }
+
+        // Client driver (this thread).
+        let mut workload_cfg = system.config.workload;
+        workload_cfg.num_clients = num_clients;
+        let mut workload = YcsbWorkload::new(workload_cfg, workload_seed);
+        let mut clients: HashMap<ClientId, sbft_core::ClientRole> = system
+            .clients
+            .drain(..num_clients)
+            .map(|c| (c.id(), c))
+            .collect();
+
+        for c in 0..num_clients as u32 {
+            let id = ClientId(c);
+            let txn = workload.next_transaction(id);
+            let actions = clients.get_mut(&id).expect("client exists").submit(txn);
+            router.route(ComponentId::Client(id), actions);
+        }
+
+        let mut report = ClusterReport::default();
+        while report.committed + report.aborted < target_txns && start.elapsed() < deadline {
+            match client_rx.recv_timeout(Duration::from_millis(100)) {
+                Ok(delivery) => {
+                    let client_id = match &delivery.msg {
+                        ProtocolMessage::Response(r) => r.txn.client,
+                        ProtocolMessage::Abort(a) => a.txn.client,
+                        _ => continue,
+                    };
+                    let Some(client) = clients.get_mut(&client_id) else { continue };
+                    let actions = client.on_message(&delivery.msg);
+                    let mut completed = None;
+                    for action in &actions {
+                        if let Action::TxnCompleted { outcome, .. } = action {
+                            completed = Some(*outcome);
+                        }
+                    }
+                    match completed {
+                        Some(TxnOutcome::Committed) => report.committed += 1,
+                        Some(TxnOutcome::Aborted) => report.aborted += 1,
+                        None => continue,
+                    }
+                    // Closed loop: issue the next request.
+                    if report.committed + report.aborted < target_txns {
+                        let txn = workload.next_transaction(client_id);
+                        let actions = client.submit(txn);
+                        router.route(ComponentId::Client(client_id), actions);
+                    }
+                }
+                Err(_) => {
+                    // Timed out waiting; keep going until the deadline.
+                }
+            }
+        }
+        report.elapsed = start.elapsed();
+
+        // Dropping the router's senders (and system) ends the worker loops.
+        drop(router);
+        drop(clients);
+        for handle in handles {
+            let _ = handle.join();
+        }
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sbft_core::SystemBuilder;
+    use sbft_types::SystemConfig;
+
+    fn config() -> SystemConfig {
+        let mut cfg = SystemConfig::with_shim_size(4);
+        cfg.workload.num_records = 1_000;
+        cfg.workload.batch_size = 4;
+        cfg.workload.num_clients = 8;
+        cfg.regions = sbft_types::RegionSet::home_only();
+        cfg
+    }
+
+    #[test]
+    fn local_cluster_commits_transactions_over_threads() {
+        let system = SystemBuilder::new(config()).clients(8).build();
+        let report = LocalCluster::new(system)
+            .clients(8)
+            .target_txns(40)
+            .deadline(Duration::from_secs(20))
+            .run();
+        assert!(
+            report.committed >= 40,
+            "committed only {} transactions",
+            report.committed
+        );
+        assert!(report.throughput_tps() > 0.0);
+    }
+
+    #[test]
+    fn report_throughput_handles_zero_elapsed() {
+        let report = ClusterReport::default();
+        assert_eq!(report.throughput_tps(), 0.0);
+    }
+}

@@ -1,0 +1,104 @@
+//! Byzantine executor behaviours.
+//!
+//! Up to `f_E` of the spawned executors may be byzantine (Section III-A):
+//! they "can either provide incorrect result or ignore execution". The
+//! verifier-flooding attack (Section V-C) adds a third behaviour: sending
+//! duplicate `VERIFY` messages. Behaviours are assigned per executor by the
+//! experiment configuration or by the attack-injection layer.
+
+use serde::{Deserialize, Serialize};
+
+/// How a spawned executor behaves.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default, Serialize, Deserialize)]
+pub enum ExecutorBehavior {
+    /// Follows the protocol.
+    #[default]
+    Honest,
+    /// Crashes / ignores execution: never sends a `VERIFY` message.
+    Crash,
+    /// Executes but reports an incorrect (corrupted) result.
+    WrongResult,
+    /// Executes correctly but floods the verifier with duplicate `VERIFY`
+    /// messages (the duplicate-messages flooding attack).
+    DuplicateVerify {
+        /// How many copies of the `VERIFY` message to send.
+        copies: u32,
+    },
+    /// Executes correctly but delays its `VERIFY` message (a straggler, or
+    /// an executor spawned late by a byzantine primary trying to force
+    /// aborts of conflicting transactions).
+    Delayed {
+        /// Extra delay in milliseconds before the `VERIFY` message is sent.
+        delay_ms: u64,
+    },
+}
+
+impl ExecutorBehavior {
+    /// Whether this behaviour produces at least one `VERIFY` message.
+    #[must_use]
+    pub fn responds(self) -> bool {
+        !matches!(self, ExecutorBehavior::Crash)
+    }
+
+    /// Whether the produced result is correct (matches honest execution).
+    #[must_use]
+    pub fn result_is_correct(self) -> bool {
+        !matches!(self, ExecutorBehavior::WrongResult)
+    }
+
+    /// Number of `VERIFY` copies this behaviour emits.
+    #[must_use]
+    pub fn verify_copies(self) -> u32 {
+        match self {
+            ExecutorBehavior::Crash => 0,
+            ExecutorBehavior::DuplicateVerify { copies } => copies.max(1),
+            _ => 1,
+        }
+    }
+
+    /// Extra delay before the `VERIFY` message is sent, in milliseconds.
+    #[must_use]
+    pub fn extra_delay_ms(self) -> u64 {
+        match self {
+            ExecutorBehavior::Delayed { delay_ms } => delay_ms,
+            _ => 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn honest_behaviour_is_the_default() {
+        assert_eq!(ExecutorBehavior::default(), ExecutorBehavior::Honest);
+        assert!(ExecutorBehavior::Honest.responds());
+        assert!(ExecutorBehavior::Honest.result_is_correct());
+        assert_eq!(ExecutorBehavior::Honest.verify_copies(), 1);
+    }
+
+    #[test]
+    fn crash_never_responds() {
+        assert!(!ExecutorBehavior::Crash.responds());
+        assert_eq!(ExecutorBehavior::Crash.verify_copies(), 0);
+    }
+
+    #[test]
+    fn wrong_result_still_responds() {
+        assert!(ExecutorBehavior::WrongResult.responds());
+        assert!(!ExecutorBehavior::WrongResult.result_is_correct());
+    }
+
+    #[test]
+    fn duplicate_verify_sends_at_least_one_copy() {
+        assert_eq!(ExecutorBehavior::DuplicateVerify { copies: 5 }.verify_copies(), 5);
+        assert_eq!(ExecutorBehavior::DuplicateVerify { copies: 0 }.verify_copies(), 1);
+    }
+
+    #[test]
+    fn delay_reported_only_for_delayed() {
+        assert_eq!(ExecutorBehavior::Delayed { delay_ms: 30 }.extra_delay_ms(), 30);
+        assert_eq!(ExecutorBehavior::Honest.extra_delay_ms(), 0);
+    }
+}

@@ -1,0 +1,128 @@
+//! The invoker deployed on every shim node.
+//!
+//! "At each shim node, we deploy an invoker to spawn `n_E` executors when
+//! indicated by the node's consensus instance. […] our invoker does not
+//! wait for the spawned executors to finish and proceeds to spawn the
+//! executors for the next client request" (Section VIII). The invoker is a
+//! pure planner: given a committed batch it decides how many executors to
+//! spawn and in which regions (round-robin, Section IX-E), and the runtime
+//! turns the plan into [`crate::cloud::SpawnRequest`]s.
+
+use crate::cloud::SpawnRequest;
+use sbft_types::{NodeId, RegionSet, SeqNum};
+
+/// A plan for spawning the executors of one committed batch.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct SpawnPlan {
+    /// The batch these executors will execute.
+    pub seq: SeqNum,
+    /// One spawn request per executor, already placed in a region.
+    pub requests: Vec<SpawnRequest>,
+}
+
+/// The per-node invoker.
+#[derive(Clone, Debug)]
+pub struct Invoker {
+    node: NodeId,
+    regions: RegionSet,
+    /// Monotonic counter used to rotate the region round-robin across
+    /// batches as well as within a batch.
+    spawned_so_far: usize,
+}
+
+impl Invoker {
+    /// Creates the invoker for a shim node.
+    #[must_use]
+    pub fn new(node: NodeId, regions: RegionSet) -> Self {
+        Invoker {
+            node,
+            regions,
+            spawned_so_far: 0,
+        }
+    }
+
+    /// The node this invoker runs on.
+    #[must_use]
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Plans the spawning of `count` executors for the batch at `seq`,
+    /// assigning regions round-robin so the executors are spread as evenly
+    /// as possible (the paper "tried to evenly split these executors across
+    /// these regions").
+    pub fn plan(&mut self, seq: SeqNum, count: usize) -> SpawnPlan {
+        let requests = (0..count)
+            .map(|i| SpawnRequest {
+                spawner: self.node,
+                region: self.regions.round_robin(self.spawned_so_far + i),
+                seq,
+            })
+            .collect();
+        self.spawned_so_far += count;
+        SpawnPlan { seq, requests }
+    }
+
+    /// Total executors this invoker has planned so far (what the node will
+    /// be reimbursed for).
+    #[must_use]
+    pub fn total_planned(&self) -> usize {
+        self.spawned_so_far
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sbft_types::Region;
+
+    #[test]
+    fn plan_spawns_requested_count_for_the_right_batch() {
+        let mut invoker = Invoker::new(NodeId(0), RegionSet::first_n(3));
+        let plan = invoker.plan(SeqNum(5), 3);
+        assert_eq!(plan.seq, SeqNum(5));
+        assert_eq!(plan.requests.len(), 3);
+        assert!(plan.requests.iter().all(|r| r.spawner == NodeId(0)));
+        assert!(plan.requests.iter().all(|r| r.seq == SeqNum(5)));
+    }
+
+    #[test]
+    fn regions_are_assigned_round_robin_within_a_batch() {
+        let mut invoker = Invoker::new(NodeId(0), RegionSet::first_n(3));
+        let plan = invoker.plan(SeqNum(1), 3);
+        let regions: Vec<Region> = plan.requests.iter().map(|r| r.region).collect();
+        assert_eq!(
+            regions,
+            vec![Region::NorthCalifornia, Region::Oregon, Region::Ohio]
+        );
+    }
+
+    #[test]
+    fn round_robin_continues_across_batches() {
+        let mut invoker = Invoker::new(NodeId(0), RegionSet::first_n(3));
+        let _ = invoker.plan(SeqNum(1), 2);
+        let plan = invoker.plan(SeqNum(2), 2);
+        assert_eq!(plan.requests[0].region, Region::Ohio);
+        assert_eq!(plan.requests[1].region, Region::NorthCalifornia);
+        assert_eq!(invoker.total_planned(), 4);
+    }
+
+    #[test]
+    fn eleven_executors_over_seven_regions_split_evenly() {
+        let mut invoker = Invoker::new(NodeId(2), RegionSet::first_n(7));
+        let plan = invoker.plan(SeqNum(1), 11);
+        let mut counts = std::collections::BTreeMap::new();
+        for r in &plan.requests {
+            *counts.entry(r.region).or_insert(0usize) += 1;
+        }
+        let max = counts.values().max().unwrap();
+        let min = counts.values().min().unwrap();
+        assert!(max - min <= 1, "{counts:?}");
+    }
+
+    #[test]
+    fn zero_executors_is_an_empty_plan() {
+        let mut invoker = Invoker::new(NodeId(0), RegionSet::home_only());
+        assert!(invoker.plan(SeqNum(1), 0).requests.is_empty());
+    }
+}

@@ -1,0 +1,694 @@
+//! The discrete-event simulation harness.
+//!
+//! [`SimHarness`] drives a fully assembled [`sbft_core::System`] through
+//! virtual time: it interprets the actions emitted by the role state
+//! machines (sends, timers, executor spawns), applies the configured
+//! byzantine attacks, models network and CPU delays, runs the closed-loop
+//! client population, and collects [`RunMetrics`].
+
+use crate::cpu::{CpuModel, ServiceStation};
+use crate::metrics::RunMetrics;
+use crate::network::NetworkModel;
+use sbft_core::events::{Action, Destination, Envelope, ProtocolMessage, ProtocolTimer};
+use sbft_core::System;
+use sbft_serverless::{ExecuteRequest, ExecutorBehavior};
+use sbft_types::{
+    ComponentId, ExecutorId, Region, SimDuration, SimTime, TxnId, TxnOutcome,
+};
+use sbft_workloads::{KeyDistribution, YcsbWorkload};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+/// Parameters of one simulated run.
+#[derive(Clone, Copy, Debug)]
+pub struct SimParams {
+    /// Length of the measured window (after warm-up).
+    pub duration: SimDuration,
+    /// Warm-up period excluded from the metrics.
+    pub warmup: SimDuration,
+    /// Number of closed-loop clients actively issuing requests (capped at
+    /// the number of client roles in the system).
+    pub num_clients: usize,
+    /// Seed for the workload generator.
+    pub seed: u64,
+    /// How often the primary's batcher releases partial batches.
+    pub batch_poll_interval: SimDuration,
+    /// Safety cap on the number of processed events.
+    pub max_events: u64,
+    /// When set, executor compute time is serialised through a shared pool
+    /// of this many execution threads instead of running fully in parallel.
+    /// This models the paper's Figure 8 baselines where all execution
+    /// happens on the edge devices with a fixed number of execution
+    /// threads (`PBFT-k-ET`); `None` models serverless executors.
+    pub edge_execution_threads: Option<usize>,
+}
+
+impl Default for SimParams {
+    fn default() -> Self {
+        SimParams {
+            duration: SimDuration::from_millis(400),
+            warmup: SimDuration::from_millis(100),
+            num_clients: 200,
+            seed: 1,
+            batch_poll_interval: SimDuration::from_millis(2),
+            max_events: 20_000_000,
+            edge_execution_threads: None,
+        }
+    }
+}
+
+/// What happens at a point in virtual time.
+enum EventKind {
+    Deliver {
+        from: ComponentId,
+        to: ComponentId,
+        msg: ProtocolMessage,
+    },
+    Timer {
+        owner: ComponentId,
+        timer: ProtocolTimer,
+        generation: u64,
+    },
+    ExecutorRun {
+        executor: ExecutorId,
+        region: Region,
+        behavior: ExecutorBehavior,
+        execute: Box<ExecuteRequest>,
+    },
+    BatchTick {
+        node: usize,
+    },
+}
+
+struct Event {
+    time: SimTime,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for Event {}
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+/// The simulator.
+pub struct SimHarness {
+    system: System,
+    params: SimParams,
+    network: NetworkModel,
+    cpu: CpuModel,
+    clock: SimTime,
+    queue: BinaryHeap<Reverse<Event>>,
+    event_seq: u64,
+    events_processed: u64,
+    stations: HashMap<ComponentId, ServiceStation>,
+    timer_generation: HashMap<(ComponentId, ProtocolTimer), u64>,
+    workload: YcsbWorkload,
+    submit_times: HashMap<TxnId, SimTime>,
+    /// Shared execution station for the edge-execution baselines.
+    edge_execution: Option<ServiceStation>,
+    metrics: RunMetrics,
+}
+
+impl SimHarness {
+    /// Creates a harness around a system.
+    #[must_use]
+    pub fn new(system: System, params: SimParams) -> Self {
+        Self::with_models(system, params, NetworkModel::default(), CpuModel::default())
+    }
+
+    /// Creates a harness with explicit network and CPU models.
+    #[must_use]
+    pub fn with_models(
+        system: System,
+        params: SimParams,
+        network: NetworkModel,
+        cpu: CpuModel,
+    ) -> Self {
+        let mut workload_cfg = system.config.workload;
+        workload_cfg.num_clients = params.num_clients.min(system.clients.len()).max(1);
+        let declare = matches!(
+            system.config.conflict_handling,
+            sbft_types::ConflictHandling::KnownRwSets
+        );
+        let workload = YcsbWorkload::new(workload_cfg, params.seed)
+            .with_distribution(KeyDistribution::Uniform)
+            .with_declared_rwsets(declare);
+        let mut stations = HashMap::new();
+        for node in &system.nodes {
+            stations.insert(
+                ComponentId::Node(node.id()),
+                ServiceStation::new(system.config.shim_cores),
+            );
+        }
+        stations.insert(
+            ComponentId::Verifier,
+            ServiceStation::new(system.config.verifier_cores),
+        );
+        let edge_execution = params.edge_execution_threads.map(ServiceStation::new);
+        SimHarness {
+            system,
+            params,
+            network,
+            cpu,
+            clock: SimTime::ZERO,
+            queue: BinaryHeap::new(),
+            event_seq: 0,
+            events_processed: 0,
+            stations,
+            timer_generation: HashMap::new(),
+            workload,
+            submit_times: HashMap::new(),
+            edge_execution,
+            metrics: RunMetrics::default(),
+        }
+    }
+
+    /// Read access to the system (after a run, for assertions).
+    #[must_use]
+    pub fn system(&self) -> &System {
+        &self.system
+    }
+
+    fn end_time(&self) -> SimTime {
+        SimTime::ZERO + self.params.warmup + self.params.duration
+    }
+
+    fn in_window(&self, t: SimTime) -> bool {
+        t >= SimTime::ZERO + self.params.warmup && t < self.end_time()
+    }
+
+    fn push_event(&mut self, time: SimTime, kind: EventKind) {
+        self.event_seq += 1;
+        self.queue.push(Reverse(Event {
+            time,
+            seq: self.event_seq,
+            kind,
+        }));
+    }
+
+    /// Runs the simulation to completion and returns the metrics.
+    pub fn run(mut self) -> RunMetrics {
+        let active_clients = self.params.num_clients.min(self.system.clients.len()).max(1);
+
+        // Closed loop: every client issues its first request at t = 0.
+        for c in 0..active_clients {
+            let txn = self
+                .workload
+                .next_transaction(sbft_types::ClientId(c as u32));
+            self.submit_times.insert(txn.id, SimTime::ZERO);
+            let actions = self.system.clients[c].submit(txn);
+            self.process_actions(ComponentId::Client(sbft_types::ClientId(c as u32)), SimTime::ZERO, actions);
+        }
+        // Periodic batch ticks at every shim node (only the primary acts).
+        for node in 0..self.system.nodes.len() {
+            self.push_event(
+                SimTime::ZERO + self.params.batch_poll_interval,
+                EventKind::BatchTick { node },
+            );
+        }
+
+        let hard_end = self.end_time() + SimDuration::from_millis(50);
+        while let Some(Reverse(event)) = self.queue.pop() {
+            if event.time > hard_end || self.events_processed >= self.params.max_events {
+                break;
+            }
+            self.clock = event.time;
+            self.events_processed += 1;
+            self.handle_event(event);
+        }
+
+        self.metrics.measured_duration = self.params.duration;
+        self.metrics.end_time = self.clock;
+        self.metrics.executors_spawned = self.system.cloud.total_spawned();
+        self.metrics.spawns_rejected = self.system.cloud.rejected();
+        self.metrics
+    }
+
+    fn handle_event(&mut self, event: Event) {
+        match event.kind {
+            EventKind::Deliver { from, to, msg } => self.deliver(from, to, msg, event.time),
+            EventKind::Timer {
+                owner,
+                timer,
+                generation,
+            } => {
+                let current = self
+                    .timer_generation
+                    .get(&(owner, timer))
+                    .copied()
+                    .unwrap_or(0);
+                if current != generation {
+                    return; // cancelled or superseded
+                }
+                self.fire_timer(owner, timer, event.time);
+            }
+            EventKind::ExecutorRun {
+                executor,
+                region,
+                behavior,
+                execute,
+            } => self.run_executor(executor, region, behavior, *execute, event.time),
+            EventKind::BatchTick { node } => {
+                let now = event.time;
+                let actions = self.system.nodes[node].poll_batcher(now);
+                let id = self.system.nodes[node].id();
+                let actions = self.system.injector.apply(id, actions);
+                self.process_actions(ComponentId::Node(id), now, actions);
+                if now < self.end_time() {
+                    self.push_event(now + self.params.batch_poll_interval, EventKind::BatchTick { node });
+                }
+            }
+        }
+    }
+
+    fn deliver(&mut self, from: ComponentId, to: ComponentId, msg: ProtocolMessage, now: SimTime) {
+        self.metrics.messages_delivered += 1;
+        self.metrics.bytes_delivered += msg.wire_size() as u64;
+        // CPU service at the receiving component.
+        let cost = self.cpu.message_cost(msg.kind(), msg.wire_size());
+        let done = match self.stations.get_mut(&to) {
+            Some(station) => station.schedule(now, cost),
+            None => now, // clients are not CPU-bound in the model
+        };
+        match to {
+            ComponentId::Node(node_id) => {
+                let idx = node_id.0 as usize;
+                if idx >= self.system.nodes.len() {
+                    return;
+                }
+                let actions = match &msg {
+                    ProtocolMessage::ClientRequest(req) => {
+                        self.system.nodes[idx].on_client_request(req, done)
+                    }
+                    ProtocolMessage::Consensus(c) => match from.as_node() {
+                        Some(sender) => self.system.nodes[idx].on_consensus_message(sender, c.clone()),
+                        None => Vec::new(),
+                    },
+                    other => self.system.nodes[idx].on_message_at(other, done),
+                };
+                let actions = self.system.injector.apply(node_id, actions);
+                self.process_actions(to, done, actions);
+            }
+            ComponentId::Verifier => {
+                let actions = self.system.verifier.on_message(&msg);
+                self.process_actions(to, done, actions);
+            }
+            ComponentId::Client(client_id) => {
+                let idx = client_id.0 as usize;
+                if idx >= self.system.clients.len() {
+                    return;
+                }
+                let actions = self.system.clients[idx].on_message(&msg);
+                self.process_actions(to, done, actions);
+            }
+            _ => {}
+        }
+    }
+
+    fn fire_timer(&mut self, owner: ComponentId, timer: ProtocolTimer, now: SimTime) {
+        match owner {
+            ComponentId::Node(node_id) => {
+                let idx = node_id.0 as usize;
+                if idx >= self.system.nodes.len() {
+                    return;
+                }
+                let actions = self.system.nodes[idx].on_timer(timer, now);
+                let actions = self.system.injector.apply(node_id, actions);
+                self.process_actions(owner, now, actions);
+            }
+            ComponentId::Verifier => {
+                let actions = self.system.verifier.on_timer(timer);
+                self.process_actions(owner, now, actions);
+            }
+            ComponentId::Client(client_id) => {
+                if let ProtocolTimer::ClientRequest(txn) = timer {
+                    let idx = client_id.0 as usize;
+                    if idx >= self.system.clients.len() {
+                        return;
+                    }
+                    let actions = self.system.clients[idx].on_timeout(txn);
+                    self.process_actions(owner, now, actions);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn run_executor(
+        &mut self,
+        executor: ExecutorId,
+        region: Region,
+        behavior: ExecutorBehavior,
+        execute: ExecuteRequest,
+        now: SimTime,
+    ) {
+        let instance = self.system.make_executor_with(executor, region, behavior);
+        let output = match instance.handle_execute(&execute) {
+            Ok(output) => output,
+            Err(_) => {
+                self.system.cloud.release(executor);
+                return;
+            }
+        };
+        // The function's billable time: certificate validation + execution.
+        let cert_cost = self.cpu.message_cost("EXECUTE", execute.wire_size());
+        let busy = cert_cost + output.compute;
+        self.metrics.executor_busy += busy;
+        // Serverless executors run fully in parallel; the edge-execution
+        // baselines funnel all execution through a fixed thread pool.
+        let finished_at = match &mut self.edge_execution {
+            Some(pool) => pool.schedule(now, busy),
+            None => now + busy,
+        };
+        let busy = finished_at - now;
+        let extra_delay = SimDuration::from_millis(behavior.extra_delay_ms());
+        for verify in output.verify_messages {
+            let msg = ProtocolMessage::Verify(verify);
+            let delay = self.network.region_delay(region, msg.wire_size());
+            self.push_event(
+                now + busy + extra_delay + delay,
+                EventKind::Deliver {
+                    from: ComponentId::Executor(executor),
+                    to: ComponentId::Verifier,
+                    msg,
+                },
+            );
+        }
+        self.system.cloud.release(executor);
+    }
+
+    fn process_actions(&mut self, origin: ComponentId, now: SimTime, actions: Vec<Action>) {
+        for action in actions {
+            match action {
+                Action::Send(Envelope { from, to, msg }) => {
+                    let targets: Vec<ComponentId> = match to {
+                        Destination::Node(n) => vec![ComponentId::Node(n)],
+                        Destination::AllNodes => self
+                            .system
+                            .nodes
+                            .iter()
+                            .map(|n| ComponentId::Node(n.id()))
+                            .filter(|c| *c != origin)
+                            .collect(),
+                        Destination::Client(c) => vec![ComponentId::Client(c)],
+                        Destination::Executor(e) => vec![ComponentId::Executor(e)],
+                        Destination::Verifier => vec![ComponentId::Verifier],
+                    };
+                    for target in targets {
+                        let delay = self.network.local_delay(msg.wire_size());
+                        self.push_event(
+                            now + delay,
+                            EventKind::Deliver {
+                                from,
+                                to: target,
+                                msg: msg.clone(),
+                            },
+                        );
+                    }
+                }
+                Action::StartTimer { timer, duration } => {
+                    let entry = self.timer_generation.entry((origin, timer)).or_insert(0);
+                    *entry += 1;
+                    let generation = *entry;
+                    self.push_event(
+                        now + duration,
+                        EventKind::Timer {
+                            owner: origin,
+                            timer,
+                            generation,
+                        },
+                    );
+                }
+                Action::CancelTimer(timer) => {
+                    *self.timer_generation.entry((origin, timer)).or_insert(0) += 1;
+                }
+                Action::SpawnExecutor { request, execute } => {
+                    // Issuing the spawn costs CPU at the spawning node (the
+                    // invoker signs and ships the request to the provider).
+                    let spawn_issue_done = match self.stations.get_mut(&origin) {
+                        Some(station) => station.schedule(now, self.cpu.spawn_cost),
+                        None => now,
+                    };
+                    match self.system.cloud.spawn(request) {
+                        Ok(outcome) => {
+                            let spawn_delay = match origin.as_node() {
+                                Some(node) => self.system.injector.spawn_delay(node),
+                                None => SimDuration::ZERO,
+                            };
+                            let now = spawn_issue_done;
+                            let ship = self
+                                .network
+                                .region_delay(outcome.region, execute.wire_size());
+                            self.push_event(
+                                now + spawn_delay + outcome.cold_start + ship,
+                                EventKind::ExecutorRun {
+                                    executor: outcome.executor,
+                                    region: outcome.region,
+                                    behavior: outcome.behavior,
+                                    execute: Box::new(execute),
+                                },
+                            );
+                        }
+                        Err(_) => {
+                            // Rejected by the concurrency limit; counted at
+                            // the end of the run from the cloud's stats.
+                        }
+                    }
+                }
+                Action::TxnCompleted { txn, outcome } => {
+                    if self.in_window(now) {
+                        match outcome {
+                            TxnOutcome::Committed => self.metrics.committed_txns += 1,
+                            TxnOutcome::Aborted => self.metrics.aborted_txns += 1,
+                        }
+                        if let Some(submitted) = self.submit_times.get(&txn) {
+                            self.metrics.latency.record(now.since(*submitted));
+                        }
+                    }
+                    self.submit_times.remove(&txn);
+                    // Closed loop: the client immediately issues its next
+                    // request (Section IX, Setup).
+                    if now < self.end_time() {
+                        let client = txn.client;
+                        let idx = client.0 as usize;
+                        if idx < self.system.clients.len() {
+                            let next = self.workload.next_transaction(client);
+                            self.submit_times.insert(next.id, now);
+                            let actions = self.system.clients[idx].submit(next);
+                            self.process_actions(ComponentId::Client(client), now, actions);
+                        }
+                    }
+                }
+                Action::BatchCommitted { .. } => {}
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sbft_core::{ShimAttack, SystemBuilder};
+    use sbft_types::NodeId;
+    use sbft_core::system::ShimProtocol;
+    use sbft_types::{ConflictHandling, SystemConfig};
+
+    fn tiny_config() -> SystemConfig {
+        let mut cfg = SystemConfig::with_shim_size(4);
+        cfg.workload.num_records = 2_000;
+        cfg.workload.batch_size = 10;
+        cfg.workload.num_clients = 40;
+        cfg.regions = sbft_types::RegionSet::first_n(3);
+        cfg
+    }
+
+    fn tiny_params() -> SimParams {
+        SimParams {
+            duration: SimDuration::from_millis(300),
+            warmup: SimDuration::from_millis(100),
+            num_clients: 40,
+            seed: 7,
+            ..SimParams::default()
+        }
+    }
+
+    #[test]
+    fn closed_loop_run_commits_transactions_end_to_end() {
+        let system = SystemBuilder::new(tiny_config()).clients(40).build();
+        let metrics = SimHarness::new(system, tiny_params()).run();
+        assert!(metrics.committed_txns > 50, "committed {}", metrics.committed_txns);
+        assert_eq!(metrics.aborted_txns, 0);
+        assert!(metrics.throughput_tps() > 100.0);
+        assert!(metrics.avg_latency_secs() > 0.001);
+        assert!(metrics.latency.p99_secs() >= metrics.latency.p50_secs());
+        assert!(metrics.executors_spawned > 0);
+        assert!(metrics.messages_delivered > 100);
+    }
+
+    #[test]
+    fn runs_are_deterministic_for_a_fixed_seed() {
+        let run = || {
+            let system = SystemBuilder::new(tiny_config()).clients(40).build();
+            SimHarness::new(system, tiny_params()).run()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.committed_txns, b.committed_txns);
+        assert_eq!(a.messages_delivered, b.messages_delivered);
+        assert_eq!(a.executors_spawned, b.executors_spawned);
+    }
+
+    #[test]
+    fn more_clients_do_not_reduce_throughput() {
+        let few = {
+            let system = SystemBuilder::new(tiny_config()).clients(10).build();
+            SimHarness::new(
+                system,
+                SimParams {
+                    num_clients: 10,
+                    ..tiny_params()
+                },
+            )
+            .run()
+        };
+        let many = {
+            let system = SystemBuilder::new(tiny_config()).clients(80).build();
+            SimHarness::new(
+                system,
+                SimParams {
+                    num_clients: 80,
+                    ..tiny_params()
+                },
+            )
+            .run()
+        };
+        assert!(many.throughput_tps() >= few.throughput_tps() * 0.9);
+        assert!(many.avg_latency_secs() >= few.avg_latency_secs() * 0.9);
+    }
+
+    #[test]
+    fn cft_and_noshim_baselines_run_and_outperform_bft() {
+        let bft = {
+            let system = SystemBuilder::new(tiny_config()).clients(40).build();
+            SimHarness::new(system, tiny_params()).run()
+        };
+        let cft = {
+            let system = SystemBuilder::new(tiny_config())
+                .protocol(ShimProtocol::Cft)
+                .clients(40)
+                .build();
+            SimHarness::new(system, tiny_params()).run()
+        };
+        let noshim = {
+            let system = SystemBuilder::new(tiny_config())
+                .protocol(ShimProtocol::NoShim)
+                .clients(40)
+                .build();
+            SimHarness::new(system, tiny_params()).run()
+        };
+        assert!(cft.committed_txns > 0);
+        assert!(noshim.committed_txns > 0);
+        assert!(
+            noshim.throughput_tps() >= bft.throughput_tps(),
+            "NoShim {} vs BFT {}",
+            noshim.throughput_tps(),
+            bft.throughput_tps()
+        );
+        assert!(
+            cft.throughput_tps() >= bft.throughput_tps() * 0.9,
+            "CFT {} vs BFT {}",
+            cft.throughput_tps(),
+            bft.throughput_tps()
+        );
+    }
+
+    #[test]
+    fn byzantine_executors_do_not_block_progress() {
+        use sbft_serverless::cloud::CloudFaultPlan;
+        let system = SystemBuilder::new(tiny_config())
+            .clients(40)
+            .cloud_faults(CloudFaultPlan {
+                byzantine_per_batch: 1,
+                behavior: ExecutorBehavior::WrongResult,
+            })
+            .build();
+        let metrics = SimHarness::new(system, tiny_params()).run();
+        assert!(metrics.committed_txns > 50, "committed {}", metrics.committed_txns);
+    }
+
+    #[test]
+    fn crashing_executors_within_fe_do_not_block_progress() {
+        use sbft_serverless::cloud::CloudFaultPlan;
+        let system = SystemBuilder::new(tiny_config())
+            .clients(40)
+            .cloud_faults(CloudFaultPlan {
+                byzantine_per_batch: 1,
+                behavior: ExecutorBehavior::Crash,
+            })
+            .build();
+        let metrics = SimHarness::new(system, tiny_params()).run();
+        assert!(metrics.committed_txns > 0);
+    }
+
+    #[test]
+    fn suppressing_primary_is_replaced_and_progress_resumes() {
+        let mut cfg = tiny_config();
+        // Shorter timers so the recovery fits in the simulated window.
+        cfg.timers.client_timeout = SimDuration::from_millis(40);
+        cfg.timers.node_timeout = SimDuration::from_millis(30);
+        cfg.timers.retransmit_timeout = SimDuration::from_millis(30);
+        let system = SystemBuilder::new(cfg)
+            .clients(40)
+            .attack(NodeId(0), ShimAttack::SuppressRequests)
+            .build();
+        let params = SimParams {
+            duration: SimDuration::from_millis(600),
+            warmup: SimDuration::from_millis(50),
+            num_clients: 40,
+            seed: 3,
+            ..SimParams::default()
+        };
+        let metrics = SimHarness::new(system, params).run();
+        assert!(
+            metrics.committed_txns > 0,
+            "the shim must recover from a suppressing primary"
+        );
+    }
+
+    #[test]
+    fn conflicting_workload_aborts_some_transactions() {
+        let mut cfg = tiny_config();
+        cfg.conflict_handling = ConflictHandling::UnknownRwSets;
+        cfg.workload.conflict_fraction = 0.5;
+        let system = SystemBuilder::new(cfg).clients(40).build();
+        let metrics = SimHarness::new(system, tiny_params()).run();
+        assert!(metrics.committed_txns > 0);
+        assert!(
+            metrics.aborted_txns > 0,
+            "50% conflicts with unknown rw-sets must cause aborts"
+        );
+    }
+
+    #[test]
+    fn concurrency_limit_rejections_are_counted() {
+        let system = SystemBuilder::new(tiny_config())
+            .clients(40)
+            .cloud_concurrency_limit(2)
+            .build();
+        let metrics = SimHarness::new(system, tiny_params()).run();
+        assert!(metrics.spawns_rejected > 0);
+    }
+}

@@ -1,0 +1,201 @@
+//! Run metrics: throughput, latency, aborts, traffic and cost.
+
+use sbft_serverless::{CostModel, CostReport};
+use sbft_types::{SimDuration, SimTime};
+
+/// Latency statistics over the measured (post-warm-up) window.
+#[derive(Clone, Debug, Default)]
+pub struct LatencyStats {
+    samples_us: Vec<u64>,
+}
+
+impl LatencyStats {
+    /// Records one client-observed latency.
+    pub fn record(&mut self, latency: SimDuration) {
+        self.samples_us.push(latency.as_micros());
+    }
+
+    /// Number of samples.
+    #[must_use]
+    pub fn count(&self) -> usize {
+        self.samples_us.len()
+    }
+
+    /// Average latency in seconds (0 when empty).
+    #[must_use]
+    pub fn avg_secs(&self) -> f64 {
+        if self.samples_us.is_empty() {
+            return 0.0;
+        }
+        let sum: u64 = self.samples_us.iter().sum();
+        sum as f64 / self.samples_us.len() as f64 / 1_000_000.0
+    }
+
+    /// The given percentile (0.0–1.0) in seconds.
+    #[must_use]
+    pub fn percentile_secs(&self, p: f64) -> f64 {
+        if self.samples_us.is_empty() {
+            return 0.0;
+        }
+        let mut sorted = self.samples_us.clone();
+        sorted.sort_unstable();
+        let idx = ((sorted.len() - 1) as f64 * p.clamp(0.0, 1.0)).round() as usize;
+        sorted[idx] as f64 / 1_000_000.0
+    }
+
+    /// Median latency in seconds.
+    #[must_use]
+    pub fn p50_secs(&self) -> f64 {
+        self.percentile_secs(0.5)
+    }
+
+    /// 99th-percentile latency in seconds.
+    #[must_use]
+    pub fn p99_secs(&self) -> f64 {
+        self.percentile_secs(0.99)
+    }
+}
+
+/// Everything measured during one simulated run.
+#[derive(Clone, Debug, Default)]
+pub struct RunMetrics {
+    /// Transactions committed inside the measurement window.
+    pub committed_txns: u64,
+    /// Transactions aborted inside the measurement window.
+    pub aborted_txns: u64,
+    /// Client-observed latencies.
+    pub latency: LatencyStats,
+    /// Length of the measurement window.
+    pub measured_duration: SimDuration,
+    /// Total messages delivered (all kinds).
+    pub messages_delivered: u64,
+    /// Total bytes moved over the network.
+    pub bytes_delivered: u64,
+    /// Executors spawned during the whole run.
+    pub executors_spawned: u64,
+    /// Spawn requests rejected by the cloud's concurrency limit.
+    pub spawns_rejected: u64,
+    /// Total executor busy time (for the Lambda bill).
+    pub executor_busy: SimDuration,
+    /// View changes observed.
+    pub view_changes: u64,
+    /// Simulated time at which the run ended.
+    pub end_time: SimTime,
+}
+
+impl RunMetrics {
+    /// Committed transactions per second of measured (virtual) time.
+    #[must_use]
+    pub fn throughput_tps(&self) -> f64 {
+        let secs = self.measured_duration.as_secs_f64();
+        if secs <= 0.0 {
+            return 0.0;
+        }
+        self.committed_txns as f64 / secs
+    }
+
+    /// Fraction of transactions that aborted.
+    #[must_use]
+    pub fn abort_rate(&self) -> f64 {
+        let total = self.committed_txns + self.aborted_txns;
+        if total == 0 {
+            return 0.0;
+        }
+        self.aborted_txns as f64 / total as f64
+    }
+
+    /// Average client latency in seconds.
+    #[must_use]
+    pub fn avg_latency_secs(&self) -> f64 {
+        self.latency.avg_secs()
+    }
+
+    /// Builds the Figure-8 style cost report for this run.
+    #[must_use]
+    pub fn cost_report(
+        &self,
+        model: &CostModel,
+        machines: usize,
+        cores: usize,
+        memory_gib: f64,
+    ) -> CostReport {
+        let avg_exec = if self.executors_spawned == 0 {
+            SimDuration::ZERO
+        } else {
+            SimDuration::from_micros(self.executor_busy.as_micros() / self.executors_spawned)
+        };
+        CostReport {
+            serverless_dollars: model.lambda_cost(self.executors_spawned, avg_exec),
+            machine_dollars: model.machine_cost(
+                machines,
+                cores,
+                memory_gib,
+                self.end_time - SimTime::ZERO,
+            ),
+            committed_txns: self.committed_txns,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_stats_compute_percentiles() {
+        let mut stats = LatencyStats::default();
+        for ms in 1..=100u64 {
+            stats.record(SimDuration::from_millis(ms));
+        }
+        assert_eq!(stats.count(), 100);
+        assert!((stats.avg_secs() - 0.0505).abs() < 1e-6);
+        assert!((stats.p50_secs() - 0.05).abs() < 0.002);
+        assert!(stats.p99_secs() >= 0.098);
+        assert!(stats.percentile_secs(0.0) <= 0.002);
+    }
+
+    #[test]
+    fn empty_stats_are_zero() {
+        let stats = LatencyStats::default();
+        assert_eq!(stats.avg_secs(), 0.0);
+        assert_eq!(stats.p99_secs(), 0.0);
+    }
+
+    #[test]
+    fn throughput_is_committed_over_window() {
+        let metrics = RunMetrics {
+            committed_txns: 5_000,
+            measured_duration: SimDuration::from_millis(500),
+            ..RunMetrics::default()
+        };
+        assert!((metrics.throughput_tps() - 10_000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn abort_rate_handles_zero_and_mixed() {
+        let metrics = RunMetrics::default();
+        assert_eq!(metrics.abort_rate(), 0.0);
+        let metrics = RunMetrics {
+            committed_txns: 75,
+            aborted_txns: 25,
+            ..RunMetrics::default()
+        };
+        assert!((metrics.abort_rate() - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cost_report_accounts_for_spawns_and_machines() {
+        let metrics = RunMetrics {
+            committed_txns: 10_000,
+            executors_spawned: 300,
+            executor_busy: SimDuration::from_secs(30),
+            end_time: SimTime::from_secs(10),
+            measured_duration: SimDuration::from_secs(10),
+            ..RunMetrics::default()
+        };
+        let report = metrics.cost_report(&CostModel::default(), 8, 16, 16.0, );
+        assert!(report.serverless_dollars > 0.0);
+        assert!(report.machine_dollars > 0.0);
+        assert!(report.cents_per_ktxn().is_finite());
+    }
+}

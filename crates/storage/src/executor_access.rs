@@ -1,0 +1,107 @@
+//! Read-only storage access for executors.
+//!
+//! Executors "connect with the storage S and fetch the required data.
+//! However, executors do not write to the storage. Any intermediate
+//! results are stored locally" (Section IV-C). [`StorageReader`] is that
+//! read-only facade: it can fetch values and versions but exposes no write
+//! path, so the type system enforces the paper's access-control rule that
+//! neither edge devices nor executors may update the store.
+
+use crate::kvstore::{StoreEntry, VersionedStore};
+use sbft_types::{Key, ReadWriteSet, Value, Version};
+use std::sync::Arc;
+
+/// A read-only handle on the on-premise data-store.
+#[derive(Clone, Debug)]
+pub struct StorageReader {
+    store: Arc<VersionedStore>,
+}
+
+impl StorageReader {
+    /// Wraps a store in a read-only facade.
+    #[must_use]
+    pub fn new(store: Arc<VersionedStore>) -> Self {
+        StorageReader { store }
+    }
+
+    /// Fetches the current value and version of a key. Missing keys read as
+    /// the default value at version 0, which lets transactions insert new
+    /// keys (blind writes) without a separate existence protocol.
+    #[must_use]
+    pub fn fetch(&self, key: Key) -> StoreEntry {
+        self.store.get(key).unwrap_or(StoreEntry {
+            value: Value::new(0),
+            version: Version(0),
+        })
+    }
+
+    /// Fetches a set of keys, recording each read (key, version) into the
+    /// provided read-write set — the "fetch rw state from storage S" step
+    /// of Figure 3 line 18.
+    pub fn fetch_into(&self, keys: &[Key], rwset: &mut ReadWriteSet) -> Vec<StoreEntry> {
+        keys.iter()
+            .map(|&key| {
+                let entry = self.fetch(key);
+                rwset.record_read(key, entry.version);
+                entry
+            })
+            .collect()
+    }
+
+    /// Number of records in the underlying store (used by workload
+    /// generators to pick keys).
+    #[must_use]
+    pub fn num_records(&self) -> usize {
+        self.store.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reader_with(keys: &[(u64, u64)]) -> StorageReader {
+        let store = Arc::new(VersionedStore::new());
+        store.load(keys.iter().map(|&(k, v)| (Key(k), Value::new(v))));
+        StorageReader::new(store)
+    }
+
+    #[test]
+    fn fetch_returns_loaded_values() {
+        let reader = reader_with(&[(1, 11), (2, 22)]);
+        assert_eq!(reader.fetch(Key(1)).value, Value::new(11));
+        assert_eq!(reader.fetch(Key(1)).version, Version(1));
+        assert_eq!(reader.num_records(), 2);
+    }
+
+    #[test]
+    fn missing_keys_read_as_default_at_version_zero() {
+        let reader = reader_with(&[]);
+        let entry = reader.fetch(Key(42));
+        assert_eq!(entry.value, Value::new(0));
+        assert_eq!(entry.version, Version(0));
+    }
+
+    #[test]
+    fn fetch_into_records_reads() {
+        let reader = reader_with(&[(1, 11), (2, 22)]);
+        let mut rw = ReadWriteSet::new();
+        let entries = reader.fetch_into(&[Key(1), Key(2), Key(3)], &mut rw);
+        assert_eq!(entries.len(), 3);
+        assert_eq!(rw.reads.len(), 3);
+        assert_eq!(rw.reads[0], (Key(1), Version(1)));
+        assert_eq!(rw.reads[2], (Key(3), Version(0)));
+        assert!(rw.writes.is_empty(), "reader never writes");
+    }
+
+    #[test]
+    fn reader_observes_later_verifier_writes() {
+        let store = Arc::new(VersionedStore::new());
+        store.load([(Key(1), Value::new(1))]);
+        let reader = StorageReader::new(Arc::clone(&store));
+        assert_eq!(reader.fetch(Key(1)).version, Version(1));
+        store.put(Key(1), Value::new(2));
+        assert_eq!(reader.fetch(Key(1)).version, Version(2));
+        assert_eq!(reader.fetch(Key(1)).value, Value::new(2));
+    }
+}

@@ -1,0 +1,37 @@
+//! # sbft-storage
+//!
+//! The trusted on-premise data-store `S` of the serverless-edge
+//! architecture, plus the pieces the verifier and the executors need to
+//! interact with it:
+//!
+//! * [`kvstore`] — a sharded, versioned, thread-safe key-value store. Every
+//!   write bumps the key's version; the verifier's concurrency-control
+//!   check compares the versions an executor read against the current
+//!   versions before applying a transaction's writes.
+//! * [`occ`] — the concurrency-control check (`ccheck`, Figure 3 lines
+//!   30–35): *"if the read sets match, update the write sets"*.
+//! * [`executor_access`] — the read-only access path executors use to fetch
+//!   read-write-set values ("executors do not write to the storage",
+//!   Section IV-C), including access statistics.
+//! * [`ycsb`] — population of the store with the 600 k-record YCSB table
+//!   used throughout the evaluation.
+//! * [`stats`] — operation counters exposed for the experiments.
+//!
+//! The data-store and its wrapper (the verifier) are trusted and honest by
+//! assumption (Section III), so this crate contains no byzantine behaviour;
+//! all fault injection lives in the shim and executor layers.
+
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+pub mod executor_access;
+pub mod kvstore;
+pub mod occ;
+pub mod stats;
+pub mod ycsb;
+
+pub use executor_access::StorageReader;
+pub use kvstore::{StoreEntry, VersionedStore};
+pub use occ::{ConcurrencyChecker, OccOutcome};
+pub use stats::StorageStats;
+pub use ycsb::{ycsb_key, ycsb_value, YcsbTable};

@@ -1,0 +1,96 @@
+//! Operation counters for the data-store.
+//!
+//! The experiments report executor read traffic and verifier write traffic;
+//! these counters are cheap relaxed atomics so they can be read while the
+//! thread runtime is live.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Read/write/abort counters.
+#[derive(Debug, Default)]
+pub struct StorageStats {
+    reads: AtomicU64,
+    writes: AtomicU64,
+    stale_read_rejections: AtomicU64,
+}
+
+impl StorageStats {
+    /// Creates zeroed counters.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one read access.
+    pub fn record_read(&self) {
+        self.reads.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one write access.
+    pub fn record_write(&self) {
+        self.writes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one transaction rejected because of stale reads.
+    pub fn record_stale_read_rejection(&self) {
+        self.stale_read_rejections.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total reads so far.
+    #[must_use]
+    pub fn reads(&self) -> u64 {
+        self.reads.load(Ordering::Relaxed)
+    }
+
+    /// Total writes so far.
+    #[must_use]
+    pub fn writes(&self) -> u64 {
+        self.writes.load(Ordering::Relaxed)
+    }
+
+    /// Total stale-read rejections so far.
+    #[must_use]
+    pub fn stale_read_rejections(&self) -> u64 {
+        self.stale_read_rejections.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_start_at_zero_and_accumulate() {
+        let stats = StorageStats::new();
+        assert_eq!(stats.reads(), 0);
+        assert_eq!(stats.writes(), 0);
+        assert_eq!(stats.stale_read_rejections(), 0);
+        stats.record_read();
+        stats.record_read();
+        stats.record_write();
+        stats.record_stale_read_rejection();
+        assert_eq!(stats.reads(), 2);
+        assert_eq!(stats.writes(), 1);
+        assert_eq!(stats.stale_read_rejections(), 1);
+    }
+
+    #[test]
+    fn counters_are_thread_safe() {
+        use std::sync::Arc;
+        let stats = Arc::new(StorageStats::new());
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let s = Arc::clone(&stats);
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        s.record_read();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(stats.reads(), 4000);
+    }
+}

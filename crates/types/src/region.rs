@@ -1,0 +1,251 @@
+//! The cloud regions used in the evaluation.
+//!
+//! The paper spawns AWS Lambda executors in up to eleven regions, in the
+//! order: North California, Oregon, Ohio, Canada, Frankfurt, Ireland,
+//! London, Paris, Stockholm, Seoul and Singapore (Section IX, *Setup*). The
+//! verifier and shim are deployed in North California, so regions further
+//! down the list have a larger round-trip time to the verifier.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One of the eleven cloud regions of the evaluation setup.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+#[allow(missing_docs)]
+pub enum Region {
+    NorthCalifornia,
+    Oregon,
+    Ohio,
+    Canada,
+    Frankfurt,
+    Ireland,
+    London,
+    Paris,
+    Stockholm,
+    Seoul,
+    Singapore,
+}
+
+/// An ordered set of regions used for a particular experiment.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct RegionSet {
+    regions: Vec<Region>,
+}
+
+impl Region {
+    /// All eleven regions in the order the paper enables them.
+    pub const ALL: [Region; 11] = [
+        Region::NorthCalifornia,
+        Region::Oregon,
+        Region::Ohio,
+        Region::Canada,
+        Region::Frankfurt,
+        Region::Ireland,
+        Region::London,
+        Region::Paris,
+        Region::Stockholm,
+        Region::Seoul,
+        Region::Singapore,
+    ];
+
+    /// A stable small integer index for this region (its position in the
+    /// paper's ordering).
+    #[must_use]
+    pub fn index(self) -> usize {
+        Region::ALL.iter().position(|r| *r == self).expect("region in ALL")
+    }
+
+    /// Approximate one-way network latency from the verifier/shim site
+    /// (North California) to this region, in milliseconds. Values follow
+    /// public inter-region RTT measurements; only their relative ordering
+    /// matters for reproducing Figure 6(vii)–(viii).
+    #[must_use]
+    pub fn one_way_latency_ms_from_home(self) -> f64 {
+        match self {
+            Region::NorthCalifornia => 1.0,
+            Region::Oregon => 11.0,
+            Region::Ohio => 25.0,
+            Region::Canada => 38.0,
+            Region::Frankfurt => 73.0,
+            Region::Ireland => 68.0,
+            Region::London => 66.0,
+            Region::Paris => 70.0,
+            Region::Stockholm => 82.0,
+            Region::Seoul => 67.0,
+            Region::Singapore => 88.0,
+        }
+    }
+
+    /// Human-readable region name matching the paper's text.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Region::NorthCalifornia => "North California",
+            Region::Oregon => "Oregon",
+            Region::Ohio => "Ohio",
+            Region::Canada => "Canada",
+            Region::Frankfurt => "Frankfurt",
+            Region::Ireland => "Ireland",
+            Region::London => "London",
+            Region::Paris => "Paris",
+            Region::Stockholm => "Stockholm",
+            Region::Seoul => "Seoul",
+            Region::Singapore => "Singapore",
+        }
+    }
+}
+
+impl RegionSet {
+    /// The first `n` regions in the paper's enablement order.
+    ///
+    /// # Panics
+    /// Panics if `n` is zero or greater than eleven.
+    #[must_use]
+    pub fn first_n(n: usize) -> Self {
+        assert!(n >= 1 && n <= Region::ALL.len(), "1..=11 regions supported");
+        RegionSet {
+            regions: Region::ALL[..n].to_vec(),
+        }
+    }
+
+    /// A set containing only the home region (used for latency-free tests).
+    #[must_use]
+    pub fn home_only() -> Self {
+        RegionSet {
+            regions: vec![Region::NorthCalifornia],
+        }
+    }
+
+    /// Builds a set from an explicit list.
+    ///
+    /// # Panics
+    /// Panics if the list is empty.
+    #[must_use]
+    pub fn from_regions(regions: Vec<Region>) -> Self {
+        assert!(!regions.is_empty(), "a region set cannot be empty");
+        RegionSet { regions }
+    }
+
+    /// Number of regions in the set.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.regions.len()
+    }
+
+    /// Whether the set is empty (never true for constructed sets).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.regions.is_empty()
+    }
+
+    /// The regions in order.
+    #[must_use]
+    pub fn regions(&self) -> &[Region] {
+        &self.regions
+    }
+
+    /// Round-robin assignment of the `i`-th spawned executor to a region,
+    /// matching the primary's round-robin spawning policy (Section IX-E).
+    #[must_use]
+    pub fn round_robin(&self, i: usize) -> Region {
+        self.regions[i % self.regions.len()]
+    }
+
+    /// Evenly splits `n_executors` across the regions and reports how many
+    /// land in each region (the executor-scaling experiments "try to evenly
+    /// split executors across regions").
+    #[must_use]
+    pub fn even_split(&self, n_executors: usize) -> Vec<(Region, usize)> {
+        let mut counts = vec![0usize; self.regions.len()];
+        for i in 0..n_executors {
+            counts[i % self.regions.len()] += 1;
+        }
+        self.regions
+            .iter()
+            .copied()
+            .zip(counts)
+            .filter(|(_, c)| *c > 0)
+            .collect()
+    }
+}
+
+impl fmt::Display for Region {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eleven_regions_in_paper_order() {
+        assert_eq!(Region::ALL.len(), 11);
+        assert_eq!(Region::ALL[0], Region::NorthCalifornia);
+        assert_eq!(Region::ALL[10], Region::Singapore);
+        for (i, r) in Region::ALL.iter().enumerate() {
+            assert_eq!(r.index(), i);
+        }
+    }
+
+    #[test]
+    fn home_region_is_closest() {
+        let home = Region::NorthCalifornia.one_way_latency_ms_from_home();
+        for r in Region::ALL.iter().skip(1) {
+            assert!(r.one_way_latency_ms_from_home() > home, "{r} should be farther");
+        }
+    }
+
+    #[test]
+    fn first_n_takes_prefix() {
+        let set = RegionSet::first_n(5);
+        assert_eq!(set.len(), 5);
+        assert_eq!(set.regions()[4], Region::Frankfurt);
+    }
+
+    #[test]
+    #[should_panic(expected = "1..=11")]
+    fn first_n_rejects_zero() {
+        let _ = RegionSet::first_n(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "1..=11")]
+    fn first_n_rejects_more_than_eleven() {
+        let _ = RegionSet::first_n(12);
+    }
+
+    #[test]
+    fn round_robin_cycles() {
+        let set = RegionSet::first_n(3);
+        assert_eq!(set.round_robin(0), Region::NorthCalifornia);
+        assert_eq!(set.round_robin(1), Region::Oregon);
+        assert_eq!(set.round_robin(2), Region::Ohio);
+        assert_eq!(set.round_robin(3), Region::NorthCalifornia);
+    }
+
+    #[test]
+    fn even_split_distributes_executors() {
+        let set = RegionSet::first_n(7);
+        let split = set.even_split(11);
+        let total: usize = split.iter().map(|(_, c)| c).sum();
+        assert_eq!(total, 11);
+        let max = split.iter().map(|(_, c)| *c).max().unwrap();
+        let min = split.iter().map(|(_, c)| *c).min().unwrap();
+        assert!(max - min <= 1, "split must be even: {split:?}");
+    }
+
+    #[test]
+    fn even_split_omits_unused_regions() {
+        let set = RegionSet::first_n(7);
+        let split = set.even_split(3);
+        assert_eq!(split.len(), 3);
+    }
+
+    #[test]
+    fn names_are_human_readable() {
+        assert_eq!(Region::NorthCalifornia.name(), "North California");
+        assert_eq!(format!("{}", Region::Seoul), "Seoul");
+    }
+}

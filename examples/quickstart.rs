@@ -1,0 +1,38 @@
+//! Quickstart: assemble a small serverless-edge deployment, run it on the
+//! discrete-event simulator for half a simulated second, and print the
+//! headline metrics.
+//!
+//! ```bash
+//! cargo run --release --example quickstart
+//! ```
+
+use serverless_bft::core::SystemBuilder;
+use serverless_bft::sim::{SimHarness, SimParams};
+use serverless_bft::types::{SimDuration, SystemConfig};
+
+fn main() {
+    // SERVBFT-8: an 8-node shim, 3 executors per batch, batches of 100.
+    let mut config = SystemConfig::servbft_8();
+    config.workload.num_records = 100_000;
+
+    let clients = 400;
+    let system = SystemBuilder::new(config).clients(clients).build();
+
+    let params = SimParams {
+        duration: SimDuration::from_millis(400),
+        warmup: SimDuration::from_millis(100),
+        num_clients: clients,
+        ..SimParams::default()
+    };
+
+    println!("running SERVBFT-8 with {clients} closed-loop clients…");
+    let metrics = SimHarness::new(system, params).run();
+
+    println!("committed transactions : {}", metrics.committed_txns);
+    println!("aborted transactions   : {}", metrics.aborted_txns);
+    println!("throughput             : {:.0} txn/s", metrics.throughput_tps());
+    println!("average latency        : {:.1} ms", metrics.avg_latency_secs() * 1e3);
+    println!("p99 latency            : {:.1} ms", metrics.latency.p99_secs() * 1e3);
+    println!("executors spawned      : {}", metrics.executors_spawned);
+    println!("messages delivered     : {}", metrics.messages_delivered);
+}

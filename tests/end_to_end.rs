@@ -1,0 +1,135 @@
+//! Integration tests spanning the whole workspace: client → shim consensus
+//! → serverless executors → verifier → storage → client, on the
+//! discrete-event simulator.
+
+use serverless_bft::core::system::ShimProtocol;
+use serverless_bft::core::SystemBuilder;
+use serverless_bft::sim::{SimHarness, SimParams};
+use serverless_bft::types::{ConflictHandling, SimDuration, SystemConfig};
+
+fn small_config() -> SystemConfig {
+    let mut cfg = SystemConfig::with_shim_size(4);
+    cfg.workload.num_records = 5_000;
+    cfg.workload.batch_size = 10;
+    cfg
+}
+
+fn params(clients: usize) -> SimParams {
+    SimParams {
+        duration: SimDuration::from_millis(300),
+        warmup: SimDuration::from_millis(100),
+        num_clients: clients,
+        ..SimParams::default()
+    }
+}
+
+#[test]
+fn serverlessbft_end_to_end_commits_and_applies_writes() {
+    let system = SystemBuilder::new(small_config()).clients(60).build();
+    let storage = std::sync::Arc::clone(&system.storage);
+    let before_writes = storage.stats().writes();
+    let metrics = SimHarness::new(system, params(60)).run();
+    assert!(metrics.committed_txns > 100, "committed {}", metrics.committed_txns);
+    assert_eq!(metrics.aborted_txns, 0);
+    // Committed read-modify-write transactions must have reached storage.
+    assert!(storage.stats().writes() > before_writes);
+    // Latency is at least the executor round trip (~a few milliseconds).
+    assert!(metrics.avg_latency_secs() > 0.002);
+}
+
+#[test]
+fn all_three_shim_protocols_complete_the_flow() {
+    for protocol in [ShimProtocol::Pbft, ShimProtocol::Cft, ShimProtocol::NoShim] {
+        let system = SystemBuilder::new(small_config())
+            .protocol(protocol)
+            .clients(40)
+            .build();
+        let metrics = SimHarness::new(system, params(40)).run();
+        assert!(
+            metrics.committed_txns > 0,
+            "{protocol:?} committed no transactions"
+        );
+    }
+}
+
+#[test]
+fn baseline_ordering_matches_figure_7() {
+    // NoShim ≥ ServerlessCFT ≥ ServerlessBFT in throughput (Figure 7).
+    let run = |protocol| {
+        let system = SystemBuilder::new(small_config())
+            .protocol(protocol)
+            .clients(80)
+            .build();
+        SimHarness::new(system, params(80)).run().throughput_tps()
+    };
+    let bft = run(ShimProtocol::Pbft);
+    let cft = run(ShimProtocol::Cft);
+    let noshim = run(ShimProtocol::NoShim);
+    assert!(noshim >= cft * 0.95, "NoShim {noshim} vs CFT {cft}");
+    assert!(cft >= bft * 0.95, "CFT {cft} vs BFT {bft}");
+}
+
+#[test]
+fn larger_shims_have_lower_throughput() {
+    let run = |n_r: usize| {
+        let mut cfg = small_config();
+        cfg.fault = serverless_bft::types::FaultParams::for_shim_size(n_r);
+        let system = SystemBuilder::new(cfg).clients(80).build();
+        SimHarness::new(system, params(80)).run().throughput_tps()
+    };
+    let small = run(4);
+    let large = run(32);
+    assert!(
+        small > large,
+        "a 4-node shim ({small}) must outperform a 32-node shim ({large})"
+    );
+}
+
+#[test]
+fn batching_improves_throughput_over_tiny_batches() {
+    let run = |batch: usize, clients: usize| {
+        let mut cfg = small_config();
+        cfg.workload.batch_size = batch;
+        let system = SystemBuilder::new(cfg).clients(clients).build();
+        SimHarness::new(system, params(clients)).run().throughput_tps()
+    };
+    let tiny = run(1, 100);
+    let batched = run(50, 100);
+    assert!(
+        batched > tiny * 1.5,
+        "batch=50 ({batched}) must clearly beat batch=1 ({tiny})"
+    );
+}
+
+#[test]
+fn conflicting_transactions_abort_only_in_unknown_rwset_mode() {
+    let run = |handling| {
+        let mut cfg = small_config();
+        cfg.conflict_handling = handling;
+        cfg.workload.conflict_fraction = 0.4;
+        let system = SystemBuilder::new(cfg).clients(60).build();
+        SimHarness::new(system, params(60)).run()
+    };
+    let unknown = run(ConflictHandling::UnknownRwSets);
+    assert!(unknown.aborted_txns > 0, "conflicts must abort with unknown rw-sets");
+    let planned = run(ConflictHandling::KnownRwSets);
+    assert!(
+        planned.abort_rate() < unknown.abort_rate(),
+        "the planner must reduce the abort rate ({} vs {})",
+        planned.abort_rate(),
+        unknown.abort_rate()
+    );
+}
+
+#[test]
+fn simulation_is_deterministic_across_runs() {
+    let run = || {
+        let system = SystemBuilder::new(small_config()).clients(50).build();
+        SimHarness::new(system, params(50)).run()
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.committed_txns, b.committed_txns);
+    assert_eq!(a.messages_delivered, b.messages_delivered);
+    assert_eq!(a.bytes_delivered, b.bytes_delivered);
+}

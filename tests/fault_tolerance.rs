@@ -1,0 +1,144 @@
+//! Fault-injection integration tests: byzantine shim nodes, byzantine
+//! executors and verifier flooding, exercised through the simulator.
+
+use serverless_bft::core::{ShimAttack, SystemBuilder};
+use serverless_bft::serverless::cloud::CloudFaultPlan;
+use serverless_bft::serverless::ExecutorBehavior;
+use serverless_bft::sim::{SimHarness, SimParams};
+use serverless_bft::types::{NodeId, SimDuration, SystemConfig};
+
+fn config() -> SystemConfig {
+    let mut cfg = SystemConfig::with_shim_size(4);
+    cfg.workload.num_records = 5_000;
+    cfg.workload.batch_size = 10;
+    cfg.timers.client_timeout = SimDuration::from_millis(40);
+    cfg.timers.node_timeout = SimDuration::from_millis(30);
+    cfg.timers.retransmit_timeout = SimDuration::from_millis(30);
+    cfg
+}
+
+fn params() -> SimParams {
+    SimParams {
+        duration: SimDuration::from_millis(500),
+        warmup: SimDuration::from_millis(50),
+        num_clients: 60,
+        ..SimParams::default()
+    }
+}
+
+#[test]
+fn request_suppression_is_recovered_by_view_change() {
+    let system = SystemBuilder::new(config())
+        .clients(60)
+        .attack(NodeId(0), ShimAttack::SuppressRequests)
+        .build();
+    let metrics = SimHarness::new(system, params()).run();
+    assert!(
+        metrics.committed_txns > 0,
+        "progress must resume after the byzantine primary is replaced"
+    );
+}
+
+#[test]
+fn nodes_in_dark_do_not_stop_the_shim() {
+    let system = SystemBuilder::new(config())
+        .clients(60)
+        .attack(
+            NodeId(0),
+            ShimAttack::KeepInDark {
+                victims: vec![NodeId(3)],
+            },
+        )
+        .build();
+    let metrics = SimHarness::new(system, params()).run();
+    // With f_R = 1, one node in the dark cannot stop consensus.
+    assert!(metrics.committed_txns > 100, "committed {}", metrics.committed_txns);
+}
+
+#[test]
+fn wrong_result_executors_are_outvoted() {
+    let system = SystemBuilder::new(config())
+        .clients(60)
+        .cloud_faults(CloudFaultPlan {
+            byzantine_per_batch: 1,
+            behavior: ExecutorBehavior::WrongResult,
+        })
+        .build();
+    let metrics = SimHarness::new(system, params()).run();
+    assert!(metrics.committed_txns > 100);
+    assert_eq!(metrics.aborted_txns, 0, "f_E byzantine executors must be masked");
+}
+
+#[test]
+fn crashing_executors_are_tolerated() {
+    let system = SystemBuilder::new(config())
+        .clients(60)
+        .cloud_faults(CloudFaultPlan {
+            byzantine_per_batch: 1,
+            behavior: ExecutorBehavior::Crash,
+        })
+        .build();
+    let metrics = SimHarness::new(system, params()).run();
+    assert!(metrics.committed_txns > 100);
+}
+
+#[test]
+fn verifier_flooding_by_duplicate_executors_is_absorbed() {
+    let system = SystemBuilder::new(config())
+        .clients(60)
+        .cloud_faults(CloudFaultPlan {
+            byzantine_per_batch: 1,
+            behavior: ExecutorBehavior::DuplicateVerify { copies: 10 },
+        })
+        .build();
+    let metrics = SimHarness::new(system, params()).run();
+    assert!(metrics.committed_txns > 100);
+}
+
+#[test]
+fn fewer_executor_spawning_still_commits_under_primary_only_quorum() {
+    // The primary spawns only f_E + 1 = 2 executors instead of 3: the
+    // verifier can still collect f_E + 1 matching VERIFY messages as long
+    // as the spawned ones are honest.
+    let system = SystemBuilder::new(config())
+        .clients(60)
+        .attack(NodeId(0), ShimAttack::SpawnFewer { count: 2 })
+        .build();
+    let metrics = SimHarness::new(system, params()).run();
+    assert!(metrics.committed_txns > 100);
+}
+
+#[test]
+fn duplicate_spawning_floods_but_does_not_break_safety() {
+    let system = SystemBuilder::new(config())
+        .clients(60)
+        .attack(NodeId(0), ShimAttack::SpawnDuplicates { extra: 2 })
+        .build();
+    let metrics = SimHarness::new(system, params()).run();
+    assert!(metrics.committed_txns > 100);
+    // The flooding attacker paid for noticeably more executors.
+    assert!(metrics.executors_spawned as f64 >= metrics.committed_txns as f64 / 10.0 * 3.0);
+}
+
+#[test]
+fn decentralized_spawning_survives_a_delaying_primary() {
+    use serverless_bft::types::{ConflictHandling, SpawningMode};
+    let mut cfg = config();
+    cfg.conflict_handling = ConflictHandling::UnknownRwSets;
+    cfg.workload.conflict_fraction = 0.2;
+    cfg.spawning = SpawningMode::Decentralized;
+    let system = SystemBuilder::new(cfg)
+        .clients(60)
+        .attack(
+            NodeId(0),
+            ShimAttack::DelaySpawning {
+                delay: SimDuration::from_millis(200),
+            },
+        )
+        .build();
+    let metrics = SimHarness::new(system, params()).run();
+    assert!(
+        metrics.committed_txns > 50,
+        "decentralized spawning must mask the delaying primary"
+    );
+}

@@ -1,0 +1,166 @@
+//! Property-based tests over core invariants, using proptest.
+
+use proptest::prelude::*;
+use serverless_bft::consensus::messages::batch_digest;
+use serverless_bft::core::planner::{BatchFootprint, BestEffortPlanner};
+use serverless_bft::crypto::certificate::commit_digest;
+use serverless_bft::crypto::{CommitCertificate, KeyStore, SimSigner};
+use serverless_bft::storage::{ConcurrencyChecker, VersionedStore};
+use serverless_bft::types::{
+    Batch, ClientId, ComponentId, Key, NodeId, Operation, ReadWriteSet, RwSetKeys, SeqNum,
+    Transaction, TxnId, Value, Version, ViewNumber,
+};
+use std::collections::BTreeSet;
+
+fn arb_ops() -> impl Strategy<Value = Vec<Operation>> {
+    prop::collection::vec(
+        prop_oneof![
+            (0u64..50).prop_map(|k| Operation::Read(Key(k))),
+            (0u64..50, any::<u64>()).prop_map(|(k, v)| Operation::Write(Key(k), Value::new(v))),
+            (0u64..50, any::<u64>()).prop_map(|(k, s)| Operation::ReadModifyWrite(Key(k), s)),
+        ],
+        1..6,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The batch digest is deterministic and collision-free for distinct
+    /// operation lists (within the sampled space).
+    #[test]
+    fn batch_digest_deterministic(ops_a in arb_ops(), ops_b in arb_ops()) {
+        let batch_a = Batch::single(Transaction::new(TxnId::new(ClientId(0), 0), ops_a.clone()));
+        let batch_b = Batch::single(Transaction::new(TxnId::new(ClientId(0), 0), ops_b.clone()));
+        prop_assert_eq!(batch_digest(&batch_a), batch_digest(&batch_a));
+        if ops_a != ops_b {
+            prop_assert_ne!(batch_digest(&batch_a), batch_digest(&batch_b));
+        }
+    }
+
+    /// Conflict detection between declared read-write sets is symmetric.
+    #[test]
+    fn conflict_detection_is_symmetric(
+        reads_a in prop::collection::btree_set(0u64..30, 0..5),
+        writes_a in prop::collection::btree_set(0u64..30, 0..5),
+        reads_b in prop::collection::btree_set(0u64..30, 0..5),
+        writes_b in prop::collection::btree_set(0u64..30, 0..5),
+    ) {
+        let a = RwSetKeys::new(reads_a.into_iter().map(Key), writes_a.into_iter().map(Key));
+        let b = RwSetKeys::new(reads_b.into_iter().map(Key), writes_b.into_iter().map(Key));
+        prop_assert_eq!(a.conflicts_with(&b), b.conflicts_with(&a));
+    }
+
+    /// Certificates signed by a quorum of honest nodes always verify, and
+    /// verification is bound to (view, seq, digest).
+    #[test]
+    fn certificates_verify_iff_untampered(view in 0u64..5, seq in 1u64..100, flip in any::<bool>()) {
+        let store = KeyStore::new(7);
+        let digest = serverless_bft::crypto::digest_u64s("prop", &[seq]);
+        let cd = commit_digest(ViewNumber(view), SeqNum(seq), &digest);
+        let entries: Vec<_> = (0..3u32)
+            .map(|n| {
+                let kp = store.keypair_for(ComponentId::Node(NodeId(n)));
+                (NodeId(n), SimSigner::sign(&kp, &cd))
+            })
+            .collect();
+        let mut cert = CommitCertificate::new(ViewNumber(view), SeqNum(seq), digest, entries);
+        prop_assert!(cert.verify(&store, 3, 4).is_ok());
+        if flip {
+            cert.seq = SeqNum(seq + 1);
+            prop_assert!(cert.verify(&store, 3, 4).is_err());
+        }
+    }
+
+    /// The verifier's concurrency check never applies writes over stale
+    /// reads, and always applies them when the reads are current.
+    #[test]
+    fn occ_applies_iff_reads_current(bump in any::<bool>(), value in any::<u64>()) {
+        let store = VersionedStore::new();
+        store.load([(Key(1), Value::new(0)), (Key(2), Value::new(0))]);
+        if bump {
+            store.put(Key(1), Value::new(99));
+        }
+        let mut rw = ReadWriteSet::new();
+        rw.record_read(Key(1), Version(1));
+        rw.record_write(Key(2), Value::new(value));
+        let outcome = ConcurrencyChecker::check_and_apply(&store, &rw, true);
+        prop_assert_eq!(outcome.is_applied(), !bump);
+        let stored = store.get(Key(2)).unwrap().value;
+        if bump {
+            prop_assert_eq!(stored, Value::new(0));
+        } else {
+            prop_assert_eq!(stored, Value::new(value));
+        }
+    }
+
+    /// The conflict-avoidance planner never has two conflicting batches in
+    /// flight at the same time, regardless of the enqueue/complete order.
+    #[test]
+    fn planner_never_runs_conflicting_batches_concurrently(
+        footprints in prop::collection::vec(
+            (prop::collection::btree_set(0u64..10, 0..3), prop::collection::btree_set(0u64..10, 0..3)),
+            1..8,
+        )
+    ) {
+        let mut planner = BestEffortPlanner::new();
+        let mut in_flight: Vec<(SeqNum, BatchFootprint)> = Vec::new();
+        let fps: Vec<BatchFootprint> = footprints
+            .iter()
+            .map(|(r, w)| BatchFootprint {
+                reads: r.iter().copied().map(Key).collect(),
+                writes: w.iter().copied().map(Key).collect(),
+            })
+            .collect();
+        let mut dispatched = BTreeSet::new();
+        for (i, fp) in fps.iter().enumerate() {
+            let seq = SeqNum(i as u64 + 1);
+            let released = planner.enqueue(seq, fp.clone());
+            for r in released {
+                let rfp = fps[(r.0 - 1) as usize].clone();
+                for (_, existing) in &in_flight {
+                    prop_assert!(!existing.conflicts_with(&rfp), "conflicting batches in flight");
+                }
+                in_flight.push((r, rfp));
+                dispatched.insert(r);
+            }
+            // Complete the oldest in-flight batch every other step.
+            if i % 2 == 1 && !in_flight.is_empty() {
+                let (done, _) = in_flight.remove(0);
+                let released = planner.complete(done);
+                for r in released {
+                    let rfp = fps[(r.0 - 1) as usize].clone();
+                    for (_, existing) in &in_flight {
+                        prop_assert!(!existing.conflicts_with(&rfp));
+                    }
+                    in_flight.push((r, rfp));
+                    dispatched.insert(r);
+                }
+            }
+        }
+        // Draining completions must eventually dispatch every batch.
+        let mut guard = 0;
+        while !in_flight.is_empty() && guard < 100 {
+            guard += 1;
+            let (done, _) = in_flight.remove(0);
+            for r in planner.complete(done) {
+                let rfp = fps[(r.0 - 1) as usize].clone();
+                in_flight.push((r, rfp));
+                dispatched.insert(r);
+            }
+        }
+        prop_assert_eq!(dispatched.len(), fps.len());
+    }
+
+    /// Storage versions increase monotonically under arbitrary writes.
+    #[test]
+    fn storage_versions_monotonic(writes in prop::collection::vec((0u64..20, any::<u64>()), 1..50)) {
+        let store = VersionedStore::new();
+        let mut last: std::collections::HashMap<u64, u64> = std::collections::HashMap::new();
+        for (k, v) in writes {
+            let version = store.put(Key(k), Value::new(v));
+            let prev = last.insert(k, version.0);
+            prop_assert!(prev.is_none() || prev.unwrap() < version.0);
+        }
+    }
+}
