@@ -11,7 +11,8 @@ fn main() {
             let mut config = SystemConfig::with_shim_size(n_r);
             config.conflict_handling = ConflictHandling::UnknownRwSets;
             config.workload.conflict_fraction = f64::from(conflict_pct) / 100.0;
-            let mut point = PointConfig::new("fig6-conflicts", label, f64::from(conflict_pct), config);
+            let mut point =
+                PointConfig::new("fig6-conflicts", label, f64::from(conflict_pct), config);
             point.clients = 400;
             run_point(point);
         }

@@ -12,7 +12,7 @@ use sbft_core::system::ShimProtocol;
 use sbft_core::{ShimAttack, SystemBuilder};
 use sbft_serverless::cloud::CloudFaultPlan;
 use sbft_serverless::CostModel;
-use sbft_sim::{RunMetrics, SimHarness, SimParams};
+use sbft_sim::{CpuModel, NetworkModel, RunMetrics, SimHarness, SimParams};
 use sbft_types::{NodeId, SimDuration, SystemConfig};
 
 /// One data point of an experiment.
@@ -45,12 +45,21 @@ pub struct PointConfig {
     pub edge_execution_threads: Option<usize>,
     /// Whether serverless invocations are billed (off for edge-only runs).
     pub bill_serverless: bool,
+    /// Overrides the simulator's CPU cost model (`None`: defaults). Used
+    /// by experiments that shift the bottleneck, e.g. `fig6_shards` makes
+    /// storage accesses expensive so the sharded commit path dominates.
+    pub cpu: Option<CpuModel>,
 }
 
 impl PointConfig {
     /// A point with sensible defaults for the given figure/series/x.
     #[must_use]
-    pub fn new(figure: &'static str, series: impl Into<String>, x: f64, config: SystemConfig) -> Self {
+    pub fn new(
+        figure: &'static str,
+        series: impl Into<String>,
+        x: f64,
+        config: SystemConfig,
+    ) -> Self {
         PointConfig {
             figure,
             series: series.into(),
@@ -65,6 +74,7 @@ impl PointConfig {
             seed: 42,
             edge_execution_threads: None,
             bill_serverless: true,
+            cpu: None,
         }
     }
 }
@@ -105,9 +115,7 @@ impl PointResult {
 
 /// Prints the CSV header used by every figure binary.
 pub fn print_header() {
-    println!(
-        "figure,series,x,throughput_tps,avg_latency_s,p50_s,p99_s,abort_rate,cents_per_ktxn"
-    );
+    println!("figure,series,x,throughput_tps,avg_latency_s,p50_s,p99_s,abort_rate,cents_per_ktxn");
 }
 
 /// Runs one data point and prints its CSV row.
@@ -141,7 +149,13 @@ pub fn run_point_silent(point: PointConfig) -> PointResult {
         edge_execution_threads: point.edge_execution_threads,
         ..SimParams::default()
     };
-    let metrics = SimHarness::new(system, params).run();
+    let metrics = SimHarness::with_models(
+        system,
+        params,
+        NetworkModel::default(),
+        point.cpu.unwrap_or_default(),
+    )
+    .run();
 
     // Cost accounting: the shim nodes + verifier machines run for the whole
     // wall-clock window; executors are billed per invocation.

@@ -93,7 +93,10 @@ impl ConsensusAction {
 /// from a list of actions, in order.
 #[must_use]
 pub fn committed_seqs(actions: &[ConsensusAction]) -> Vec<SeqNum> {
-    actions.iter().filter_map(ConsensusAction::committed_seq).collect()
+    actions
+        .iter()
+        .filter_map(ConsensusAction::committed_seq)
+        .collect()
 }
 
 #[cfg(test)]

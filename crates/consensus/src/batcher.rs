@@ -111,7 +111,10 @@ mod tests {
         assert!(b.poll(SimTime::from_millis(5)).is_none(), "not stale yet");
         let batch = b.poll(SimTime::from_millis(10)).expect("timeout flush");
         assert_eq!(batch.len(), 1);
-        assert!(b.poll(SimTime::from_millis(20)).is_none(), "nothing pending");
+        assert!(
+            b.poll(SimTime::from_millis(20)).is_none(),
+            "nothing pending"
+        );
     }
 
     #[test]

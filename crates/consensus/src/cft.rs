@@ -72,7 +72,12 @@ impl CftReplica {
         NodeId::primary_of(ballot, self.params.n_r)
     }
 
-    fn decide_actions(&mut self, seq: SeqNum, _digest: Digest, batch: Batch) -> Vec<ConsensusAction> {
+    fn decide_actions(
+        &mut self,
+        seq: SeqNum,
+        _digest: Digest,
+        batch: Batch,
+    ) -> Vec<ConsensusAction> {
         if !self.decided.insert(seq) {
             return Vec::new();
         }
@@ -94,7 +99,8 @@ impl CftReplica {
         if batch_digest(&msg.batch) != msg.digest {
             return Vec::new();
         }
-        self.accepted.insert(msg.seq, (msg.digest, msg.batch.clone()));
+        self.accepted
+            .insert(msg.seq, (msg.digest, msg.batch.clone()));
         let mut actions = vec![
             ConsensusAction::StartTimer {
                 timer: ConsensusTimer::Request(msg.seq),
@@ -181,7 +187,9 @@ impl OrderingProtocol for CftReplica {
             digest,
         };
         // A single-node "shim" (degenerate case) decides immediately.
-        let mut actions = vec![ConsensusAction::Broadcast(ConsensusMessage::CftAccept(accept))];
+        let mut actions = vec![ConsensusAction::Broadcast(ConsensusMessage::CftAccept(
+            accept,
+        ))];
         if self.params.n_r == 1 {
             let batch = self.slots[&seq].batch.clone().expect("own batch");
             self.slots.get_mut(&seq).expect("slot").decided = true;
@@ -259,13 +267,17 @@ mod tests {
     }
 
     /// Delivers actions until quiescence, returning committed seqs per node.
-    fn run(replicas: &mut [CftReplica], origin: usize, actions: Vec<ConsensusAction>) -> Vec<Vec<SeqNum>> {
+    fn run(
+        replicas: &mut [CftReplica],
+        origin: usize,
+        actions: Vec<ConsensusAction>,
+    ) -> Vec<Vec<SeqNum>> {
         let mut committed = vec![Vec::new(); replicas.len()];
         let mut queue: Vec<(usize, usize, ConsensusMessage)> = Vec::new();
         let absorb = |origin: usize,
-                          actions: Vec<ConsensusAction>,
-                          queue: &mut Vec<(usize, usize, ConsensusMessage)>,
-                          committed: &mut Vec<Vec<SeqNum>>| {
+                      actions: Vec<ConsensusAction>,
+                      queue: &mut Vec<(usize, usize, ConsensusMessage)>,
+                      committed: &mut Vec<Vec<SeqNum>>| {
             for a in actions {
                 match a {
                     ConsensusAction::Broadcast(m) => {

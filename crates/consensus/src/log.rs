@@ -238,7 +238,11 @@ mod tests {
     fn votes_count_distinct_senders_only() {
         let mut log = ConsensusLog::new();
         assert_eq!(log.add_prepare(prepare(1, 0)), 1);
-        assert_eq!(log.add_prepare(prepare(1, 0)), 1, "duplicate sender not counted");
+        assert_eq!(
+            log.add_prepare(prepare(1, 0)),
+            1,
+            "duplicate sender not counted"
+        );
         assert_eq!(log.add_prepare(prepare(1, 1)), 2);
         assert_eq!(log.add_commit(commit(1, 2)), 1);
         assert_eq!(log.add_commit(commit(1, 3)), 2);

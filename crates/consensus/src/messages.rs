@@ -230,7 +230,10 @@ impl ConsensusMessage {
                     + 8
                     + 4
                     + 64
-                    + m.certificates.iter().map(CommitCertificate::wire_size).sum::<usize>()
+                    + m.certificates
+                        .iter()
+                        .map(CommitCertificate::wire_size)
+                        .sum::<usize>()
             }
             ConsensusMessage::CftAccept(m) => FRAMING_OVERHEAD + 16 + 32 + m.batch.wire_size(),
             ConsensusMessage::CftAccepted(_) => FRAMING_OVERHEAD + 16 + 32 + 4,
@@ -353,8 +356,16 @@ mod tests {
             sender: NodeId(1),
             signature: Signature::ZERO,
         });
-        assert!((150..=280).contains(&prepare.wire_size()), "{}", prepare.wire_size());
-        assert!((180..=300).contains(&commit.wire_size()), "{}", commit.wire_size());
+        assert!(
+            (150..=280).contains(&prepare.wire_size()),
+            "{}",
+            prepare.wire_size()
+        );
+        assert!(
+            (180..=300).contains(&commit.wire_size()),
+            "{}",
+            commit.wire_size()
+        );
         assert!(commit.wire_size() > prepare.wire_size());
     }
 

@@ -99,7 +99,9 @@ mod tests {
             let actions = node.submit_batch(batch(i));
             assert_eq!(actions.len(), 1);
             match &actions[0] {
-                ConsensusAction::Committed { seq, certificate, .. } => {
+                ConsensusAction::Committed {
+                    seq, certificate, ..
+                } => {
                     assert_eq!(*seq, SeqNum(i));
                     assert!(certificate.is_none());
                 }

@@ -68,7 +68,10 @@ impl PbftReplica {
         node_timeout: SimDuration,
         checkpoint_interval: u64,
     ) -> Self {
-        assert!(checkpoint_interval > 0, "checkpoint interval must be positive");
+        assert!(
+            checkpoint_interval > 0,
+            "checkpoint interval must be positive"
+        );
         PbftReplica {
             me,
             params,
@@ -135,8 +138,12 @@ impl PbftReplica {
 
     /// Counts votes whose digest and view match the accepted pre-prepare.
     fn matching_prepares(&self, seq: SeqNum) -> usize {
-        let Some(entry) = self.log.entry(seq) else { return 0 };
-        let (Some(digest), Some(view)) = (entry.digest, entry.view) else { return 0 };
+        let Some(entry) = self.log.entry(seq) else {
+            return 0;
+        };
+        let (Some(digest), Some(view)) = (entry.digest, entry.view) else {
+            return 0;
+        };
         entry
             .prepares
             .values()
@@ -145,8 +152,12 @@ impl PbftReplica {
     }
 
     fn matching_commits(&self, seq: SeqNum) -> usize {
-        let Some(entry) = self.log.entry(seq) else { return 0 };
-        let (Some(digest), Some(view)) = (entry.digest, entry.view) else { return 0 };
+        let Some(entry) = self.log.entry(seq) else {
+            return 0;
+        };
+        let (Some(digest), Some(view)) = (entry.digest, entry.view) else {
+            return 0;
+        };
         entry
             .commits
             .values()
@@ -156,7 +167,12 @@ impl PbftReplica {
 
     /// Runs the node-side handling of an accepted pre-prepare: broadcast a
     /// prepare, start the request timer, and re-evaluate quorums.
-    fn after_pre_prepare(&mut self, view: ViewNumber, seq: SeqNum, digest: Digest) -> Vec<ConsensusAction> {
+    fn after_pre_prepare(
+        &mut self,
+        view: ViewNumber,
+        seq: SeqNum,
+        digest: Digest,
+    ) -> Vec<ConsensusAction> {
         let mut actions = Vec::new();
         let prepare = self.make_prepare(view, seq, digest);
         self.log.add_prepare(prepare);
@@ -164,7 +180,9 @@ impl PbftReplica {
             timer: ConsensusTimer::Request(seq),
             duration: self.node_timeout,
         });
-        actions.push(ConsensusAction::Broadcast(ConsensusMessage::Prepare(prepare)));
+        actions.push(ConsensusAction::Broadcast(ConsensusMessage::Prepare(
+            prepare,
+        )));
         actions.extend(self.check_prepared(seq));
         actions
     }
@@ -173,7 +191,9 @@ impl PbftReplica {
         let mut actions = Vec::new();
         let quorum = self.quorum();
         let ready = {
-            let Some(entry) = self.log.entry(seq) else { return actions };
+            let Some(entry) = self.log.entry(seq) else {
+                return actions;
+            };
             entry.pre_prepared() && !entry.prepared && self.matching_prepares(seq) >= quorum
         };
         if !ready {
@@ -182,7 +202,10 @@ impl PbftReplica {
         let (view, digest) = {
             let entry = self.log.entry_mut(seq);
             entry.prepared = true;
-            (entry.view.expect("prepared entry has view"), entry.digest.expect("digest"))
+            (
+                entry.view.expect("prepared entry has view"),
+                entry.digest.expect("digest"),
+            )
         };
         let commit = self.make_commit(view, seq, digest);
         self.log.add_commit(commit);
@@ -195,7 +218,9 @@ impl PbftReplica {
         let mut actions = Vec::new();
         let quorum = self.quorum();
         let ready = {
-            let Some(entry) = self.log.entry(seq) else { return actions };
+            let Some(entry) = self.log.entry(seq) else {
+                return actions;
+            };
             entry.prepared && !entry.committed && self.matching_commits(seq) >= quorum
         };
         if !ready {
@@ -234,7 +259,7 @@ impl PbftReplica {
 
     /// Broadcasts a featherweight checkpoint when `seq` closes an interval.
     fn maybe_emit_checkpoint(&mut self, seq: SeqNum) -> Vec<ConsensusAction> {
-        if seq.0 % self.checkpoint_interval != 0 || seq <= self.log.stable_seq() {
+        if !seq.0.is_multiple_of(self.checkpoint_interval) || seq <= self.log.stable_seq() {
             return Vec::new();
         }
         let certificates: Vec<_> = self
@@ -293,7 +318,9 @@ impl PbftReplica {
                         entry.view = Some(cert.view);
                         entry.digest = Some(cert.batch_digest);
                         let batch = entry.batch.clone();
-                        actions.push(ConsensusAction::CancelTimer(ConsensusTimer::Request(cert.seq)));
+                        actions.push(ConsensusAction::CancelTimer(ConsensusTimer::Request(
+                            cert.seq,
+                        )));
                         if let Some(batch) = batch {
                             // We had accepted the pre-prepare (so we hold
                             // the batch) and only missed the commit quorum:
@@ -326,7 +353,11 @@ impl PbftReplica {
     /// Starts (or joins) a view change towards `target` (at least
     /// `view + 1`).
     fn start_view_change(&mut self, target: ViewNumber) -> Vec<ConsensusAction> {
-        let target = if target > self.view { target } else { self.view.next() };
+        let target = if target > self.view {
+            target
+        } else {
+            self.view.next()
+        };
         // Already voted for this target? Don't re-broadcast.
         if self
             .view_change_votes
@@ -378,9 +409,7 @@ impl PbftReplica {
 
         // Join the view change once f_R + 1 nodes ask for it (at least one
         // honest node timed out), even if our own timer has not fired.
-        if votes >= self.params.f_r + 1
-            && !self.view_change_votes[&target].contains_key(&self.me)
-        {
+        if votes > self.params.f_r && !self.view_change_votes[&target].contains_key(&self.me) {
             actions.extend(self.start_view_change(target));
             return actions;
         }
@@ -435,7 +464,10 @@ impl PbftReplica {
         for pp in reissued {
             let seq = pp.seq;
             let digest = pp.digest;
-            if self.log.accept_pre_prepare(seq, target, digest, pp.batch.clone()) {
+            if self
+                .log
+                .accept_pre_prepare(seq, target, digest, pp.batch.clone())
+            {
                 actions.extend(self.after_pre_prepare(target, seq, digest));
             }
         }
@@ -548,7 +580,11 @@ impl PbftReplica {
         }
         let digest = sbft_crypto::digest_u64s(
             "viewchange",
-            &[vc.new_view.0, vc.last_stable_seq.0, vc.prepared.len() as u64],
+            &[
+                vc.new_view.0,
+                vc.last_stable_seq.0,
+                vc.prepared.len() as u64,
+            ],
         );
         if !self
             .crypto
@@ -809,10 +845,10 @@ mod tests {
                             }
                         }
                     }
-                    ConsensusAction::Send(to, msg) => {
-                        if !self.down.contains(&origin) && !self.down.contains(&to) {
-                            queue.push_back((origin, to, msg));
-                        }
+                    ConsensusAction::Send(to, msg)
+                        if !self.down.contains(&origin) && !self.down.contains(&to) =>
+                    {
+                        queue.push_back((origin, to, msg));
                     }
                     ConsensusAction::Committed {
                         seq,
@@ -1121,7 +1157,9 @@ mod tests {
         assert!(shim.committed_by(NodeId(3)).is_empty());
         // … but the checkpoint at seq 4 (interval = 4) brought it up to date.
         assert!(
-            shim.caught_up.iter().any(|(n, s)| *n == NodeId(3) && *s == SeqNum(4)),
+            shim.caught_up
+                .iter()
+                .any(|(n, s)| *n == NodeId(3) && *s == SeqNum(4)),
             "dark node must report catching up: {:?}",
             shim.caught_up
         );
@@ -1152,7 +1190,15 @@ mod tests {
         assert_eq!(shim.replicas[3].view(), ViewNumber(0));
         let a2 = shim.replicas[2].request_view_change();
         shim.run_actions(NodeId(2), a2);
-        assert_eq!(shim.replicas[3].view(), ViewNumber(1), "node 3 joined and installed");
-        assert_eq!(shim.replicas[0].view(), ViewNumber(1), "old primary moves along too");
+        assert_eq!(
+            shim.replicas[3].view(),
+            ViewNumber(1),
+            "node 3 joined and installed"
+        );
+        assert_eq!(
+            shim.replicas[0].view(),
+            ViewNumber(1),
+            "old primary moves along too"
+        );
     }
 }

@@ -362,7 +362,10 @@ mod tests {
         );
         let actions = vec![spawn_action()];
         assert_eq!(injector.apply(NodeId(0), actions.clone()), actions);
-        assert_eq!(injector.spawn_delay(NodeId(0)), SimDuration::from_millis(500));
+        assert_eq!(
+            injector.spawn_delay(NodeId(0)),
+            SimDuration::from_millis(500)
+        );
         assert_eq!(injector.spawn_delay(NodeId(1)), SimDuration::ZERO);
     }
 

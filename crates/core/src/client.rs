@@ -10,9 +10,7 @@
 
 use crate::events::{Action, ClientRequest, Destination, ProtocolMessage, ProtocolTimer};
 use sbft_crypto::CryptoHandle;
-use sbft_types::{
-    ClientId, ComponentId, NodeId, SimDuration, Transaction, TxnId, TxnOutcome,
-};
+use sbft_types::{ClientId, ComponentId, NodeId, SimDuration, Transaction, TxnId, TxnOutcome};
 use std::collections::HashMap;
 
 /// State of one outstanding request.
@@ -99,7 +97,10 @@ impl ClientRole {
     /// Submits a transaction: sign it, send `⟨T⟩_C` to the primary, and
     /// start the client timer `τ_m` (Figure 3 line 1, Figure 4 line 1).
     pub fn submit(&mut self, txn: Transaction) -> Vec<Action> {
-        assert_eq!(txn.id.client, self.id, "clients only sign their own transactions");
+        assert_eq!(
+            txn.id.client, self.id,
+            "clients only sign their own transactions"
+        );
         let digest = ClientRequest::signing_digest(&txn);
         let request = ClientRequest {
             txn: txn.clone(),
@@ -197,7 +198,10 @@ mod tests {
     }
 
     fn txn(counter: u64) -> Transaction {
-        Transaction::new(TxnId::new(ClientId(7), counter), vec![Operation::Read(Key(1))])
+        Transaction::new(
+            TxnId::new(ClientId(7), counter),
+            vec![Operation::Read(Key(1))],
+        )
     }
 
     fn response(counter: u64, outcome: TxnOutcome) -> ProtocolMessage {
@@ -246,9 +250,13 @@ mod tests {
         assert!(actions
             .iter()
             .any(|a| matches!(a, Action::CancelTimer(ProtocolTimer::ClientRequest(_)))));
-        assert!(actions
-            .iter()
-            .any(|a| matches!(a, Action::TxnCompleted { outcome: TxnOutcome::Committed, .. })));
+        assert!(actions.iter().any(|a| matches!(
+            a,
+            Action::TxnCompleted {
+                outcome: TxnOutcome::Committed,
+                ..
+            }
+        )));
         assert_eq!(c.completed(), 1);
         assert_eq!(c.outstanding(), 0);
     }

@@ -8,9 +8,10 @@
 
 use sbft_consensus::{ConsensusMessage, ConsensusTimer};
 use sbft_serverless::{ExecuteRequest, SpawnRequest, VerifyMessage};
+use sbft_sharding::ShardId;
 use sbft_types::{
-    ClientId, ComponentId, ExecutorId, NodeId, SeqNum, Signature, SimDuration, Transaction,
-    TxnId, TxnOutcome,
+    ClientId, ComponentId, ExecutorId, NodeId, SeqNum, Signature, SimDuration, Transaction, TxnId,
+    TxnOutcome,
 };
 use serde::{Deserialize, Serialize};
 
@@ -182,9 +183,7 @@ impl ProtocolMessage {
             ProtocolMessage::Response(_) => 2_270,
             ProtocolMessage::Abort(_) => 160,
             ProtocolMessage::BatchValidated(_) => 140,
-            ProtocolMessage::Error(e) => {
-                180 + e.request.as_ref().map_or(0, |r| r.txn.wire_size())
-            }
+            ProtocolMessage::Error(e) => 180 + e.request.as_ref().map_or(0, |r| r.txn.wire_size()),
             ProtocolMessage::Replace(_) | ProtocolMessage::Ack(_) => 180,
         }
     }
@@ -267,6 +266,19 @@ pub enum Action {
         seq: SeqNum,
         /// Number of transactions in the batch.
         len: usize,
+    },
+    /// The verifier ran the concurrency-control check of a validated batch
+    /// slice on an execution shard. Runtimes that model CPU (the
+    /// simulator) charge this work to the shard's service station and
+    /// delay the batch's outgoing responses until it completes; the
+    /// thread runtime executes the work eagerly and ignores the hint.
+    ShardCcheck {
+        /// The shard the work ran on.
+        shard: ShardId,
+        /// Transactions checked on this shard.
+        txns: u32,
+        /// Total read/write-set entries validated and applied.
+        accesses: u32,
     },
 }
 
@@ -358,7 +370,7 @@ mod tests {
         );
         assert!(action.sends_kind("CLIENT-REQUEST"));
         assert!(!action.sends_kind("VERIFY"));
-        assert_eq!(envelopes(&[action.clone()]).len(), 1);
+        assert_eq!(envelopes(std::slice::from_ref(&action)).len(), 1);
         let timer = Action::StartTimer {
             timer: ProtocolTimer::BatchPoll,
             duration: SimDuration::from_millis(1),

@@ -209,7 +209,10 @@ mod tests {
         assert!(p.enqueue(SeqNum(1), fp(&[], &[1])).is_empty());
         assert_eq!(p.complete(SeqNum(1)), Vec::<SeqNum>::new());
         assert!(p.complete(SeqNum(1)).is_empty());
-        assert!(p.enqueue(SeqNum(1), fp(&[], &[1])).is_empty(), "completed batches never re-dispatch");
+        assert!(
+            p.enqueue(SeqNum(1), fp(&[], &[1])).is_empty(),
+            "completed batches never re-dispatch"
+        );
     }
 
     #[test]

@@ -258,7 +258,12 @@ impl ShimNode {
         // empty certificate stands in so the message flow stays identical
         // (executors and the verifier are configured with a quorum of 0).
         let certificate = certificate.unwrap_or_else(|| {
-            CommitCertificate::new(view, seq, sbft_consensus::messages::batch_digest(&batch), vec![])
+            CommitCertificate::new(
+                view,
+                seq,
+                sbft_consensus::messages::batch_digest(&batch),
+                vec![],
+            )
         });
         self.committed.insert(
             seq,
@@ -283,7 +288,11 @@ impl ShimNode {
                     .batch
                     .txns
                     .iter()
-                    .map(|t| t.declared_rwset.clone().unwrap_or_else(|| t.inferred_rwset()))
+                    .map(|t| {
+                        t.declared_rwset
+                            .clone()
+                            .unwrap_or_else(|| t.inferred_rwset())
+                    })
                     .collect();
                 BatchFootprint::from_rwsets(rwsets.iter())
             };
@@ -547,34 +556,39 @@ mod tests {
 
     /// Drives consensus messages among the shim nodes until quiescence,
     /// collecting every non-consensus action per node.
-    fn run_consensus(shim: &mut Shim, origin: usize, actions: Vec<Action>) -> Vec<(NodeId, Action)> {
+    fn run_consensus(
+        shim: &mut Shim,
+        origin: usize,
+        actions: Vec<Action>,
+    ) -> Vec<(NodeId, Action)> {
         let mut external = Vec::new();
         let mut queue: std::collections::VecDeque<(usize, usize, ConsensusMessage)> =
             std::collections::VecDeque::new();
         let n = shim.nodes.len();
-        let push_actions = |origin: usize,
-                                actions: Vec<Action>,
-                                queue: &mut std::collections::VecDeque<(usize, usize, ConsensusMessage)>,
-                                external: &mut Vec<(NodeId, Action)>| {
-            for a in actions {
-                match &a {
-                    Action::Send(env) => match (&env.to, &env.msg) {
-                        (Destination::AllNodes, ProtocolMessage::Consensus(msg)) => {
-                            for to in 0..n {
-                                if to != origin {
-                                    queue.push_back((origin, to, msg.clone()));
+        let push_actions =
+            |origin: usize,
+             actions: Vec<Action>,
+             queue: &mut std::collections::VecDeque<(usize, usize, ConsensusMessage)>,
+             external: &mut Vec<(NodeId, Action)>| {
+                for a in actions {
+                    match &a {
+                        Action::Send(env) => match (&env.to, &env.msg) {
+                            (Destination::AllNodes, ProtocolMessage::Consensus(msg)) => {
+                                for to in 0..n {
+                                    if to != origin {
+                                        queue.push_back((origin, to, msg.clone()));
+                                    }
                                 }
                             }
-                        }
-                        (Destination::Node(to), ProtocolMessage::Consensus(msg)) => {
-                            queue.push_back((origin, to.0 as usize, msg.clone()));
-                        }
+                            (Destination::Node(to), ProtocolMessage::Consensus(msg)) => {
+                                queue.push_back((origin, to.0 as usize, msg.clone()));
+                            }
+                            _ => external.push((NodeId(origin as u32), a.clone())),
+                        },
                         _ => external.push((NodeId(origin as u32), a.clone())),
-                    },
-                    _ => external.push((NodeId(origin as u32), a.clone())),
+                    }
                 }
-            }
-        };
+            };
         push_actions(origin, actions, &mut queue, &mut external);
         while let Some((from, to, msg)) = queue.pop_front() {
             let acts = shim.nodes[to].on_consensus_message(NodeId(from as u32), msg);
@@ -651,7 +665,8 @@ mod tests {
     fn non_primary_forwards_requests_to_primary() {
         let mut shim = make_shim(base_config());
         let provider = Arc::clone(&shim.provider);
-        let actions = shim.nodes[2].on_client_request(&signed_request(&provider, 0, 0), SimTime::ZERO);
+        let actions =
+            shim.nodes[2].on_client_request(&signed_request(&provider, 0, 0), SimTime::ZERO);
         let env = actions[0].as_send().unwrap();
         assert_eq!(env.to, Destination::Node(NodeId(0)));
         assert_eq!(env.msg.kind(), "CLIENT-REQUEST");
@@ -686,11 +701,19 @@ mod tests {
             signature: Signature::ZERO,
         });
         let actions = shim.nodes[2].on_message(&err);
-        assert!(actions
-            .iter()
-            .any(|a| matches!(a, Action::StartTimer { timer: ProtocolTimer::Retransmit(_), .. })));
+        assert!(actions.iter().any(|a| matches!(
+            a,
+            Action::StartTimer {
+                timer: ProtocolTimer::Retransmit(_),
+                ..
+            }
+        )));
         let env = envelopes(&actions)[0];
-        assert_eq!(env.to, Destination::Node(NodeId(0)), "forwarded to the primary");
+        assert_eq!(
+            env.to,
+            Destination::Node(NodeId(0)),
+            "forwarded to the primary"
+        );
         // The matching ACK cancels the timer.
         let ack = ProtocolMessage::Ack(crate::events::AckMessage {
             subject: RecoverySubject::Seq(SeqNum(3)),
@@ -756,9 +779,9 @@ mod tests {
         // timer expiry must not push it to vote again for a later view.
         for action in &actions {
             if let Some(env) = action.as_send() {
-                if let ProtocolMessage::Consensus(
-                    sbft_consensus::ConsensusMessage::ViewChange(vc),
-                ) = &env.msg
+                if let ProtocolMessage::Consensus(sbft_consensus::ConsensusMessage::ViewChange(
+                    vc,
+                )) = &env.msg
                 {
                     assert!(vc.new_view <= sbft_types::ViewNumber(1));
                 }
@@ -801,7 +824,10 @@ mod tests {
             .iter()
             .filter(|(_, a)| matches!(a, Action::SpawnExecutor { .. }))
             .count();
-        assert_eq!(spawns2, 0, "conflicting batch waits for the first to finish");
+        assert_eq!(
+            spawns2, 0,
+            "conflicting batch waits for the first to finish"
+        );
         // The verifier validates batch 1; batch 2 is released.
         let actions = shim.nodes[0].on_message(&ProtocolMessage::BatchValidated(BatchValidated {
             seq: SeqNum(1),
@@ -846,13 +872,20 @@ mod tests {
             provider.handle(ComponentId::Node(NodeId(0))),
             Box::new(CftReplica::new(
                 NodeId(0),
-                sbft_types::FaultParams { n_r: 1, f_r: 0, n_e: 3, f_e: 1 },
+                sbft_types::FaultParams {
+                    n_r: 1,
+                    f_r: 0,
+                    n_e: 3,
+                    f_e: 1,
+                },
                 config.timers.node_timeout,
             )),
         );
         let req = signed_request(&provider, 0, 0);
         let actions = cft_node.on_client_request(&req, SimTime::ZERO);
-        assert!(actions.iter().any(|a| matches!(a, Action::SpawnExecutor { .. })));
+        assert!(actions
+            .iter()
+            .any(|a| matches!(a, Action::SpawnExecutor { .. })));
         // NoShim node.
         let mut noshim = ShimNode::new(
             NodeId(0),

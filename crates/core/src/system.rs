@@ -10,7 +10,7 @@
 use crate::attacks::{AttackInjector, ShimAttack};
 use crate::client::ClientRole;
 use crate::shim::ShimNode;
-use crate::verifier::Verifier;
+use crate::verifier::{Verifier, VerifierConfig};
 use sbft_consensus::{CftReplica, NoShim, OrderingProtocol, PbftReplica};
 use sbft_crypto::CryptoProvider;
 use sbft_serverless::cloud::CloudFaultPlan;
@@ -189,7 +189,9 @@ impl SystemBuilder {
     /// Panics if the configuration fails validation.
     #[must_use]
     pub fn build(self) -> System {
-        self.config.validate().expect("invalid system configuration");
+        self.config
+            .validate()
+            .expect("invalid system configuration");
         let provider = CryptoProvider::new(self.seed);
         let table = YcsbTable::populate(self.config.workload.num_records);
         let storage = Arc::clone(table.store());
@@ -234,10 +236,14 @@ impl SystemBuilder {
         let verifier = Verifier::new(
             provider.handle(ComponentId::Verifier),
             Arc::clone(&storage),
-            self.config.fault,
-            self.config.conflict_handling,
-            self.config.timers.verifier_abort_timeout,
-            cert_quorum,
+            VerifierConfig {
+                params: self.config.fault,
+                conflict_handling: self.config.conflict_handling,
+                abort_timeout: self.config.timers.verifier_abort_timeout,
+                cert_quorum,
+                spawned_per_batch: self.config.spawned_per_batch(),
+                sharding: self.config.sharding,
+            },
         );
 
         // Clients.

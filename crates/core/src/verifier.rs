@@ -18,14 +18,16 @@
 //!   enough answered but results do not match).
 
 use crate::events::{
-    AbortMessage, Action, AckMessage, BatchValidated, ClientRequest, Destination, ErrorMessage,
+    AbortMessage, AckMessage, Action, BatchValidated, ClientRequest, Destination, ErrorMessage,
     ProtocolMessage, ProtocolTimer, RecoverySubject, ReplaceMessage, ResponseMessage,
 };
 use sbft_crypto::CryptoHandle;
 use sbft_serverless::VerifyMessage;
-use sbft_storage::{ConcurrencyChecker, VersionedStore};
+use sbft_sharding::{ShardId, ShardedCommitter};
+use sbft_storage::VersionedStore;
 use sbft_types::{
-    ComponentId, ConflictHandling, ExecutorId, FaultParams, SeqNum, SimDuration, TxnId, TxnOutcome,
+    ComponentId, ConflictHandling, ExecutorId, FaultParams, SeqNum, ShardingConfig, SimDuration,
+    TxnId, TxnOutcome,
 };
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::sync::Arc;
@@ -39,16 +41,33 @@ struct SeqState {
     timer_started: bool,
 }
 
+/// Protocol parameters of the verifier, fixed at deployment time.
+#[derive(Clone, Copy, Debug)]
+pub struct VerifierConfig {
+    /// Fault-tolerance parameters.
+    pub params: FaultParams,
+    /// Conflict-handling mode.
+    pub conflict_handling: ConflictHandling,
+    /// Abort-detection timer duration (Section VI-B).
+    pub abort_timeout: SimDuration,
+    /// Commit-certificate quorum `VERIFY` messages must carry (0 for the
+    /// CFT / NoShim baselines, which cannot produce certificates).
+    pub cert_quorum: usize,
+    /// Total executors the shim spawns per committed batch (depends on
+    /// the spawning mode, so it is supplied by the deployment rather than
+    /// re-derived from `FaultParams`). Once this many `VERIFY`s arrived
+    /// without a matching quorum, the batch can never match.
+    pub spawned_per_batch: usize,
+    /// Sharded-execution parameters for the commit path.
+    pub sharding: ShardingConfig,
+}
+
 /// The verifier role state machine.
 pub struct Verifier {
     crypto: CryptoHandle,
-    store: Arc<VersionedStore>,
-    params: FaultParams,
-    conflict_handling: ConflictHandling,
-    abort_timeout: SimDuration,
-    /// Commit-certificate quorum `VERIFY` messages must carry (0 for the
-    /// CFT / NoShim baselines, which cannot produce certificates).
-    cert_quorum: usize,
+    /// The sharded commit path replacing the single global `ccheck`.
+    committer: ShardedCommitter,
+    config: VerifierConfig,
 
     /// Sequence number of the next request to be validated.
     kmax: SeqNum,
@@ -71,21 +90,12 @@ pub struct Verifier {
 impl Verifier {
     /// Creates the verifier.
     #[must_use]
-    pub fn new(
-        crypto: CryptoHandle,
-        store: Arc<VersionedStore>,
-        params: FaultParams,
-        conflict_handling: ConflictHandling,
-        abort_timeout: SimDuration,
-        cert_quorum: usize,
-    ) -> Self {
+    pub fn new(crypto: CryptoHandle, store: Arc<VersionedStore>, config: VerifierConfig) -> Self {
+        let committer = ShardedCommitter::new(store, &config.sharding);
         Verifier {
             crypto,
-            store,
-            params,
-            conflict_handling,
-            abort_timeout,
-            cert_quorum,
+            committer,
+            config,
             kmax: SeqNum(1),
             pending: BTreeMap::new(),
             responded: HashMap::new(),
@@ -128,6 +138,12 @@ impl Verifier {
         self.validated_batches
     }
 
+    /// The sharded commit engine (router, per-shard states and counters).
+    #[must_use]
+    pub fn committer(&self) -> &ShardedCommitter {
+        &self.committer
+    }
+
     /// Number of batches sitting in the pending list `π` (matched or
     /// still collecting votes) ahead of `k_max`.
     #[must_use]
@@ -136,7 +152,10 @@ impl Verifier {
     }
 
     fn validate_reads(&self) -> bool {
-        !matches!(self.conflict_handling, ConflictHandling::NonConflicting)
+        !matches!(
+            self.config.conflict_handling,
+            ConflictHandling::NonConflicting
+        )
     }
 
     fn me(&self) -> ComponentId {
@@ -159,13 +178,13 @@ impl Verifier {
         ) {
             return Vec::new();
         }
-        if self.cert_quorum > 0
+        if self.config.cert_quorum > 0
             && msg
                 .certificate
                 .verify(
                     self.crypto.provider().key_store(),
-                    self.cert_quorum,
-                    self.params.n_r,
+                    self.config.cert_quorum,
+                    self.config.params.n_r,
                 )
                 .is_err()
         {
@@ -178,9 +197,13 @@ impl Verifier {
             self.ignored_verifies += 1;
             return Vec::new();
         }
-        let quorum = self.params.verify_quorum();
-        let abort_timeout = self.abort_timeout;
-        let track_aborts = matches!(self.conflict_handling, ConflictHandling::UnknownRwSets);
+        let quorum = self.config.params.verify_quorum();
+        let spawned_per_batch = self.config.spawned_per_batch;
+        let abort_timeout = self.config.abort_timeout;
+        let track_aborts = matches!(
+            self.config.conflict_handling,
+            ConflictHandling::UnknownRwSets
+        );
         let state = self.pending.entry(msg.seq).or_default();
         if state.matched.is_some() {
             self.ignored_verifies += 1;
@@ -223,6 +246,32 @@ impl Verifier {
                 actions.push(Action::CancelTimer(ProtocolTimer::VerifierAbort(msg.seq)));
             }
             actions.extend(self.advance_kmax());
+        } else if state.verifies.len() >= spawned_per_batch {
+            // Every spawned executor has answered and no digest reached
+            // the f_E + 1 quorum: the batch can never match (executors of
+            // one batch observed interleaved storage states, or byzantine
+            // executors diverged). Abort it deterministically — the
+            // count-triggered form of the Section VI-B divergence rule —
+            // so k_max never blocks behind an unmatchable batch.
+            let best = state
+                .verifies
+                .values()
+                .map(|candidate| {
+                    state
+                        .verifies
+                        .values()
+                        .filter(|v| v.result_digest == candidate.result_digest)
+                        .count()
+                })
+                .max()
+                .unwrap_or(0);
+            if best < quorum {
+                state.abort_tagged = true;
+                if state.timer_started {
+                    actions.push(Action::CancelTimer(ProtocolTimer::VerifierAbort(msg.seq)));
+                }
+                actions.extend(self.advance_kmax());
+            }
         }
         actions
     }
@@ -231,8 +280,7 @@ impl Verifier {
     /// abort-tagged), advancing `k_max` (Figure 3, lines 24–29).
     fn advance_kmax(&mut self) -> Vec<Action> {
         let mut actions = Vec::new();
-        loop {
-            let Some(state) = self.pending.get(&self.kmax) else { break };
+        while let Some(state) = self.pending.get(&self.kmax) {
             if state.matched.is_none() && !state.abort_tagged {
                 break;
             }
@@ -248,15 +296,43 @@ impl Verifier {
         actions
     }
 
-    /// Applies a matched batch: per-transaction concurrency check, storage
-    /// update, client responses, primary notification, ACKs.
+    /// Applies a matched batch: per-transaction concurrency check through
+    /// the shard router, storage update, client responses, primary
+    /// notification, ACKs. The per-shard `ccheck` work is announced first
+    /// (as [`Action::ShardCcheck`]) so CPU-modelling runtimes can charge
+    /// it to the shard stations before the responses leave.
     fn apply_batch(&mut self, seq: SeqNum, matched: &VerifyMessage) -> Vec<Action> {
         let mut actions = Vec::new();
+        // Route every transaction once; the sets drive both the ShardCcheck
+        // accounting and the commit calls below.
+        let routes: Vec<BTreeSet<ShardId>> = matched
+            .results
+            .iter()
+            .map(|result| self.committer.shards_of(&result.rwset))
+            .collect();
+        let mut shard_work: BTreeMap<ShardId, (u32, u32)> = BTreeMap::new();
+        for (result, involved) in matched.results.iter().zip(&routes) {
+            // Cross-shard transactions charge every shard whose execution
+            // lock they hold through validate-and-apply.
+            for shard in involved {
+                let entry = shard_work.entry(*shard).or_insert((0, 0));
+                entry.0 += 1;
+                entry.1 += result.rwset.len() as u32;
+            }
+        }
+        for (shard, (txns, accesses)) in shard_work {
+            actions.push(Action::ShardCcheck {
+                shard,
+                txns,
+                accesses,
+            });
+        }
         let mut committed = 0u32;
         let mut aborted = 0u32;
-        for result in &matched.results {
+        for (result, involved) in matched.results.iter().zip(&routes) {
             let outcome =
-                ConcurrencyChecker::check_and_apply(&self.store, &result.rwset, self.validate_reads());
+                self.committer
+                    .commit_routed(&result.rwset, self.validate_reads(), involved);
             let (msg, txn_outcome) = if outcome.is_applied() {
                 committed += 1;
                 self.committed_txns += 1;
@@ -364,7 +440,7 @@ impl Verifier {
     /// Handles the expiry of the abort-detection timer for `seq`
     /// (Section VI-B, *Verifier Abort Detection*).
     pub fn on_abort_timeout(&mut self, seq: SeqNum) -> Vec<Action> {
-        let blame_threshold = self.params.verify_blame_threshold();
+        let blame_threshold = self.config.params.verify_blame_threshold();
         let Some(state) = self.pending.get_mut(&seq) else {
             return Vec::new(); // already validated
         };
@@ -512,13 +588,32 @@ mod tests {
         }
 
         fn verifier(&self, conflict: ConflictHandling) -> Verifier {
+            self.verifier_sharded(conflict, ShardingConfig::default())
+        }
+
+        fn verifier_sharded(
+            &self,
+            conflict: ConflictHandling,
+            sharding: ShardingConfig,
+        ) -> Verifier {
+            // Primary-only spawning: n_e executors per batch, or 3f_E + 1
+            // when conflicting transactions have unknown rw-sets.
+            let params = FaultParams::for_shim_size(4);
+            let spawned = match conflict {
+                ConflictHandling::UnknownRwSets => params.n_e.max(params.executors_for_conflicts()),
+                _ => params.n_e,
+            };
             Verifier::new(
                 self.provider.handle(ComponentId::Verifier),
                 Arc::clone(&self.store),
-                FaultParams::for_shim_size(4),
-                conflict,
-                SimDuration::from_millis(100),
-                3,
+                VerifierConfig {
+                    params,
+                    conflict_handling: conflict,
+                    abort_timeout: SimDuration::from_millis(100),
+                    cert_quorum: 3,
+                    spawned_per_batch: spawned,
+                    sharding,
+                },
             )
         }
 
@@ -623,7 +718,10 @@ mod tests {
         // Batch 2 matches first but must wait for batch 1.
         let _ = v.on_verify(&fx.verify_msg(1, 2, 1, 7, 1));
         let actions = v.on_verify(&fx.verify_msg(2, 2, 1, 7, 1));
-        assert!(response_kinds(&actions).is_empty(), "batch 2 must wait for batch 1");
+        assert!(
+            response_kinds(&actions).is_empty(),
+            "batch 2 must wait for batch 1"
+        );
         assert_eq!(v.kmax(), SeqNum(1));
         assert_eq!(v.pending_len(), 1);
         // Batch 1 arrives and both validate in order.
@@ -649,7 +747,11 @@ mod tests {
         let _ = v.on_verify(&fx.verify_msg(2, 1, 0, 42, 1));
         let _ = v.on_verify(&fx.verify_msg(3, 1, 0, 42, 1));
         assert!(v.ignored_verifies() >= 3);
-        assert_eq!(v.committed_txns(), 1, "flooding does not double-apply writes");
+        assert_eq!(
+            v.committed_txns(),
+            1,
+            "flooding does not double-apply writes"
+        );
     }
 
     #[test]
@@ -693,14 +795,22 @@ mod tests {
         let fx = Fixture::new();
         let mut v = fx.verifier(ConflictHandling::UnknownRwSets);
         let actions = v.on_verify(&fx.verify_msg(1, 1, 0, 42, 1));
-        assert!(actions
-            .iter()
-            .any(|a| matches!(a, Action::StartTimer { timer: ProtocolTimer::VerifierAbort(_), .. })));
+        assert!(actions.iter().any(|a| matches!(
+            a,
+            Action::StartTimer {
+                timer: ProtocolTimer::VerifierAbort(_),
+                ..
+            }
+        )));
         let mut v2 = fx.verifier(ConflictHandling::NonConflicting);
         let actions = v2.on_verify(&fx.verify_msg(1, 1, 0, 42, 1));
-        assert!(!actions
-            .iter()
-            .any(|a| matches!(a, Action::StartTimer { timer: ProtocolTimer::VerifierAbort(_), .. })));
+        assert!(!actions.iter().any(|a| matches!(
+            a,
+            Action::StartTimer {
+                timer: ProtocolTimer::VerifierAbort(_),
+                ..
+            }
+        )));
     }
 
     #[test]
@@ -711,7 +821,11 @@ mod tests {
         let _ = v.on_verify(&fx.verify_msg(1, 1, 0, 42, 1));
         let actions = v.on_abort_timeout(SeqNum(1));
         assert!(actions.iter().any(|a| a.sends_kind("REPLACE")));
-        assert_eq!(v.aborted_txns(), 0, "blaming the primary does not abort yet");
+        assert_eq!(
+            v.aborted_txns(),
+            0,
+            "blaming the primary does not abort yet"
+        );
     }
 
     #[test]
@@ -725,7 +839,11 @@ mod tests {
         let actions = v.on_abort_timeout(SeqNum(1));
         assert!(actions.iter().any(|a| a.sends_kind("ABORT")));
         assert_eq!(v.aborted_txns(), 1);
-        assert_eq!(v.kmax(), SeqNum(2), "the aborted batch no longer blocks the order");
+        assert_eq!(
+            v.kmax(),
+            SeqNum(2),
+            "the aborted batch no longer blocks the order"
+        );
     }
 
     #[test]
@@ -802,7 +920,11 @@ mod tests {
             .expect("error broadcast");
         match &error.msg {
             ProtocolMessage::Error(e) => {
-                assert_eq!(e.subject, RecoverySubject::Seq(SeqNum(1)), "reports the missing k_max");
+                assert_eq!(
+                    e.subject,
+                    RecoverySubject::Seq(SeqNum(1)),
+                    "reports the missing k_max"
+                );
             }
             _ => unreachable!(),
         }
@@ -833,15 +955,149 @@ mod tests {
     }
 
     #[test]
+    fn fully_divergent_verifies_abort_deterministically() {
+        // All three spawned executors answered with three different
+        // digests: no f_E + 1 quorum is possible, so the batch must abort
+        // immediately instead of blocking k_max forever.
+        let fx = Fixture::new();
+        let mut v = fx.verifier(ConflictHandling::NonConflicting);
+        let _ = v.on_verify(&fx.verify_msg(1, 1, 0, 1, 1));
+        let _ = v.on_verify(&fx.verify_msg(2, 1, 0, 2, 1));
+        let actions = v.on_verify(&fx.verify_msg(3, 1, 0, 3, 1));
+        assert!(actions.iter().any(|a| a.sends_kind("ABORT")));
+        assert_eq!(v.aborted_txns(), 1);
+        assert_eq!(
+            v.kmax(),
+            SeqNum(2),
+            "the unmatchable batch no longer blocks"
+        );
+    }
+
+    #[test]
+    fn divergence_abort_waits_for_every_decentralized_spawn() {
+        // Decentralized spawning over-spawns: 4 nodes × 1 executor = 4
+        // per batch. Three divergent VERIFYs must NOT abort the batch,
+        // because the fourth may still complete an f_E + 1 quorum.
+        let fx = Fixture::new();
+        let mut v = Verifier::new(
+            fx.provider.handle(ComponentId::Verifier),
+            Arc::clone(&fx.store),
+            VerifierConfig {
+                params: FaultParams::for_shim_size(4),
+                conflict_handling: ConflictHandling::NonConflicting,
+                abort_timeout: SimDuration::from_millis(100),
+                cert_quorum: 3,
+                // decentralized: n_r × decentralized_spawn_count()
+                spawned_per_batch: 4,
+                sharding: ShardingConfig::default(),
+            },
+        );
+        let _ = v.on_verify(&fx.verify_msg(1, 1, 0, 1, 1));
+        let _ = v.on_verify(&fx.verify_msg(2, 1, 0, 2, 1));
+        let actions = v.on_verify(&fx.verify_msg(3, 1, 0, 3, 1));
+        assert!(
+            !actions.iter().any(|a| a.sends_kind("ABORT")),
+            "three of four verifies must not trigger the divergence abort"
+        );
+        assert_eq!(v.aborted_txns(), 0);
+        // The fourth executor agrees with one of them: quorum, commit.
+        let actions = v.on_verify(&fx.verify_msg(4, 1, 0, 2, 1));
+        assert!(actions.iter().any(|a| a.sends_kind("RESPONSE")));
+        assert_eq!(v.committed_txns(), 1);
+    }
+
+    #[test]
+    fn sharded_verifier_announces_ccheck_work_before_responses() {
+        let fx = Fixture::new();
+        let mut v = fx.verifier_sharded(
+            ConflictHandling::NonConflicting,
+            sbft_types::ShardingConfig::with_shards(8),
+        );
+        let _ = v.on_verify(&fx.verify_msg(1, 1, 0, 42, 1));
+        let actions = v.on_verify(&fx.verify_msg(2, 1, 0, 42, 1));
+        let ccheck_positions: Vec<usize> = actions
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| matches!(a, Action::ShardCcheck { .. }))
+            .map(|(i, _)| i)
+            .collect();
+        assert!(!ccheck_positions.is_empty(), "shard work must be announced");
+        let first_send = actions
+            .iter()
+            .position(|a| a.as_send().is_some())
+            .expect("responses follow");
+        assert!(
+            ccheck_positions.iter().all(|p| *p < first_send),
+            "shard work precedes the responses it gates"
+        );
+        // Every transaction of the batch is accounted to some shard.
+        let total_txns: u32 = actions
+            .iter()
+            .filter_map(|a| match a {
+                Action::ShardCcheck { txns, .. } => Some(*txns),
+                _ => None,
+            })
+            .sum();
+        assert!(total_txns >= 1);
+        assert_eq!(v.committed_txns(), 1);
+        assert_eq!(fx.store.get(Key(2)).unwrap().value, Value::new(42));
+    }
+
+    #[test]
+    fn verifier_commits_identically_across_shard_counts() {
+        for shards in [1usize, 4, 16] {
+            let fx = Fixture::new();
+            let mut v = fx.verifier_sharded(
+                ConflictHandling::NonConflicting,
+                sbft_types::ShardingConfig::with_shards(shards),
+            );
+            for seq in 1..=5u64 {
+                let _ = v.on_verify(&fx.verify_msg(1, seq, 0, seq, 1));
+                let _ = v.on_verify(&fx.verify_msg(2, seq, 0, seq, 1));
+            }
+            assert_eq!(v.committed_txns(), 5, "{shards} shards");
+            assert_eq!(v.kmax(), SeqNum(6));
+            assert_eq!(fx.store.get(Key(2)).unwrap().value, Value::new(5));
+        }
+    }
+
+    #[test]
+    fn cross_shard_abort_policy_rejects_spanning_transactions() {
+        let fx = Fixture::new();
+        let sharding = sbft_types::ShardingConfig {
+            num_shards: 1024,
+            workers: 1,
+            cross_shard_policy: sbft_types::CrossShardPolicy::Abort,
+        };
+        let mut v = fx.verifier_sharded(ConflictHandling::NonConflicting, sharding);
+        // The fixture transaction reads key 1 and writes key 2; with 1024
+        // shards those keys land on different shards.
+        assert_ne!(
+            v.committer().router().shard_of(Key(1)),
+            v.committer().router().shard_of(Key(2)),
+        );
+        let _ = v.on_verify(&fx.verify_msg(1, 1, 0, 42, 1));
+        let actions = v.on_verify(&fx.verify_msg(2, 1, 0, 42, 1));
+        assert!(response_kinds(&actions).contains(&"ABORT"));
+        assert_eq!(v.aborted_txns(), 1);
+        assert_eq!(v.committer().cross_shard_rejections(), 1);
+        assert_ne!(fx.store.get(Key(2)).unwrap().value, Value::new(42));
+    }
+
+    #[test]
     fn cert_quorum_zero_accepts_baseline_verifies() {
         let fx = Fixture::new();
         let mut v = Verifier::new(
             fx.provider.handle(ComponentId::Verifier),
             Arc::clone(&fx.store),
-            FaultParams::for_shim_size(4),
-            ConflictHandling::NonConflicting,
-            SimDuration::from_millis(100),
-            0,
+            VerifierConfig {
+                params: FaultParams::for_shim_size(4),
+                conflict_handling: ConflictHandling::NonConflicting,
+                abort_timeout: SimDuration::from_millis(100),
+                cert_quorum: 0,
+                spawned_per_batch: 3,
+                sharding: ShardingConfig::default(),
+            },
         );
         let mut m = fx.verify_msg(1, 1, 0, 42, 1);
         m.certificate.entries.clear();

@@ -152,7 +152,7 @@ mod tests {
     fn duplicate_signers_count_once() {
         let store = KeyStore::new(1);
         let mut cert = make_cert(&store, &[0, 1], 0, 5);
-        let dup = cert.entries[0].clone();
+        let dup = cert.entries[0];
         cert.entries.push(dup);
         assert_eq!(cert.distinct_signers(), 2);
         assert!(cert.verify(&store, 3, 4).is_err());

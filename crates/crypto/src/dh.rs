@@ -72,7 +72,11 @@ impl DhKeyExchange {
     #[must_use]
     pub fn derive_mac_key(&self, peer_public: u64, id_a: u64, id_b: u64) -> [u8; 32] {
         let secret = self.shared_secret(peer_public);
-        let (lo, hi) = if id_a <= id_b { (id_a, id_b) } else { (id_b, id_a) };
+        let (lo, hi) = if id_a <= id_b {
+            (id_a, id_b)
+        } else {
+            (id_b, id_a)
+        };
         *digest_u64s("dh-mac-key", &[secret, lo, hi]).as_bytes()
     }
 }

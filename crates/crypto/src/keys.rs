@@ -147,7 +147,10 @@ mod tests {
         ];
         let mut seen = std::collections::HashSet::new();
         for id in ids {
-            assert!(seen.insert(store.public_key_of(id).0), "duplicate key for {id}");
+            assert!(
+                seen.insert(store.public_key_of(id).0),
+                "duplicate key for {id}"
+            );
         }
     }
 

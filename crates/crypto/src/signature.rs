@@ -26,7 +26,10 @@ impl SimSigner {
     #[must_use]
     pub fn sign(keypair: &KeyPair, digest: &Digest) -> Signature {
         let first = hmac_sha256(&keypair.secret.0, digest.as_bytes());
-        let second = hmac_sha256(&keypair.secret.0, &[digest.as_bytes().as_slice(), &[0x01]].concat());
+        let second = hmac_sha256(
+            &keypair.secret.0,
+            &[digest.as_bytes().as_slice(), &[0x01]].concat(),
+        );
         let mut out = [0u8; 64];
         out[..32].copy_from_slice(&first.0);
         out[32..].copy_from_slice(&second.0);
@@ -36,7 +39,12 @@ impl SimSigner {
     /// Verifies that `signature` is `signer`'s signature over `digest`,
     /// using the trusted key registry.
     #[must_use]
-    pub fn verify(store: &KeyStore, signer: ComponentId, digest: &Digest, signature: &Signature) -> bool {
+    pub fn verify(
+        store: &KeyStore,
+        signer: ComponentId,
+        digest: &Digest,
+        signature: &Signature,
+    ) -> bool {
         let expected = Self::sign(&store.keypair_for(signer), digest);
         // Constant-time-ish comparison.
         let mut diff = 0u8;
@@ -81,7 +89,12 @@ mod tests {
     fn verification_rejects_wrong_signer() {
         let s = store();
         let sig = SimSigner::sign(&s.keypair_for(ComponentId::Node(NodeId(0))), &digest(1));
-        assert!(!SimSigner::verify(&s, ComponentId::Node(NodeId(1)), &digest(1), &sig));
+        assert!(!SimSigner::verify(
+            &s,
+            ComponentId::Node(NodeId(1)),
+            &digest(1),
+            &sig
+        ));
     }
 
     #[test]
@@ -98,7 +111,10 @@ mod tests {
         let s = store();
         let node = ComponentId::Node(NodeId(3));
         let kp = s.keypair_for(node);
-        assert_eq!(SimSigner::sign(&kp, &digest(5)), SimSigner::sign(&kp, &digest(5)));
+        assert_eq!(
+            SimSigner::sign(&kp, &digest(5)),
+            SimSigner::sign(&kp, &digest(5))
+        );
     }
 
     #[test]

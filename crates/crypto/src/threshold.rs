@@ -19,7 +19,9 @@
 use crate::certificate::{commit_digest, CommitCertificate};
 use crate::keys::KeyStore;
 use crate::signature::SimSigner;
-use sbft_types::{ComponentId, Digest, NodeId, SbftError, SbftResult, SeqNum, Signature, ViewNumber};
+use sbft_types::{
+    ComponentId, Digest, NodeId, SbftError, SbftResult, SeqNum, Signature, ViewNumber,
+};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
 
@@ -167,7 +169,7 @@ mod tests {
         let mut c = cert(&store, &[0, 1, 2]);
         // Duplicate node 2's entry; XORing it twice would cancel it if the
         // aggregator did not deduplicate.
-        let dup = c.entries[2].clone();
+        let dup = c.entries[2];
         c.entries.push(dup);
         let ts = ThresholdAggregator::aggregate(&c);
         assert_eq!(ts.signers.len(), 3);

@@ -21,13 +21,28 @@ struct Delivery {
     msg: ProtocolMessage,
 }
 
+/// A unit of work handed to a role thread, or the shutdown marker.
+///
+/// Every thread holds a clone of the [`Router`] — and therefore a sender
+/// to every other thread — so channels never disconnect on their own; the
+/// explicit `Stop` marker is what ends the worker loops at shutdown.
+enum Work<T> {
+    Item(T),
+    Stop,
+}
+
 /// Routing table: senders for every component plus the executor pool.
 #[derive(Clone)]
 struct Router {
-    nodes: Vec<Sender<Delivery>>,
-    verifier: Sender<Delivery>,
+    nodes: Vec<Sender<Work<Delivery>>>,
+    verifier: Sender<Work<Delivery>>,
     clients: Sender<Delivery>,
-    executor_pool: Sender<(sbft_serverless::SpawnRequest, sbft_serverless::ExecuteRequest)>,
+    executor_pool: Sender<
+        Work<(
+            sbft_serverless::SpawnRequest,
+            sbft_serverless::ExecuteRequest,
+        )>,
+    >,
 }
 
 impl Router {
@@ -37,21 +52,21 @@ impl Router {
                 Action::Send(Envelope { from, to, msg }) => match to {
                     Destination::Node(n) => {
                         if let Some(tx) = self.nodes.get(n.0 as usize) {
-                            let _ = tx.send(Delivery { from, msg });
+                            let _ = tx.send(Work::Item(Delivery { from, msg }));
                         }
                     }
                     Destination::AllNodes => {
                         for (i, tx) in self.nodes.iter().enumerate() {
                             if ComponentId::Node(NodeId(i as u32)) != origin {
-                                let _ = tx.send(Delivery {
+                                let _ = tx.send(Work::Item(Delivery {
                                     from,
                                     msg: msg.clone(),
-                                });
+                                }));
                             }
                         }
                     }
                     Destination::Verifier => {
-                        let _ = self.verifier.send(Delivery { from, msg });
+                        let _ = self.verifier.send(Work::Item(Delivery { from, msg }));
                     }
                     Destination::Client(_) => {
                         let _ = self.clients.send(Delivery { from, msg });
@@ -59,13 +74,22 @@ impl Router {
                     Destination::Executor(_) => {}
                 },
                 Action::SpawnExecutor { request, execute } => {
-                    let _ = self.executor_pool.send((request, execute));
+                    let _ = self.executor_pool.send(Work::Item((request, execute)));
                 }
                 // Timers and metric hooks are not used on the happy path the
                 // thread runtime covers.
                 _ => {}
             }
         }
+    }
+
+    /// Tells every worker thread to exit its loop.
+    fn stop_all(&self) {
+        for tx in &self.nodes {
+            let _ = tx.send(Work::Stop);
+        }
+        let _ = self.verifier.send(Work::Stop);
+        let _ = self.executor_pool.send(Work::Stop);
     }
 }
 
@@ -151,8 +175,8 @@ impl LocalCluster {
         let num_clients = num_clients.min(system.clients.len()).max(1);
 
         // Channels.
-        let mut node_rx: Vec<Receiver<Delivery>> = Vec::new();
-        let mut node_tx: Vec<Sender<Delivery>> = Vec::new();
+        let mut node_rx: Vec<Receiver<Work<Delivery>>> = Vec::new();
+        let mut node_tx: Vec<Sender<Work<Delivery>>> = Vec::new();
         for _ in 0..system.nodes.len() {
             let (tx, rx) = unbounded();
             node_tx.push(tx);
@@ -160,8 +184,12 @@ impl LocalCluster {
         }
         let (verifier_tx, verifier_rx) = unbounded();
         let (client_tx, client_rx) = unbounded::<Delivery>();
-        let (pool_tx, pool_rx) =
-            unbounded::<(sbft_serverless::SpawnRequest, sbft_serverless::ExecuteRequest)>();
+        let (pool_tx, pool_rx) = unbounded::<
+            Work<(
+                sbft_serverless::SpawnRequest,
+                sbft_serverless::ExecuteRequest,
+            )>,
+        >();
         let router = Router {
             nodes: node_tx,
             verifier: verifier_tx,
@@ -179,7 +207,7 @@ impl LocalCluster {
             let router = router.clone();
             handles.push(thread::spawn(move || {
                 let origin = ComponentId::Node(NodeId(i as u32));
-                while let Ok(delivery) = rx.recv() {
+                while let Ok(Work::Item(delivery)) = rx.recv() {
                     let now = SimTime::from_micros(0);
                     let actions = match &delivery.msg {
                         ProtocolMessage::ClientRequest(req) => node.on_client_request(req, now),
@@ -209,7 +237,7 @@ impl LocalCluster {
             let invocations = std::sync::Arc::new(std::sync::atomic::AtomicU64::new(0));
             let invocations_pool = std::sync::Arc::clone(&invocations);
             handles.push(thread::spawn(move || {
-                while let Ok((request, execute)) = pool_rx.recv() {
+                while let Ok(Work::Item((request, execute))) = pool_rx.recv() {
                     let id = sbft_types::ExecutorId(next_executor);
                     next_executor += 1;
                     invocations_pool.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
@@ -243,7 +271,7 @@ impl LocalCluster {
             let router = router.clone();
             let mut verifier = system.verifier;
             handles.push(thread::spawn(move || {
-                while let Ok(delivery) = verifier_rx.recv() {
+                while let Ok(Work::Item(delivery)) = verifier_rx.recv() {
                     let actions = verifier.on_message(&delivery.msg);
                     router.route(ComponentId::Verifier, actions);
                 }
@@ -276,7 +304,9 @@ impl LocalCluster {
                         ProtocolMessage::Abort(a) => a.txn.client,
                         _ => continue,
                     };
-                    let Some(client) = clients.get_mut(&client_id) else { continue };
+                    let Some(client) = clients.get_mut(&client_id) else {
+                        continue;
+                    };
                     let actions = client.on_message(&delivery.msg);
                     let mut completed = None;
                     for action in &actions {
@@ -303,7 +333,10 @@ impl LocalCluster {
         }
         report.elapsed = start.elapsed();
 
-        // Dropping the router's senders (and system) ends the worker loops.
+        // Every worker holds a Router clone (senders to every peer), so
+        // channels never disconnect on their own: stop the loops
+        // explicitly, then join.
+        router.stop_all();
         drop(router);
         drop(clients);
         for handle in handles {

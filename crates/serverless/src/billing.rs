@@ -62,7 +62,8 @@ impl CostModel {
     pub fn lambda_cost(&self, invocations: u64, duration: SimDuration) -> f64 {
         let seconds = duration.as_secs_f64();
         invocations as f64
-            * (self.lambda_request_cost + self.lambda_gib_second_cost * self.lambda_memory_gib * seconds)
+            * (self.lambda_request_cost
+                + self.lambda_gib_second_cost * self.lambda_memory_gib * seconds)
     }
 
     /// Cost of running `machines` machines with `cores` cores and

@@ -79,7 +79,10 @@ impl ServerlessCloud {
     /// Creates a cloud with an explicit concurrency limit and cold start.
     #[must_use]
     pub fn with_limits(concurrency_limit: usize, cold_start: SimDuration) -> Self {
-        assert!(concurrency_limit > 0, "the cloud must allow at least one executor");
+        assert!(
+            concurrency_limit > 0,
+            "the cloud must allow at least one executor"
+        );
         ServerlessCloud {
             next_id: 0,
             concurrency_limit,

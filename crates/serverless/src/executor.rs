@@ -163,7 +163,8 @@ impl Executor {
         }
 
         // (ii)+(iii) execute, fetching read-write sets from storage.
-        let mut results: Vec<TxnResult> = req.batch.txns.iter().map(|t| self.execute_txn(t)).collect();
+        let mut results: Vec<TxnResult> =
+            req.batch.txns.iter().map(|t| self.execute_txn(t)).collect();
         let compute = req.batch.total_execution_cost();
 
         if !self.behavior.result_is_correct() {
@@ -247,7 +248,8 @@ mod tests {
                 })
                 .collect();
             let certificate = CommitCertificate::new(ViewNumber(0), SeqNum(1), digest, entries);
-            let signing = ExecuteRequest::signing_digest(ViewNumber(0), SeqNum(1), &digest, spawner);
+            let signing =
+                ExecuteRequest::signing_digest(ViewNumber(0), SeqNum(1), &digest, spawner);
             let signature = self
                 .provider
                 .handle(ComponentId::Node(spawner))
@@ -280,7 +282,10 @@ mod tests {
         Batch::new(vec![
             Transaction::new(
                 TxnId::new(ClientId(0), 0),
-                vec![Operation::Read(Key(1)), Operation::ReadModifyWrite(Key(2), 42)],
+                vec![
+                    Operation::Read(Key(1)),
+                    Operation::ReadModifyWrite(Key(2), 42),
+                ],
             ),
             Transaction::new(
                 TxnId::new(ClientId(1), 0),
@@ -300,7 +305,10 @@ mod tests {
         assert_eq!(out1.verify_messages.len(), 1);
         let v1 = &out1.verify_messages[0];
         let v2 = &out2.verify_messages[0];
-        assert!(v1.matches(v2), "honest executors must produce matching results");
+        assert!(
+            v1.matches(v2),
+            "honest executors must produce matching results"
+        );
         assert_ne!(v1.executor, v2.executor);
         assert_eq!(v1.results.len(), 2);
     }
@@ -324,7 +332,10 @@ mod tests {
     fn byzantine_result_does_not_match_honest() {
         let fx = Fixture::new();
         let req = fx.execute_request(batch(), NodeId(0));
-        let honest = fx.executor(1, ExecutorBehavior::Honest).handle_execute(&req).unwrap();
+        let honest = fx
+            .executor(1, ExecutorBehavior::Honest)
+            .handle_execute(&req)
+            .unwrap();
         let lying = fx
             .executor(2, ExecutorBehavior::WrongResult)
             .handle_execute(&req)
@@ -336,7 +347,10 @@ mod tests {
     fn crashed_executor_sends_nothing() {
         let fx = Fixture::new();
         let req = fx.execute_request(batch(), NodeId(0));
-        let out = fx.executor(1, ExecutorBehavior::Crash).handle_execute(&req).unwrap();
+        let out = fx
+            .executor(1, ExecutorBehavior::Crash)
+            .handle_execute(&req)
+            .unwrap();
         assert!(out.verify_messages.is_empty());
     }
 
@@ -371,7 +385,10 @@ mod tests {
         // Claim node 1 spawned it while keeping node 0's signature.
         req.spawner = NodeId(1);
         let e = fx.executor(1, ExecutorBehavior::Honest);
-        assert!(matches!(e.handle_execute(&req), Err(SbftError::BadSignature(_))));
+        assert!(matches!(
+            e.handle_execute(&req),
+            Err(SbftError::BadSignature(_))
+        ));
     }
 
     #[test]
@@ -401,7 +418,10 @@ mod tests {
             t.execution_cost = SimDuration::from_millis(10);
         }
         let req = fx.execute_request(b, NodeId(0));
-        let out = fx.executor(1, ExecutorBehavior::Honest).handle_execute(&req).unwrap();
+        let out = fx
+            .executor(1, ExecutorBehavior::Honest)
+            .handle_execute(&req)
+            .unwrap();
         assert_eq!(out.compute, SimDuration::from_millis(20));
     }
 
@@ -409,7 +429,10 @@ mod tests {
     fn verify_signature_is_checkable_by_the_verifier() {
         let fx = Fixture::new();
         let req = fx.execute_request(batch(), NodeId(0));
-        let out = fx.executor(1, ExecutorBehavior::Honest).handle_execute(&req).unwrap();
+        let out = fx
+            .executor(1, ExecutorBehavior::Honest)
+            .handle_execute(&req)
+            .unwrap();
         let v = &out.verify_messages[0];
         assert!(fx.provider.verify(
             ComponentId::Executor(ExecutorId(1)),

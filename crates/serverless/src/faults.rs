@@ -92,13 +92,22 @@ mod tests {
 
     #[test]
     fn duplicate_verify_sends_at_least_one_copy() {
-        assert_eq!(ExecutorBehavior::DuplicateVerify { copies: 5 }.verify_copies(), 5);
-        assert_eq!(ExecutorBehavior::DuplicateVerify { copies: 0 }.verify_copies(), 1);
+        assert_eq!(
+            ExecutorBehavior::DuplicateVerify { copies: 5 }.verify_copies(),
+            5
+        );
+        assert_eq!(
+            ExecutorBehavior::DuplicateVerify { copies: 0 }.verify_copies(),
+            1
+        );
     }
 
     #[test]
     fn delay_reported_only_for_delayed() {
-        assert_eq!(ExecutorBehavior::Delayed { delay_ms: 30 }.extra_delay_ms(), 30);
+        assert_eq!(
+            ExecutorBehavior::Delayed { delay_ms: 30 }.extra_delay_ms(),
+            30
+        );
         assert_eq!(ExecutorBehavior::Honest.extra_delay_ms(), 0);
     }
 }

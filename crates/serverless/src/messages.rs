@@ -7,7 +7,9 @@
 //! computed results and the read-write sets it observed (line 20).
 
 use sbft_crypto::CommitCertificate;
-use sbft_types::{Batch, BatchId, Digest, ExecutorId, NodeId, SeqNum, Signature, TxnResult, ViewNumber};
+use sbft_types::{
+    Batch, BatchId, Digest, ExecutorId, NodeId, SeqNum, Signature, TxnResult, ViewNumber,
+};
 use serde::{Deserialize, Serialize};
 
 /// The `EXECUTE` message handed to a spawned executor.
@@ -57,7 +59,12 @@ pub struct VerifyMessage {
 impl ExecuteRequest {
     /// The digest the spawner signs for this request.
     #[must_use]
-    pub fn signing_digest(view: ViewNumber, seq: SeqNum, digest: &Digest, spawner: NodeId) -> Digest {
+    pub fn signing_digest(
+        view: ViewNumber,
+        seq: SeqNum,
+        digest: &Digest,
+        spawner: NodeId,
+    ) -> Digest {
         let mut values = vec![view.0, seq.0, u64::from(spawner.0)];
         values.extend(
             digest
@@ -79,7 +86,12 @@ impl ExecuteRequest {
             + 32
             + 64
             + self.certificate.wire_size()
-            + self.batch.txns.iter().map(|t| 16 + t.ops.len() * 12).sum::<usize>()
+            + self
+                .batch
+                .txns
+                .iter()
+                .map(|t| 16 + t.ops.len() * 12)
+                .sum::<usize>()
     }
 }
 

@@ -1,0 +1,149 @@
+//! Deterministic partitioning of the key space into shards.
+//!
+//! The router is a pure function of `(key, num_shards)`: it uses the same
+//! Fibonacci multiplicative hash as the store's internal lock striping, so
+//! dense YCSB keys spread evenly, and the mapping is identical across
+//! runs, threads and processes — a requirement for the verifier, the
+//! simulator and the thread runtime to agree on where a transaction
+//! executes.
+
+use sbft_types::{Key, ReadWriteSet};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Identifier of one execution shard.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct ShardId(pub u32);
+
+impl fmt::Debug for ShardId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+impl fmt::Display for ShardId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+/// Deterministically maps keys to shards.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct ShardRouter {
+    num_shards: u32,
+}
+
+impl ShardRouter {
+    /// Creates a router over `num_shards` shards (clamped to at least 1).
+    #[must_use]
+    pub fn new(num_shards: usize) -> Self {
+        ShardRouter {
+            num_shards: num_shards.max(1) as u32,
+        }
+    }
+
+    /// Number of shards this router partitions into.
+    #[must_use]
+    pub fn num_shards(&self) -> usize {
+        self.num_shards as usize
+    }
+
+    /// The shard owning `key`. Pure and stable: the same key always maps
+    /// to the same shard for a given shard count.
+    #[must_use]
+    pub fn shard_of(&self, key: Key) -> ShardId {
+        // Fibonacci hashing: multiply by 2^64/φ and take the top bits,
+        // scaled into [0, num_shards) without modulo bias.
+        let h = key.0.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        ShardId(((u128::from(h) * u128::from(self.num_shards)) >> 64) as u32)
+    }
+
+    /// The set of shards a transaction's observed read-write set touches.
+    #[must_use]
+    pub fn shards_of(&self, rwset: &ReadWriteSet) -> BTreeSet<ShardId> {
+        self.shards_of_keys(
+            rwset
+                .reads
+                .iter()
+                .map(|(k, _)| *k)
+                .chain(rwset.writes.iter().map(|(k, _)| *k)),
+        )
+    }
+
+    /// The set of shards touched by an arbitrary key collection.
+    #[must_use]
+    pub fn shards_of_keys<I: IntoIterator<Item = Key>>(&self, keys: I) -> BTreeSet<ShardId> {
+        keys.into_iter().map(|k| self.shard_of(k)).collect()
+    }
+
+    /// Whether a read-write set stays within a single shard.
+    #[must_use]
+    pub fn is_single_shard(&self, rwset: &ReadWriteSet) -> bool {
+        self.shards_of(rwset).len() <= 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sbft_types::{Value, Version};
+
+    #[test]
+    fn same_key_same_shard_across_router_instances() {
+        let a = ShardRouter::new(8);
+        let b = ShardRouter::new(8);
+        for k in 0..10_000u64 {
+            assert_eq!(a.shard_of(Key(k)), b.shard_of(Key(k)));
+        }
+    }
+
+    #[test]
+    fn shards_are_in_range_and_all_used() {
+        let router = ShardRouter::new(8);
+        let mut seen = BTreeSet::new();
+        for k in 0..10_000u64 {
+            let s = router.shard_of(Key(k));
+            assert!(s.0 < 8);
+            seen.insert(s);
+        }
+        assert_eq!(seen.len(), 8, "dense keys must spread over every shard");
+    }
+
+    #[test]
+    fn single_shard_router_maps_everything_to_shard_zero() {
+        let router = ShardRouter::new(1);
+        for k in [0u64, 1, 42, u64::MAX] {
+            assert_eq!(router.shard_of(Key(k)), ShardId(0));
+        }
+        assert_eq!(ShardRouter::new(0).num_shards(), 1);
+    }
+
+    #[test]
+    fn spread_is_roughly_uniform() {
+        let router = ShardRouter::new(4);
+        let mut counts = [0usize; 4];
+        for k in 0..100_000u64 {
+            counts[router.shard_of(Key(k)).0 as usize] += 1;
+        }
+        for c in counts {
+            assert!((20_000..30_000).contains(&c), "imbalanced: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn rwset_shard_set_unions_reads_and_writes() {
+        let router = ShardRouter::new(1024);
+        let mut rw = ReadWriteSet::new();
+        rw.record_read(Key(1), Version(1));
+        rw.record_write(Key(2), Value::new(9));
+        let shards = router.shards_of(&rw);
+        assert!(shards.contains(&router.shard_of(Key(1))));
+        assert!(shards.contains(&router.shard_of(Key(2))));
+        // With 1024 shards two random small keys land apart.
+        assert!(!router.is_single_shard(&rw));
+        let mut single = ReadWriteSet::new();
+        single.record_write(Key(7), Value::new(1));
+        assert!(router.is_single_shard(&single));
+    }
+}

@@ -1,0 +1,295 @@
+//! The shard worker pool.
+//!
+//! [`ShardScheduler`] drives a [`ShardedCommitter`] with a pool of OS
+//! threads sized to the configured cores. Work arrives as batches of
+//! read-write sets ([`ShardTask`]s): each transaction is queued on its
+//! *home* shard (the lowest-numbered shard it touches) and the shard is
+//! handed to the pool through the atomic `Idle → Pending` transition, so
+//! a shard is in the work queue at most once and is drained by at most
+//! one worker at a time. Cross-shard transactions are executed by their
+//! home shard's worker through the committer's lock-ordered path.
+//!
+//! The scheduler is the real-parallelism counterpart of the simulator's
+//! per-shard service stations: the `fig6_shards` benchmark uses it to
+//! show raw thread scaling, and the thread runtime can drive it as the
+//! verifier's apply stage.
+
+use crate::committer::ShardedCommitter;
+use crate::router::ShardId;
+use crate::state::ShardTask;
+use sbft_types::ReadWriteSet;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+struct SchedulerInner {
+    committer: Arc<ShardedCommitter>,
+    validate_reads: bool,
+    work: Mutex<VecDeque<ShardId>>,
+    work_available: Condvar,
+    in_flight: Mutex<u64>,
+    drained: Condvar,
+    shutdown: AtomicBool,
+}
+
+impl SchedulerInner {
+    fn push_work(&self, shard: ShardId) {
+        self.work.lock().expect("work queue").push_back(shard);
+        self.work_available.notify_one();
+    }
+
+    fn take_work(&self) -> Option<ShardId> {
+        let mut queue = self.work.lock().expect("work queue");
+        loop {
+            if let Some(shard) = queue.pop_front() {
+                return Some(shard);
+            }
+            if self.shutdown.load(Ordering::Acquire) {
+                return None;
+            }
+            queue = self.work_available.wait(queue).expect("work queue");
+        }
+    }
+
+    fn add_in_flight(&self, n: u64) {
+        *self.in_flight.lock().expect("in-flight") += n;
+    }
+
+    fn complete(&self, n: u64) {
+        let mut in_flight = self.in_flight.lock().expect("in-flight");
+        *in_flight -= n;
+        if *in_flight == 0 {
+            self.drained.notify_all();
+        }
+    }
+
+    fn worker_loop(&self) {
+        while let Some(shard_id) = self.take_work() {
+            let shard = &self.committer.shards()[shard_id.0 as usize];
+            shard.begin_run();
+            while let Some(task) = shard.pop_task() {
+                let n = task.txns.len() as u64;
+                for rwset in &task.txns {
+                    let _ = self.committer.commit(rwset, self.validate_reads);
+                }
+                self.complete(n);
+            }
+            if shard.finish_run() {
+                // Work raced in behind the drain: back into the queue.
+                self.push_work(shard_id);
+            }
+        }
+    }
+}
+
+/// A worker pool draining shard queues in parallel.
+pub struct ShardScheduler {
+    inner: Arc<SchedulerInner>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ShardScheduler {
+    /// Spawns `workers` threads (clamped to at least 1) over the given
+    /// committer. `validate_reads` selects the OCC mode, exactly as in
+    /// the unsharded verifier path.
+    #[must_use]
+    pub fn new(committer: Arc<ShardedCommitter>, workers: usize, validate_reads: bool) -> Self {
+        let inner = Arc::new(SchedulerInner {
+            committer,
+            validate_reads,
+            work: Mutex::new(VecDeque::new()),
+            work_available: Condvar::new(),
+            in_flight: Mutex::new(0),
+            drained: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+        });
+        let workers = (0..workers.max(1))
+            .map(|_| {
+                let inner = Arc::clone(&inner);
+                std::thread::spawn(move || inner.worker_loop())
+            })
+            .collect();
+        ShardScheduler { inner, workers }
+    }
+
+    /// The committer this pool drives.
+    #[must_use]
+    pub fn committer(&self) -> &Arc<ShardedCommitter> {
+        &self.inner.committer
+    }
+
+    /// Submits one committed batch: every transaction is queued on its
+    /// home shard and the touched shards are scheduled.
+    pub fn submit(&self, seq: u64, txns: Vec<ReadWriteSet>) {
+        let router = *self.inner.committer.router();
+        let mut per_shard: Vec<Vec<ReadWriteSet>> = vec![Vec::new(); router.num_shards()];
+        let mut submitted = 0u64;
+        for rwset in txns {
+            let Some(home) = router.shards_of(&rwset).into_iter().next() else {
+                continue; // touches no data
+            };
+            per_shard[home.0 as usize].push(rwset);
+            submitted += 1;
+        }
+        if submitted == 0 {
+            return;
+        }
+        self.inner.add_in_flight(submitted);
+        for (idx, batch) in per_shard.into_iter().enumerate() {
+            if batch.is_empty() {
+                continue;
+            }
+            let shard = &self.inner.committer.shards()[idx];
+            if shard.enqueue(ShardTask { seq, txns: batch }) {
+                self.inner.push_work(ShardId(idx as u32));
+            }
+        }
+    }
+
+    /// Blocks until every submitted transaction has been executed.
+    pub fn drain(&self) {
+        let mut in_flight = self.inner.in_flight.lock().expect("in-flight");
+        while *in_flight > 0 {
+            in_flight = self.inner.drained.wait(in_flight).expect("in-flight");
+        }
+    }
+
+    /// Drains outstanding work, stops the workers and joins them.
+    pub fn shutdown(mut self) {
+        self.drain();
+        self.inner.shutdown.store(true, Ordering::Release);
+        self.inner.work_available.notify_all();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for ShardScheduler {
+    fn drop(&mut self) {
+        self.inner.shutdown.store(true, Ordering::Release);
+        self.inner.work_available.notify_all();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sbft_storage::VersionedStore;
+    use sbft_types::{CrossShardPolicy, Key, ShardingConfig, Value, Version};
+
+    fn pool(
+        num_shards: usize,
+        workers: usize,
+        records: u64,
+    ) -> (Arc<VersionedStore>, ShardScheduler) {
+        let store = Arc::new(VersionedStore::new());
+        store.load((0..records).map(|i| (Key(i), Value::new(0))));
+        let committer = Arc::new(ShardedCommitter::new(
+            Arc::clone(&store),
+            &ShardingConfig {
+                num_shards,
+                workers,
+                cross_shard_policy: CrossShardPolicy::LockOrdered,
+            },
+        ));
+        (store, ShardScheduler::new(committer, workers, true))
+    }
+
+    fn write_txn(key: u64, value: u64) -> ReadWriteSet {
+        let mut rw = ReadWriteSet::new();
+        rw.record_write(Key(key), Value::new(value));
+        rw
+    }
+
+    #[test]
+    fn pool_executes_every_submitted_transaction() {
+        let (store, pool) = pool(8, 4, 1_000);
+        for seq in 0..10u64 {
+            pool.submit(seq, (0..100).map(|i| write_txn(seq * 100 + i, 7)).collect());
+        }
+        pool.drain();
+        assert_eq!(pool.committer().committed(), 1_000);
+        for k in 0..1_000 {
+            assert_eq!(store.get(Key(k)).unwrap().value, Value::new(7));
+        }
+        pool.shutdown();
+    }
+
+    #[test]
+    fn sharded_pool_matches_sequential_execution_on_conflict_free_batches() {
+        // Disjoint key ranges per transaction → order cannot matter, so
+        // the parallel pool must land on the same final store state as a
+        // sequential single-shard run.
+        let txns: Vec<ReadWriteSet> = (0..500)
+            .map(|i| {
+                let mut rw = ReadWriteSet::new();
+                rw.record_read(Key(i), Version(1));
+                rw.record_write(Key(i), Value::new(i * 3));
+                rw
+            })
+            .collect();
+        let run = |num_shards: usize, workers: usize| {
+            let (store, pool) = pool(num_shards, workers, 500);
+            pool.submit(1, txns.clone());
+            pool.drain();
+            let committed = pool.committer().committed();
+            pool.shutdown();
+            let state: Vec<u64> = (0..500)
+                .map(|k| store.get(Key(k)).unwrap().value.data)
+                .collect();
+            (committed, state)
+        };
+        assert_eq!(run(1, 1), run(8, 4));
+    }
+
+    #[test]
+    fn cross_shard_transactions_survive_the_pool() {
+        let (store, pool) = pool(8, 4, 100);
+        let router = *pool.committer().router();
+        let far = (1..)
+            .find(|k| router.shard_of(Key(*k)) != router.shard_of(Key(0)))
+            .unwrap();
+        let mut rw = ReadWriteSet::new();
+        rw.record_write(Key(0), Value::new(1));
+        rw.record_write(Key(far), Value::new(1));
+        pool.submit(1, vec![rw]);
+        pool.drain();
+        assert_eq!(pool.committer().cross_shard_commits(), 1);
+        assert_eq!(store.get(Key(far)).unwrap().value, Value::new(1));
+        pool.shutdown();
+    }
+
+    #[test]
+    fn empty_submit_and_immediate_shutdown_are_safe() {
+        let (_, pool) = pool(4, 2, 10);
+        pool.submit(1, Vec::new());
+        pool.drain();
+        pool.shutdown();
+        let (_, pool) = pool_drop_path();
+        drop(pool);
+    }
+
+    fn pool_drop_path() -> (Arc<VersionedStore>, ShardScheduler) {
+        pool(2, 2, 10)
+    }
+
+    #[test]
+    fn contended_hot_key_still_commits_every_write() {
+        // All transactions write the same key: they serialise on one
+        // shard but none may be lost.
+        let (store, pool) = pool(8, 4, 10);
+        for seq in 0..20u64 {
+            pool.submit(seq, (0..10).map(|_| write_txn(3, seq)).collect());
+        }
+        pool.drain();
+        assert_eq!(pool.committer().committed(), 200);
+        // 1 load + 200 writes.
+        assert_eq!(store.version_of(Key(3)), Version(201));
+        pool.shutdown();
+    }
+}

@@ -87,6 +87,15 @@ impl CpuModel {
     pub fn validation_cost(&self, txns: usize) -> SimDuration {
         self.storage_access_cost.saturating_mul(2 * txns as u64) + self.base_cost
     }
+
+    /// Service time of the concurrency-control check (`ccheck`) for a
+    /// batch slice of `accesses` read/write-set entries on one execution
+    /// shard: one storage access per validated read and applied write,
+    /// plus the fixed dispatch overhead.
+    #[must_use]
+    pub fn ccheck_cost(&self, accesses: usize) -> SimDuration {
+        self.storage_access_cost.saturating_mul(accesses as u64) + self.base_cost
+    }
 }
 
 /// A multi-core service station: picks the earliest available core and

@@ -12,9 +12,7 @@ use crate::network::NetworkModel;
 use sbft_core::events::{Action, Destination, Envelope, ProtocolMessage, ProtocolTimer};
 use sbft_core::System;
 use sbft_serverless::{ExecuteRequest, ExecutorBehavior};
-use sbft_types::{
-    ComponentId, ExecutorId, Region, SimDuration, SimTime, TxnId, TxnOutcome,
-};
+use sbft_types::{ComponentId, ExecutorId, Region, SimDuration, SimTime, TxnId, TxnOutcome};
 use sbft_workloads::{KeyDistribution, YcsbWorkload};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
@@ -58,6 +56,11 @@ impl Default for SimParams {
 }
 
 /// What happens at a point in virtual time.
+///
+/// `Deliver` dominates the event volume, so its inline `ProtocolMessage`
+/// is deliberately not boxed: the size skew costs a little queue memory
+/// but saves an allocation on the hottest path.
+#[allow(clippy::large_enum_variant)]
 enum EventKind {
     Deliver {
         from: ComponentId,
@@ -114,6 +117,10 @@ pub struct SimHarness {
     event_seq: u64,
     events_processed: u64,
     stations: HashMap<ComponentId, ServiceStation>,
+    /// One service station per execution shard: the verifier's `ccheck`
+    /// work for a validated batch is charged here, so shard counts scale
+    /// the commit path the way cores scale a node (Figure 6(ix)).
+    shard_stations: Vec<ServiceStation>,
     timer_generation: HashMap<(ComponentId, ProtocolTimer), u64>,
     workload: YcsbWorkload,
     submit_times: HashMap<TxnId, SimTime>,
@@ -157,6 +164,10 @@ impl SimHarness {
             ComponentId::Verifier,
             ServiceStation::new(system.config.verifier_cores),
         );
+        let sharding = system.config.sharding;
+        let shard_stations = (0..sharding.num_shards)
+            .map(|_| ServiceStation::new(sharding.workers))
+            .collect();
         let edge_execution = params.edge_execution_threads.map(ServiceStation::new);
         SimHarness {
             system,
@@ -168,6 +179,7 @@ impl SimHarness {
             event_seq: 0,
             events_processed: 0,
             stations,
+            shard_stations,
             timer_generation: HashMap::new(),
             workload,
             submit_times: HashMap::new(),
@@ -201,7 +213,11 @@ impl SimHarness {
 
     /// Runs the simulation to completion and returns the metrics.
     pub fn run(mut self) -> RunMetrics {
-        let active_clients = self.params.num_clients.min(self.system.clients.len()).max(1);
+        let active_clients = self
+            .params
+            .num_clients
+            .min(self.system.clients.len())
+            .max(1);
 
         // Closed loop: every client issues its first request at t = 0.
         for c in 0..active_clients {
@@ -210,7 +226,11 @@ impl SimHarness {
                 .next_transaction(sbft_types::ClientId(c as u32));
             self.submit_times.insert(txn.id, SimTime::ZERO);
             let actions = self.system.clients[c].submit(txn);
-            self.process_actions(ComponentId::Client(sbft_types::ClientId(c as u32)), SimTime::ZERO, actions);
+            self.process_actions(
+                ComponentId::Client(sbft_types::ClientId(c as u32)),
+                SimTime::ZERO,
+                actions,
+            );
         }
         // Periodic batch ticks at every shim node (only the primary acts).
         for node in 0..self.system.nodes.len() {
@@ -268,7 +288,10 @@ impl SimHarness {
                 let actions = self.system.injector.apply(id, actions);
                 self.process_actions(ComponentId::Node(id), now, actions);
                 if now < self.end_time() {
-                    self.push_event(now + self.params.batch_poll_interval, EventKind::BatchTick { node });
+                    self.push_event(
+                        now + self.params.batch_poll_interval,
+                        EventKind::BatchTick { node },
+                    );
                 }
             }
         }
@@ -294,7 +317,9 @@ impl SimHarness {
                         self.system.nodes[idx].on_client_request(req, done)
                     }
                     ProtocolMessage::Consensus(c) => match from.as_node() {
-                        Some(sender) => self.system.nodes[idx].on_consensus_message(sender, c.clone()),
+                        Some(sender) => {
+                            self.system.nodes[idx].on_consensus_message(sender, c.clone())
+                        }
                         None => Vec::new(),
                     },
                     other => self.system.nodes[idx].on_message_at(other, done),
@@ -391,8 +416,26 @@ impl SimHarness {
     }
 
     fn process_actions(&mut self, origin: ComponentId, now: SimTime, actions: Vec<Action>) {
+        // Shard `ccheck` work announced in this action list gates the
+        // sends that follow it: responses for a validated batch leave only
+        // once every involved shard station has finished the batch's
+        // validate-and-apply work. Shards work in parallel (each from
+        // `arrival`); the watermark `now` tracks the latest completion.
+        let arrival = now;
+        let mut now = now;
         for action in actions {
             match action {
+                Action::ShardCcheck {
+                    shard, accesses, ..
+                } => {
+                    if self.shard_stations.is_empty() {
+                        continue;
+                    }
+                    let idx = shard.0 as usize % self.shard_stations.len();
+                    let cost = self.cpu.ccheck_cost(accesses as usize);
+                    let done = self.shard_stations[idx].schedule(arrival, cost);
+                    now = now.max(done);
+                }
                 Action::Send(Envelope { from, to, msg }) => {
                     let targets: Vec<ComponentId> = match to {
                         Destination::Node(n) => vec![ComponentId::Node(n)],
@@ -501,9 +544,9 @@ impl SimHarness {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use sbft_core::system::ShimProtocol;
     use sbft_core::{ShimAttack, SystemBuilder};
     use sbft_types::NodeId;
-    use sbft_core::system::ShimProtocol;
     use sbft_types::{ConflictHandling, SystemConfig};
 
     fn tiny_config() -> SystemConfig {
@@ -529,7 +572,11 @@ mod tests {
     fn closed_loop_run_commits_transactions_end_to_end() {
         let system = SystemBuilder::new(tiny_config()).clients(40).build();
         let metrics = SimHarness::new(system, tiny_params()).run();
-        assert!(metrics.committed_txns > 50, "committed {}", metrics.committed_txns);
+        assert!(
+            metrics.committed_txns > 50,
+            "committed {}",
+            metrics.committed_txns
+        );
         assert_eq!(metrics.aborted_txns, 0);
         assert!(metrics.throughput_tps() > 100.0);
         assert!(metrics.avg_latency_secs() > 0.001);
@@ -626,7 +673,11 @@ mod tests {
             })
             .build();
         let metrics = SimHarness::new(system, tiny_params()).run();
-        assert!(metrics.committed_txns > 50, "committed {}", metrics.committed_txns);
+        assert!(
+            metrics.committed_txns > 50,
+            "committed {}",
+            metrics.committed_txns
+        );
     }
 
     #[test]
@@ -679,6 +730,42 @@ mod tests {
         assert!(
             metrics.aborted_txns > 0,
             "50% conflicts with unknown rw-sets must cause aborts"
+        );
+    }
+
+    #[test]
+    fn shard_count_scales_a_ccheck_bound_verifier() {
+        // Make the per-transaction ccheck expensive enough that the shard
+        // stations are the bottleneck, then check that adding shards
+        // raises committed throughput (Figure 6(ix)-style core scaling,
+        // applied to the sharded commit path).
+        let run = |shards: usize| {
+            let mut cfg = tiny_config();
+            cfg.workload.num_clients = 240;
+            cfg.sharding = sbft_types::ShardingConfig::with_shards(shards);
+            let system = SystemBuilder::new(cfg).clients(240).build();
+            let cpu = CpuModel {
+                storage_access_cost: SimDuration::from_micros(400),
+                ..CpuModel::default()
+            };
+            SimHarness::with_models(
+                system,
+                SimParams {
+                    num_clients: 240,
+                    ..tiny_params()
+                },
+                crate::network::NetworkModel::default(),
+                cpu,
+            )
+            .run()
+        };
+        let one = run(1);
+        let four = run(4);
+        assert!(
+            four.committed_txns as f64 >= one.committed_txns as f64 * 1.5,
+            "4 shards ({}) must clearly beat 1 shard ({})",
+            four.committed_txns,
+            one.committed_txns
         );
     }
 

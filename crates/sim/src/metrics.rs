@@ -119,11 +119,11 @@ impl RunMetrics {
         cores: usize,
         memory_gib: f64,
     ) -> CostReport {
-        let avg_exec = if self.executors_spawned == 0 {
-            SimDuration::ZERO
-        } else {
-            SimDuration::from_micros(self.executor_busy.as_micros() / self.executors_spawned)
-        };
+        let avg_exec = self
+            .executor_busy
+            .as_micros()
+            .checked_div(self.executors_spawned)
+            .map_or(SimDuration::ZERO, SimDuration::from_micros);
         CostReport {
             serverless_dollars: model.lambda_cost(self.executors_spawned, avg_exec),
             machine_dollars: model.machine_cost(
@@ -193,7 +193,7 @@ mod tests {
             measured_duration: SimDuration::from_secs(10),
             ..RunMetrics::default()
         };
-        let report = metrics.cost_report(&CostModel::default(), 8, 16, 16.0, );
+        let report = metrics.cost_report(&CostModel::default(), 8, 16, 16.0);
         assert!(report.serverless_dollars > 0.0);
         assert!(report.machine_dollars > 0.0);
         assert!(report.cents_per_ktxn().is_finite());

@@ -59,8 +59,8 @@ impl VersionedStore {
 
     fn shard_for(&self, key: Key) -> &RwLock<HashMap<Key, StoreEntry>> {
         // Multiplicative hashing spreads dense YCSB keys across shards.
-        let idx = (key.0.wrapping_mul(0x9e37_79b9_7f4a_7c15) >> 32) as usize
-            & (self.shards.len() - 1);
+        let idx =
+            (key.0.wrapping_mul(0x9e37_79b9_7f4a_7c15) >> 32) as usize & (self.shards.len() - 1);
         &self.shards[idx]
     }
 
@@ -165,7 +165,10 @@ mod tests {
     fn get_missing_key_is_none_and_try_get_errors() {
         let store = VersionedStore::new();
         assert!(store.get(Key(99)).is_none());
-        assert_eq!(store.try_get(Key(99)).unwrap_err(), SbftError::KeyNotFound(99));
+        assert_eq!(
+            store.try_get(Key(99)).unwrap_err(),
+            SbftError::KeyNotFound(99)
+        );
     }
 
     #[test]
@@ -199,11 +202,7 @@ mod tests {
         store.load((0..1_000).map(|i| (Key(i), Value::new(i))));
         // With 1000 dense keys and 16 shards, every shard should hold
         // something if the hash spreads them.
-        let occupied = store
-            .shards
-            .iter()
-            .filter(|s| !s.read().is_empty())
-            .count();
+        let occupied = store.shards.iter().filter(|s| !s.read().is_empty()).count();
         assert_eq!(occupied, 16);
     }
 

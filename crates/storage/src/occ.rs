@@ -103,7 +103,11 @@ mod tests {
         rw.record_write(Key(2), Value::new(99));
         let outcome = ConcurrencyChecker::check_and_apply(&store, &rw, true);
         assert_eq!(outcome, OccOutcome::StaleReads(vec![Key(1)]));
-        assert_eq!(store.get(Key(2)).unwrap().value, Value::new(20), "no write applied");
+        assert_eq!(
+            store.get(Key(2)).unwrap().value,
+            Value::new(20),
+            "no write applied"
+        );
         assert_eq!(store.stats().stale_read_rejections(), 1);
     }
 

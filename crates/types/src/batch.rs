@@ -35,7 +35,10 @@ impl Batch {
     /// Panics if the list is empty — the protocol never orders empty batches.
     #[must_use]
     pub fn new(txns: Vec<Transaction>) -> Self {
-        assert!(!txns.is_empty(), "batches must contain at least one transaction");
+        assert!(
+            !txns.is_empty(),
+            "batches must contain at least one transaction"
+        );
         Batch { txns }
     }
 
@@ -79,7 +82,9 @@ impl Batch {
     pub fn total_execution_cost(&self) -> crate::time::SimDuration {
         self.txns
             .iter()
-            .fold(crate::time::SimDuration::ZERO, |acc, t| acc + t.execution_cost)
+            .fold(crate::time::SimDuration::ZERO, |acc, t| {
+                acc + t.execution_cost
+            })
     }
 
     /// Whether every transaction in the batch declares its read-write set.
@@ -98,7 +103,11 @@ impl Batch {
         // 40 B of batch framing + per-txn compact encoding. Client requests
         // are shipped once to the primary; the pre-prepare carries a compact
         // per-transaction encoding (id + ops), not the client signatures.
-        40 + self.txns.iter().map(|t| 16 + t.ops.len() * 17 + 20).sum::<usize>()
+        40 + self
+            .txns
+            .iter()
+            .map(|t| 16 + t.ops.len() * 17 + 20)
+            .sum::<usize>()
     }
 }
 

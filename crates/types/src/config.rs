@@ -195,6 +195,76 @@ pub enum ConflictHandling {
     KnownRwSets,
 }
 
+/// How transactions whose read-write sets span execution shards are
+/// handled by the sharded commit path (`sbft-sharding`).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum CrossShardPolicy {
+    /// Two-phase, lock-ordered execution: acquire every involved shard's
+    /// execution lock in ascending shard order, validate all reads, apply
+    /// all writes. Preserves unsharded OCC semantics (default).
+    LockOrdered,
+    /// Strict isolation: cross-shard transactions are rejected outright.
+    /// Useful to measure the cost of coordination.
+    Abort,
+}
+
+/// Configuration of the sharded execution subsystem.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct ShardingConfig {
+    /// Number of execution shards the key space is partitioned into.
+    pub num_shards: usize,
+    /// Worker threads (simulated cores per shard station, or pool threads
+    /// in the thread runtime) draining the shard queues.
+    pub workers: usize,
+    /// What to do with transactions that span shards.
+    pub cross_shard_policy: CrossShardPolicy,
+}
+
+impl Default for ShardingConfig {
+    fn default() -> Self {
+        // One shard with one worker reproduces the paper's single
+        // verifier/storage funnel exactly.
+        ShardingConfig {
+            num_shards: 1,
+            workers: 1,
+            cross_shard_policy: CrossShardPolicy::LockOrdered,
+        }
+    }
+}
+
+impl ShardingConfig {
+    /// A configuration with `num_shards` shards, one worker each.
+    #[must_use]
+    pub fn with_shards(num_shards: usize) -> Self {
+        ShardingConfig {
+            num_shards,
+            ..ShardingConfig::default()
+        }
+    }
+
+    /// Overrides the worker count.
+    #[must_use]
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Checks that the shard and worker counts are usable.
+    pub fn validate(&self) -> SbftResult<()> {
+        if self.num_shards == 0 {
+            return Err(SbftError::InvalidConfig(
+                "sharding needs at least one shard".into(),
+            ));
+        }
+        if self.workers == 0 {
+            return Err(SbftError::InvalidConfig(
+                "sharding needs at least one worker".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
 /// Workload parameters shared by the harnesses (full generators live in
 /// `sbft-workloads`).
 #[derive(Clone, Copy, PartialEq, Debug, Serialize, Deserialize)]
@@ -251,6 +321,8 @@ pub struct SystemConfig {
     pub workload: WorkloadConfig,
     /// Whether the shim batches client requests before ordering them.
     pub batching_enabled: bool,
+    /// Sharded-execution parameters for the verifier's commit path.
+    pub sharding: ShardingConfig,
 }
 
 impl SystemConfig {
@@ -281,6 +353,7 @@ impl SystemConfig {
             verifier_cores: 8,
             workload: WorkloadConfig::default(),
             batching_enabled: true,
+            sharding: ShardingConfig::default(),
         }
     }
 
@@ -309,9 +382,24 @@ impl SystemConfig {
         }
     }
 
-    /// Validates fault parameters, regions and workload settings.
+    /// Total executors spawned per committed batch across the whole shim:
+    /// what the primary spawns under [`SpawningMode::PrimaryOnly`], or the
+    /// sum of every node's spawns under [`SpawningMode::Decentralized`]
+    /// (each of the `n_R` nodes spawns `decentralized_spawn_count()`).
+    /// The verifier uses this to know when every spawned executor has
+    /// answered.
+    #[must_use]
+    pub fn spawned_per_batch(&self) -> usize {
+        match self.spawning {
+            SpawningMode::PrimaryOnly => self.executors_per_batch(),
+            SpawningMode::Decentralized => self.fault.n_r * self.fault.decentralized_spawn_count(),
+        }
+    }
+
+    /// Validates fault parameters, regions, sharding and workload settings.
     pub fn validate(&self) -> SbftResult<()> {
         self.fault.validate()?;
+        self.sharding.validate()?;
         if self.shim_cores == 0 || self.verifier_cores == 0 {
             return Err(SbftError::InvalidConfig(
                 "shim and verifier need at least one core".into(),
@@ -412,6 +500,29 @@ mod tests {
         assert_eq!(cfg.executors_per_batch(), 4); // 3·1 + 1
         cfg.fault = cfg.fault.with_executors(11); // f_e = 5 → 16
         assert_eq!(cfg.executors_per_batch(), 16);
+    }
+
+    #[test]
+    fn spawned_per_batch_accounts_for_spawning_mode() {
+        let mut cfg = SystemConfig::with_shim_size(4); // n_e = 3, f_e = 1
+        assert_eq!(cfg.spawned_per_batch(), 3);
+        cfg.conflict_handling = ConflictHandling::UnknownRwSets;
+        assert_eq!(cfg.spawned_per_batch(), 4); // 3f_E + 1
+        cfg.conflict_handling = ConflictHandling::NonConflicting;
+        cfg.spawning = SpawningMode::Decentralized;
+        // Every one of the 4 nodes spawns decentralized_spawn_count() = 1.
+        assert_eq!(cfg.spawned_per_batch(), 4);
+    }
+
+    #[test]
+    fn sharding_config_validates_and_defaults_to_one_shard() {
+        assert_eq!(ShardingConfig::default().num_shards, 1);
+        assert!(ShardingConfig::with_shards(8).validate().is_ok());
+        assert!(ShardingConfig::with_shards(0).validate().is_err());
+        assert!(ShardingConfig::with_shards(2)
+            .with_workers(0)
+            .validate()
+            .is_err());
     }
 
     #[test]

@@ -37,7 +37,8 @@ pub mod transaction;
 
 pub use batch::{Batch, BatchId};
 pub use config::{
-    ConflictHandling, FaultParams, SpawningMode, SystemConfig, TimerConfig, WorkloadConfig,
+    ConflictHandling, CrossShardPolicy, FaultParams, ShardingConfig, SpawningMode, SystemConfig,
+    TimerConfig, WorkloadConfig,
 };
 pub use digest::{Digest, MacTag, Signature, DIGEST_LEN};
 pub use error::{SbftError, SbftResult};

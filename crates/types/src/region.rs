@@ -52,7 +52,10 @@ impl Region {
     /// paper's ordering).
     #[must_use]
     pub fn index(self) -> usize {
-        Region::ALL.iter().position(|r| *r == self).expect("region in ALL")
+        Region::ALL
+            .iter()
+            .position(|r| *r == self)
+            .expect("region in ALL")
     }
 
     /// Approximate one-way network latency from the verifier/shim site
@@ -193,7 +196,10 @@ mod tests {
     fn home_region_is_closest() {
         let home = Region::NorthCalifornia.one_way_latency_ms_from_home();
         for r in Region::ALL.iter().skip(1) {
-            assert!(r.one_way_latency_ms_from_home() > home, "{r} should be farther");
+            assert!(
+                r.one_way_latency_ms_from_home() > home,
+                "{r} should be farther"
+            );
         }
     }
 

@@ -112,15 +112,30 @@ impl RwSetKeys {
     #[must_use]
     pub fn conflicts_with(&self, other: &RwSetKeys) -> bool {
         // write-write conflicts
-        if self.write_keys.intersection(&other.write_keys).next().is_some() {
+        if self
+            .write_keys
+            .intersection(&other.write_keys)
+            .next()
+            .is_some()
+        {
             return true;
         }
         // my writes vs their reads
-        if self.write_keys.intersection(&other.read_keys).next().is_some() {
+        if self
+            .write_keys
+            .intersection(&other.read_keys)
+            .next()
+            .is_some()
+        {
             return true;
         }
         // my reads vs their writes
-        if self.read_keys.intersection(&other.write_keys).next().is_some() {
+        if self
+            .read_keys
+            .intersection(&other.write_keys)
+            .next()
+            .is_some()
+        {
             return true;
         }
         false
@@ -219,7 +234,10 @@ mod tests {
         let disjoint = RwSetKeys::new(keys(&[5]), keys(&[6]));
         let reads_my_write = RwSetKeys::new(keys(&[2]), keys(&[]));
 
-        assert!(!t.conflicts_with(&read_only_same), "read-read is not a conflict");
+        assert!(
+            !t.conflicts_with(&read_only_same),
+            "read-read is not a conflict"
+        );
         assert!(t.conflicts_with(&writes_my_read));
         assert!(t.conflicts_with(&reads_my_write));
         assert!(!t.conflicts_with(&disjoint));

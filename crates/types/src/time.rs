@@ -11,15 +11,11 @@ use std::fmt;
 use std::ops::{Add, AddAssign, Sub};
 
 /// A point in virtual time, measured in microseconds since simulation start.
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
 pub struct SimTime(pub u64);
 
 /// A span of virtual time in microseconds.
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
 pub struct SimDuration(pub u64);
 
 impl SimTime {

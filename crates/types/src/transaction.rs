@@ -222,22 +222,14 @@ mod tests {
         let t = txn(vec![Operation::Read(Key(1))]);
         assert!(!t.rwset_known());
         assert!(t.clone().with_inferred_rwset().rwset_known());
-        assert!(t
-            .with_declared_rwset(RwSetKeys::default())
-            .rwset_known());
+        assert!(t.with_declared_rwset(RwSetKeys::default()).rwset_known());
     }
 
     #[test]
     fn conflict_detection_between_transactions() {
         let a = txn(vec![Operation::Write(Key(10), Value::new(1))]);
-        let b = Transaction::new(
-            TxnId::new(ClientId(1), 0),
-            vec![Operation::Read(Key(10))],
-        );
-        let c = Transaction::new(
-            TxnId::new(ClientId(2), 0),
-            vec![Operation::Read(Key(11))],
-        );
+        let b = Transaction::new(TxnId::new(ClientId(1), 0), vec![Operation::Read(Key(10))]);
+        let c = Transaction::new(TxnId::new(ClientId(2), 0), vec![Operation::Read(Key(11))]);
         assert!(a.conflicts_with(&b));
         assert!(b.conflicts_with(&a));
         assert!(!a.conflicts_with(&c));

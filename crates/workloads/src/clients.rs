@@ -68,7 +68,10 @@ impl ClientPopulation {
     /// Panics if the client already has an outstanding request (closed-loop
     /// violation) or is outside the population.
     pub fn issue(&mut self, client: ClientId) -> Transaction {
-        assert!((client.0 as usize) < self.num_clients, "unknown client {client}");
+        assert!(
+            (client.0 as usize) < self.num_clients,
+            "unknown client {client}"
+        );
         assert!(
             !self.outstanding.contains_key(&client),
             "{client} already has an outstanding request"
@@ -140,7 +143,10 @@ mod tests {
         let mut pop = population(2);
         let reqs = pop.initial_requests();
         let _ = pop.on_response(reqs[0].id).unwrap();
-        assert!(pop.on_response(reqs[0].id).is_none(), "stale response ignored");
+        assert!(
+            pop.on_response(reqs[0].id).is_none(),
+            "stale response ignored"
+        );
         assert_eq!(pop.completed(), 1);
     }
 

@@ -17,9 +17,7 @@
 use crate::zipf::{UniformKeys, ZipfianKeys};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use sbft_types::{
-    Batch, ClientId, Key, Operation, Transaction, TxnId, Value, WorkloadConfig,
-};
+use sbft_types::{Batch, ClientId, Key, Operation, Transaction, TxnId, Value, WorkloadConfig};
 use std::collections::HashMap;
 
 /// Number of keys in the hot set used to manufacture conflicts.
@@ -156,7 +154,10 @@ impl YcsbWorkload {
     /// `salt` — exposed so tests and executors can agree on outputs.
     #[must_use]
     pub fn rmw_value(key: Key, salt: u64, old: Value) -> Value {
-        Value::with_len(old.data.wrapping_mul(31).wrapping_add(salt ^ key.0), old.logical_len)
+        Value::with_len(
+            old.data.wrapping_mul(31).wrapping_add(salt ^ key.0),
+            old.logical_len,
+        )
     }
 }
 
@@ -265,7 +266,10 @@ mod tests {
         let mut a = YcsbWorkload::new(config(), 42);
         let mut b = YcsbWorkload::new(config(), 42);
         for _ in 0..50 {
-            assert_eq!(a.next_transaction(ClientId(1)), b.next_transaction(ClientId(1)));
+            assert_eq!(
+                a.next_transaction(ClientId(1)),
+                b.next_transaction(ClientId(1))
+            );
         }
     }
 

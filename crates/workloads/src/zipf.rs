@@ -157,9 +157,7 @@ mod tests {
         let dist = UniformKeys::new(10_000);
         let mut rng = StdRng::seed_from_u64(3);
         let samples = 50_000;
-        let hot = (0..samples)
-            .filter(|_| dist.sample(&mut rng) < 100)
-            .count();
+        let hot = (0..samples).filter(|_| dist.sample(&mut rng) < 100).count();
         let frac = hot as f64 / samples as f64;
         assert!(frac < 0.03, "uniform too skewed: {frac}");
     }
@@ -169,9 +167,7 @@ mod tests {
         let dist = ZipfianKeys::with_theta(1_000, 0.0);
         let mut rng = StdRng::seed_from_u64(4);
         let samples = 20_000;
-        let hot = (0..samples)
-            .filter(|_| dist.sample(&mut rng) < 10)
-            .count();
+        let hot = (0..samples).filter(|_| dist.sample(&mut rng) < 10).count();
         assert!((hot as f64 / samples as f64) < 0.05);
     }
 

@@ -43,14 +43,20 @@ fn run(label: &str, attack: Option<ShimAttack>) {
 fn main() {
     println!("request-suppression attack and recovery (4-node shim, 80 clients)\n");
     run("honest primary", None);
-    run("byzantine primary (suppress)", Some(ShimAttack::SuppressRequests));
+    run(
+        "byzantine primary (suppress)",
+        Some(ShimAttack::SuppressRequests),
+    );
     run(
         "primary keeps node 3 in dark",
         Some(ShimAttack::KeepInDark {
             victims: vec![NodeId(3)],
         }),
     );
-    run("primary spawns 1 executor", Some(ShimAttack::SpawnFewer { count: 1 }));
+    run(
+        "primary spawns 1 executor",
+        Some(ShimAttack::SpawnFewer { count: 1 }),
+    );
     println!("\nthe suppressing primary is replaced through ERROR → Υ-timeout → view change;");
     println!("the dark-node attack is masked (f_R = 1) and fewer-executor spawning is");
     println!("recovered through the verifier's abort timer and REPLACE messages.");

@@ -28,6 +28,12 @@ fn main() {
 
     println!("committed transactions : {}", report.committed);
     println!("aborted transactions   : {}", report.aborted);
-    println!("wall-clock time        : {:.2} s", report.elapsed.as_secs_f64());
-    println!("throughput             : {:.0} txn/s", report.throughput_tps());
+    println!(
+        "wall-clock time        : {:.2} s",
+        report.elapsed.as_secs_f64()
+    );
+    println!(
+        "throughput             : {:.0} txn/s",
+        report.throughput_tps()
+    );
 }

@@ -30,9 +30,18 @@ fn main() {
 
     println!("committed transactions : {}", metrics.committed_txns);
     println!("aborted transactions   : {}", metrics.aborted_txns);
-    println!("throughput             : {:.0} txn/s", metrics.throughput_tps());
-    println!("average latency        : {:.1} ms", metrics.avg_latency_secs() * 1e3);
-    println!("p99 latency            : {:.1} ms", metrics.latency.p99_secs() * 1e3);
+    println!(
+        "throughput             : {:.0} txn/s",
+        metrics.throughput_tps()
+    );
+    println!(
+        "average latency        : {:.1} ms",
+        metrics.avg_latency_secs() * 1e3
+    );
+    println!(
+        "p99 latency            : {:.1} ms",
+        metrics.latency.p99_secs() * 1e3
+    );
     println!("executors spawned      : {}", metrics.executors_spawned);
     println!("messages delivered     : {}", metrics.messages_delivered);
 }

@@ -13,9 +13,7 @@
 
 use serverless_bft::core::SystemBuilder;
 use serverless_bft::sim::{SimHarness, SimParams};
-use serverless_bft::types::{
-    ConflictHandling, RegionSet, SimDuration, SpawningMode, SystemConfig,
-};
+use serverless_bft::types::{ConflictHandling, RegionSet, SimDuration, SpawningMode, SystemConfig};
 
 fn main() {
     let mut config = SystemConfig::with_shim_size(8);
@@ -41,8 +39,14 @@ fn main() {
 
     println!("deliveries processed   : {}", metrics.committed_txns);
     println!("deliveries aborted     : {}", metrics.aborted_txns);
-    println!("throughput             : {:.0} requests/s", metrics.throughput_tps());
-    println!("average round trip     : {:.1} ms", metrics.avg_latency_secs() * 1e3);
+    println!(
+        "throughput             : {:.0} requests/s",
+        metrics.throughput_tps()
+    );
+    println!(
+        "average round trip     : {:.1} ms",
+        metrics.avg_latency_secs() * 1e3
+    );
     println!("executor invocations   : {}", metrics.executors_spawned);
     println!(
         "abort rate             : {:.2}% (planner keeps conflicting deliveries serialized)",

@@ -29,7 +29,11 @@ fn serverlessbft_end_to_end_commits_and_applies_writes() {
     let storage = std::sync::Arc::clone(&system.storage);
     let before_writes = storage.stats().writes();
     let metrics = SimHarness::new(system, params(60)).run();
-    assert!(metrics.committed_txns > 100, "committed {}", metrics.committed_txns);
+    assert!(
+        metrics.committed_txns > 100,
+        "committed {}",
+        metrics.committed_txns
+    );
     assert_eq!(metrics.aborted_txns, 0);
     // Committed read-modify-write transactions must have reached storage.
     assert!(storage.stats().writes() > before_writes);
@@ -71,11 +75,19 @@ fn baseline_ordering_matches_figure_7() {
 
 #[test]
 fn larger_shims_have_lower_throughput() {
+    // The effect of Figure 6(i) is a CPU effect: a 32-node shim pays
+    // O(n²) PREPARE/COMMIT processing per batch. Single-core shim nodes
+    // under enough closed-loop load put both deployments in the
+    // CPU-bound regime where that quadratic cost is visible; with the
+    // default 16 cores and this client count neither shim saturates and
+    // both runs are purely latency-bound (identical throughput).
     let run = |n_r: usize| {
         let mut cfg = small_config();
         cfg.fault = serverless_bft::types::FaultParams::for_shim_size(n_r);
-        let system = SystemBuilder::new(cfg).clients(80).build();
-        SimHarness::new(system, params(80)).run().throughput_tps()
+        cfg.shim_cores = 1;
+        cfg.workload.num_clients = 300;
+        let system = SystemBuilder::new(cfg).clients(300).build();
+        SimHarness::new(system, params(300)).run().throughput_tps()
     };
     let small = run(4);
     let large = run(32);
@@ -87,14 +99,20 @@ fn larger_shims_have_lower_throughput() {
 
 #[test]
 fn batching_improves_throughput_over_tiny_batches() {
-    let run = |batch: usize, clients: usize| {
+    // Batching amortises per-batch consensus, spawn and VERIFY costs.
+    // Those costs only matter once the shim and verifier are near
+    // saturation, so run with few cores and enough clients to get there.
+    let run = |batch: usize| {
         let mut cfg = small_config();
         cfg.workload.batch_size = batch;
-        let system = SystemBuilder::new(cfg).clients(clients).build();
-        SimHarness::new(system, params(clients)).run().throughput_tps()
+        cfg.workload.num_clients = 600;
+        cfg.shim_cores = 2;
+        cfg.verifier_cores = 1;
+        let system = SystemBuilder::new(cfg).clients(600).build();
+        SimHarness::new(system, params(600)).run().throughput_tps()
     };
-    let tiny = run(1, 100);
-    let batched = run(50, 100);
+    let tiny = run(1);
+    let batched = run(50);
     assert!(
         batched > tiny * 1.5,
         "batch=50 ({batched}) must clearly beat batch=1 ({tiny})"
@@ -111,7 +129,10 @@ fn conflicting_transactions_abort_only_in_unknown_rwset_mode() {
         SimHarness::new(system, params(60)).run()
     };
     let unknown = run(ConflictHandling::UnknownRwSets);
-    assert!(unknown.aborted_txns > 0, "conflicts must abort with unknown rw-sets");
+    assert!(
+        unknown.aborted_txns > 0,
+        "conflicts must abort with unknown rw-sets"
+    );
     let planned = run(ConflictHandling::KnownRwSets);
     assert!(
         planned.abort_rate() < unknown.abort_rate(),

@@ -52,7 +52,11 @@ fn nodes_in_dark_do_not_stop_the_shim() {
         .build();
     let metrics = SimHarness::new(system, params()).run();
     // With f_R = 1, one node in the dark cannot stop consensus.
-    assert!(metrics.committed_txns > 100, "committed {}", metrics.committed_txns);
+    assert!(
+        metrics.committed_txns > 100,
+        "committed {}",
+        metrics.committed_txns
+    );
 }
 
 #[test]
@@ -66,7 +70,10 @@ fn wrong_result_executors_are_outvoted() {
         .build();
     let metrics = SimHarness::new(system, params()).run();
     assert!(metrics.committed_txns > 100);
-    assert_eq!(metrics.aborted_txns, 0, "f_E byzantine executors must be masked");
+    assert_eq!(
+        metrics.aborted_txns, 0,
+        "f_E byzantine executors must be masked"
+    );
 }
 
 #[test]

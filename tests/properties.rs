@@ -5,12 +5,14 @@ use serverless_bft::consensus::messages::batch_digest;
 use serverless_bft::core::planner::{BatchFootprint, BestEffortPlanner};
 use serverless_bft::crypto::certificate::commit_digest;
 use serverless_bft::crypto::{CommitCertificate, KeyStore, SimSigner};
+use serverless_bft::sharding::{ShardScheduler, ShardedCommitter};
 use serverless_bft::storage::{ConcurrencyChecker, VersionedStore};
 use serverless_bft::types::{
     Batch, ClientId, ComponentId, Key, NodeId, Operation, ReadWriteSet, RwSetKeys, SeqNum,
-    Transaction, TxnId, Value, Version, ViewNumber,
+    ShardingConfig, Transaction, TxnId, Value, Version, ViewNumber,
 };
 use std::collections::BTreeSet;
+use std::sync::Arc;
 
 fn arb_ops() -> impl Strategy<Value = Vec<Operation>> {
     prop::collection::vec(
@@ -150,6 +152,97 @@ proptest! {
             }
         }
         prop_assert_eq!(dispatched.len(), fps.len());
+    }
+
+    /// Sharded execution of a conflict-free batch set is equivalent to
+    /// single-shard execution: same per-transaction outcomes, same final
+    /// store contents, regardless of shard count — through the verifier's
+    /// synchronous committer path.
+    #[test]
+    fn sharded_commit_equivalent_to_single_shard_for_conflict_free_batches(
+        txns in prop::collection::vec((1usize..4, any::<u64>()), 1..40),
+        shards in 2usize..16,
+    ) {
+        // Transaction i owns the disjoint key range [4i, 4i + ops): no
+        // two transactions conflict, so execution order cannot matter.
+        let stride = 4u64;
+        let run = |num_shards: usize| {
+            let store = Arc::new(VersionedStore::new());
+            store.load((0..txns.len() as u64 * stride).map(|k| (Key(k), Value::new(0))));
+            let committer =
+                ShardedCommitter::new(Arc::clone(&store), &ShardingConfig::with_shards(num_shards));
+            let outcomes: Vec<bool> = txns
+                .iter()
+                .enumerate()
+                .map(|(i, (ops, value))| {
+                    let mut rw = ReadWriteSet::new();
+                    for j in 0..*ops as u64 {
+                        let key = Key(i as u64 * stride + j);
+                        rw.record_read(key, store.version_of(key));
+                        rw.record_write(key, Value::new(value.wrapping_add(j)));
+                    }
+                    committer.commit(&rw, true).is_applied()
+                })
+                .collect();
+            let state: Vec<(u64, u64)> = (0..txns.len() as u64 * stride)
+                .map(|k| {
+                    let e = store.get(Key(k)).unwrap();
+                    (e.value.data, e.version.0)
+                })
+                .collect();
+            (outcomes, state)
+        };
+        prop_assert_eq!(run(1), run(shards));
+    }
+
+    /// The same equivalence holds when the sharded side runs on the
+    /// multi-threaded `ShardScheduler` worker pool.
+    #[test]
+    fn sharded_pool_equivalent_to_single_shard_for_conflict_free_batches(
+        values in prop::collection::vec(any::<u64>(), 1..60),
+        shards in 2usize..12,
+    ) {
+        let sequential = {
+            let store = Arc::new(VersionedStore::new());
+            store.load((0..values.len() as u64).map(|k| (Key(k), Value::new(0))));
+            for (i, v) in values.iter().enumerate() {
+                let mut rw = ReadWriteSet::new();
+                rw.record_read(Key(i as u64), Version(1));
+                rw.record_write(Key(i as u64), Value::new(*v));
+                let c = ShardedCommitter::new(Arc::clone(&store), &ShardingConfig::default());
+                prop_assert!(c.commit(&rw, true).is_applied());
+            }
+            (0..values.len() as u64)
+                .map(|k| store.get(Key(k)).unwrap().value.data)
+                .collect::<Vec<u64>>()
+        };
+        let pooled = {
+            let store = Arc::new(VersionedStore::new());
+            store.load((0..values.len() as u64).map(|k| (Key(k), Value::new(0))));
+            let committer = Arc::new(ShardedCommitter::new(
+                Arc::clone(&store),
+                &ShardingConfig::with_shards(shards),
+            ));
+            let pool = ShardScheduler::new(Arc::clone(&committer), 4, true);
+            let batch: Vec<ReadWriteSet> = values
+                .iter()
+                .enumerate()
+                .map(|(i, v)| {
+                    let mut rw = ReadWriteSet::new();
+                    rw.record_read(Key(i as u64), Version(1));
+                    rw.record_write(Key(i as u64), Value::new(*v));
+                    rw
+                })
+                .collect();
+            pool.submit(1, batch);
+            pool.drain();
+            prop_assert_eq!(committer.committed(), values.len() as u64);
+            pool.shutdown();
+            (0..values.len() as u64)
+                .map(|k| store.get(Key(k)).unwrap().value.data)
+                .collect::<Vec<u64>>()
+        };
+        prop_assert_eq!(sequential, pooled);
     }
 
     /// Storage versions increase monotonically under arbitrary writes.

@@ -1,0 +1,149 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the macro and builder surface the micro-benchmarks use
+//! (`criterion_group!` / `criterion_main!`, `bench_function`, `iter`,
+//! `iter_batched`) with a simple median-of-samples timer instead of
+//! criterion's full statistical machinery. Good enough to spot order-of-
+//! magnitude regressions offline; not a replacement for real criterion.
+
+use std::time::{Duration, Instant};
+
+/// Batch sizing hint, accepted for API compatibility.
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+}
+
+/// The per-benchmark timing driver.
+pub struct Bencher {
+    samples: usize,
+    measurement: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, printing a median nanoseconds-per-iteration line.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm up and estimate a per-iteration cost.
+        let start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while start.elapsed() < Duration::from_millis(50) {
+            std::hint::black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = Duration::from_millis(50)
+            .checked_div(warm_iters.max(1) as u32)
+            .unwrap_or_default();
+        let budget = self
+            .measurement
+            .checked_div(self.samples as u32)
+            .unwrap_or_default();
+        let iters_per_sample =
+            (budget.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 10_000_000) as u64;
+        let mut sample_ns: Vec<u128> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let t = Instant::now();
+            for _ in 0..iters_per_sample {
+                std::hint::black_box(routine());
+            }
+            sample_ns.push(t.elapsed().as_nanos() / u128::from(iters_per_sample));
+        }
+        sample_ns.sort_unstable();
+        self.report(sample_ns[sample_ns.len() / 2]);
+    }
+
+    /// Times `routine` over fresh inputs from `setup` (setup excluded).
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut sample_ns: Vec<u128> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let input = setup();
+            let t = Instant::now();
+            std::hint::black_box(routine(input));
+            sample_ns.push(t.elapsed().as_nanos());
+        }
+        sample_ns.sort_unstable();
+        self.report(sample_ns[sample_ns.len() / 2]);
+    }
+
+    fn report(&self, median_ns: u128) {
+        println!("    median {median_ns} ns/iter");
+    }
+}
+
+/// Top-level handle mirroring `criterion::Criterion`.
+pub struct Criterion {
+    sample_size: usize,
+    measurement: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 10,
+            measurement: Duration::from_secs(1),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of samples per benchmark.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the per-benchmark measurement budget.
+    #[must_use]
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Accepted for API compatibility; warm-up is folded into `iter`.
+    #[must_use]
+    pub fn warm_up_time(self, _d: Duration) -> Self {
+        self
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        println!("bench: {name}");
+        let mut b = Bencher {
+            samples: self.sample_size,
+            measurement: self.measurement,
+        };
+        f(&mut b);
+        self
+    }
+}
+
+/// Declares a benchmark group, mirroring criterion's named-field form.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c: $crate::Criterion = $config;
+            $($target(&mut c);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(name = $name; config = $crate::Criterion::default(); targets = $($target),+);
+    };
+}
+
+/// Declares the benchmark entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,57 @@
+//! Offline stand-in for `parking_lot`.
+//!
+//! Wraps `std::sync` locks with the poison-free `parking_lot` API surface
+//! the workspace uses: `lock()` / `read()` / `write()` return guards
+//! directly instead of `Result`s. Poisoning is handled by unwrapping the
+//! inner guard — a panic while holding a lock already aborts the affected
+//! test, so recovering the data is the right behaviour here.
+
+use std::sync::{Mutex as StdMutex, RwLock as StdRwLock};
+pub use std::sync::{MutexGuard, RwLockReadGuard, RwLockWriteGuard};
+
+/// Poison-free mutex with the `parking_lot::Mutex` API.
+#[derive(Debug, Default)]
+pub struct Mutex<T>(StdMutex<T>);
+
+impl<T> Mutex<T> {
+    /// Creates a mutex holding `value`.
+    pub const fn new(value: T) -> Self {
+        Mutex(StdMutex::new(value))
+    }
+
+    /// Acquires the lock, returning the guard directly.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        self.0.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Consumes the mutex, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.0.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+/// Poison-free reader-writer lock with the `parking_lot::RwLock` API.
+#[derive(Debug, Default)]
+pub struct RwLock<T>(StdRwLock<T>);
+
+impl<T> RwLock<T> {
+    /// Creates a lock holding `value`.
+    pub const fn new(value: T) -> Self {
+        RwLock(StdRwLock::new(value))
+    }
+
+    /// Acquires a shared read guard.
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        self.0.read().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Acquires an exclusive write guard.
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        self.0.write().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Consumes the lock, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.0.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+}

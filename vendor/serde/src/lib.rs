@@ -1,0 +1,122 @@
+//! Offline stand-in for `serde`.
+//!
+//! The container image has no access to crates.io, so this crate provides
+//! just enough surface for the workspace to compile: the `Serialize` /
+//! `Deserialize` traits with the trait-object machinery `digest.rs`'s
+//! manual impls use, and the no-op derive macros from the sibling
+//! `serde_derive` stub. Nothing in the workspace actually serialises data
+//! at runtime, so no concrete `Serializer` / `Deserializer` is shipped —
+//! only the traits needed to type-check manual impls.
+
+use std::fmt;
+
+/// A serialisable type, mirroring `serde::Serialize`.
+pub trait Serialize {
+    /// Serialises `self` into the given serialiser.
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error>;
+}
+
+/// A deserialisable type, mirroring `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {
+    /// Deserialises a value from the given deserialiser.
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+/// A data-format serialiser, mirroring `serde::Serializer`.
+pub trait Serializer: Sized {
+    /// Successful output of the serialiser.
+    type Ok;
+    /// Serialisation error type.
+    type Error;
+
+    /// Serialises a raw byte slice.
+    fn serialize_bytes(self, v: &[u8]) -> Result<Self::Ok, Self::Error>;
+}
+
+/// A data-format deserialiser, mirroring `serde::Deserializer`.
+pub trait Deserializer<'de>: Sized {
+    /// Deserialisation error type.
+    type Error: de::Error;
+
+    /// Requests a byte slice from the input, driving `visitor`.
+    fn deserialize_bytes<V: de::Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+}
+
+/// Deserialisation support types, mirroring `serde::de`.
+pub mod de {
+    use super::Deserialize;
+    use std::fmt;
+
+    /// What a visitor expected, used in error messages.
+    pub trait Expected {
+        /// Formats the expectation.
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result;
+    }
+
+    impl<'de, T: Visitor<'de>> Expected for T {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            self.expecting(f)
+        }
+    }
+
+    /// Deserialisation errors, mirroring `serde::de::Error`.
+    pub trait Error: Sized {
+        /// Builds an error from a message.
+        fn custom<T: fmt::Display>(msg: T) -> Self;
+
+        /// The input had the wrong number of elements.
+        fn invalid_length(len: usize, _expected: &dyn Expected) -> Self {
+            Self::custom(format_args!("invalid length {len}"))
+        }
+    }
+
+    /// A visitor walking the deserialised input.
+    pub trait Visitor<'de>: Sized {
+        /// The value this visitor produces.
+        type Value;
+
+        /// Formats what this visitor expects to receive.
+        fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result;
+
+        /// Visits a borrowed byte slice.
+        fn visit_bytes<E: Error>(self, _v: &[u8]) -> Result<Self::Value, E> {
+            Err(E::custom("unexpected bytes"))
+        }
+
+        /// Visits a sequence of elements.
+        fn visit_seq<A: SeqAccess<'de>>(self, _seq: A) -> Result<Self::Value, A::Error> {
+            Err(<A::Error as Error>::custom("unexpected sequence"))
+        }
+    }
+
+    /// Access to the elements of a sequence being deserialised.
+    pub trait SeqAccess<'de> {
+        /// Deserialisation error type.
+        type Error: Error;
+
+        /// Returns the next element, or `None` at the end.
+        fn next_element<T: Deserialize<'de>>(&mut self) -> Result<Option<T>, Self::Error>;
+    }
+}
+
+macro_rules! impl_serde_primitive {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize<S: Serializer>(&self, _serializer: S) -> Result<S::Ok, S::Error> {
+                unreachable!("the serde stub has no concrete serialiser")
+            }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(_deserializer: D) -> Result<Self, D::Error> {
+                unreachable!("the serde stub has no concrete deserialiser")
+            }
+        }
+    )*};
+}
+impl_serde_primitive!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, bool, f32, f64, String);
+
+pub use serde_derive::{Deserialize, Serialize};
+
+// Keep the `fmt` import alive for the trait signatures above.
+#[allow(unused)]
+fn _touch(_: fmt::Error) {}
