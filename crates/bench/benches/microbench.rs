@@ -3,9 +3,10 @@
 //! and the storage engine.
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
-use sbft_consensus::messages::batch_digest;
+use sbft_consensus::messages::{batch_digest, compute_batch_digest};
 use sbft_consensus::{ConsensusAction, OrderingProtocol, PbftReplica};
-use sbft_crypto::{CryptoProvider, Sha256, SimSigner};
+use sbft_core::ClientRequest;
+use sbft_crypto::{CryptoProvider, HmacKey, Sha256, SimSigner};
 use sbft_storage::{VersionedStore, YcsbTable};
 use sbft_types::{
     Batch, ClientId, ComponentId, FaultParams, Key, NodeId, Operation, SimDuration, Transaction,
@@ -16,6 +17,74 @@ fn bench_sha256(c: &mut Criterion) {
     let data = vec![0xabu8; 4096];
     c.bench_function("sha256_4kib", |b| {
         b.iter(|| Sha256::digest(std::hint::black_box(&data)))
+    });
+}
+
+/// SHA-256 bulk throughput across input sizes (ns/iter ÷ size = ns/byte):
+/// the aligned-block fast path dominates the larger inputs.
+fn bench_sha256_throughput(c: &mut Criterion) {
+    for (name, size) in [
+        ("sha256_throughput_64b", 64usize),
+        ("sha256_throughput_1kib", 1 << 10),
+        ("sha256_throughput_64kib", 64 << 10),
+    ] {
+        let data = vec![0x5au8; size];
+        c.bench_function(name, |b| {
+            b.iter(|| Sha256::digest(std::hint::black_box(&data)))
+        });
+    }
+}
+
+/// The client-request digest with and without the transaction-carried
+/// memo: the cached path is what every component after the client pays.
+fn bench_digest_memoization(c: &mut Criterion) {
+    let txn = Transaction::new(
+        TxnId::new(ClientId(3), 9),
+        (0..8u64)
+            .map(|k| Operation::ReadModifyWrite(Key(k), 7))
+            .collect(),
+    );
+    c.bench_function("signing_digest_fresh", |b| {
+        b.iter(|| ClientRequest::compute_signing_digest(std::hint::black_box(&txn)))
+    });
+    let warm = txn.clone();
+    let _ = ClientRequest::signing_digest(&warm); // fill the cache once
+    c.bench_function("signing_digest_cached", |b| {
+        b.iter(|| ClientRequest::signing_digest(std::hint::black_box(&warm)))
+    });
+    let batch = make_batch(100);
+    c.bench_function("batch_digest_fresh_100_txns", |b| {
+        b.iter(|| compute_batch_digest(std::hint::black_box(&batch)))
+    });
+    let _ = batch_digest(&batch); // fill the memo
+    c.bench_function("batch_digest_cached_100_txns", |b| {
+        b.iter(|| batch_digest(std::hint::black_box(&batch)))
+    });
+}
+
+/// Batch hand-off: an Arc refcount bump versus the deep transaction-vector
+/// clone every hop used to pay before the zero-copy refactor.
+fn bench_batch_handoff(c: &mut Criterion) {
+    let batch = make_batch(100);
+    c.bench_function("batch_handoff_arc_clone_100_txns", |b| {
+        b.iter(|| std::hint::black_box(&batch).clone())
+    });
+    c.bench_function("batch_handoff_deep_clone_100_txns", |b| {
+        b.iter(|| std::hint::black_box(&batch).txns().to_vec())
+    });
+}
+
+/// HMAC with a precomputed key schedule (what `SimSigner` uses) versus
+/// deriving the schedule per message.
+fn bench_hmac_reuse(c: &mut Criterion) {
+    let digest = Sha256::digest(b"hot-path message");
+    let key_bytes = [0x42u8; 32];
+    c.bench_function("hmac_fresh_key", |b| {
+        b.iter(|| HmacKey::new(&key_bytes).mac(std::hint::black_box(digest.as_bytes())))
+    });
+    let key = HmacKey::new(&key_bytes);
+    c.bench_function("hmac_reused_key", |b| {
+        b.iter(|| key.mac(std::hint::black_box(digest.as_bytes())))
     });
 }
 
@@ -105,6 +174,6 @@ fn bench_storage(c: &mut Criterion) {
 criterion_group!(
     name = benches;
     config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_sha256, bench_signatures, bench_batch_digest, bench_pbft_preprepare, bench_storage
+    targets = bench_sha256, bench_sha256_throughput, bench_signatures, bench_digest_memoization, bench_batch_handoff, bench_hmac_reuse, bench_batch_digest, bench_pbft_preprepare, bench_storage
 );
 criterion_main!(benches);

@@ -1,0 +1,18 @@
+//! End-to-end commit-path throughput experiment.
+//!
+//! Drives a saturated default PBFT deployment over a sweep of batch
+//! sizes and reports committed throughput and latency per point. This is
+//! the macro-level companion to the `microbench` hot-path benches
+//! (sha256 throughput, digest memoization, Arc batch hand-off): the
+//! micro benches show each ingredient, this binary shows the committed
+//! TPS they buy end to end. Run before/after hot-path changes and diff
+//! the rows.
+
+use sbft_bench::experiment::{commit_path_points, print_header, run_point};
+
+fn main() {
+    print_header();
+    for point in commit_path_points(&[10, 50, 100, 400, 1000]) {
+        let _ = run_point(point);
+    }
+}

@@ -176,9 +176,53 @@ pub fn run_point_silent(point: PointConfig) -> PointResult {
     }
 }
 
+/// Builds the commit-path throughput experiment: a saturated default PBFT
+/// deployment swept over batch sizes, isolating the per-batch hot path the
+/// zero-copy refactor targets (batch hand-off through consensus, spawn,
+/// execution and the verifier's sharded `ccheck`). One figure row per
+/// batch size; the headline number is committed TPS.
+#[must_use]
+pub fn commit_path_points(batch_sizes: &[usize]) -> Vec<PointConfig> {
+    batch_sizes
+        .iter()
+        .map(|&batch_size| {
+            let mut config = SystemConfig::with_shim_size(4);
+            config.workload.num_records = 10_000;
+            config.workload.batch_size = batch_size;
+            let mut point = PointConfig::new(
+                "hotpath",
+                format!("BATCH-{batch_size}"),
+                batch_size as f64,
+                config,
+            );
+            point.clients = 600;
+            point.duration = SimDuration::from_millis(400);
+            point.warmup = SimDuration::from_millis(100);
+            point
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn commit_path_experiment_commits_at_every_batch_size() {
+        for point in commit_path_points(&[10, 100]) {
+            let mut point = point;
+            point.clients = 60;
+            point.duration = SimDuration::from_millis(200);
+            point.warmup = SimDuration::from_millis(50);
+            let result = run_point_silent(point);
+            assert!(
+                result.metrics.throughput_tps() > 0.0,
+                "batch size {} must commit",
+                result.x
+            );
+            assert_eq!(result.metrics.divergent_aborts, 0);
+        }
+    }
 
     #[test]
     fn run_point_produces_nonzero_throughput() {

@@ -20,4 +20,6 @@
 
 pub mod experiment;
 
-pub use experiment::{print_header, run_point, run_point_silent, PointConfig, PointResult};
+pub use experiment::{
+    commit_path_points, print_header, run_point, run_point_silent, PointConfig, PointResult,
+};

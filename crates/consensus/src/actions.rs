@@ -9,6 +9,7 @@
 use crate::messages::ConsensusMessage;
 use sbft_crypto::CommitCertificate;
 use sbft_types::{Batch, NodeId, SeqNum, SimDuration, ViewNumber};
+use std::sync::Arc;
 
 /// Timers a consensus replica can request.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
@@ -31,7 +32,9 @@ pub enum ConsensusAction {
     Send(NodeId, ConsensusMessage),
     /// The replica has locally committed `batch` at `seq` in `view`; the
     /// certificate carries the `2f_R + 1` commit signatures that the
-    /// ServerlessBFT layer ships to the executors.
+    /// ServerlessBFT layer ships to the executors. Both the batch and the
+    /// certificate are reference-counted handles: emitting this action
+    /// never deep-copies transactions or signatures.
     Committed {
         /// View in which the batch committed.
         view: ViewNumber,
@@ -41,7 +44,7 @@ pub enum ConsensusAction {
         batch: Batch,
         /// Certificate proving the quorum (absent for the CFT/NoShim
         /// baselines, which do not produce signatures).
-        certificate: Option<CommitCertificate>,
+        certificate: Option<Arc<CommitCertificate>>,
     },
     /// Start (or restart) a timer.
     StartTimer {

@@ -8,9 +8,10 @@
 //! authentication at all, which is exactly why `ServerlessCFT` outperforms
 //! PBFT in Figure 7.
 
-use sbft_crypto::CommitCertificate;
+use sbft_crypto::{CommitCertificate, U64Hasher};
 use sbft_types::{Batch, Digest, MacTag, NodeId, SeqNum, Signature, ViewNumber};
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// Fixed per-message framing overhead (transport headers, message type
 /// tags, lengths) used by the wire-size model.
@@ -117,8 +118,10 @@ pub struct Checkpoint {
     /// Sender of the message.
     pub sender: NodeId,
     /// Commit certificates for every sequence number since the previous
-    /// checkpoint, proving those requests committed.
-    pub certificates: Vec<CommitCertificate>,
+    /// checkpoint, proving those requests committed. Shared by reference
+    /// count with the replica's own certificate store, so building a
+    /// checkpoint copies no signatures.
+    pub certificates: Vec<Arc<CommitCertificate>>,
     /// Digital signature over the checkpoint digest.
     pub signature: Signature,
 }
@@ -230,10 +233,7 @@ impl ConsensusMessage {
                     + 8
                     + 4
                     + 64
-                    + m.certificates
-                        .iter()
-                        .map(CommitCertificate::wire_size)
-                        .sum::<usize>()
+                    + m.certificates.iter().map(|c| c.wire_size()).sum::<usize>()
             }
             ConsensusMessage::CftAccept(m) => FRAMING_OVERHEAD + 16 + 32 + m.batch.wire_size(),
             ConsensusMessage::CftAccepted(_) => FRAMING_OVERHEAD + 16 + 32 + 4,
@@ -258,32 +258,41 @@ impl ConsensusMessage {
 /// The digest a node signs or MACs for a `(view, seq, batch-digest)` header.
 #[must_use]
 pub fn header_digest(label: &str, view: ViewNumber, seq: SeqNum, digest: &Digest) -> Digest {
-    let mut values = vec![view.0, seq.0];
-    values.extend(
-        digest
-            .as_bytes()
-            .chunks_exact(8)
-            .map(|c| u64::from_le_bytes(c.try_into().expect("8-byte chunk"))),
-    );
-    sbft_crypto::digest_u64s(label, &values)
+    let mut h = U64Hasher::new(label);
+    h.push(view.0);
+    h.push(seq.0);
+    h.push_digest(digest);
+    h.finish()
 }
 
 /// Digest of a batch of transactions (`Δ = H(m)`): hashes the transaction
 /// identifiers and operation structure.
+///
+/// The result is memoized on the batch value: the primary computes it
+/// once when it proposes, every replica computes it once when it checks
+/// the `PREPREPARE`, and every clone taken afterwards (log entries,
+/// re-proposals, certificates) reuses the cached digest.
 #[must_use]
 pub fn batch_digest(batch: &Batch) -> Digest {
-    let mut values = Vec::with_capacity(batch.len() * 3 + 1);
-    values.push(batch.len() as u64);
-    for txn in &batch.txns {
-        values.push(u64::from(txn.id.client.0));
-        values.push(txn.id.counter);
-        values.push(txn.ops.len() as u64);
+    batch.digest_memo(|| compute_batch_digest(batch))
+}
+
+/// Computes the batch digest from scratch, bypassing the memo (the cache
+/// regression tests compare this against [`batch_digest`]).
+#[must_use]
+pub fn compute_batch_digest(batch: &Batch) -> Digest {
+    let mut h = U64Hasher::new("sbft-batch");
+    h.push(batch.len() as u64);
+    for txn in batch.txns() {
+        h.push(u64::from(txn.id.client.0));
+        h.push(txn.id.counter);
+        h.push(txn.ops.len() as u64);
         for op in &txn.ops {
-            values.push(op.key().0);
-            values.push(u64::from(op.is_write()));
+            h.push(op.key().0);
+            h.push(u64::from(op.is_write()));
         }
     }
-    sbft_crypto::digest_u64s("sbft-batch", &values)
+    h.finish()
 }
 
 #[cfg(test)]
@@ -308,10 +317,23 @@ mod tests {
     fn batch_digest_is_deterministic_and_sensitive() {
         let b = batch(10);
         assert_eq!(batch_digest(&b), batch_digest(&b));
-        let mut other = batch(10);
-        other.txns[3].ops[0] = Operation::ReadModifyWrite(Key(3), 1);
+        let mut txns: Vec<Transaction> = batch(10).txns().to_vec();
+        txns[3] = Transaction::new(txns[3].id, vec![Operation::ReadModifyWrite(Key(3), 1)]);
+        let other = Batch::new(txns);
         assert_ne!(batch_digest(&b), batch_digest(&other));
         assert_ne!(batch_digest(&b), batch_digest(&batch(11)));
+    }
+
+    #[test]
+    fn batch_digest_memo_matches_fresh_computation_and_follows_clones() {
+        let b = batch(25);
+        let memoized = batch_digest(&b);
+        assert_eq!(memoized, compute_batch_digest(&b));
+        assert_eq!(b.cached_digest(), Some(memoized));
+        // A clone taken after the computation carries the cache.
+        let clone = b.clone();
+        assert_eq!(clone.cached_digest(), Some(memoized));
+        assert!(clone.shares_txns(&b));
     }
 
     #[test]

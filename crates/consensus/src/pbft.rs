@@ -36,6 +36,7 @@ use sbft_types::{
     Batch, ComponentId, Digest, FaultParams, NodeId, SeqNum, SimDuration, ViewNumber,
 };
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
 
 /// A PBFT replica running on one shim node.
 pub struct PbftReplica {
@@ -50,8 +51,11 @@ pub struct PbftReplica {
     next_seq: SeqNum,
     log: ConsensusLog,
 
-    /// Commit certificates accumulated since the last stable checkpoint.
-    pending_certs: BTreeMap<SeqNum, CommitCertificate>,
+    /// Commit certificates accumulated since the last stable checkpoint,
+    /// held by reference count: the `Committed` action and every
+    /// featherweight checkpoint share the same allocation instead of
+    /// copying the signature set.
+    pending_certs: BTreeMap<SeqNum, Arc<CommitCertificate>>,
     /// Checkpoint votes collected, per checkpoint sequence number.
     checkpoint_votes: BTreeMap<SeqNum, BTreeMap<NodeId, Checkpoint>>,
     /// View-change votes collected, per target view.
@@ -244,8 +248,8 @@ impl PbftReplica {
                 entries,
             )
         };
-        let certificate = CommitCertificate::new(view, seq, digest, cert_entries);
-        self.pending_certs.insert(seq, certificate.clone());
+        let certificate = Arc::new(CommitCertificate::new(view, seq, digest, cert_entries));
+        self.pending_certs.insert(seq, Arc::clone(&certificate));
         actions.push(ConsensusAction::CancelTimer(ConsensusTimer::Request(seq)));
         actions.push(ConsensusAction::Committed {
             view,
@@ -265,7 +269,7 @@ impl PbftReplica {
         let certificates: Vec<_> = self
             .pending_certs
             .range(SeqNum(self.log.stable_seq().0 + 1)..=seq)
-            .map(|(_, c)| c.clone())
+            .map(|(_, c)| Arc::clone(c))
             .collect();
         let digest = sbft_crypto::digest_u64s("checkpoint", &[seq.0, certificates.len() as u64]);
         let checkpoint = Checkpoint {
@@ -330,7 +334,7 @@ impl PbftReplica {
                                 view: cert.view,
                                 seq: cert.seq,
                                 batch,
-                                certificate: Some(cert.clone()),
+                                certificate: Some(Arc::clone(cert)),
                             });
                         } else {
                             // Truly in the dark for this request: we only
@@ -764,7 +768,9 @@ mod tests {
         dark: BTreeSet<NodeId>,
         /// Committed (node, seq, batch-len) triples observed.
         committed: Vec<(NodeId, SeqNum, usize)>,
-        certificates: Vec<CommitCertificate>,
+        /// The batches delivered by Committed actions (zero-copy checks).
+        committed_batches: Vec<(NodeId, Batch)>,
+        certificates: Vec<Arc<CommitCertificate>>,
         caught_up: Vec<(NodeId, SeqNum)>,
         provider: std::sync::Arc<CryptoProvider>,
     }
@@ -789,6 +795,7 @@ mod tests {
                 down: BTreeSet::new(),
                 dark: BTreeSet::new(),
                 committed: Vec::new(),
+                committed_batches: Vec::new(),
                 certificates: Vec::new(),
                 caught_up: Vec::new(),
                 provider,
@@ -857,6 +864,7 @@ mod tests {
                         ..
                     } => {
                         self.committed.push((origin, seq, batch.len()));
+                        self.committed_batches.push((origin, batch));
                         if let Some(cert) = certificate {
                             self.certificates.push(cert);
                         }
@@ -898,6 +906,28 @@ mod tests {
         for i in 0..4u32 {
             assert_eq!(shim.committed_by(NodeId(i)), vec![SeqNum(1)], "node {i}");
         }
+    }
+
+    #[test]
+    fn committed_batches_share_storage_with_the_submitted_batch() {
+        // Zero-copy hand-off: the batch the primary submits travels through
+        // PREPREPARE, every replica's log and the Committed action as a
+        // refcount bump — all four replicas deliver the *same* transaction
+        // allocation, never a deep clone.
+        let mut shim = TestShim::new(4);
+        let submitted = batch(0);
+        let primary = shim.replicas[0].primary();
+        let actions = shim.replicas[primary.0 as usize].submit_batch(submitted.clone());
+        shim.run_actions(primary, actions);
+        assert_eq!(shim.committed_batches.len(), 4, "all replicas committed");
+        for (node, b) in &shim.committed_batches {
+            assert!(
+                b.shares_txns(&submitted),
+                "node {node} must deliver the submitted batch's storage"
+            );
+        }
+        // The delivered digest is memoized once and carried by every clone.
+        assert!(shim.committed_batches[0].1.cached_digest().is_some());
     }
 
     #[test]

@@ -266,7 +266,12 @@ mod tests {
                 seq: SeqNum(1),
                 digest,
                 batch,
-                certificate: CommitCertificate::new(ViewNumber(0), SeqNum(1), digest, vec![]),
+                certificate: std::sync::Arc::new(CommitCertificate::new(
+                    ViewNumber(0),
+                    SeqNum(1),
+                    digest,
+                    vec![],
+                )),
                 spawner: NodeId(0),
                 signature: sbft_types::Signature::ZERO,
             },

@@ -26,18 +26,29 @@ pub struct ClientRequest {
 
 impl ClientRequest {
     /// The digest a client signs for its request.
+    ///
+    /// Memoized on the transaction: the digest is computed at most once
+    /// per transaction per run — the client fills the cache when it signs,
+    /// and the primary's and verifier's checks (including every retry)
+    /// reuse the cached value carried by the transaction's clones.
     #[must_use]
     pub fn signing_digest(txn: &Transaction) -> sbft_types::Digest {
-        let mut values = vec![
-            u64::from(txn.id.client.0),
-            txn.id.counter,
-            txn.ops.len() as u64,
-        ];
+        txn.signing_digest_memo(|| Self::compute_signing_digest(txn))
+    }
+
+    /// Computes the signing digest from scratch, bypassing the memo (the
+    /// cache regression tests compare this against [`Self::signing_digest`]).
+    #[must_use]
+    pub fn compute_signing_digest(txn: &Transaction) -> sbft_types::Digest {
+        let mut h = sbft_crypto::U64Hasher::new("sbft-client-request");
+        h.push(u64::from(txn.id.client.0));
+        h.push(txn.id.counter);
+        h.push(txn.ops.len() as u64);
         for op in &txn.ops {
-            values.push(op.key().0);
-            values.push(u64::from(op.is_write()));
+            h.push(op.key().0);
+            h.push(u64::from(op.is_write()));
         }
-        sbft_crypto::digest_u64s("sbft-client-request", &values)
+        h.finish()
     }
 }
 
@@ -318,6 +329,16 @@ mod tests {
 
     fn txn() -> Transaction {
         Transaction::new(TxnId::new(ClientId(1), 2), vec![Operation::Read(Key(3))])
+    }
+
+    #[test]
+    fn cached_signing_digest_equals_fresh_computation() {
+        let t = txn();
+        let memoized = ClientRequest::signing_digest(&t);
+        assert_eq!(memoized, ClientRequest::compute_signing_digest(&t));
+        assert_eq!(t.cached_signing_digest(), Some(memoized));
+        // Clones carry the cache, so downstream components never re-hash.
+        assert_eq!(t.clone().cached_signing_digest(), Some(memoized));
     }
 
     #[test]

@@ -44,7 +44,7 @@ pub mod verifier;
 
 pub use attacks::{AttackInjector, ShimAttack};
 pub use client::ClientRole;
-pub use events::{Action, Destination, Envelope, ProtocolMessage, ProtocolTimer};
+pub use events::{Action, ClientRequest, Destination, Envelope, ProtocolMessage, ProtocolTimer};
 pub use planner::BestEffortPlanner;
 pub use shim::ShimNode;
 pub use system::{System, SystemBuilder};

@@ -26,13 +26,16 @@ use sbft_types::{
     ViewNumber,
 };
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
-/// A committed batch that may still need spawning or re-spawning.
+/// A committed batch that may still need spawning or re-spawning. The
+/// batch and certificate are shared handles into the consensus layer's
+/// allocations — storing and later re-reading them copies nothing.
 #[derive(Clone, Debug)]
 struct CommittedBatch {
     view: ViewNumber,
     batch: Batch,
-    certificate: CommitCertificate,
+    certificate: Arc<CommitCertificate>,
     spawned: bool,
 }
 
@@ -250,7 +253,7 @@ impl ShimNode {
         view: ViewNumber,
         seq: SeqNum,
         batch: Batch,
-        certificate: Option<CommitCertificate>,
+        certificate: Option<Arc<CommitCertificate>>,
     ) -> Vec<Action> {
         self.batches_committed += 1;
         let len = batch.len();
@@ -258,12 +261,12 @@ impl ShimNode {
         // empty certificate stands in so the message flow stays identical
         // (executors and the verifier are configured with a quorum of 0).
         let certificate = certificate.unwrap_or_else(|| {
-            CommitCertificate::new(
+            Arc::new(CommitCertificate::new(
                 view,
                 seq,
                 sbft_consensus::messages::batch_digest(&batch),
                 vec![],
-            )
+            ))
         });
         self.committed.insert(
             seq,
@@ -286,7 +289,6 @@ impl ShimNode {
                 let entry = self.committed.get(&seq).expect("just inserted");
                 let rwsets: Vec<_> = entry
                     .batch
-                    .txns
                     .iter()
                     .map(|t| {
                         t.declared_rwset
@@ -336,12 +338,14 @@ impl ShimNode {
         entry.spawned = true;
         let digest = entry.certificate.batch_digest;
         let signing = ExecuteRequest::signing_digest(entry.view, seq, &digest, self.me);
+        // Both clones below are refcount bumps; the per-executor clone of
+        // `execute` in the loop shares them too.
         let execute = ExecuteRequest {
             view: entry.view,
             seq,
             digest,
             batch: entry.batch.clone(),
-            certificate: entry.certificate.clone(),
+            certificate: Arc::clone(&entry.certificate),
             spawner: self.me,
             signature: self.crypto.sign(&signing),
         };
@@ -627,6 +631,51 @@ mod tests {
             .count();
         assert_eq!(commits, 4);
         assert_eq!(shim.nodes[0].executors_spawned(), 3);
+    }
+
+    #[test]
+    fn execute_requests_share_batch_and_certificate_with_consensus() {
+        // Zero-copy hand-off, shim layer: the batch embedded in the
+        // primary's PREPREPARE and the batches carried by every spawned
+        // EXECUTE message are the same Arc allocation, and all EXECUTE
+        // copies share one certificate allocation.
+        let mut shim = make_shim(base_config());
+        let provider = Arc::clone(&shim.provider);
+        let _ = shim.nodes[0].on_client_request(&signed_request(&provider, 0, 0), SimTime::ZERO);
+        let a1 = shim.nodes[0].on_client_request(&signed_request(&provider, 1, 0), SimTime::ZERO);
+        let proposed = a1
+            .iter()
+            .find_map(|a| match a.as_send().map(|e| &e.msg) {
+                Some(ProtocolMessage::Consensus(sbft_consensus::ConsensusMessage::PrePrepare(
+                    pp,
+                ))) => Some(pp.batch.clone()),
+                _ => None,
+            })
+            .expect("primary broadcasts a PREPREPARE");
+        let external = run_consensus(&mut shim, 0, a1);
+        let executes: Vec<_> = external
+            .iter()
+            .filter_map(|(_, a)| match a {
+                Action::SpawnExecutor { execute, .. } => Some(execute.clone()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(executes.len(), shim.config.executors_per_batch());
+        for execute in &executes {
+            assert!(
+                execute.batch.shares_txns(&proposed),
+                "EXECUTE must carry the proposed batch's storage, not a copy"
+            );
+            assert!(
+                Arc::ptr_eq(&execute.certificate, &executes[0].certificate),
+                "all EXECUTE copies share one certificate allocation"
+            );
+        }
+        // The batch digest was computed once and is carried by the handle.
+        assert_eq!(
+            executes[0].batch.cached_digest(),
+            Some(executes[0].certificate.batch_digest)
+        );
     }
 
     #[test]

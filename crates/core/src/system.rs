@@ -243,6 +243,7 @@ impl SystemBuilder {
                 cert_quorum,
                 spawned_per_batch: self.config.spawned_per_batch(),
                 sharding: self.config.sharding,
+                checkpoint_interval: self.config.timers.checkpoint_interval,
             },
         );
 

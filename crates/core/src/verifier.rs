@@ -60,6 +60,11 @@ pub struct VerifierConfig {
     pub spawned_per_batch: usize,
     /// Sharded-execution parameters for the commit path.
     pub sharding: ShardingConfig,
+    /// The shim's featherweight checkpoint interval. The verifier
+    /// truncates its `responded` / `txn_location` maps in the same rhythm
+    /// (keeping one closed interval of history for client retries), so
+    /// long runs stop growing without bound. `0` disables the GC.
+    pub checkpoint_interval: u64,
 }
 
 /// The verifier role state machine.
@@ -74,9 +79,15 @@ pub struct Verifier {
     /// The pending list `π` plus in-progress collection state.
     pending: BTreeMap<SeqNum, SeqState>,
     /// Responses already sent, kept to answer client re-transmissions.
+    /// Truncated at the featherweight checkpoint interval (see
+    /// [`VerifierConfig::checkpoint_interval`]).
     responded: HashMap<TxnId, ProtocolMessage>,
     /// Which batch each transaction was ordered in (learned from `VERIFY`).
+    /// Truncated together with `responded`.
     txn_location: HashMap<TxnId, SeqNum>,
+    /// Highest sequence number at or below which the retry maps have been
+    /// garbage-collected.
+    gc_floor: SeqNum,
     /// Recovery subjects we broadcast an `ERROR`/`REPLACE` for and still
     /// owe an `ACK`.
     outstanding: BTreeSet<RecoverySubject>,
@@ -85,6 +96,7 @@ pub struct Verifier {
     aborted_txns: u64,
     ignored_verifies: u64,
     validated_batches: u64,
+    divergent_aborts: u64,
 }
 
 impl Verifier {
@@ -100,11 +112,13 @@ impl Verifier {
             pending: BTreeMap::new(),
             responded: HashMap::new(),
             txn_location: HashMap::new(),
+            gc_floor: SeqNum(0),
             outstanding: BTreeSet::new(),
             committed_txns: 0,
             aborted_txns: 0,
             ignored_verifies: 0,
             validated_batches: 0,
+            divergent_aborts: 0,
         }
     }
 
@@ -136,6 +150,28 @@ impl Verifier {
     #[must_use]
     pub fn validated_batches(&self) -> u64 {
         self.validated_batches
+    }
+
+    /// Whole batches aborted because every spawned executor answered and
+    /// no `f_E + 1` of the digests matched (the Section VI-B divergence
+    /// rule, both the count-triggered and the timer-triggered form).
+    #[must_use]
+    pub fn divergent_aborts(&self) -> u64 {
+        self.divergent_aborts
+    }
+
+    /// Entries currently held for client-retry answering (tests and memory
+    /// accounting).
+    #[must_use]
+    pub fn responded_len(&self) -> usize {
+        self.responded.len()
+    }
+
+    /// Entries currently held in the transaction-location map (tests and
+    /// memory accounting).
+    #[must_use]
+    pub fn txn_location_len(&self) -> usize {
+        self.txn_location.len()
     }
 
     /// The sharded commit engine (router, per-shard states and counters).
@@ -293,7 +329,41 @@ impl Verifier {
             }
             self.kmax = self.kmax.next();
         }
+        self.gc_retry_maps();
         actions
+    }
+
+    /// Truncates the client-retry maps in the rhythm of the shim's
+    /// featherweight checkpoints. Entries for batches at or below the
+    /// previous checkpoint (one closed interval behind the latest one
+    /// `k_max` passed) are dropped: late duplicate requests inside the
+    /// retained window are still answered with the stored `RESPONSE`,
+    /// while anything older falls back to the `ERROR(⟨T⟩_C)` path — the
+    /// primary recognises the duplicate and drops it.
+    fn gc_retry_maps(&mut self) {
+        let interval = self.config.checkpoint_interval;
+        if interval == 0 {
+            return;
+        }
+        let validated = self.kmax.0.saturating_sub(1);
+        let stable = (validated / interval) * interval;
+        let cutoff = SeqNum(stable.saturating_sub(interval));
+        if cutoff <= self.gc_floor {
+            return;
+        }
+        self.gc_floor = cutoff;
+        let mut dropped = Vec::new();
+        self.txn_location.retain(|txn, seq| {
+            if *seq <= cutoff {
+                dropped.push(*txn);
+                false
+            } else {
+                true
+            }
+        });
+        for txn in &dropped {
+            self.responded.remove(txn);
+        }
     }
 
     /// Applies a matched batch: per-transaction concurrency check through
@@ -389,6 +459,7 @@ impl Verifier {
         let Some(sample) = state.verifies.values().next() else {
             return actions;
         };
+        self.divergent_aborts += 1;
         let mut aborted = 0u32;
         for result in &sample.results {
             aborted += 1;
@@ -613,11 +684,12 @@ mod tests {
                     cert_quorum: 3,
                     spawned_per_batch: spawned,
                     sharding,
+                    checkpoint_interval: 4,
                 },
             )
         }
 
-        fn certificate(&self, seq: u64, digest: Digest) -> CommitCertificate {
+        fn certificate(&self, seq: u64, digest: Digest) -> std::sync::Arc<CommitCertificate> {
             let cd = commit_digest(ViewNumber(0), SeqNum(seq), &digest);
             let entries = (0..3u32)
                 .map(|n| {
@@ -628,7 +700,12 @@ mod tests {
                     (NodeId(n), SimSigner::sign(&kp, &cd))
                 })
                 .collect();
-            CommitCertificate::new(ViewNumber(0), SeqNum(seq), digest, entries)
+            std::sync::Arc::new(CommitCertificate::new(
+                ViewNumber(0),
+                SeqNum(seq),
+                digest,
+                entries,
+            ))
         }
 
         /// Builds a VERIFY message from executor `executor` for batch `seq`
@@ -769,7 +846,9 @@ mod tests {
         let fx = Fixture::new();
         let mut v = fx.verifier(ConflictHandling::NonConflicting);
         let mut m = fx.verify_msg(1, 1, 0, 42, 1);
-        m.certificate.entries.truncate(1);
+        std::sync::Arc::make_mut(&mut m.certificate)
+            .entries
+            .truncate(1);
         assert!(v.on_verify(&m).is_empty());
     }
 
@@ -839,6 +918,7 @@ mod tests {
         let actions = v.on_abort_timeout(SeqNum(1));
         assert!(actions.iter().any(|a| a.sends_kind("ABORT")));
         assert_eq!(v.aborted_txns(), 1);
+        assert_eq!(v.divergent_aborts(), 1);
         assert_eq!(
             v.kmax(),
             SeqNum(2),
@@ -966,6 +1046,7 @@ mod tests {
         let actions = v.on_verify(&fx.verify_msg(3, 1, 0, 3, 1));
         assert!(actions.iter().any(|a| a.sends_kind("ABORT")));
         assert_eq!(v.aborted_txns(), 1);
+        assert_eq!(v.divergent_aborts(), 1);
         assert_eq!(
             v.kmax(),
             SeqNum(2),
@@ -990,6 +1071,7 @@ mod tests {
                 // decentralized: n_r × decentralized_spawn_count()
                 spawned_per_batch: 4,
                 sharding: ShardingConfig::default(),
+                checkpoint_interval: 4,
             },
         );
         let _ = v.on_verify(&fx.verify_msg(1, 1, 0, 1, 1));
@@ -1085,6 +1167,89 @@ mod tests {
     }
 
     #[test]
+    fn retry_maps_truncate_at_the_checkpoint_interval() {
+        // Fixture checkpoint interval is 4. Validate 9 batches: the last
+        // stable checkpoint k_max passed is 8, so everything at or below
+        // checkpoint 4 is dropped while the last closed interval (5..=8)
+        // plus batch 9 is retained for client retries.
+        let fx = Fixture::new();
+        let mut v = fx.verifier(ConflictHandling::NonConflicting);
+        for seq in 1..=9u64 {
+            let _ = v.on_verify(&fx.verify_msg(1, seq, 0, seq, 1));
+            let _ = v.on_verify(&fx.verify_msg(2, seq, 0, seq, 1));
+        }
+        assert_eq!(v.kmax(), SeqNum(10));
+        assert_eq!(v.responded_len(), 5, "seqs 5..=9 retained");
+        assert_eq!(v.txn_location_len(), 5);
+
+        // A late duplicate request inside the retained window is still
+        // answered with the stored RESPONSE.
+        let txn = Transaction::new(TxnId::new(ClientId(0), 7), vec![Operation::Read(Key(1))]);
+        let digest = ClientRequest::signing_digest(&txn);
+        let req = ClientRequest {
+            signature: fx
+                .provider
+                .handle(ComponentId::Client(ClientId(0)))
+                .sign(&digest),
+            txn,
+        };
+        let actions = v.on_client_request(&req);
+        let env = actions[0].as_send().unwrap();
+        assert_eq!(env.msg.kind(), "RESPONSE");
+
+        // A duplicate older than the GC floor falls back to the
+        // ERROR(⟨T⟩_C) recovery path (the primary recognises it as a
+        // duplicate and drops it).
+        let old = Transaction::new(TxnId::new(ClientId(0), 2), vec![Operation::Read(Key(1))]);
+        let digest = ClientRequest::signing_digest(&old);
+        let req = ClientRequest {
+            signature: fx
+                .provider
+                .handle(ComponentId::Client(ClientId(0)))
+                .sign(&digest),
+            txn: old,
+        };
+        let actions = v.on_client_request(&req);
+        assert!(actions.iter().any(|a| a.sends_kind("ERROR")));
+    }
+
+    #[test]
+    fn retry_maps_do_not_grow_without_bound() {
+        let fx = Fixture::new();
+        let mut v = fx.verifier(ConflictHandling::NonConflicting);
+        for seq in 1..=100u64 {
+            let _ = v.on_verify(&fx.verify_msg(1, seq, 0, seq, 1));
+            let _ = v.on_verify(&fx.verify_msg(2, seq, 0, seq, 1));
+        }
+        // One interval of history plus the open interval: never more than
+        // two intervals' worth of entries with one transaction per batch.
+        assert!(
+            v.responded_len() <= 8,
+            "responded holds {} entries",
+            v.responded_len()
+        );
+        assert!(v.txn_location_len() <= 8);
+        assert_eq!(v.committed_txns(), 100);
+    }
+
+    #[test]
+    fn divergent_abort_counter_tracks_whole_batch_divergence() {
+        // Count-triggered divergence (all spawned executors answered, no
+        // quorum) increments the counter ...
+        let fx = Fixture::new();
+        let mut v = fx.verifier(ConflictHandling::NonConflicting);
+        let _ = v.on_verify(&fx.verify_msg(1, 1, 0, 1, 1));
+        let _ = v.on_verify(&fx.verify_msg(2, 1, 0, 2, 1));
+        let _ = v.on_verify(&fx.verify_msg(3, 1, 0, 3, 1));
+        assert_eq!(v.divergent_aborts(), 1);
+        // ... and a matched batch does not.
+        let _ = v.on_verify(&fx.verify_msg(1, 2, 0, 5, 1));
+        let _ = v.on_verify(&fx.verify_msg(2, 2, 0, 5, 1));
+        assert_eq!(v.divergent_aborts(), 1);
+        assert_eq!(v.committed_txns(), 1);
+    }
+
+    #[test]
     fn cert_quorum_zero_accepts_baseline_verifies() {
         let fx = Fixture::new();
         let mut v = Verifier::new(
@@ -1097,12 +1262,15 @@ mod tests {
                 cert_quorum: 0,
                 spawned_per_batch: 3,
                 sharding: ShardingConfig::default(),
+                checkpoint_interval: 4,
             },
         );
         let mut m = fx.verify_msg(1, 1, 0, 42, 1);
-        m.certificate.entries.clear();
+        std::sync::Arc::make_mut(&mut m.certificate).entries.clear();
         let mut m2 = fx.verify_msg(2, 1, 0, 42, 1);
-        m2.certificate.entries.clear();
+        std::sync::Arc::make_mut(&mut m2.certificate)
+            .entries
+            .clear();
         let _ = v.on_verify(&m);
         let actions = v.on_verify(&m2);
         assert!(response_kinds(&actions).contains(&"RESPONSE"));

@@ -7,7 +7,7 @@
 //! `C` before executing, and echo it in their `VERIFY` messages so the
 //! verifier can detect byzantine spawning (Section V-C).
 
-use crate::hashing::digest_u64s;
+use crate::hashing::U64Hasher;
 use crate::keys::KeyStore;
 use crate::signature::SimSigner;
 use sbft_types::{
@@ -21,14 +21,11 @@ use std::collections::BTreeSet;
 /// digest of the ordered batch.
 #[must_use]
 pub fn commit_digest(view: ViewNumber, seq: SeqNum, batch_digest: &Digest) -> Digest {
-    let mut values = vec![view.0, seq.0];
-    values.extend(
-        batch_digest
-            .as_bytes()
-            .chunks_exact(8)
-            .map(|c| u64::from_le_bytes(c.try_into().expect("8-byte chunk"))),
-    );
-    digest_u64s("sbft-commit", &values)
+    let mut h = U64Hasher::new("sbft-commit");
+    h.push(view.0);
+    h.push(seq.0);
+    h.push_digest(batch_digest);
+    h.finish()
 }
 
 /// A certificate proving that a quorum of shim nodes committed a batch at a
@@ -118,6 +115,7 @@ impl CommitCertificate {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::hashing::digest_u64s;
     use sbft_types::Digest;
 
     fn make_cert(store: &KeyStore, signers: &[u32], view: u64, seq: u64) -> CommitCertificate {

@@ -1,4 +1,12 @@
 //! Convenience digest helpers built on [`crate::sha256::Sha256`].
+//!
+//! The protocol hashes structured data — `(view, seq, digest)` headers,
+//! transaction identifiers, result vectors — far more often than raw byte
+//! buffers. [`U64Hasher`] is the allocation-free workhorse for those
+//! sites: values are pushed one `u64` at a time into a 64-byte stack
+//! buffer that is fed to SHA-256 one full block at a time, so a digest
+//! over any number of values costs zero heap allocations and compresses
+//! aligned blocks on the no-copy fast path of [`Sha256::update`].
 
 use crate::sha256::Sha256;
 use sbft_types::Digest;
@@ -20,17 +28,82 @@ pub fn digest_concat(parts: &[&[u8]]) -> Digest {
     h.finalize()
 }
 
+/// An incremental, allocation-free hasher for streams of `u64` values.
+///
+/// Construction absorbs a domain-separation label; values are then pushed
+/// with [`push`](U64Hasher::push) (or [`push_digest`](U64Hasher::push_digest)
+/// for 32-byte digests) and the final digest is produced by
+/// [`finish`](U64Hasher::finish). Values are staged in a 64-byte stack
+/// buffer so SHA-256 sees whole blocks; no heap memory is touched.
+#[derive(Clone)]
+pub struct U64Hasher {
+    inner: Sha256,
+    /// Stack staging area: eight little-endian `u64`s make one SHA block.
+    buf: [u8; 64],
+    len: usize,
+}
+
+impl U64Hasher {
+    /// Creates a hasher and absorbs the domain-separation `label`
+    /// (terminated by a `0` separator byte, as [`digest_u64s`] always did).
+    #[must_use]
+    pub fn new(label: &str) -> Self {
+        let mut inner = Sha256::new();
+        inner.update(label.as_bytes());
+        inner.update(&[0u8]); // separator between label and payload
+        U64Hasher {
+            inner,
+            buf: [0u8; 64],
+            len: 0,
+        }
+    }
+
+    /// Pushes one value (little-endian encoded).
+    pub fn push(&mut self, value: u64) {
+        if self.len == 64 {
+            self.flush();
+        }
+        self.buf[self.len..self.len + 8].copy_from_slice(&value.to_le_bytes());
+        self.len += 8;
+    }
+
+    /// Pushes every value of a slice.
+    pub fn push_all(&mut self, values: &[u64]) {
+        for v in values {
+            self.push(*v);
+        }
+    }
+
+    /// Pushes a 32-byte digest as four little-endian `u64` words (the
+    /// encoding the header/commit digests have always used).
+    pub fn push_digest(&mut self, digest: &Digest) {
+        for chunk in digest.as_bytes().chunks_exact(8) {
+            self.push(u64::from_le_bytes(chunk.try_into().expect("8-byte chunk")));
+        }
+    }
+
+    /// Finalizes the hash.
+    #[must_use]
+    pub fn finish(mut self) -> Digest {
+        self.flush();
+        self.inner.finalize()
+    }
+
+    fn flush(&mut self) {
+        self.inner.update(&self.buf[..self.len]);
+        self.len = 0;
+    }
+}
+
 /// Hashes a sequence of `u64` values (little-endian encoded). Used for
 /// digesting structured identifiers such as `(view, seq, batch)` tuples.
+/// For call sites that would need to build a temporary `Vec` first, use
+/// [`U64Hasher`] directly and push the values as they are produced.
 #[must_use]
 pub fn digest_u64s(label: &str, values: &[u64]) -> Digest {
-    let mut h = Sha256::new();
-    h.update(label.as_bytes());
-    h.update(&[0u8]); // separator between label and payload
-    for v in values {
-        h.update(&v.to_le_bytes());
-    }
-    h.finalize()
+    let mut h = U64Hasher::new(label);
+    h.push_all(values);
+    h.finish()
 }
 
 #[cfg(test)]
@@ -62,5 +135,34 @@ mod tests {
         assert_eq!(digest_concat(&[]), digest_bytes(b""));
         let d = digest_u64s("x", &[]);
         assert!(!d.is_zero());
+    }
+
+    #[test]
+    fn incremental_pushes_match_slice_digest() {
+        // Cross the 64-byte staging boundary several times.
+        for n in [0usize, 1, 7, 8, 9, 16, 33, 100] {
+            let values: Vec<u64> = (0..n as u64).map(|v| v.wrapping_mul(0x9e37)).collect();
+            let mut h = U64Hasher::new("stream");
+            for v in &values {
+                h.push(*v);
+            }
+            assert_eq!(h.finish(), digest_u64s("stream", &values), "n = {n}");
+        }
+    }
+
+    #[test]
+    fn push_digest_matches_word_encoding() {
+        let d = digest_bytes(b"payload");
+        let words: Vec<u64> = d
+            .as_bytes()
+            .chunks_exact(8)
+            .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
+            .collect();
+        let mut h = U64Hasher::new("hdr");
+        h.push(3);
+        h.push_digest(&d);
+        let mut expected = vec![3u64];
+        expected.extend(words);
+        assert_eq!(h.finish(), digest_u64s("hdr", &expected));
     }
 }

@@ -12,34 +12,75 @@ const BLOCK_SIZE: usize = 64;
 const IPAD: u8 = 0x36;
 const OPAD: u8 = 0x5c;
 
+/// A reusable HMAC-SHA256 key schedule.
+///
+/// The two padded-key blocks (`key ⊕ ipad`, `key ⊕ opad`) are compressed
+/// once at construction; every subsequent MAC clones the precomputed
+/// states instead of re-deriving them, saving two compressions and all
+/// key-handling per message. The simulated signature scheme signs two
+/// related messages under the same key per signature, so it keeps one
+/// `HmacKey` per operation (see [`crate::signature::SimSigner`]).
+#[derive(Clone)]
+pub struct HmacKey {
+    /// Hasher state after absorbing `key ⊕ ipad`.
+    inner: Sha256,
+    /// Hasher state after absorbing `key ⊕ opad`.
+    outer: Sha256,
+}
+
+impl HmacKey {
+    /// Derives the key schedule from a raw key.
+    #[must_use]
+    pub fn new(key: &[u8]) -> Self {
+        // Keys longer than the block size are hashed first.
+        let mut key_block = [0u8; BLOCK_SIZE];
+        if key.len() > BLOCK_SIZE {
+            let hashed = Sha256::digest(key);
+            key_block[..32].copy_from_slice(hashed.as_bytes());
+        } else {
+            key_block[..key.len()].copy_from_slice(key);
+        }
+
+        let mut inner_pad = [0u8; BLOCK_SIZE];
+        let mut outer_pad = [0u8; BLOCK_SIZE];
+        for i in 0..BLOCK_SIZE {
+            inner_pad[i] = key_block[i] ^ IPAD;
+            outer_pad[i] = key_block[i] ^ OPAD;
+        }
+
+        let mut inner = Sha256::new();
+        inner.update(&inner_pad);
+        let mut outer = Sha256::new();
+        outer.update(&outer_pad);
+        HmacKey { inner, outer }
+    }
+
+    /// Computes the MAC of one message.
+    #[must_use]
+    pub fn mac(&self, message: &[u8]) -> MacTag {
+        self.mac_parts(&[message])
+    }
+
+    /// Computes the MAC of the concatenation of `parts` without copying
+    /// them into one buffer.
+    #[must_use]
+    pub fn mac_parts(&self, parts: &[&[u8]]) -> MacTag {
+        let mut inner = self.inner.clone();
+        for p in parts {
+            inner.update(p);
+        }
+        let inner_digest = inner.finalize();
+
+        let mut outer = self.outer.clone();
+        outer.update(inner_digest.as_bytes());
+        MacTag(*outer.finalize().as_bytes())
+    }
+}
+
 /// Computes `HMAC-SHA256(key, message)`.
 #[must_use]
 pub fn hmac_sha256(key: &[u8], message: &[u8]) -> MacTag {
-    // Keys longer than the block size are hashed first.
-    let mut key_block = [0u8; BLOCK_SIZE];
-    if key.len() > BLOCK_SIZE {
-        let hashed = Sha256::digest(key);
-        key_block[..32].copy_from_slice(hashed.as_bytes());
-    } else {
-        key_block[..key.len()].copy_from_slice(key);
-    }
-
-    let mut inner_pad = [0u8; BLOCK_SIZE];
-    let mut outer_pad = [0u8; BLOCK_SIZE];
-    for i in 0..BLOCK_SIZE {
-        inner_pad[i] = key_block[i] ^ IPAD;
-        outer_pad[i] = key_block[i] ^ OPAD;
-    }
-
-    let mut inner = Sha256::new();
-    inner.update(&inner_pad);
-    inner.update(message);
-    let inner_digest = inner.finalize();
-
-    let mut outer = Sha256::new();
-    outer.update(&outer_pad);
-    outer.update(inner_digest.as_bytes());
-    MacTag(*outer.finalize().as_bytes())
+    HmacKey::new(key).mac(message)
 }
 
 /// Verifies an HMAC tag in (logically) constant time.
@@ -123,5 +164,18 @@ mod tests {
     #[test]
     fn different_keys_give_different_tags() {
         assert_ne!(hmac_sha256(b"k1", b"m"), hmac_sha256(b"k2", b"m"));
+    }
+
+    #[test]
+    fn reusable_key_matches_one_shot_and_concat() {
+        let key = HmacKey::new(b"secret");
+        assert_eq!(key.mac(b"message"), hmac_sha256(b"secret", b"message"));
+        // Split parts hash identically to the concatenated message.
+        assert_eq!(
+            key.mac_parts(&[b"mess", b"age"]),
+            hmac_sha256(b"secret", b"message")
+        );
+        // The schedule is reusable across messages.
+        assert_eq!(key.mac(b"other"), hmac_sha256(b"secret", b"other"));
     }
 }

@@ -40,8 +40,8 @@ pub mod threshold;
 
 pub use certificate::CommitCertificate;
 pub use dh::DhKeyExchange;
-pub use hashing::{digest_bytes, digest_concat, digest_u64s};
-pub use hmac::hmac_sha256;
+pub use hashing::{digest_bytes, digest_concat, digest_u64s, U64Hasher};
+pub use hmac::{hmac_sha256, HmacKey};
 pub use keys::{KeyPair, KeyStore, PublicKey, SecretKey};
 pub use provider::{CryptoHandle, CryptoProvider};
 pub use sha256::Sha256;

@@ -3,9 +3,15 @@
 //! This is the collision-resistant hash function `H(·)` of the paper,
 //! used for request digests `Δ = H(m)`, public-key derivation in the
 //! simulated signature scheme, HMAC, and threshold-signature aggregation.
-//! The implementation is the straightforward 64-round compression function;
-//! it favours clarity over speed but is comfortably fast enough for the
-//! simulator (a few hundred MB/s).
+//! The implementation is the straightforward 64-round compression function.
+//! Two properties matter for the commit hot path:
+//!
+//! * full 64-byte input blocks are compressed **in place** — they are
+//!   never staged through the internal buffer, so bulk hashing copies no
+//!   bytes beyond the message schedule;
+//! * a hasher can be [`reset`](Sha256::reset) and reused, which the HMAC
+//!   layer exploits to precompute key schedules
+//!   (see [`crate::hmac::HmacKey`]).
 
 use sbft_types::Digest;
 
@@ -57,6 +63,14 @@ impl Sha256 {
         }
     }
 
+    /// Resets the hasher to its initial state so it can be reused without
+    /// constructing a new value.
+    pub fn reset(&mut self) {
+        self.state = H0;
+        self.buffer_len = 0;
+        self.total_len = 0;
+    }
+
     /// Feeds `data` into the hash.
     pub fn update(&mut self, data: &[u8]) {
         self.total_len = self.total_len.wrapping_add(data.len() as u64);
@@ -69,30 +83,36 @@ impl Sha256 {
             self.buffer_len += take;
             input = &input[take..];
             if self.buffer_len == 64 {
-                let block = self.buffer;
-                self.compress(&block);
+                Self::compress(&mut self.state, &self.buffer);
                 self.buffer_len = 0;
             }
         }
 
-        // Process full blocks directly from the input.
-        while input.len() >= 64 {
-            let mut block = [0u8; 64];
-            block.copy_from_slice(&input[..64]);
-            self.compress(&block);
-            input = &input[64..];
+        // Fast path: compress full blocks directly from the input, without
+        // staging them through the internal buffer.
+        let mut blocks = input.chunks_exact(64);
+        for block in blocks.by_ref() {
+            let block: &[u8; 64] = block.try_into().expect("64-byte chunk");
+            Self::compress(&mut self.state, block);
         }
+        let tail = blocks.remainder();
 
         // Stash the tail.
-        if !input.is_empty() {
-            self.buffer[..input.len()].copy_from_slice(input);
-            self.buffer_len = input.len();
+        if !tail.is_empty() {
+            self.buffer[..tail.len()].copy_from_slice(tail);
+            self.buffer_len = tail.len();
         }
     }
 
     /// Finalizes the hash and returns the 32-byte digest.
     #[must_use]
     pub fn finalize(mut self) -> Digest {
+        self.finalize_reset()
+    }
+
+    /// Finalizes the hash, returns the 32-byte digest and resets the
+    /// hasher so it can be reused for the next message.
+    pub fn finalize_reset(&mut self) -> Digest {
         let bit_len = self.total_len.wrapping_mul(8);
 
         // Padding: 0x80, zeros, then the 64-bit big-endian bit length.
@@ -103,13 +123,13 @@ impl Sha256 {
         // Appending the length must not be counted in total_len; compress
         // the final block manually.
         self.buffer[56..64].copy_from_slice(&bit_len.to_be_bytes());
-        let block = self.buffer;
-        self.compress(&block);
+        Self::compress(&mut self.state, &self.buffer);
 
         let mut out = [0u8; 32];
         for (i, word) in self.state.iter().enumerate() {
             out[i * 4..i * 4 + 4].copy_from_slice(&word.to_be_bytes());
         }
+        self.reset();
         Digest::from_bytes(out)
     }
 
@@ -121,7 +141,10 @@ impl Sha256 {
         h.finalize()
     }
 
-    fn compress(&mut self, block: &[u8; 64]) {
+    /// The FIPS 180-4 compression function. A free-standing associated
+    /// function (rather than `&mut self`) so callers can compress the
+    /// internal buffer in place while mutably borrowing only the state.
+    fn compress(state: &mut [u32; 8], block: &[u8; 64]) {
         let mut w = [0u32; 64];
         for (i, chunk) in block.chunks_exact(4).enumerate() {
             w[i] = u32::from_be_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
@@ -135,7 +158,7 @@ impl Sha256 {
                 .wrapping_add(s1);
         }
 
-        let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = self.state;
+        let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = *state;
 
         for i in 0..64 {
             let s1 = e.rotate_right(6) ^ e.rotate_right(11) ^ e.rotate_right(25);
@@ -159,14 +182,14 @@ impl Sha256 {
             a = temp1.wrapping_add(temp2);
         }
 
-        self.state[0] = self.state[0].wrapping_add(a);
-        self.state[1] = self.state[1].wrapping_add(b);
-        self.state[2] = self.state[2].wrapping_add(c);
-        self.state[3] = self.state[3].wrapping_add(d);
-        self.state[4] = self.state[4].wrapping_add(e);
-        self.state[5] = self.state[5].wrapping_add(f);
-        self.state[6] = self.state[6].wrapping_add(g);
-        self.state[7] = self.state[7].wrapping_add(h);
+        state[0] = state[0].wrapping_add(a);
+        state[1] = state[1].wrapping_add(b);
+        state[2] = state[2].wrapping_add(c);
+        state[3] = state[3].wrapping_add(d);
+        state[4] = state[4].wrapping_add(e);
+        state[5] = state[5].wrapping_add(f);
+        state[6] = state[6].wrapping_add(g);
+        state[7] = state[7].wrapping_add(h);
     }
 }
 
@@ -226,6 +249,22 @@ mod tests {
             }
             assert_eq!(h.finalize(), oneshot, "chunk size {chunk_size}");
         }
+    }
+
+    #[test]
+    fn reset_and_finalize_reset_allow_reuse() {
+        let mut h = Sha256::new();
+        h.update(b"first message");
+        let first = h.finalize_reset();
+        assert_eq!(first, Sha256::digest(b"first message"));
+        // The same hasher value now produces a fresh, independent digest.
+        h.update(b"abc");
+        assert_eq!(h.finalize_reset(), Sha256::digest(b"abc"));
+        // An explicit reset discards partial input.
+        h.update(b"garbage");
+        h.reset();
+        h.update(b"abc");
+        assert_eq!(h.finalize(), Sha256::digest(b"abc"));
     }
 
     #[test]

@@ -14,7 +14,7 @@
 //! signer identity, binding to the message digest, and a realistic 64-byte
 //! wire size.
 
-use crate::hmac::hmac_sha256;
+use crate::hmac::HmacKey;
 use crate::keys::{KeyPair, KeyStore};
 use sbft_types::{ComponentId, Digest, Signature};
 
@@ -23,13 +23,16 @@ pub struct SimSigner;
 
 impl SimSigner {
     /// Signs a message digest with a secret key.
+    ///
+    /// The two 32-byte halves are HMACs under the same secret key; the key
+    /// schedule is derived once and reused for both, and the second half's
+    /// domain-separation byte is fed incrementally instead of through a
+    /// concatenated temporary buffer.
     #[must_use]
     pub fn sign(keypair: &KeyPair, digest: &Digest) -> Signature {
-        let first = hmac_sha256(&keypair.secret.0, digest.as_bytes());
-        let second = hmac_sha256(
-            &keypair.secret.0,
-            &[digest.as_bytes().as_slice(), &[0x01]].concat(),
-        );
+        let key = HmacKey::new(&keypair.secret.0);
+        let first = key.mac(digest.as_bytes());
+        let second = key.mac_parts(&[digest.as_bytes(), &[0x01]]);
         let mut out = [0u8; 64];
         out[..32].copy_from_slice(&first.0);
         out[32..].copy_from_slice(&second.0);

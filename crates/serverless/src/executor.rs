@@ -14,6 +14,7 @@ use sbft_storage::StorageReader;
 use sbft_types::{
     ExecutorId, Key, Operation, ReadWriteSet, Region, SbftError, SbftResult, TxnResult, Value,
 };
+use std::sync::Arc;
 
 /// A spawned executor instance.
 pub struct Executor {
@@ -163,8 +164,7 @@ impl Executor {
         }
 
         // (ii)+(iii) execute, fetching read-write sets from storage.
-        let mut results: Vec<TxnResult> =
-            req.batch.txns.iter().map(|t| self.execute_txn(t)).collect();
+        let mut results: Vec<TxnResult> = req.batch.iter().map(|t| self.execute_txn(t)).collect();
         let compute = req.batch.total_execution_cost();
 
         if !self.behavior.result_is_correct() {
@@ -188,7 +188,9 @@ impl Executor {
             batch_digest: req.digest,
             results,
             result_digest,
-            certificate: req.certificate.clone(),
+            // A refcount bump: the certificate is shared with the EXECUTE
+            // message, not copied.
+            certificate: Arc::clone(&req.certificate),
             signature: self.crypto.sign(&result_digest),
         };
         let copies = self.behavior.verify_copies() as usize;
@@ -208,7 +210,6 @@ mod tests {
     use sbft_types::{
         Batch, ClientId, ComponentId, NodeId, SeqNum, Transaction, TxnId, ViewNumber,
     };
-    use std::sync::Arc;
 
     struct Fixture {
         provider: Arc<CryptoProvider>,
@@ -247,7 +248,12 @@ mod tests {
                     (NodeId(n), SimSigner::sign(&kp, &cd))
                 })
                 .collect();
-            let certificate = CommitCertificate::new(ViewNumber(0), SeqNum(1), digest, entries);
+            let certificate = Arc::new(CommitCertificate::new(
+                ViewNumber(0),
+                SeqNum(1),
+                digest,
+                entries,
+            ));
             let signing =
                 ExecuteRequest::signing_digest(ViewNumber(0), SeqNum(1), &digest, spawner);
             let signature = self
@@ -271,7 +277,7 @@ mod tests {
     fn sbft_consensus_digest(batch: &Batch) -> sbft_types::Digest {
         let mut values = Vec::new();
         values.push(batch.len() as u64);
-        for txn in &batch.txns {
+        for txn in batch.txns() {
             values.push(u64::from(txn.id.client.0));
             values.push(txn.id.counter);
         }
@@ -370,7 +376,7 @@ mod tests {
     fn invalid_certificate_is_refused() {
         let fx = Fixture::new();
         let mut req = fx.execute_request(batch(), NodeId(0));
-        req.certificate.entries.truncate(2); // below quorum
+        Arc::make_mut(&mut req.certificate).entries.truncate(2); // below quorum
         let e = fx.executor(1, ExecutorBehavior::Honest);
         assert!(matches!(
             e.handle_execute(&req),
@@ -413,10 +419,13 @@ mod tests {
     fn compute_time_reflects_batch_execution_cost() {
         use sbft_types::SimDuration;
         let fx = Fixture::new();
-        let mut b = batch();
-        for t in &mut b.txns {
-            t.execution_cost = SimDuration::from_millis(10);
-        }
+        let b = Batch::new(
+            batch()
+                .txns()
+                .iter()
+                .map(|t| t.clone().with_execution_cost(SimDuration::from_millis(10)))
+                .collect(),
+        );
         let req = fx.execute_request(b, NodeId(0));
         let out = fx
             .executor(1, ExecutorBehavior::Honest)

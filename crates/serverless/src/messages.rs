@@ -6,11 +6,12 @@
 //! executor sends `VERIFY(⟨T⟩_C, C, m, rw, r)` to the verifier with the
 //! computed results and the read-write sets it observed (line 20).
 
-use sbft_crypto::CommitCertificate;
+use sbft_crypto::{CommitCertificate, U64Hasher};
 use sbft_types::{
     Batch, BatchId, Digest, ExecutorId, NodeId, SeqNum, Signature, TxnResult, ViewNumber,
 };
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// The `EXECUTE` message handed to a spawned executor.
 #[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
@@ -21,10 +22,12 @@ pub struct ExecuteRequest {
     pub seq: SeqNum,
     /// Digest of the ordered batch (`Δ`).
     pub digest: Digest,
-    /// The batch of client transactions to execute.
+    /// The batch of client transactions to execute (a shared handle: the
+    /// one `EXECUTE` body is cloned per spawned executor by refcount).
     pub batch: Batch,
-    /// The certificate proving `2f_R + 1` shim nodes committed the batch.
-    pub certificate: CommitCertificate,
+    /// The certificate proving `2f_R + 1` shim nodes committed the batch,
+    /// shared by reference count with the spawner's consensus log.
+    pub certificate: Arc<CommitCertificate>,
     /// The shim node that spawned this executor (and pays for it).
     pub spawner: NodeId,
     /// Signature of the spawner over the request digest.
@@ -50,8 +53,9 @@ pub struct VerifyMessage {
     /// equal (the verifier counts matching messages, Figure 3 line 23).
     pub result_digest: Digest,
     /// The certificate echoed back so the verifier can detect spawns that
-    /// were never backed by consensus (Section V-C).
-    pub certificate: CommitCertificate,
+    /// were never backed by consensus (Section V-C). Shared with the
+    /// `EXECUTE` message it answers.
+    pub certificate: Arc<CommitCertificate>,
     /// The executor's signature over `result_digest`.
     pub signature: Signature,
 }
@@ -65,14 +69,12 @@ impl ExecuteRequest {
         digest: &Digest,
         spawner: NodeId,
     ) -> Digest {
-        let mut values = vec![view.0, seq.0, u64::from(spawner.0)];
-        values.extend(
-            digest
-                .as_bytes()
-                .chunks_exact(8)
-                .map(|c| u64::from_le_bytes(c.try_into().expect("8-byte chunk"))),
-        );
-        sbft_crypto::digest_u64s("sbft-execute", &values)
+        let mut h = U64Hasher::new("sbft-execute");
+        h.push(view.0);
+        h.push(seq.0);
+        h.push(u64::from(spawner.0));
+        h.push_digest(digest);
+        h.finish()
     }
 
     /// Modeled wire size. With the default configuration (3-signature
@@ -88,7 +90,6 @@ impl ExecuteRequest {
             + self.certificate.wire_size()
             + self
                 .batch
-                .txns
                 .iter()
                 .map(|t| 16 + t.ops.len() * 12)
                 .sum::<usize>()
@@ -100,21 +101,23 @@ impl VerifyMessage {
     /// `VERIFY` messages.
     #[must_use]
     pub fn digest_of_results(seq: SeqNum, results: &[TxnResult]) -> Digest {
-        let mut values = vec![seq.0, results.len() as u64];
+        let mut h = U64Hasher::new("sbft-verify-result");
+        h.push(seq.0);
+        h.push(results.len() as u64);
         for r in results {
-            values.push(u64::from(r.txn.client.0));
-            values.push(r.txn.counter);
-            values.push(r.output);
+            h.push(u64::from(r.txn.client.0));
+            h.push(r.txn.counter);
+            h.push(r.output);
             for (k, v) in &r.rwset.reads {
-                values.push(k.0);
-                values.push(v.0);
+                h.push(k.0);
+                h.push(v.0);
             }
             for (k, v) in &r.rwset.writes {
-                values.push(k.0);
-                values.push(v.data);
+                h.push(k.0);
+                h.push(v.data);
             }
         }
-        sbft_crypto::digest_u64s("sbft-verify-result", &values)
+        h.finish()
     }
 
     /// Whether two `VERIFY` messages match (same batch, same results).

@@ -254,6 +254,7 @@ impl SimHarness {
         self.metrics.end_time = self.clock;
         self.metrics.executors_spawned = self.system.cloud.total_spawned();
         self.metrics.spawns_rejected = self.system.cloud.rejected();
+        self.metrics.divergent_aborts = self.system.verifier.divergent_aborts();
         self.metrics
     }
 
@@ -578,6 +579,10 @@ mod tests {
             metrics.committed_txns
         );
         assert_eq!(metrics.aborted_txns, 0);
+        assert_eq!(
+            metrics.divergent_aborts, 0,
+            "honest executors never diverge"
+        );
         assert!(metrics.throughput_tps() > 100.0);
         assert!(metrics.avg_latency_secs() > 0.001);
         assert!(metrics.latency.p99_secs() >= metrics.latency.p50_secs());

@@ -63,6 +63,13 @@ pub struct RunMetrics {
     pub committed_txns: u64,
     /// Transactions aborted inside the measurement window.
     pub aborted_txns: u64,
+    /// Whole batches the verifier aborted because the executors' result
+    /// digests diverged with no `f_E + 1` match — both the count-triggered
+    /// form (every spawned executor answered) and the timer-triggered form
+    /// (at least `2f_E + 1` answered before the abort timeout) of the
+    /// Section VI-B divergence rule. Counted over the whole run, not just
+    /// the measured window.
+    pub divergent_aborts: u64,
     /// Client-observed latencies.
     pub latency: LatencyStats,
     /// Length of the measurement window.

@@ -4,11 +4,30 @@
 //! consensus by default and sweeps the batch size from 10 to 8000 in the
 //! batching experiment (Figure 6(iii)–(iv)). A batch is the unit the shim
 //! orders, the primary spawns executors for, and the verifier validates.
+//!
+//! # Zero-copy representation
+//!
+//! A batch travels through every layer of the architecture: the batcher
+//! builds it, the primary embeds it in a `PREPREPARE`, every replica
+//! stores it in its consensus log, the primary re-reads it to build
+//! `EXECUTE` messages (one per spawned executor), and view changes
+//! re-propose it. The transactions are therefore held behind an
+//! `Arc<[Transaction]>`: cloning a [`Batch`] is a reference-count bump,
+//! never a deep copy of the transaction vector. Two clones of the same
+//! batch share storage, which [`Batch::shares_txns`] exposes so tests can
+//! prove the hot path allocates no per-transaction memory.
+//!
+//! The batch also memoizes its wire digest `Δ = H(m)`: the consensus
+//! layer computes it once through [`Batch::digest_memo`] and every clone
+//! taken afterwards carries the cached value, so replicas never re-hash a
+//! batch they already validated.
 
+use crate::digest::Digest;
 use crate::ids::TxnId;
 use crate::transaction::Transaction;
 use serde::{Deserialize, Serialize};
 use std::fmt;
+use std::sync::{Arc, OnceLock};
 
 /// Identifier of a batch: the identifier of its first transaction plus the
 /// number of transactions. Honest components derive identical identifiers
@@ -21,12 +40,24 @@ pub struct BatchId {
     pub len: u32,
 }
 
-/// An ordered batch of client transactions.
-#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+/// An ordered batch of client transactions, shared by reference count.
+#[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct Batch {
     /// The transactions, in the order chosen by the batching front-end.
-    pub txns: Vec<Transaction>,
+    txns: Arc<[Transaction]>,
+    /// Memoized wire digest `Δ = H(m)` (filled by the consensus layer on
+    /// first use; clones taken afterwards carry the value).
+    digest: OnceLock<Digest>,
 }
+
+impl PartialEq for Batch {
+    fn eq(&self, other: &Self) -> bool {
+        // The digest cache is derived state; equality is over the payload.
+        Arc::ptr_eq(&self.txns, &other.txns) || self.txns == other.txns
+    }
+}
+
+impl Eq for Batch {}
 
 impl Batch {
     /// Creates a batch from a list of transactions.
@@ -39,13 +70,71 @@ impl Batch {
             !txns.is_empty(),
             "batches must contain at least one transaction"
         );
-        Batch { txns }
+        Batch {
+            txns: txns.into(),
+            digest: OnceLock::new(),
+        }
     }
 
     /// A batch with a single transaction (unbatched operation).
     #[must_use]
     pub fn single(txn: Transaction) -> Self {
-        Batch { txns: vec![txn] }
+        Batch::new(vec![txn])
+    }
+
+    /// Creates a batch around already-shared transaction storage.
+    ///
+    /// # Panics
+    /// Panics if the slice is empty.
+    #[must_use]
+    pub fn from_shared(txns: Arc<[Transaction]>) -> Self {
+        assert!(
+            !txns.is_empty(),
+            "batches must contain at least one transaction"
+        );
+        Batch {
+            txns,
+            digest: OnceLock::new(),
+        }
+    }
+
+    /// The transactions of the batch, in order.
+    #[must_use]
+    pub fn txns(&self) -> &[Transaction] {
+        &self.txns
+    }
+
+    /// Iterates over the transactions.
+    pub fn iter(&self) -> std::slice::Iter<'_, Transaction> {
+        self.txns.iter()
+    }
+
+    /// Whether two batches share the same transaction storage (a clone
+    /// relationship, not just equal contents). Used to prove the hot path
+    /// is zero-copy.
+    #[must_use]
+    pub fn shares_txns(&self, other: &Batch) -> bool {
+        Arc::ptr_eq(&self.txns, &other.txns)
+    }
+
+    /// Number of live references to this batch's transaction storage
+    /// (tests and memory accounting).
+    #[must_use]
+    pub fn txns_refcount(&self) -> usize {
+        Arc::strong_count(&self.txns)
+    }
+
+    /// Returns the memoized batch digest, computing it with `compute` on
+    /// first use. The digest function itself lives in the consensus layer
+    /// (it defines the wire format); this only provides the cache slot.
+    pub fn digest_memo(&self, compute: impl FnOnce() -> Digest) -> Digest {
+        *self.digest.get_or_init(compute)
+    }
+
+    /// The cached batch digest, if one has been computed on this value.
+    #[must_use]
+    pub fn cached_digest(&self) -> Option<Digest> {
+        self.digest.get().copied()
     }
 
     /// The identifier of this batch.
@@ -111,6 +200,15 @@ impl Batch {
     }
 }
 
+impl<'a> IntoIterator for &'a Batch {
+    type Item = &'a Transaction;
+    type IntoIter = std::slice::Iter<'a, Transaction>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
 impl fmt::Debug for BatchId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "B[{:?}+{}]", self.first, self.len)
@@ -158,6 +256,53 @@ mod tests {
         let b = Batch::single(txn(5, 9));
         assert_eq!(b.len(), 1);
         assert_eq!(b.txn_ids(), vec![TxnId::new(ClientId(5), 9)]);
+    }
+
+    #[test]
+    fn clones_share_transaction_storage() {
+        let b = Batch::new(vec![txn(0, 0), txn(1, 0)]);
+        let c = b.clone();
+        assert!(b.shares_txns(&c), "a clone must be a refcount bump");
+        assert_eq!(b.txns_refcount(), 2);
+        assert_eq!(b, c);
+        drop(c);
+        assert_eq!(b.txns_refcount(), 1);
+    }
+
+    #[test]
+    fn equal_contents_without_shared_storage_still_compare_equal() {
+        let a = Batch::new(vec![txn(0, 0)]);
+        let b = Batch::new(vec![txn(0, 0)]);
+        assert!(!a.shares_txns(&b));
+        assert_eq!(a, b);
+        assert_ne!(a, Batch::new(vec![txn(0, 1)]));
+    }
+
+    #[test]
+    fn digest_memo_computes_once_and_clones_carry_it() {
+        let b = Batch::single(txn(0, 0));
+        assert_eq!(b.cached_digest(), None);
+        let mut computed = 0;
+        let d = b.digest_memo(|| {
+            computed += 1;
+            Digest::from_bytes([7; 32])
+        });
+        let again = b.digest_memo(|| {
+            computed += 1;
+            Digest::from_bytes([8; 32])
+        });
+        assert_eq!(d, again);
+        assert_eq!(computed, 1, "the digest must be computed exactly once");
+        let clone = b.clone();
+        assert_eq!(clone.cached_digest(), Some(d));
+    }
+
+    #[test]
+    fn from_shared_reuses_the_given_storage() {
+        let storage: Arc<[Transaction]> = vec![txn(0, 0), txn(1, 0)].into();
+        let b = Batch::from_shared(Arc::clone(&storage));
+        assert_eq!(b.len(), 2);
+        assert!(Arc::ptr_eq(&storage, &b.txns));
     }
 
     #[test]

@@ -7,10 +7,25 @@
 //! execution cost so that the "expensive execution" experiments
 //! (Figure 6(v)–(vi), Figure 8) can be reproduced.
 
+//! # Digest memoization
+//!
+//! The client-request signing digest `Δ = H(⟨T⟩_C)` is needed at several
+//! points of a transaction's life: the client signs it, the primary
+//! verifies it, and the verifier re-verifies it on client retries. The
+//! transaction therefore carries a [`OnceLock`] cache slot
+//! ([`Transaction::signing_digest_memo`]): the digest is computed at most
+//! once per transaction, and — because clones copy the filled cache —
+//! every copy derived from a request that was already hashed reuses the
+//! value instead of re-hashing. The digest function itself lives in
+//! `sbft-core` (it defines the signing format); this module only stores
+//! the result.
+
+use crate::digest::Digest;
 use crate::ids::TxnId;
 use crate::rwset::{Key, ReadWriteSet, RwSetKeys, Value};
 use crate::time::SimDuration;
 use serde::{Deserialize, Serialize};
+use std::sync::OnceLock;
 
 /// A single key-value operation inside a transaction.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
@@ -42,11 +57,16 @@ impl Operation {
 }
 
 /// A client transaction.
-#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct Transaction {
     /// The transaction identifier (client + client-local counter).
+    ///
+    /// Invariant: `id` and `ops` must not be mutated after the signing
+    /// digest has been memoized (they are its inputs); build a new
+    /// [`Transaction`] instead of editing one in place.
     pub id: TxnId,
-    /// The key-value operations the transaction performs.
+    /// The key-value operations the transaction performs. Same mutation
+    /// invariant as `id`.
     pub ops: Vec<Operation>,
     /// Read-write sets declared ahead of execution, if the application knows
     /// them (enables the best-effort conflict-avoidance planner of
@@ -60,7 +80,22 @@ pub struct Transaction {
     /// Logical payload size in bytes carried by the request (affects the
     /// wire size of `PREPREPARE` and `EXECUTE` messages).
     pub payload_len: u32,
+    /// Memoized client-request signing digest (see the module docs).
+    /// Derived state: excluded from equality.
+    signing_digest: OnceLock<Digest>,
 }
+
+impl PartialEq for Transaction {
+    fn eq(&self, other: &Self) -> bool {
+        self.id == other.id
+            && self.ops == other.ops
+            && self.declared_rwset == other.declared_rwset
+            && self.execution_cost == other.execution_cost
+            && self.payload_len == other.payload_len
+    }
+}
+
+impl Eq for Transaction {}
 
 /// The outcome of executing or attempting to execute a transaction.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
@@ -97,7 +132,26 @@ impl Transaction {
             declared_rwset: None,
             execution_cost: SimDuration::ZERO,
             payload_len,
+            signing_digest: OnceLock::new(),
         }
+    }
+
+    /// Returns the memoized signing digest, computing it with `compute` on
+    /// first use. Clones made after the first computation carry the cached
+    /// value, so a transaction is hashed at most once per run however many
+    /// components handle it.
+    ///
+    /// The cache assumes `id` and `ops` are frozen once the first digest
+    /// is taken (see the field docs): mutating them afterwards would make
+    /// every later call return a digest of the old contents.
+    pub fn signing_digest_memo(&self, compute: impl FnOnce() -> Digest) -> Digest {
+        *self.signing_digest.get_or_init(compute)
+    }
+
+    /// The cached signing digest, if one has been computed on this value.
+    #[must_use]
+    pub fn cached_signing_digest(&self) -> Option<Digest> {
+        self.signing_digest.get().copied()
     }
 
     /// Attaches a declared read-write set (known read-write set mode).
@@ -251,6 +305,28 @@ mod tests {
     fn builder_sets_execution_cost() {
         let t = txn(vec![]).with_execution_cost(SimDuration::from_millis(5));
         assert_eq!(t.execution_cost, SimDuration::from_millis(5));
+    }
+
+    #[test]
+    fn signing_digest_memo_computes_once_and_survives_clones() {
+        let t = txn(vec![Operation::Read(Key(1))]);
+        assert_eq!(t.cached_signing_digest(), None);
+        let mut computed = 0;
+        let d = t.signing_digest_memo(|| {
+            computed += 1;
+            Digest::from_bytes([9; 32])
+        });
+        let again = t.signing_digest_memo(|| {
+            computed += 1;
+            Digest::from_bytes([1; 32])
+        });
+        assert_eq!(d, again);
+        assert_eq!(computed, 1);
+        let clone = t.clone();
+        assert_eq!(clone.cached_signing_digest(), Some(d));
+        // The cache never participates in equality.
+        let fresh = txn(vec![Operation::Read(Key(1))]);
+        assert_eq!(t, fresh);
     }
 
     #[test]

@@ -191,8 +191,7 @@ mod tests {
         let mut wl = YcsbWorkload::new(config(), 2);
         let batch = wl.next_batch(10);
         assert_eq!(batch.len(), 10);
-        let clients: std::collections::HashSet<_> =
-            batch.txns.iter().map(|t| t.id.client).collect();
+        let clients: std::collections::HashSet<_> = batch.iter().map(|t| t.id.client).collect();
         assert_eq!(clients.len(), 4);
     }
 

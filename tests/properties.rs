@@ -1,8 +1,9 @@
 //! Property-based tests over core invariants, using proptest.
 
 use proptest::prelude::*;
-use serverless_bft::consensus::messages::batch_digest;
+use serverless_bft::consensus::messages::{batch_digest, compute_batch_digest};
 use serverless_bft::core::planner::{BatchFootprint, BestEffortPlanner};
+use serverless_bft::core::ClientRequest;
 use serverless_bft::crypto::certificate::commit_digest;
 use serverless_bft::crypto::{CommitCertificate, KeyStore, SimSigner};
 use serverless_bft::sharding::{ShardScheduler, ShardedCommitter};
@@ -38,6 +39,53 @@ proptest! {
         if ops_a != ops_b {
             prop_assert_ne!(batch_digest(&batch_a), batch_digest(&batch_b));
         }
+    }
+
+    /// The Arc-batch refactor is semantics-preserving: however a batch is
+    /// built (fresh vector, shared storage, clone chains), its identifier,
+    /// transaction order and digest are identical — and clones are refcount
+    /// bumps of the same storage, never transaction copies.
+    #[test]
+    fn arc_batch_refactor_is_semantics_preserving(
+        op_lists in prop::collection::vec(arb_ops(), 1..20),
+    ) {
+        let txns: Vec<Transaction> = op_lists
+            .iter()
+            .enumerate()
+            .map(|(i, ops)| {
+                Transaction::new(TxnId::new(ClientId((i % 5) as u32), i as u64), ops.clone())
+            })
+            .collect();
+        let fresh = Batch::new(txns.clone());
+        let shared = Batch::from_shared(txns.clone().into());
+        let cloned = fresh.clone().clone();
+        // Same contents, ids and digests regardless of construction route.
+        prop_assert_eq!(&fresh, &shared);
+        prop_assert_eq!(fresh.id(), shared.id());
+        prop_assert_eq!(fresh.txn_ids(), shared.txn_ids());
+        prop_assert_eq!(batch_digest(&fresh), batch_digest(&shared));
+        prop_assert_eq!(batch_digest(&fresh), compute_batch_digest(&fresh));
+        // Clones share storage and carry the memoized digest.
+        prop_assert!(cloned.shares_txns(&fresh));
+        prop_assert!(!fresh.shares_txns(&shared));
+        let after = fresh.clone();
+        prop_assert_eq!(after.cached_digest(), Some(batch_digest(&fresh)));
+        // The transactions themselves are byte-for-byte the submitted ones.
+        prop_assert_eq!(fresh.txns(), &txns[..]);
+    }
+
+    /// Cached signing digests equal freshly computed ones for arbitrary
+    /// transactions, and survive cloning (the memoization regression test).
+    #[test]
+    fn cached_signing_digest_equals_fresh(ops in arb_ops(), client in 0u32..8, counter in 0u64..1000) {
+        let txn = Transaction::new(TxnId::new(ClientId(client), counter), ops);
+        prop_assert_eq!(txn.cached_signing_digest(), None);
+        let memoized = ClientRequest::signing_digest(&txn);
+        prop_assert_eq!(memoized, ClientRequest::compute_signing_digest(&txn));
+        prop_assert_eq!(txn.cached_signing_digest(), Some(memoized));
+        let clone = txn.clone();
+        prop_assert_eq!(clone.cached_signing_digest(), Some(memoized));
+        prop_assert_eq!(ClientRequest::signing_digest(&clone), memoized);
     }
 
     /// Conflict detection between declared read-write sets is symmetric.
