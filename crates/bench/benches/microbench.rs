@@ -88,6 +88,72 @@ fn bench_hmac_reuse(c: &mut Criterion) {
     });
 }
 
+/// The `CryptoHandle` key-schedule cache: signing through the handle
+/// (schedule derived once per identity) versus the fresh per-call
+/// derivation `SimSigner::sign` pays, and the cached pairwise-MAC path
+/// versus the one-shot keyed HMAC.
+fn bench_handle_schedule_cache(c: &mut Criterion) {
+    let provider = CryptoProvider::new(9);
+    let node = ComponentId::Node(NodeId(0));
+    let peer = ComponentId::Node(NodeId(1));
+    let handle = provider.handle(node);
+    let kp = provider.key_store().keypair_for(node);
+    let digest = Sha256::digest(b"schedule cache message");
+    let _ = handle.sign(&digest); // warm the handle's schedule
+    let _ = handle.mac_for(peer, &digest); // warm the peer channel
+    c.bench_function("handle_sign_fresh_schedule", |b| {
+        b.iter(|| SimSigner::sign(std::hint::black_box(&kp), std::hint::black_box(&digest)))
+    });
+    c.bench_function("handle_sign_cached_schedule", |b| {
+        b.iter(|| handle.sign(std::hint::black_box(&digest)))
+    });
+    let raw_key = provider.key_store().mac_key(node, peer);
+    c.bench_function("handle_mac_fresh_schedule", |b| {
+        b.iter(|| sbft_crypto::hmac_sha256(&raw_key, std::hint::black_box(digest.as_bytes())))
+    });
+    c.bench_function("handle_mac_cached_schedule", |b| {
+        b.iter(|| handle.mac_for(peer, std::hint::black_box(&digest)))
+    });
+}
+
+/// Client-signature checking for one 100-transaction batch: the per-txn
+/// loop the primary used to run on arrival (fresh key schedule per
+/// verification), the same loop over the provider's schedule cache, and
+/// the aggregate path (one fold-and-compare for the whole batch).
+fn bench_aggregate_verify(c: &mut Criterion) {
+    use sbft_crypto::AggregateSignature;
+    let provider = CryptoProvider::new(4);
+    let claims: Vec<(ComponentId, sbft_types::Digest, sbft_types::Signature)> = (0..100u64)
+        .map(|i| {
+            let id = ComponentId::Client(ClientId((i % 16) as u32));
+            let digest = sbft_crypto::digest_u64s("bench-claim", &[i]);
+            let sig = provider.handle(id).sign(&digest);
+            (id, digest, sig)
+        })
+        .collect();
+    let pairs: Vec<(ComponentId, sbft_types::Digest)> =
+        claims.iter().map(|(id, d, _)| (*id, *d)).collect();
+    let aggregate = AggregateSignature::from_signatures(claims.iter().map(|(_, _, s)| s));
+    let store = provider.key_store();
+    c.bench_function("client_verify_per_txn_100", |b| {
+        b.iter(|| {
+            claims
+                .iter()
+                .all(|(id, d, s)| SimSigner::verify(store, *id, d, std::hint::black_box(s)))
+        })
+    });
+    c.bench_function("client_verify_per_txn_cached_100", |b| {
+        b.iter(|| {
+            claims
+                .iter()
+                .all(|(id, d, s)| provider.verify(*id, d, std::hint::black_box(s)))
+        })
+    });
+    c.bench_function("client_verify_aggregate_100", |b| {
+        b.iter(|| provider.verify_aggregate(std::hint::black_box(&pairs), &aggregate))
+    });
+}
+
 fn bench_signatures(c: &mut Criterion) {
     let provider = CryptoProvider::new(1);
     let store = provider.key_store();
@@ -128,7 +194,72 @@ fn bench_pbft_preprepare(c: &mut Criterion) {
     // creation plus its own prepare), the per-batch hot path of the shim.
     let provider = CryptoProvider::new(2);
     let params = FaultParams::for_shim_size(8);
+    let make_replica = || {
+        PbftReplica::new(
+            NodeId(0),
+            params,
+            provider.handle(ComponentId::Node(NodeId(0))),
+            SimDuration::from_millis(100),
+            1_000,
+        )
+    };
     c.bench_function("pbft_primary_submit_batch_100", |b| {
+        b.iter_batched(
+            || (make_replica(), make_batch(100)),
+            |(mut replica, batch)| {
+                let actions: Vec<ConsensusAction> = replica.submit_batch(batch);
+                std::hint::black_box(actions)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    // The batcher now releases batches with the wire digest pre-memoized
+    // (absorbed transaction-by-transaction on arrival), so this is the
+    // submit cost the primary actually pays per batch.
+    c.bench_function("pbft_primary_submit_batch_100_predigested", |b| {
+        b.iter_batched(
+            || {
+                let batch = make_batch(100);
+                let _ = batch_digest(&batch); // what the batcher prefills
+                (make_replica(), batch)
+            },
+            |(mut replica, batch)| {
+                let actions: Vec<ConsensusAction> = replica.submit_batch(batch);
+                std::hint::black_box(actions)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+/// The primary's complete batch-submit path as it stands after the
+/// aggregate-crypto work: one aggregate client-signature check over the
+/// batch (`SignedBatch::verify_and_prune`) followed by the PBFT
+/// pre-prepare with the pre-memoized wire digest. Compare against
+/// `client_verify_per_txn_100` + `pbft_primary_submit_batch_100`, the
+/// costs the pre-aggregation design paid per batch.
+fn bench_primary_submit_path(c: &mut Criterion) {
+    use sbft_consensus::Batcher;
+    let provider = CryptoProvider::new(2);
+    let params = FaultParams::for_shim_size(8);
+    let build_signed = || {
+        let mut batcher = Batcher::new(100, SimDuration::from_millis(5));
+        let mut released = None;
+        for i in 0..100usize {
+            let txn = Transaction::new(
+                TxnId::new(ClientId((i % 16) as u32), i as u64),
+                vec![Operation::ReadModifyWrite(Key(i as u64), 7)],
+            );
+            let digest = ClientRequest::signing_digest(&txn);
+            let sig = provider
+                .handle(ComponentId::Client(txn.id.client))
+                .sign(&digest);
+            released = batcher.push(txn, digest, sig, sbft_types::SimTime::ZERO);
+        }
+        released.expect("100 pushes release the batch")
+    };
+    let signed = build_signed();
+    c.bench_function("primary_batch_submit_path_100", |b| {
         b.iter_batched(
             || {
                 (
@@ -139,11 +270,13 @@ fn bench_pbft_preprepare(c: &mut Criterion) {
                         SimDuration::from_millis(100),
                         1_000,
                     ),
-                    make_batch(100),
+                    signed.clone(),
                 )
             },
-            |(mut replica, batch)| {
-                let actions: Vec<ConsensusAction> = replica.submit_batch(batch);
+            |(mut replica, signed)| {
+                let (batch, rejected) = signed.verify_and_prune(&provider);
+                debug_assert!(rejected.is_empty());
+                let actions: Vec<ConsensusAction> = replica.submit_batch(batch.expect("all valid"));
                 std::hint::black_box(actions)
             },
             BatchSize::SmallInput,
@@ -174,6 +307,6 @@ fn bench_storage(c: &mut Criterion) {
 criterion_group!(
     name = benches;
     config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_sha256, bench_sha256_throughput, bench_signatures, bench_digest_memoization, bench_batch_handoff, bench_hmac_reuse, bench_batch_digest, bench_pbft_preprepare, bench_storage
+    targets = bench_sha256, bench_sha256_throughput, bench_signatures, bench_digest_memoization, bench_batch_handoff, bench_hmac_reuse, bench_handle_schedule_cache, bench_aggregate_verify, bench_batch_digest, bench_pbft_preprepare, bench_primary_submit_path, bench_storage
 );
 criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Divergence-rate sweep (Section VI-B byzantine-abort detection).
+//!
+//! Sweeps the whole-batch divergence-abort rate against the record count
+//! (contention), the executor spread (regions executors land in), and the
+//! number of independently corrupted executors per batch, in the
+//! `UnknownRwSets` conflict-handling mode (which spawns `3f_E + 1 = 4`
+//! executors per batch).
+//!
+//! Observed regimes (also asserted by the experiment tests):
+//!
+//! * **Honest runs** (`BYZ-0`): executors of one batch read interleaved
+//!   storage states, which surfaces as *per-transaction* stale aborts at
+//!   the verifier, but an `f_E + 1` digest quorum still forms — the
+//!   whole-batch divergence rate stays at zero across record counts and
+//!   regional spreads.
+//! * **`f_E + 1` corrupted** (`BYZ-2` of 4 spawned): two honest
+//!   executors still agree, so batches keep committing — the
+//!   over-spawning of the unknown-rw-set mode buys real resilience.
+//! * **Beyond the spawn margin** (`BYZ-3` of 4): no two digests match
+//!   (independent corruptions do not collude), and *every* batch aborts
+//!   through the divergence rule — safety holds, liveness is the cost.
+//!
+//! Companion telemetry: `RunMetrics::divergent_aborts` (landed in PR 2).
+
+use sbft_bench::{divergence_points, run_point_silent};
+use sbft_serverless::cloud::CloudFaultPlan;
+use sbft_serverless::ExecutorBehavior;
+
+fn main() {
+    println!("figure,series,x,throughput_tps,abort_rate,divergent_aborts,committed");
+    let records = [200u64, 1_000, 5_000, 20_000];
+    // Honest series: divergence vs record count × regional executor spread.
+    let mut points = divergence_points(&records, &[1, 3, 7]);
+    // Byzantine series at spread 3: within and beyond the f_E margin.
+    for byz in [2usize, 3] {
+        let mut byz_points = divergence_points(&records, &[3]);
+        for point in &mut byz_points {
+            point.series = format!("BYZ-{byz}");
+            point.cloud_faults = CloudFaultPlan {
+                byzantine_per_batch: byz,
+                behavior: ExecutorBehavior::WrongResult,
+            };
+        }
+        points.extend(byz_points);
+    }
+    for point in points {
+        let result = run_point_silent(point);
+        println!(
+            "{},{},{:.0},{:.0},{:.3},{},{}",
+            result.figure,
+            result.series,
+            result.x,
+            result.metrics.throughput_tps(),
+            result.metrics.abort_rate(),
+            result.metrics.divergent_aborts,
+            result.metrics.committed_txns,
+        );
+    }
+}

@@ -203,6 +203,44 @@ pub fn commit_path_points(batch_sizes: &[usize]) -> Vec<PointConfig> {
         .collect()
 }
 
+/// Builds the divergence-rate sweep (ROADMAP open item from PR 1): how
+/// often whole batches abort under the Section VI-B divergence rule as a
+/// function of the record count (contention: fewer records means
+/// executors of one batch are more likely to straddle a storage update)
+/// and the executor spread (regions executors are spawned into: wider
+/// spread means wider arrival jitter, so executors of one batch observe
+/// more different storage states). Conflict handling is `UnknownRwSets`
+/// — the mode whose abort-detection path the sweep exercises.
+#[must_use]
+pub fn divergence_points(record_counts: &[u64], spreads: &[usize]) -> Vec<PointConfig> {
+    let mut points = Vec::new();
+    for &spread in spreads {
+        for &records in record_counts {
+            let mut config = SystemConfig::with_shim_size(4);
+            config.conflict_handling = sbft_types::ConflictHandling::UnknownRwSets;
+            config.workload.num_records = records;
+            config.workload.conflict_fraction = 0.5;
+            config.workload.batch_size = 20;
+            config.regions = if spread <= 1 {
+                sbft_types::RegionSet::home_only()
+            } else {
+                sbft_types::RegionSet::first_n(spread)
+            };
+            let mut point = PointConfig::new(
+                "divergence",
+                format!("SPREAD-{spread}"),
+                records as f64,
+                config,
+            );
+            point.clients = 300;
+            point.duration = SimDuration::from_millis(400);
+            point.warmup = SimDuration::from_millis(100);
+            points.push(point);
+        }
+    }
+    points
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -222,6 +260,46 @@ mod tests {
             );
             assert_eq!(result.metrics.divergent_aborts, 0);
         }
+    }
+
+    #[test]
+    fn divergence_sweep_exhibits_the_three_regimes() {
+        let scale_down = |mut point: PointConfig| {
+            point.clients = 60;
+            point.duration = SimDuration::from_millis(200);
+            point.warmup = SimDuration::from_millis(50);
+            point
+        };
+        // Honest executors: per-txn stale aborts possible, whole-batch
+        // divergence absent.
+        let honest = run_point_silent(scale_down(
+            divergence_points(&[1_000], &[3]).pop().expect("one point"),
+        ));
+        assert!(honest.metrics.committed_txns > 0);
+        assert_eq!(honest.metrics.divergent_aborts, 0);
+        // f_E + 1 independently corrupted executors of the 3f_E + 1
+        // spawned: the two honest survivors still form a quorum.
+        let mut tolerated = scale_down(divergence_points(&[1_000], &[3]).pop().expect("one"));
+        tolerated.cloud_faults = sbft_serverless::cloud::CloudFaultPlan {
+            byzantine_per_batch: 2,
+            behavior: sbft_serverless::ExecutorBehavior::WrongResult,
+        };
+        let tolerated = run_point_silent(tolerated);
+        assert!(tolerated.metrics.committed_txns > 0);
+        assert_eq!(tolerated.metrics.divergent_aborts, 0);
+        // Beyond the margin: no two digests match, every batch aborts
+        // through the Section VI-B divergence rule.
+        let mut beyond = scale_down(divergence_points(&[1_000], &[3]).pop().expect("one"));
+        beyond.cloud_faults = sbft_serverless::cloud::CloudFaultPlan {
+            byzantine_per_batch: 3,
+            behavior: sbft_serverless::ExecutorBehavior::WrongResult,
+        };
+        let beyond = run_point_silent(beyond);
+        assert_eq!(beyond.metrics.committed_txns, 0);
+        assert!(
+            beyond.metrics.divergent_aborts > 0,
+            "beyond-f_E corruption must trip the divergence rule"
+        );
     }
 
     #[test]

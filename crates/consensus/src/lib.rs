@@ -37,10 +37,11 @@ pub mod pbft;
 pub mod traits;
 
 pub use actions::{ConsensusAction, ConsensusTimer};
-pub use batcher::Batcher;
+pub use batcher::{Batcher, SignedBatch};
 pub use cft::CftReplica;
 pub use messages::{
-    Checkpoint, Commit, ConsensusMessage, NewView, PrePrepare, Prepare, ViewChange,
+    BatchDigestAccumulator, Checkpoint, Commit, ConsensusMessage, NewView, PrePrepare, Prepare,
+    ViewChange,
 };
 pub use noshim::NoShim;
 pub use pbft::PbftReplica;

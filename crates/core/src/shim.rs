@@ -18,12 +18,12 @@ use crate::events::{
     RecoverySubject,
 };
 use crate::planner::{BatchFootprint, BestEffortPlanner};
-use sbft_consensus::{Batcher, ConsensusAction, ConsensusMessage, OrderingProtocol};
+use sbft_consensus::{Batcher, ConsensusAction, ConsensusMessage, OrderingProtocol, SignedBatch};
 use sbft_crypto::{CommitCertificate, CryptoHandle};
 use sbft_serverless::{ExecuteRequest, Invoker};
 use sbft_types::{
     Batch, ComponentId, ConflictHandling, NodeId, SeqNum, SimTime, SpawningMode, SystemConfig,
-    ViewNumber,
+    TxnId, ViewNumber,
 };
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -50,10 +50,32 @@ pub struct ShimNode {
     planner: Option<BestEffortPlanner>,
     /// Batches committed locally that the verifier has not validated yet.
     committed: BTreeMap<SeqNum, CommittedBatch>,
-    /// Transactions this node has already placed in a batch, so that client
-    /// re-transmissions and forwarded `ERROR(⟨T⟩_C)` messages are not
-    /// ordered twice.
-    seen_txns: std::collections::HashSet<sbft_types::TxnId>,
+    /// Transactions this node has already placed in a batch, keyed to the
+    /// `(signature, signing digest)` they were batched with, so that
+    /// client re-transmissions and forwarded `ERROR(⟨T⟩_C)` messages are
+    /// not ordered twice. Storing the pair is what keeps deferred
+    /// verification safe against id-squatting without enabling client
+    /// equivocation: a duplicate with the *same* signature is a retry and
+    /// is dropped; on a duplicate with a *different* signature the stored
+    /// pair is checked first — a validly signed entry keeps the id (two
+    /// differently-signed payloads under one id means the client is
+    /// equivocating, and the first one wins, exactly as under eager
+    /// verification), while a forged squatter is displaced by a valid
+    /// newcomer (see [`Self::order_transaction`]). Truncated in the
+    /// rhythm of the featherweight checkpoint interval, mirroring the
+    /// verifier's retry maps: one closed interval of validated history is
+    /// retained, so duplicates inside the window are still suppressed
+    /// while the map stays bounded on long runs (see
+    /// [`Self::gc_seen_txns`]).
+    seen_txns: std::collections::HashMap<TxnId, (sbft_types::Signature, sbft_types::Digest)>,
+    /// Transaction ids of validated batches, retained until the GC cutoff
+    /// passes them (feeds the `seen_txns` truncation).
+    validated_txns: BTreeMap<SeqNum, Vec<TxnId>>,
+    /// Highest `BatchValidated` sequence number observed.
+    max_validated: SeqNum,
+    /// Highest sequence number at or below which `seen_txns` has been
+    /// garbage-collected.
+    seen_gc_floor: SeqNum,
     /// The view in which each re-transmission timer `Υ` was started. If the
     /// view has already changed when the timer fires, the new primary gets a
     /// fresh chance instead of triggering yet another view change (this is
@@ -63,6 +85,7 @@ pub struct ShimNode {
     batches_committed: u64,
     executors_spawned: u64,
     requests_forwarded: u64,
+    rejected_txns: u64,
 }
 
 impl ShimNode {
@@ -90,11 +113,15 @@ impl ShimNode {
             invoker,
             planner,
             committed: BTreeMap::new(),
-            seen_txns: std::collections::HashSet::new(),
+            seen_txns: std::collections::HashMap::new(),
+            validated_txns: BTreeMap::new(),
+            max_validated: SeqNum(0),
+            seen_gc_floor: SeqNum(0),
             retransmit_view: std::collections::HashMap::new(),
             batches_committed: 0,
             executors_spawned: 0,
             requests_forwarded: 0,
+            rejected_txns: 0,
         }
     }
 
@@ -146,6 +173,20 @@ impl ShimNode {
         self.requests_forwarded
     }
 
+    /// Transactions rejected by the batch aggregate-signature check (the
+    /// bisecting fallback pruned them before ordering).
+    #[must_use]
+    pub fn rejected_txns(&self) -> u64 {
+        self.rejected_txns
+    }
+
+    /// Entries currently held in the duplicate-suppression set (tests and
+    /// memory accounting).
+    #[must_use]
+    pub fn seen_txns_len(&self) -> usize {
+        self.seen_txns.len()
+    }
+
     fn component(&self) -> ComponentId {
         ComponentId::Node(self.me)
     }
@@ -153,16 +194,25 @@ impl ShimNode {
     // ---- client requests and batching ---------------------------------------
 
     /// Handles a signed client request (Figure 3, primary role).
+    ///
+    /// The primary does **not** verify the client signature here: the
+    /// request's memoized signing digest and signature ride into the
+    /// batcher, and the whole batch is authenticated with one aggregate
+    /// check when it is submitted for ordering (see
+    /// [`SignedBatch::verify_and_prune`]). A non-primary node still
+    /// verifies eagerly before forwarding — that path is off the hot loop
+    /// (it only runs right after view changes) and keeps forged traffic
+    /// from being relayed.
     pub fn on_client_request(&mut self, req: &ClientRequest, now: SimTime) -> Vec<Action> {
         let digest = ClientRequest::signing_digest(&req.txn);
-        if !self.crypto.verify(
-            ComponentId::Client(req.txn.id.client),
-            &digest,
-            &req.signature,
-        ) {
-            return Vec::new(); // not well-formed
-        }
         if !self.is_primary() {
+            if !self.crypto.verify(
+                ComponentId::Client(req.txn.id.client),
+                &digest,
+                &req.signature,
+            ) {
+                return Vec::new(); // not well-formed
+            }
             // Clients normally target the primary; a node that is not the
             // primary forwards the request (e.g. after a view change).
             self.requests_forwarded += 1;
@@ -172,20 +222,54 @@ impl ShimNode {
                 ProtocolMessage::ClientRequest(req.clone()),
             )];
         }
-        self.order_transaction(req.txn.clone(), now)
+        self.order_transaction(req.txn.clone(), digest, req.signature, now)
     }
 
     /// Places a transaction in the ordering pipeline (primary only),
-    /// skipping transactions this node has already batched.
-    fn order_transaction(&mut self, txn: sbft_types::Transaction, now: SimTime) -> Vec<Action> {
-        if !self.seen_txns.insert(txn.id) {
-            return Vec::new(); // duplicate (client retry or forwarded ERROR)
+    /// skipping transactions this node has already batched. The signing
+    /// digest and client signature travel with the transaction so the
+    /// batch can be authenticated in aggregate at submit time.
+    fn order_transaction(
+        &mut self,
+        txn: sbft_types::Transaction,
+        digest: sbft_types::Digest,
+        signature: sbft_types::Signature,
+        now: SimTime,
+    ) -> Vec<Action> {
+        match self.seen_txns.entry(txn.id) {
+            std::collections::hash_map::Entry::Occupied(mut entry) => {
+                let (stored_sig, stored_digest) = *entry.get();
+                if stored_sig == signature {
+                    // Client retry or forwarded ERROR: already batched.
+                    return Vec::new();
+                }
+                // Same id, different signature. Two eager checks (cold
+                // path, only on conflicting duplicates) resolve it: if
+                // the batched entry is validly signed it keeps the id —
+                // a client producing a second validly-signed payload
+                // under the same id is equivocating, and the first
+                // submission wins, exactly as under eager verification.
+                // Otherwise the batched entry was a forged squatter: a
+                // valid newcomer takes over the id and is batched too
+                // (the forgery will be pruned by the aggregate check).
+                let client = ComponentId::Client(txn.id.client);
+                if self.crypto.verify(client, &stored_digest, &stored_sig) {
+                    return Vec::new();
+                }
+                if !self.crypto.verify(client, &digest, &signature) {
+                    return Vec::new();
+                }
+                entry.insert((signature, digest));
+            }
+            std::collections::hash_map::Entry::Vacant(entry) => {
+                entry.insert((signature, digest));
+            }
         }
         if !self.config.batching_enabled {
-            return self.submit_batch(Batch::single(txn));
+            return self.submit_signed(SignedBatch::single(txn, digest, signature));
         }
-        match self.batcher.push(txn, now) {
-            Some(batch) => self.submit_batch(batch),
+        match self.batcher.push(txn, digest, signature, now) {
+            Some(batch) => self.submit_signed(batch),
             None => Vec::new(),
         }
     }
@@ -196,12 +280,32 @@ impl ShimNode {
             return Vec::new();
         }
         match self.batcher.poll(now) {
-            Some(batch) => self.submit_batch(batch),
+            Some(batch) => self.submit_signed(batch),
             None => Vec::new(),
         }
     }
 
-    fn submit_batch(&mut self, batch: Batch) -> Vec<Action> {
+    /// The primary's batch-submit path: one aggregate signature check
+    /// authenticates the whole batch; offenders found by the bisecting
+    /// fallback are pruned (and released from duplicate suppression, so an
+    /// honest request with the same transaction id can still be ordered),
+    /// and whatever survives is handed to the ordering protocol.
+    fn submit_signed(&mut self, signed: SignedBatch) -> Vec<Action> {
+        let (batch, rejected) = signed.verify_and_prune(self.crypto.provider());
+        if !rejected.is_empty() {
+            self.rejected_txns += rejected.len() as u64;
+            for (txn, forged_sig) in &rejected {
+                // Release the id only if the forged signature still owns
+                // it — a valid request that took over the entry in the
+                // meantime keeps its duplicate suppression.
+                if self.seen_txns.get(txn).map(|(sig, _)| sig) == Some(forged_sig) {
+                    self.seen_txns.remove(txn);
+                }
+            }
+        }
+        let Some(batch) = batch else {
+            return Vec::new(); // nothing survived the signature check
+        };
         let consensus_actions = self.ordering.submit_batch(batch);
         self.translate(consensus_actions)
     }
@@ -400,7 +504,15 @@ impl ShimNode {
                     // re-spawn executors for the missing sequence number.
                     return match (&err.subject, &err.request) {
                         (RecoverySubject::Txn(_), Some(request)) => {
-                            self.order_transaction(request.txn.clone(), now)
+                            // The carried request joins the batch like any
+                            // other; the aggregate check covers it.
+                            let digest = ClientRequest::signing_digest(&request.txn);
+                            self.order_transaction(
+                                request.txn.clone(),
+                                digest,
+                                request.signature,
+                                now,
+                            )
                         }
                         (RecoverySubject::Seq(seq), _) => self.respawn(*seq),
                         _ => Vec::new(),
@@ -447,7 +559,15 @@ impl ShimNode {
     }
 
     fn on_batch_validated(&mut self, validated: BatchValidated) -> Vec<Action> {
-        self.committed.remove(&validated.seq);
+        if let Some(entry) = self.committed.remove(&validated.seq) {
+            // Remember which transaction ids this batch retired so the
+            // duplicate-suppression set can be truncated once the batch
+            // leaves the retained checkpoint window.
+            self.validated_txns
+                .insert(validated.seq, entry.batch.txn_ids());
+        }
+        self.max_validated = self.max_validated.max(validated.seq);
+        self.gc_seen_txns();
         let ready = match &mut self.planner {
             Some(planner) => planner.complete(validated.seq),
             None => Vec::new(),
@@ -459,6 +579,34 @@ impl ShimNode {
             }
         }
         actions
+    }
+
+    /// Truncates `seen_txns` in the rhythm of the featherweight checkpoint
+    /// interval, exactly like the verifier truncates its `responded` /
+    /// `txn_location` maps: entries of batches at or below the previous
+    /// checkpoint (one closed interval behind the latest one validation
+    /// passed) are dropped. Duplicates inside the retained window are
+    /// still suppressed; anything older is outside the protocol's retry
+    /// contract (the verifier has dropped its stored `RESPONSE` for them
+    /// in the same rhythm).
+    fn gc_seen_txns(&mut self) {
+        let interval = self.config.timers.checkpoint_interval;
+        if interval == 0 {
+            return;
+        }
+        let stable = (self.max_validated.0 / interval) * interval;
+        let cutoff = SeqNum(stable.saturating_sub(interval));
+        if cutoff <= self.seen_gc_floor {
+            return;
+        }
+        self.seen_gc_floor = cutoff;
+        let retained = self.validated_txns.split_off(&SeqNum(cutoff.0 + 1));
+        let dropped = std::mem::replace(&mut self.validated_txns, retained);
+        for txns in dropped.values() {
+            for txn in txns {
+                self.seen_txns.remove(txn);
+            }
+        }
     }
 
     /// Handles the expiry of a timer owned by this node.
@@ -707,6 +855,191 @@ mod tests {
         req.signature = Signature::ZERO;
         assert!(shim.nodes[0]
             .on_client_request(&req, SimTime::ZERO)
+            .is_empty());
+    }
+
+    #[test]
+    fn forged_signature_is_pruned_at_batch_submit() {
+        // The primary defers client verification to the batch aggregate
+        // check: a forged request is admitted to the batcher but the
+        // bisecting fallback prunes it at submit, and only the honest
+        // transaction is proposed.
+        let mut shim = make_shim(base_config());
+        let provider = Arc::clone(&shim.provider);
+        let mut forged = signed_request(&provider, 0, 0);
+        forged.signature = Signature::ZERO;
+        let forged_id = forged.txn.id;
+        assert!(shim.nodes[0]
+            .on_client_request(&forged, SimTime::ZERO)
+            .is_empty());
+        // The second (honest) request fills the batch and triggers submit.
+        let actions =
+            shim.nodes[0].on_client_request(&signed_request(&provider, 1, 0), SimTime::ZERO);
+        let proposed = actions
+            .iter()
+            .find_map(|a| match a.as_send().map(|e| &e.msg) {
+                Some(ProtocolMessage::Consensus(sbft_consensus::ConsensusMessage::PrePrepare(
+                    pp,
+                ))) => Some(pp.batch.clone()),
+                _ => None,
+            })
+            .expect("pruned batch is still proposed");
+        assert_eq!(proposed.len(), 1, "the forged transaction was pruned");
+        assert!(proposed.txn_ids().iter().all(|id| *id != forged_id));
+        assert_eq!(shim.nodes[0].rejected_txns(), 1);
+        // The forged id was released from duplicate suppression, so the
+        // honest client can still get the same transaction ordered.
+        let honest_retry = signed_request(&provider, 0, 0);
+        let _ = shim.nodes[0].on_client_request(&honest_retry, SimTime::ZERO);
+        let actions =
+            shim.nodes[0].on_client_request(&signed_request(&provider, 2, 0), SimTime::ZERO);
+        let reproposed = actions
+            .iter()
+            .find_map(|a| match a.as_send().map(|e| &e.msg) {
+                Some(ProtocolMessage::Consensus(sbft_consensus::ConsensusMessage::PrePrepare(
+                    pp,
+                ))) => Some(pp.batch.clone()),
+                _ => None,
+            })
+            .expect("second batch proposed");
+        assert!(reproposed.txn_ids().contains(&forged_id));
+    }
+
+    #[test]
+    fn squatted_txn_id_is_recovered_by_the_genuine_request() {
+        // An attacker squats an honest client's TxnId with a garbage
+        // signature before the real request arrives. The genuine request
+        // (different signature) must not be silently dropped as a
+        // duplicate: the conflicting-signature path verifies it eagerly,
+        // batches it, and the aggregate prune removes only the forgery.
+        let mut shim = make_shim(base_config());
+        let provider = Arc::clone(&shim.provider);
+        let mut squat = signed_request(&provider, 0, 0);
+        squat.signature = Signature::ZERO;
+        let id = squat.txn.id;
+        assert!(shim.nodes[0]
+            .on_client_request(&squat, SimTime::ZERO)
+            .is_empty());
+        // The genuine request for the same id fills the 2-txn batch and
+        // triggers submit.
+        let genuine = signed_request(&provider, 0, 0);
+        let actions = shim.nodes[0].on_client_request(&genuine, SimTime::ZERO);
+        let proposed = actions
+            .iter()
+            .find_map(|a| match a.as_send().map(|e| &e.msg) {
+                Some(ProtocolMessage::Consensus(sbft_consensus::ConsensusMessage::PrePrepare(
+                    pp,
+                ))) => Some(pp.batch.clone()),
+                _ => None,
+            })
+            .expect("the genuine transaction is proposed");
+        assert_eq!(proposed.len(), 1);
+        assert_eq!(proposed.txn_ids(), vec![id]);
+        assert_eq!(shim.nodes[0].rejected_txns(), 1, "the forgery was pruned");
+        // The genuine entry kept its duplicate suppression: a retry with
+        // the same (valid, deterministic) signature is dropped.
+        assert!(shim.nodes[0]
+            .on_client_request(&signed_request(&provider, 0, 0), SimTime::ZERO)
+            .is_empty());
+    }
+
+    #[test]
+    fn equivocating_client_cannot_order_two_payloads_under_one_id() {
+        // A byzantine client validly signs two *different* transactions
+        // under the same TxnId. The first keeps the id (exactly as under
+        // eager verification); the second — despite carrying a valid
+        // signature — must be dropped, not batched alongside it.
+        let mut shim = make_shim(base_config());
+        let provider = Arc::clone(&shim.provider);
+        let first = signed_request(&provider, 0, 0);
+        let first_ops = first.txn.ops.clone();
+        assert!(shim.nodes[0]
+            .on_client_request(&first, SimTime::ZERO)
+            .is_empty());
+        // Same id, different payload, genuinely signed.
+        let other_txn =
+            Transaction::new(TxnId::new(ClientId(0), 0), vec![Operation::Read(Key(42))]);
+        let digest = ClientRequest::signing_digest(&other_txn);
+        let equivocation = ClientRequest {
+            signature: provider
+                .handle(ComponentId::Client(ClientId(0)))
+                .sign(&digest),
+            txn: other_txn,
+        };
+        assert!(shim.nodes[0]
+            .on_client_request(&equivocation, SimTime::ZERO)
+            .is_empty());
+        // A filler request releases the batch: it must contain the FIRST
+        // payload plus the filler — the equivocation was dropped.
+        let actions =
+            shim.nodes[0].on_client_request(&signed_request(&provider, 1, 0), SimTime::ZERO);
+        let proposed = actions
+            .iter()
+            .find_map(|a| match a.as_send().map(|e| &e.msg) {
+                Some(ProtocolMessage::Consensus(sbft_consensus::ConsensusMessage::PrePrepare(
+                    pp,
+                ))) => Some(pp.batch.clone()),
+                _ => None,
+            })
+            .expect("batch proposed");
+        assert_eq!(proposed.len(), 2);
+        assert_eq!(proposed.txns()[0].ops, first_ops);
+        assert_eq!(shim.nodes[0].rejected_txns(), 0, "nothing was pruned");
+    }
+
+    #[test]
+    fn seen_txns_truncates_at_the_checkpoint_interval() {
+        // Long-run bound: a single-node CFT shim orders one batch per
+        // request; feeding back BatchValidated notifications must keep the
+        // duplicate-suppression set within two checkpoint intervals.
+        let mut config = SystemConfig::with_shim_size(4);
+        config.workload.batch_size = 1;
+        config.timers.checkpoint_interval = 4;
+        let provider = CryptoProvider::new(5);
+        let mut node = ShimNode::new(
+            NodeId(0),
+            config.clone(),
+            provider.handle(ComponentId::Node(NodeId(0))),
+            Box::new(CftReplica::new(
+                NodeId(0),
+                sbft_types::FaultParams {
+                    n_r: 1,
+                    f_r: 0,
+                    n_e: 3,
+                    f_e: 1,
+                },
+                config.timers.node_timeout,
+            )),
+        );
+        for i in 0..100u64 {
+            let actions = node.on_client_request(&signed_request(&provider, 0, i), SimTime::ZERO);
+            assert!(
+                actions
+                    .iter()
+                    .any(|a| matches!(a, Action::BatchCommitted { .. })),
+                "request {i} must commit immediately on the 1-node CFT shim"
+            );
+            let _ = node.on_message(&ProtocolMessage::BatchValidated(BatchValidated {
+                seq: SeqNum(i + 1),
+                committed: 1,
+                aborted: 0,
+            }));
+            assert!(
+                node.seen_txns_len() <= 2 * 4,
+                "after {} batches seen_txns holds {} entries",
+                i + 1,
+                node.seen_txns_len()
+            );
+        }
+        assert_eq!(node.batches_committed(), 100);
+        // Entries inside the retained window still suppress duplicates …
+        assert!(node
+            .on_client_request(&signed_request(&provider, 0, 99), SimTime::ZERO)
+            .is_empty());
+        // … while a GC-ed transaction would be re-ordered (outside the
+        // retry window, matching the verifier's own truncation).
+        assert!(!node
+            .on_client_request(&signed_request(&provider, 0, 1), SimTime::ZERO)
             .is_empty());
     }
 

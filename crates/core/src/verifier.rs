@@ -23,11 +23,11 @@ use crate::events::{
 };
 use sbft_crypto::CryptoHandle;
 use sbft_serverless::VerifyMessage;
-use sbft_sharding::{ShardId, ShardedCommitter};
+use sbft_sharding::{CommitOutcome, ShardId, ShardScheduler, ShardedCommitter};
 use sbft_storage::VersionedStore;
 use sbft_types::{
-    ComponentId, ConflictHandling, ExecutorId, FaultParams, SeqNum, ShardingConfig, SimDuration,
-    TxnId, TxnOutcome,
+    ComponentId, ConflictHandling, ExecutorId, FaultParams, ReadWriteSet, SeqNum, ShardingConfig,
+    SimDuration, TxnId, TxnOutcome,
 };
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::sync::Arc;
@@ -71,7 +71,13 @@ pub struct VerifierConfig {
 pub struct Verifier {
     crypto: CryptoHandle,
     /// The sharded commit path replacing the single global `ccheck`.
-    committer: ShardedCommitter,
+    /// `Arc`-held so a worker pool can drive the same engine.
+    committer: Arc<ShardedCommitter>,
+    /// When attached (thread runtime), matched batches apply through this
+    /// worker pool with real multi-core parallelism instead of
+    /// synchronously on the verifier's thread; `None` keeps the
+    /// deterministic synchronous path (simulator, tests).
+    apply_pool: Option<ShardScheduler>,
     config: VerifierConfig,
 
     /// Sequence number of the next request to be validated.
@@ -97,16 +103,18 @@ pub struct Verifier {
     ignored_verifies: u64,
     validated_batches: u64,
     divergent_aborts: u64,
+    pool_applied_txns: u64,
 }
 
 impl Verifier {
     /// Creates the verifier.
     #[must_use]
     pub fn new(crypto: CryptoHandle, store: Arc<VersionedStore>, config: VerifierConfig) -> Self {
-        let committer = ShardedCommitter::new(store, &config.sharding);
+        let committer = Arc::new(ShardedCommitter::new(store, &config.sharding));
         Verifier {
             crypto,
             committer,
+            apply_pool: None,
             config,
             kmax: SeqNum(1),
             pending: BTreeMap::new(),
@@ -119,7 +127,37 @@ impl Verifier {
             ignored_verifies: 0,
             validated_batches: 0,
             divergent_aborts: 0,
+            pool_applied_txns: 0,
         }
+    }
+
+    /// Attaches a [`ShardScheduler`] worker pool as the apply stage:
+    /// matched batches are handed to the pool in one shared allocation
+    /// and applied with real multi-core parallelism; the verifier blocks
+    /// for the batch's per-transaction outcomes before answering clients,
+    /// and `k_max`-ordered submission plus per-shard FIFO draining
+    /// preserve per-shard commit order. Used by the thread runtime
+    /// (`sbft-runtime`); the discrete-event simulator keeps the
+    /// synchronous path.
+    pub fn attach_apply_pool(&mut self, workers: usize) {
+        let validate_reads = self.validate_reads();
+        self.apply_pool = Some(ShardScheduler::new(
+            Arc::clone(&self.committer),
+            workers,
+            validate_reads,
+        ));
+    }
+
+    /// Whether an apply pool is attached.
+    #[must_use]
+    pub fn apply_pool_active(&self) -> bool {
+        self.apply_pool.is_some()
+    }
+
+    /// Transactions applied through the attached worker pool.
+    #[must_use]
+    pub fn pool_applied_txns(&self) -> u64 {
+        self.pool_applied_txns
     }
 
     /// Sequence number of the next batch the verifier will validate.
@@ -333,6 +371,54 @@ impl Verifier {
         actions
     }
 
+    /// Whether the worker pool's per-home-shard FIFO ordering is exact
+    /// for this batch: true iff no key is shared — with at least one
+    /// writer — by transactions whose home shards differ. Transactions
+    /// with the same home shard are applied in batch order by a single
+    /// worker, and read-only sharing is order independent, so everything
+    /// else commutes.
+    fn pool_order_exact(results: &[sbft_types::TxnResult], routes: &[BTreeSet<ShardId>]) -> bool {
+        /// Per-key summary: the first home shard that touched it, whether
+        /// any *other* home touched it since, and whether anyone wrote it.
+        struct Touch {
+            first_home: ShardId,
+            multi_home: bool,
+            any_write: bool,
+        }
+        let mut touched: HashMap<sbft_types::Key, Touch> = HashMap::new();
+        for (result, involved) in results.iter().zip(routes) {
+            let Some(home) = involved.iter().next().copied() else {
+                continue; // touches no data
+            };
+            let reads = result.rwset.reads.iter().map(|(key, _)| (*key, false));
+            let writes = result.rwset.writes.iter().map(|(key, _)| (*key, true));
+            for (key, writes_key) in reads.chain(writes) {
+                match touched.entry(key) {
+                    std::collections::hash_map::Entry::Occupied(mut entry) => {
+                        let touch = entry.get_mut();
+                        let differs = touch.first_home != home;
+                        // Unsafe as soon as the key has (or now gains) a
+                        // writer while being touched by two distinct
+                        // homes — in either order.
+                        if (touch.any_write || writes_key) && (touch.multi_home || differs) {
+                            return false;
+                        }
+                        touch.multi_home |= differs;
+                        touch.any_write |= writes_key;
+                    }
+                    std::collections::hash_map::Entry::Vacant(entry) => {
+                        entry.insert(Touch {
+                            first_home: home,
+                            multi_home: false,
+                            any_write: writes_key,
+                        });
+                    }
+                }
+            }
+        }
+        true
+    }
+
     /// Truncates the client-retry maps in the rhythm of the shim's
     /// featherweight checkpoints. Entries for batches at or below the
     /// previous checkpoint (one closed interval behind the latest one
@@ -371,6 +457,13 @@ impl Verifier {
     /// notification, ACKs. The per-shard `ccheck` work is announced first
     /// (as [`Action::ShardCcheck`]) so CPU-modelling runtimes can charge
     /// it to the shard stations before the responses leave.
+    ///
+    /// With an [`Self::attach_apply_pool`]ed worker pool the OCC
+    /// validation and writes run on the pool (one shared allocation per
+    /// batch, per-transaction outcomes collected through the ticket);
+    /// otherwise they run synchronously on the caller. Both paths produce
+    /// identical outcomes — the pool drives the very same
+    /// [`ShardedCommitter`].
     fn apply_batch(&mut self, seq: SeqNum, matched: &VerifyMessage) -> Vec<Action> {
         let mut actions = Vec::new();
         // Route every transaction once; the sets drive both the ShardCcheck
@@ -397,12 +490,55 @@ impl Verifier {
                 accesses,
             });
         }
+        let validate_reads = self.validate_reads();
+        // The pool preserves commit order *within* a home shard (FIFO
+        // queues, one worker per shard at a time), which is exact for
+        // batches whose key overlaps all live on one home shard. A batch
+        // where the same key is touched by transactions with different
+        // home shards would apply those transactions in nondeterministic
+        // relative order, so such (rare, cross-shard-conflicting) batches
+        // fall back to the synchronous in-order path.
+        let use_pool =
+            self.apply_pool.is_some() && Self::pool_order_exact(&matched.results, &routes);
+        let (outcomes, via_pool): (Vec<CommitOutcome>, bool) = if use_pool {
+            let pool = self.apply_pool.as_ref().expect("checked above");
+            // One shared allocation for the whole batch; the pool applies
+            // it across the shard workers while this thread waits for the
+            // per-transaction outcomes. Batches reach this point in k_max
+            // order, so per-shard commit order is submission order.
+            let rwsets: Arc<[ReadWriteSet]> = matched
+                .results
+                .iter()
+                .map(|result| result.rwset.clone())
+                .collect();
+            let homes: Vec<Option<ShardId>> = routes
+                .iter()
+                .map(|involved| involved.iter().next().copied())
+                .collect();
+            (
+                pool.submit_tracked_homed(seq.0, rwsets, &homes).wait(),
+                true,
+            )
+        } else {
+            (
+                matched
+                    .results
+                    .iter()
+                    .zip(&routes)
+                    .map(|(result, involved)| {
+                        self.committer
+                            .commit_routed(&result.rwset, validate_reads, involved)
+                    })
+                    .collect(),
+                false,
+            )
+        };
+        if via_pool {
+            self.pool_applied_txns += outcomes.len() as u64;
+        }
         let mut committed = 0u32;
         let mut aborted = 0u32;
-        for (result, involved) in matched.results.iter().zip(&routes) {
-            let outcome =
-                self.committer
-                    .commit_routed(&result.rwset, self.validate_reads(), involved);
+        for (result, outcome) in matched.results.iter().zip(&outcomes) {
             let (msg, txn_outcome) = if outcome.is_applied() {
                 committed += 1;
                 self.committed_txns += 1;
@@ -728,12 +864,25 @@ mod tests {
                 output: value,
                 rwset,
             }];
+            self.verify_msg_with_results(executor, seq, results)
+        }
+
+        /// Builds a VERIFY message carrying an arbitrary result list.
+        fn verify_msg_with_results(
+            &self,
+            executor: u64,
+            seq: u64,
+            results: Vec<TxnResult>,
+        ) -> VerifyMessage {
             let digest = Digest::from_bytes([seq as u8; 32]);
             let result_digest = VerifyMessage::digest_of_results(SeqNum(seq), &results);
             let handle = self
                 .provider
                 .handle(ComponentId::Executor(ExecutorId(executor)));
-            let batch = Batch::single(Transaction::new(txn_id, vec![Operation::Read(Key(1))]));
+            let batch = Batch::single(Transaction::new(
+                results[0].txn,
+                vec![Operation::Read(Key(1))],
+            ));
             VerifyMessage {
                 executor: ExecutorId(executor),
                 view: ViewNumber(0),
@@ -1123,6 +1272,158 @@ mod tests {
         assert!(total_txns >= 1);
         assert_eq!(v.committed_txns(), 1);
         assert_eq!(fx.store.get(Key(2)).unwrap().value, Value::new(42));
+    }
+
+    #[test]
+    fn pool_apply_stage_matches_the_synchronous_path() {
+        // The same VERIFY sequence (including a stale-read abort) through
+        // the synchronous apply stage and through an attached
+        // ShardScheduler pool must produce identical counters, responses
+        // and storage state.
+        let run = |attach_pool: bool| {
+            let fx = Fixture::new();
+            let mut v = fx.verifier_sharded(
+                ConflictHandling::UnknownRwSets,
+                sbft_types::ShardingConfig::with_shards(8),
+            );
+            if attach_pool {
+                v.attach_apply_pool(4);
+                assert!(v.apply_pool_active());
+            }
+            let mut kinds = Vec::new();
+            for seq in 1..=6u64 {
+                // Batch 4 reads a stale version and must abort.
+                let read_version = if seq == 4 { 99 } else { 1 };
+                let _ = v.on_verify(&fx.verify_msg(1, seq, 0, seq, read_version));
+                let actions = v.on_verify(&fx.verify_msg(2, seq, 0, seq, read_version));
+                kinds.extend(
+                    crate::events::envelopes(&actions)
+                        .iter()
+                        .map(|e| e.msg.kind().to_string()),
+                );
+            }
+            let state = fx.store.get(Key(2)).unwrap().value;
+            (
+                v.committed_txns(),
+                v.aborted_txns(),
+                v.validated_batches(),
+                kinds,
+                state,
+                v.pool_applied_txns(),
+            )
+        };
+        let sync = run(false);
+        let pooled = run(true);
+        assert_eq!(sync.0, pooled.0, "committed");
+        assert_eq!(sync.1, pooled.1, "aborted");
+        assert_eq!(sync.2, pooled.2, "validated batches");
+        assert_eq!(sync.3, pooled.3, "response kinds");
+        assert_eq!(sync.4, pooled.4, "final storage state");
+        assert_eq!(sync.5, 0, "synchronous path never touches the pool");
+        assert_eq!(pooled.5, 6, "every applied txn went through the pool");
+    }
+
+    #[test]
+    fn pool_order_exactness_is_order_insensitive_to_the_writer_position() {
+        // Key shared by (home-2 reader, home-0 reader, home-2 WRITER):
+        // the writer arriving last, from the same home as the first
+        // toucher, must still force the fallback because the home-0
+        // reader races against it.
+        let shared = Key(1);
+        let result = |reads: Vec<Key>, writes: Vec<Key>, n: u64| {
+            let mut rwset = ReadWriteSet::new();
+            for k in reads {
+                rwset.record_read(k, Version(1));
+            }
+            for k in writes {
+                rwset.record_write(k, Value::new(n));
+            }
+            TxnResult {
+                txn: TxnId::new(ClientId(n as u32), 1),
+                output: n,
+                rwset,
+            }
+        };
+        use sbft_sharding::ShardId;
+        let home = |ids: &[u32]| ids.iter().map(|i| ShardId(*i)).collect::<BTreeSet<_>>();
+        let results = vec![
+            result(vec![shared], vec![], 0),
+            result(vec![shared], vec![Key(9)], 1),
+            result(vec![], vec![shared], 2),
+        ];
+        let routes = vec![home(&[2]), home(&[0, 2]), home(&[2])];
+        assert!(!Verifier::pool_order_exact(&results, &routes));
+        // All on one home shard: exact, whatever the write pattern.
+        let routes = vec![home(&[2]), home(&[2]), home(&[2])];
+        assert!(Verifier::pool_order_exact(&results, &routes));
+        // Read-only sharing across homes: order independent, exact.
+        let read_only = vec![
+            result(vec![shared], vec![], 0),
+            result(vec![shared], vec![Key(9)], 1),
+        ];
+        let routes = vec![home(&[2]), home(&[0, 2])];
+        assert!(Verifier::pool_order_exact(&read_only, &routes));
+    }
+
+    #[test]
+    fn pool_falls_back_to_in_order_apply_for_cross_home_key_conflicts() {
+        // Two transactions of one batch write/read the same key while
+        // living on different home shards: the pool's per-shard FIFOs
+        // could not order them, so the verifier must apply that batch
+        // synchronously (in batch order) — txn B's read of the key txn A
+        // just wrote is stale, deterministically.
+        let fx = Fixture::new();
+        // A conflict-tracking mode, so read validation is on and the
+        // apply order is observable.
+        let mut v = fx.verifier_sharded(
+            ConflictHandling::UnknownRwSets,
+            sbft_types::ShardingConfig::with_shards(8),
+        );
+        v.attach_apply_pool(4);
+        let router = *v.committer().router();
+        let k1 = Key(1);
+        // A key on a *higher-numbered* shard than k1's, so txn A (which
+        // touches both) homes on k1's shard while txn B homes on k2's.
+        let k2 = (2..)
+            .map(Key)
+            .find(|k| router.shard_of(*k).0 > router.shard_of(k1).0)
+            .expect("8 shards have a higher-numbered one");
+        let mut rw_a = ReadWriteSet::new();
+        rw_a.record_read(k1, Version(1));
+        rw_a.record_write(k2, Value::new(77));
+        let mut rw_b = ReadWriteSet::new();
+        rw_b.record_read(k2, fx.store.version_of(k2));
+        rw_b.record_write(k2, Value::new(88));
+        let results = vec![
+            TxnResult {
+                txn: TxnId::new(ClientId(0), 1),
+                output: 77,
+                rwset: rw_a,
+            },
+            TxnResult {
+                txn: TxnId::new(ClientId(1), 1),
+                output: 88,
+                rwset: rw_b,
+            },
+        ];
+        let _ = v.on_verify(&fx.verify_msg_with_results(1, 1, results.clone()));
+        let actions = v.on_verify(&fx.verify_msg_with_results(2, 1, results));
+        let kinds = response_kinds(&actions);
+        assert!(kinds.contains(&"RESPONSE"), "txn A commits");
+        assert!(kinds.contains(&"ABORT"), "txn B reads A's write stale");
+        assert_eq!(v.committed_txns(), 1);
+        assert_eq!(v.aborted_txns(), 1);
+        assert_eq!(
+            v.pool_applied_txns(),
+            0,
+            "the conflicting batch must bypass the pool"
+        );
+        assert_eq!(fx.store.get(k2).unwrap().value, Value::new(77));
+        // A conflict-free follow-up batch flows through the pool again.
+        let _ = v.on_verify(&fx.verify_msg(1, 2, 2, 5, 1));
+        let actions = v.on_verify(&fx.verify_msg(2, 2, 2, 5, 1));
+        assert!(response_kinds(&actions).contains(&"RESPONSE"));
+        assert_eq!(v.pool_applied_txns(), 1);
     }
 
     #[test]

@@ -35,7 +35,7 @@ pub fn digest_concat(parts: &[&[u8]]) -> Digest {
 /// for 32-byte digests) and the final digest is produced by
 /// [`finish`](U64Hasher::finish). Values are staged in a 64-byte stack
 /// buffer so SHA-256 sees whole blocks; no heap memory is touched.
-#[derive(Clone)]
+#[derive(Clone, Debug)]
 pub struct U64Hasher {
     inner: Sha256,
     /// Stack staging area: eight little-endian `u64`s make one SHA block.

@@ -28,6 +28,13 @@ pub struct HmacKey {
     outer: Sha256,
 }
 
+impl std::fmt::Debug for HmacKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Never print key-schedule material.
+        f.write_str("HmacKey(…)")
+    }
+}
+
 impl HmacKey {
     /// Derives the key schedule from a raw key.
     #[must_use]
@@ -75,6 +82,19 @@ impl HmacKey {
         outer.update(inner_digest.as_bytes());
         MacTag(*outer.finalize().as_bytes())
     }
+
+    /// Verifies a MAC tag in (logically) constant time, reusing this key
+    /// schedule — the amortised counterpart of [`verify_hmac`], which
+    /// re-derives the schedule on every call.
+    #[must_use]
+    pub fn verify(&self, message: &[u8], tag: &MacTag) -> bool {
+        let expected = self.mac(message);
+        let mut diff = 0u8;
+        for (a, b) in expected.0.iter().zip(tag.0.iter()) {
+            diff |= a ^ b;
+        }
+        diff == 0
+    }
 }
 
 /// Computes `HMAC-SHA256(key, message)`.
@@ -86,13 +106,7 @@ pub fn hmac_sha256(key: &[u8], message: &[u8]) -> MacTag {
 /// Verifies an HMAC tag in (logically) constant time.
 #[must_use]
 pub fn verify_hmac(key: &[u8], message: &[u8], tag: &MacTag) -> bool {
-    let expected = hmac_sha256(key, message);
-    // Constant-time comparison to mirror real implementations.
-    let mut diff = 0u8;
-    for (a, b) in expected.0.iter().zip(tag.0.iter()) {
-        diff |= a ^ b;
-    }
-    diff == 0
+    HmacKey::new(key).verify(message, tag)
 }
 
 #[cfg(test)]
@@ -164,6 +178,17 @@ mod tests {
     #[test]
     fn different_keys_give_different_tags() {
         assert_ne!(hmac_sha256(b"k1", b"m"), hmac_sha256(b"k2", b"m"));
+    }
+
+    #[test]
+    fn schedule_verify_matches_one_shot_verify() {
+        let key = HmacKey::new(b"secret");
+        let tag = key.mac(b"message");
+        assert!(key.verify(b"message", &tag));
+        assert!(!key.verify(b"messagE", &tag));
+        let mut bad = tag;
+        bad.0[31] ^= 1;
+        assert!(!key.verify(b"message", &bad));
     }
 
     #[test]

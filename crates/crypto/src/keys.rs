@@ -45,6 +45,19 @@ impl KeyPair {
         let public = PublicKey(*crate::hashing::digest_concat(&[b"sbft-pk", &seed]).as_bytes());
         KeyPair { secret, public }
     }
+
+    /// Derives the reusable HMAC key schedule of the secret half.
+    ///
+    /// Every signature under this key pair is two HMACs under this
+    /// schedule (see [`crate::signature::SimSigner`]); deriving it costs
+    /// two SHA-256 compressions, so callers that sign or verify more than
+    /// once should derive it once and cache it —
+    /// [`crate::provider::CryptoHandle`] and
+    /// [`crate::provider::CryptoProvider`] both do.
+    #[must_use]
+    pub fn signing_schedule(&self) -> crate::hmac::HmacKey {
+        crate::hmac::HmacKey::new(&self.secret.0)
+    }
 }
 
 /// Stable numeric encoding of a component identity used for key derivation.

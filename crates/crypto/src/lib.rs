@@ -24,10 +24,23 @@
 //! components are assumed unable to forge signatures or subvert the hash,
 //! exactly as in the paper, so every certificate/quorum check in the
 //! protocol is exercised for real.
+//!
+//! Two amortisation layers keep the hot paths cheap:
+//!
+//! * **Key-schedule caches** ([`provider`]): HMAC key schedules are
+//!   derived once per identity (sender side in [`CryptoHandle`],
+//!   verification side in [`CryptoProvider`]) instead of once per
+//!   operation.
+//! * **Batch signature aggregation** ([`aggregate`]): the individual
+//!   client signatures of a consensus batch fold into one
+//!   [`aggregate::AggregateSignature`]; the primary verifies one
+//!   aggregate per batch, with a bisecting fallback that pinpoints
+//!   offending transactions when the aggregate check fails.
 
 #![deny(missing_docs)]
 #![deny(rustdoc::broken_intra_doc_links)]
 
+pub mod aggregate;
 pub mod certificate;
 pub mod dh;
 pub mod hashing;
@@ -38,6 +51,7 @@ pub mod sha256;
 pub mod signature;
 pub mod threshold;
 
+pub use aggregate::AggregateSignature;
 pub use certificate::CommitCertificate;
 pub use dh::DhKeyExchange;
 pub use hashing::{digest_bytes, digest_concat, digest_u64s, U64Hasher};

@@ -5,17 +5,48 @@
 //! a [`CryptoHandle`] bound to its own identity: the handle can sign and
 //! MAC only as that identity (mirroring "byzantine components cannot
 //! impersonate honest components") but can verify messages from anyone.
+//!
+//! # Key-schedule caches
+//!
+//! Every HMAC-based operation (signatures are two HMACs, MACs are one)
+//! starts from a key schedule whose derivation costs two SHA-256
+//! compressions plus the key-material hashing. Identities are fixed for
+//! the lifetime of a deployment, so both layers memoize the schedules:
+//!
+//! * a [`CryptoHandle`] lazily derives **its own** signing schedule and
+//!   broadcast-MAC schedule once (`OnceLock`, so clones taken afterwards
+//!   carry the filled cache, like the digest memos on batches), and keeps
+//!   one pairwise-channel schedule per peer it talks to;
+//! * the shared [`CryptoProvider`] caches **everyone's** signing and
+//!   group-MAC schedules on the verification side, which is what makes
+//!   the aggregate batch check (one fold-and-compare per batch over
+//!   cached-schedule expected signatures) cheap.
 
-use crate::hmac::{hmac_sha256, verify_hmac};
+use crate::aggregate::{bisect_mismatches, AggregateSignature};
+use crate::hmac::HmacKey;
 use crate::keys::{KeyPair, KeyStore, PublicKey};
 use crate::signature::SimSigner;
 use sbft_types::{ComponentId, Digest, MacTag, Signature};
-use std::sync::Arc;
+use std::collections::HashMap;
+use std::sync::{Arc, OnceLock, RwLock};
 
-/// Deployment-wide cryptographic material.
-#[derive(Clone, Debug)]
+/// Deployment-wide cryptographic material plus the verification-side
+/// key-schedule caches.
+#[derive(Debug)]
 pub struct CryptoProvider {
     store: KeyStore,
+    /// Per-identity signing schedules, filled on first verification of a
+    /// signature from that identity.
+    sign_schedules: RwLock<HashMap<ComponentId, HmacKey>>,
+    /// Per-sender group (broadcast) MAC schedules.
+    group_schedules: RwLock<HashMap<ComponentId, HmacKey>>,
+}
+
+impl Clone for CryptoProvider {
+    fn clone(&self) -> Self {
+        // The caches are derived state; a clone starts cold.
+        CryptoProvider::with_store(self.store.clone())
+    }
 }
 
 /// A component-scoped handle to the deployment's cryptographic material.
@@ -24,15 +55,29 @@ pub struct CryptoHandle {
     me: ComponentId,
     keypair: KeyPair,
     provider: Arc<CryptoProvider>,
+    /// This identity's signing schedule (filled on first signature; clones
+    /// taken afterwards carry it).
+    sign_schedule: OnceLock<HmacKey>,
+    /// This identity's group-broadcast MAC schedule.
+    broadcast_schedule: OnceLock<HmacKey>,
+    /// Pairwise-channel MAC schedules per peer, shared across clones of
+    /// this handle.
+    peer_schedules: Arc<RwLock<HashMap<ComponentId, HmacKey>>>,
 }
 
 impl CryptoProvider {
     /// Creates the provider for a deployment.
     #[must_use]
     pub fn new(master_seed: u64) -> Arc<Self> {
-        Arc::new(CryptoProvider {
-            store: KeyStore::new(master_seed),
-        })
+        Arc::new(Self::with_store(KeyStore::new(master_seed)))
+    }
+
+    fn with_store(store: KeyStore) -> Self {
+        CryptoProvider {
+            store,
+            sign_schedules: RwLock::new(HashMap::new()),
+            group_schedules: RwLock::new(HashMap::new()),
+        }
     }
 
     /// The underlying trusted key registry.
@@ -48,13 +93,104 @@ impl CryptoProvider {
             me: component,
             keypair: self.store.keypair_for(component),
             provider: Arc::clone(self),
+            sign_schedule: OnceLock::new(),
+            broadcast_schedule: OnceLock::new(),
+            peer_schedules: Arc::new(RwLock::new(HashMap::new())),
         }
+    }
+
+    /// The cached signing schedule of `component` (derived on first use).
+    fn signing_schedule_of(&self, component: ComponentId) -> HmacKey {
+        if let Some(schedule) = self
+            .sign_schedules
+            .read()
+            .expect("schedule cache")
+            .get(&component)
+        {
+            return schedule.clone();
+        }
+        let schedule = self.store.keypair_for(component).signing_schedule();
+        self.sign_schedules
+            .write()
+            .expect("schedule cache")
+            .entry(component)
+            .or_insert(schedule)
+            .clone()
+    }
+
+    /// The cached group-broadcast MAC schedule of `sender`.
+    fn group_schedule_of(&self, sender: ComponentId) -> HmacKey {
+        if let Some(schedule) = self
+            .group_schedules
+            .read()
+            .expect("schedule cache")
+            .get(&sender)
+        {
+            return schedule.clone();
+        }
+        let schedule = HmacKey::new(&self.store.mac_key(sender, sender));
+        self.group_schedules
+            .write()
+            .expect("schedule cache")
+            .entry(sender)
+            .or_insert(schedule)
+            .clone()
+    }
+
+    /// Number of signing schedules currently cached (tests and memory
+    /// accounting).
+    #[must_use]
+    pub fn cached_schedules(&self) -> usize {
+        self.sign_schedules.read().expect("schedule cache").len()
     }
 
     /// Verifies a digital signature claimed to be from `signer`.
     #[must_use]
     pub fn verify(&self, signer: ComponentId, digest: &Digest, sig: &Signature) -> bool {
-        SimSigner::verify(&self.store, signer, digest, sig)
+        SimSigner::verify_with_schedule(&self.signing_schedule_of(signer), digest, sig)
+    }
+
+    /// The signature `signer` would produce over `digest` (the expected
+    /// value recomputed during verification), from the cached schedule.
+    #[must_use]
+    pub fn expected_signature(&self, signer: ComponentId, digest: &Digest) -> Signature {
+        SimSigner::sign_with_schedule(&self.signing_schedule_of(signer), digest)
+    }
+
+    /// Verifies an [`AggregateSignature`] over a batch of
+    /// `(signer, digest)` claims in **one** comparison: the expected
+    /// per-claim signatures are recomputed from cached schedules, folded,
+    /// and compared against the aggregate. Returns `true` exactly when
+    /// every individual signature folded into `aggregate` was valid (see
+    /// the [`crate::aggregate`] module docs for the modeling caveat).
+    #[must_use]
+    pub fn verify_aggregate(
+        &self,
+        claims: &[(ComponentId, Digest)],
+        aggregate: &AggregateSignature,
+    ) -> bool {
+        let mut expected = AggregateSignature::identity();
+        for (signer, digest) in claims {
+            expected.fold(&self.expected_signature(*signer, digest));
+        }
+        expected == *aggregate
+    }
+
+    /// The bisecting fallback for a failed aggregate check: recomputes the
+    /// expected signatures once, then locates the offending claims by
+    /// sub-aggregate bisection. Returns the indices (in `claims` order)
+    /// whose signatures do not verify.
+    #[must_use]
+    pub fn locate_invalid_signatures(
+        &self,
+        claims: &[(ComponentId, Digest, Signature)],
+    ) -> Vec<usize> {
+        let expected: Vec<Signature> = claims
+            .iter()
+            .map(|(signer, digest, _)| self.expected_signature(*signer, digest))
+            .collect();
+        let provided: Vec<Signature> = claims.iter().map(|(_, _, sig)| *sig).collect();
+        bisect_mismatches(&expected, &provided)
     }
 }
 
@@ -71,11 +207,45 @@ impl CryptoHandle {
         self.keypair.public
     }
 
+    /// This identity's signing schedule, derived once per handle lineage.
+    fn sign_schedule(&self) -> &HmacKey {
+        self.sign_schedule
+            .get_or_init(|| self.keypair.signing_schedule())
+    }
+
+    /// The pairwise-channel MAC schedule shared with `peer` (symmetric, so
+    /// it serves both [`Self::mac_for`] and [`Self::verify_mac`]).
+    fn peer_schedule(&self, peer: ComponentId) -> HmacKey {
+        if let Some(schedule) = self
+            .peer_schedules
+            .read()
+            .expect("peer schedule cache")
+            .get(&peer)
+        {
+            return schedule.clone();
+        }
+        let schedule = HmacKey::new(&self.provider.store.mac_key(self.me, peer));
+        self.peer_schedules
+            .write()
+            .expect("peer schedule cache")
+            .entry(peer)
+            .or_insert(schedule)
+            .clone()
+    }
+
+    /// Whether this handle has derived its signing schedule yet (tests).
+    #[must_use]
+    pub fn sign_schedule_cached(&self) -> bool {
+        self.sign_schedule.get().is_some()
+    }
+
     /// Signs a digest with this component's secret key (digital signature,
-    /// provides non-repudiation).
+    /// provides non-repudiation). The key schedule is derived on the first
+    /// signature and reused for every signature this handle — and every
+    /// clone taken afterwards — ever makes.
     #[must_use]
     pub fn sign(&self, digest: &Digest) -> Signature {
-        SimSigner::sign(&self.keypair, digest)
+        SimSigner::sign_with_schedule(self.sign_schedule(), digest)
     }
 
     /// Verifies a digital signature from `signer` over `digest`.
@@ -88,15 +258,13 @@ impl CryptoHandle {
     /// and `to`, using the pairwise secret established at setup.
     #[must_use]
     pub fn mac_for(&self, to: ComponentId, digest: &Digest) -> MacTag {
-        let key = self.provider.store.mac_key(self.me, to);
-        hmac_sha256(&key, digest.as_bytes())
+        self.peer_schedule(to).mac(digest.as_bytes())
     }
 
     /// Verifies a MAC received from `from` over `digest`.
     #[must_use]
     pub fn verify_mac(&self, from: ComponentId, digest: &Digest, tag: &MacTag) -> bool {
-        let key = self.provider.store.mac_key(self.me, from);
-        verify_hmac(&key, digest.as_bytes(), tag)
+        self.peer_schedule(from).verify(digest.as_bytes(), tag)
     }
 
     /// Computes a MAC over `digest` for a broadcast to the whole group.
@@ -108,15 +276,17 @@ impl CryptoHandle {
     /// and verification still binds the message to the claimed sender.
     #[must_use]
     pub fn broadcast_mac(&self, digest: &Digest) -> MacTag {
-        let key = self.provider.store.mac_key(self.me, self.me);
-        hmac_sha256(&key, digest.as_bytes())
+        self.broadcast_schedule
+            .get_or_init(|| HmacKey::new(&self.provider.store.mac_key(self.me, self.me)))
+            .mac(digest.as_bytes())
     }
 
     /// Verifies a broadcast MAC claimed to come from `from`.
     #[must_use]
     pub fn verify_broadcast_mac(&self, from: ComponentId, digest: &Digest, tag: &MacTag) -> bool {
-        let key = self.provider.store.mac_key(from, from);
-        verify_hmac(&key, digest.as_bytes(), tag)
+        self.provider
+            .group_schedule_of(from)
+            .verify(digest.as_bytes(), tag)
     }
 
     /// Access to the shared provider (for certificate verification).
@@ -136,6 +306,7 @@ impl std::fmt::Debug for CryptoHandle {
 mod tests {
     use super::*;
     use crate::hashing::digest_u64s;
+    use crate::hmac::hmac_sha256;
     use sbft_types::{ClientId, NodeId};
 
     fn digest(n: u64) -> Digest {
@@ -181,5 +352,79 @@ mod tests {
         let n = provider.handle(ComponentId::Node(NodeId(1)));
         let sig = n.sign(&digest(3));
         assert!(provider.verify(n.id(), &digest(3), &sig));
+    }
+
+    #[test]
+    fn cached_schedules_produce_identical_results_to_fresh_derivation() {
+        // Every cached path must be bit-identical to the one-shot path it
+        // amortises, across repeated calls (cold cache, then warm cache).
+        let provider = CryptoProvider::new(31);
+        let a = provider.handle(ComponentId::Node(NodeId(0)));
+        let b = provider.handle(ComponentId::Node(NodeId(1)));
+        for round in 0..2u64 {
+            let d = digest(round);
+            // Signature: handle cache == SimSigner fresh derivation.
+            assert_eq!(
+                a.sign(&d),
+                SimSigner::sign(&provider.key_store().keypair_for(a.id()), &d)
+            );
+            // Pairwise MAC: peer cache == raw keyed one-shot HMAC.
+            let raw_key = provider.key_store().mac_key(a.id(), b.id());
+            assert_eq!(a.mac_for(b.id(), &d), hmac_sha256(&raw_key, d.as_bytes()));
+            // Broadcast MAC: sender cache == receiver-side verification.
+            let tag = a.broadcast_mac(&d);
+            assert!(b.verify_broadcast_mac(a.id(), &d, &tag));
+            assert!(!b.verify_broadcast_mac(b.id(), &d, &tag));
+        }
+        assert!(a.sign_schedule_cached());
+    }
+
+    #[test]
+    fn clones_carry_the_filled_sign_schedule() {
+        let provider = CryptoProvider::new(8);
+        let handle = provider.handle(ComponentId::Verifier);
+        assert!(!handle.sign_schedule_cached());
+        let sig = handle.sign(&digest(1));
+        let clone = handle.clone();
+        assert!(clone.sign_schedule_cached(), "clone carries the schedule");
+        assert_eq!(clone.sign(&digest(1)), sig);
+    }
+
+    #[test]
+    fn aggregate_accepts_all_valid_and_rejects_any_corruption() {
+        let provider = CryptoProvider::new(77);
+        let claims: Vec<(ComponentId, Digest, Signature)> = (0..10u32)
+            .map(|i| {
+                let id = ComponentId::Client(ClientId(i));
+                let d = digest(u64::from(i));
+                let sig = provider.handle(id).sign(&d);
+                (id, d, sig)
+            })
+            .collect();
+        let pairs: Vec<(ComponentId, Digest)> = claims.iter().map(|(c, d, _)| (*c, *d)).collect();
+        let agg = AggregateSignature::from_signatures(claims.iter().map(|(_, _, s)| s));
+        assert!(provider.verify_aggregate(&pairs, &agg));
+        assert!(provider.locate_invalid_signatures(&claims).is_empty());
+
+        // One corrupted signature flips the aggregate and is pinpointed.
+        let mut bad = claims.clone();
+        bad[6].2 .0[0] ^= 0x01;
+        let bad_agg = AggregateSignature::from_signatures(bad.iter().map(|(_, _, s)| s));
+        assert!(!provider.verify_aggregate(&pairs, &bad_agg));
+        assert_eq!(provider.locate_invalid_signatures(&bad), vec![6]);
+
+        // A wrong digest (signature over something else) is also caught.
+        let mut resigned = claims.clone();
+        resigned[2].2 = provider.handle(resigned[2].0).sign(&digest(999));
+        let resigned_agg = AggregateSignature::from_signatures(resigned.iter().map(|(_, _, s)| s));
+        assert!(!provider.verify_aggregate(&pairs, &resigned_agg));
+        assert_eq!(provider.locate_invalid_signatures(&resigned), vec![2]);
+        assert!(provider.cached_schedules() >= 10);
+    }
+
+    #[test]
+    fn empty_aggregate_is_the_identity() {
+        let provider = CryptoProvider::new(3);
+        assert!(provider.verify_aggregate(&[], &AggregateSignature::identity()));
     }
 }

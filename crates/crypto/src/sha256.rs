@@ -35,7 +35,7 @@ const K: [u32; 64] = [
 ];
 
 /// Incremental SHA-256 hasher.
-#[derive(Clone)]
+#[derive(Clone, Debug)]
 pub struct Sha256 {
     state: [u32; 8],
     /// Bytes buffered until a full 64-byte block is available.

@@ -27,12 +27,22 @@ impl SimSigner {
     /// The two 32-byte halves are HMACs under the same secret key; the key
     /// schedule is derived once and reused for both, and the second half's
     /// domain-separation byte is fed incrementally instead of through a
-    /// concatenated temporary buffer.
+    /// concatenated temporary buffer. Callers that sign repeatedly under
+    /// one identity should hold the schedule themselves and use
+    /// [`Self::sign_with_schedule`] (that is what
+    /// [`crate::provider::CryptoHandle::sign`] does).
     #[must_use]
     pub fn sign(keypair: &KeyPair, digest: &Digest) -> Signature {
-        let key = HmacKey::new(&keypair.secret.0);
-        let first = key.mac(digest.as_bytes());
-        let second = key.mac_parts(&[digest.as_bytes(), &[0x01]]);
+        Self::sign_with_schedule(&keypair.signing_schedule(), digest)
+    }
+
+    /// Signs a message digest with an already-derived key schedule,
+    /// skipping the two schedule-derivation compressions [`Self::sign`]
+    /// pays per call.
+    #[must_use]
+    pub fn sign_with_schedule(schedule: &HmacKey, digest: &Digest) -> Signature {
+        let first = schedule.mac(digest.as_bytes());
+        let second = schedule.mac_parts(&[digest.as_bytes(), &[0x01]]);
         let mut out = [0u8; 64];
         out[..32].copy_from_slice(&first.0);
         out[32..].copy_from_slice(&second.0);
@@ -48,14 +58,32 @@ impl SimSigner {
         digest: &Digest,
         signature: &Signature,
     ) -> bool {
-        let expected = Self::sign(&store.keypair_for(signer), digest);
-        // Constant-time-ish comparison.
-        let mut diff = 0u8;
-        for (a, b) in expected.0.iter().zip(signature.0.iter()) {
-            diff |= a ^ b;
-        }
-        diff == 0
+        let schedule = store.keypair_for(signer).signing_schedule();
+        Self::verify_with_schedule(&schedule, digest, signature)
     }
+
+    /// Verifies a signature against an already-derived signing schedule
+    /// (the cached-verification path of
+    /// [`crate::provider::CryptoProvider::verify`]).
+    #[must_use]
+    pub fn verify_with_schedule(
+        schedule: &HmacKey,
+        digest: &Digest,
+        signature: &Signature,
+    ) -> bool {
+        let expected = Self::sign_with_schedule(schedule, digest);
+        signatures_equal(&expected, signature)
+    }
+}
+
+/// Constant-time-ish 64-byte signature comparison.
+#[must_use]
+pub(crate) fn signatures_equal(a: &Signature, b: &Signature) -> bool {
+    let mut diff = 0u8;
+    for (x, y) in a.0.iter().zip(b.0.iter()) {
+        diff |= x ^ y;
+    }
+    diff == 0
 }
 
 #[cfg(test)]
@@ -125,5 +153,26 @@ mod tests {
         let s = store();
         let sig = SimSigner::sign(&s.keypair_for(ComponentId::Verifier), &digest(5));
         assert_ne!(&sig.0[..32], &sig.0[32..]);
+    }
+
+    #[test]
+    fn schedule_paths_match_the_fresh_key_paths() {
+        let s = store();
+        let node = ComponentId::Node(NodeId(4));
+        let kp = s.keypair_for(node);
+        let schedule = kp.signing_schedule();
+        let sig = SimSigner::sign_with_schedule(&schedule, &digest(11));
+        assert_eq!(sig, SimSigner::sign(&kp, &digest(11)));
+        assert!(SimSigner::verify_with_schedule(
+            &schedule,
+            &digest(11),
+            &sig
+        ));
+        assert!(!SimSigner::verify_with_schedule(
+            &schedule,
+            &digest(12),
+            &sig
+        ));
+        assert!(SimSigner::verify(&s, node, &digest(11), &sig));
     }
 }

@@ -104,6 +104,10 @@ pub struct ClusterReport {
     pub elapsed: Duration,
     /// Executors invoked by the pool.
     pub executor_invocations: u64,
+    /// Transactions the verifier applied through the `ShardScheduler`
+    /// worker pool (0 when the configuration runs the synchronous apply
+    /// stage).
+    pub pool_applied: u64,
 }
 
 impl ClusterReport {
@@ -266,15 +270,29 @@ impl LocalCluster {
             }));
         }
 
-        // Verifier thread.
+        // Verifier thread. With more than one configured shard worker the
+        // apply stage runs on the ShardScheduler pool (real multi-core
+        // commit parallelism); otherwise it stays synchronous on this
+        // thread.
+        let pool_applied = std::sync::Arc::new(std::sync::atomic::AtomicU64::new(0));
         {
             let router = router.clone();
             let mut verifier = system.verifier;
+            let apply_workers = system.config.sharding.workers;
+            if apply_workers > 1 {
+                verifier.attach_apply_pool(apply_workers);
+            }
+            let pool_applied = std::sync::Arc::clone(&pool_applied);
             handles.push(thread::spawn(move || {
                 while let Ok(Work::Item(delivery)) = verifier_rx.recv() {
                     let actions = verifier.on_message(&delivery.msg);
                     router.route(ComponentId::Verifier, actions);
                 }
+                pool_applied.store(
+                    verifier.pool_applied_txns(),
+                    std::sync::atomic::Ordering::Release,
+                );
+                // Dropping the verifier drains and joins the pool workers.
             }));
         }
 
@@ -342,6 +360,7 @@ impl LocalCluster {
         for handle in handles {
             let _ = handle.join();
         }
+        report.pool_applied = pool_applied.load(std::sync::atomic::Ordering::Acquire);
         report
     }
 }
@@ -381,5 +400,49 @@ mod tests {
     fn report_throughput_handles_zero_elapsed() {
         let report = ClusterReport::default();
         assert_eq!(report.throughput_tps(), 0.0);
+    }
+
+    #[test]
+    fn local_cluster_applies_batches_through_the_shard_pool() {
+        // With more than one shard worker configured, the verifier's apply
+        // stage must run on the ShardScheduler pool: every committed
+        // transaction is applied by a pool worker, and the run still
+        // commits its target (thread scaling itself needs a multi-core
+        // host; correctness of the wiring does not).
+        let mut cfg = config();
+        cfg.sharding = sbft_types::ShardingConfig {
+            num_shards: 8,
+            workers: 4,
+            cross_shard_policy: sbft_types::CrossShardPolicy::LockOrdered,
+        };
+        let system = SystemBuilder::new(cfg).clients(8).build();
+        let report = LocalCluster::new(system)
+            .clients(8)
+            .target_txns(40)
+            .deadline(Duration::from_secs(20))
+            .run();
+        assert!(
+            report.committed >= 40,
+            "committed only {} transactions",
+            report.committed
+        );
+        assert!(
+            report.pool_applied >= report.committed,
+            "pool applied {} of {} committed",
+            report.pool_applied,
+            report.committed
+        );
+    }
+
+    #[test]
+    fn default_single_worker_config_keeps_the_synchronous_apply_stage() {
+        let system = SystemBuilder::new(config()).clients(4).build();
+        let report = LocalCluster::new(system)
+            .clients(4)
+            .target_txns(12)
+            .deadline(Duration::from_secs(20))
+            .run();
+        assert!(report.committed >= 12);
+        assert_eq!(report.pool_applied, 0, "no pool configured");
     }
 }

@@ -169,11 +169,17 @@ impl Executor {
 
         if !self.behavior.result_is_correct() {
             // A byzantine executor corrupts its outputs (but keeps the shape
-            // of the message well-formed, the hardest case to filter).
+            // of the message well-formed, the hardest case to filter). The
+            // corruption is salted with the executor id: independently
+            // compromised executors do not accidentally agree with each
+            // other, so spawning more than `f_E` of them produces the
+            // pairwise-divergent digests the Section VI-B whole-batch
+            // abort rule exists for (see the `divergence_sweep` binary).
+            let salt = 0xdead_beef ^ self.id.0.wrapping_mul(0x9e37_79b9_7f4a_7c15);
             for r in &mut results {
-                r.output ^= 0xdead_beef;
+                r.output ^= salt;
                 for (_, v) in &mut r.rwset.writes {
-                    v.data ^= 0xdead_beef;
+                    v.data ^= salt;
                 }
             }
         }

@@ -42,5 +42,5 @@ pub mod state;
 
 pub use committer::{CommitOutcome, ShardedCommitter};
 pub use router::{ShardId, ShardRouter};
-pub use scheduler::ShardScheduler;
-pub use state::{ShardPhase, ShardState, ShardStoreView, ShardTask};
+pub use scheduler::{ApplyTicket, ShardScheduler};
+pub use state::{ShardPhase, ShardState, ShardStoreView, ShardTask, TaskWork};

@@ -11,17 +11,119 @@
 //!
 //! The scheduler is the real-parallelism counterpart of the simulator's
 //! per-shard service stations: the `fig6_shards` benchmark uses it to
-//! show raw thread scaling, and the thread runtime can drive it as the
-//! verifier's apply stage.
+//! show raw thread scaling, and the thread runtime drives it as the
+//! verifier's apply stage through [`ShardScheduler::submit_tracked`] /
+//! [`ApplyTicket`] — committed batches apply across the worker pool and
+//! the verifier collects the per-transaction OCC outcomes it needs to
+//! answer clients.
 
-use crate::committer::ShardedCommitter;
+use crate::committer::{CommitOutcome, ShardedCommitter};
 use crate::router::ShardId;
-use crate::state::ShardTask;
+use crate::state::{ShardTask, TaskWork};
 use sbft_types::ReadWriteSet;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
+
+/// Shared completion state behind an [`ApplyTicket`]: per-transaction
+/// outcome slots plus a countdown the workers decrement as they apply.
+#[derive(Debug)]
+pub struct TicketState {
+    outcomes: Mutex<Vec<Option<CommitOutcome>>>,
+    remaining: Mutex<usize>,
+    done: Condvar,
+}
+
+impl TicketState {
+    fn new(total: usize) -> Self {
+        TicketState {
+            outcomes: Mutex::new(vec![None; total]),
+            remaining: Mutex::new(total),
+            done: Condvar::new(),
+        }
+    }
+
+    /// Records the outcome of transaction `index` and wakes the waiter
+    /// when the batch is fully applied.
+    pub(crate) fn record(&self, index: usize, outcome: CommitOutcome) {
+        self.outcomes.lock().expect("ticket outcomes")[index] = Some(outcome);
+        self.count_down(1);
+    }
+
+    /// Records a whole shard task's outcomes with one acquisition of each
+    /// lock, so pool workers do not serialize on the shared ticket once
+    /// per transaction.
+    pub(crate) fn record_all(&self, entries: Vec<(usize, CommitOutcome)>) {
+        if entries.is_empty() {
+            return;
+        }
+        let n = entries.len();
+        {
+            let mut outcomes = self.outcomes.lock().expect("ticket outcomes");
+            for (index, outcome) in entries {
+                outcomes[index] = Some(outcome);
+            }
+        }
+        self.count_down(n);
+    }
+
+    fn count_down(&self, n: usize) {
+        let mut remaining = self.remaining.lock().expect("ticket countdown");
+        *remaining -= n;
+        if *remaining == 0 {
+            self.done.notify_all();
+        }
+    }
+}
+
+/// A handle on one tracked batch submitted to the pool via
+/// [`ShardScheduler::submit_tracked`]. Waiting on it yields the
+/// per-transaction [`CommitOutcome`]s in submission order — exactly what
+/// the synchronous verifier apply loop produced, but computed by the
+/// worker pool with real shard parallelism.
+#[derive(Debug)]
+pub struct ApplyTicket {
+    state: Arc<TicketState>,
+    txns: Arc<[ReadWriteSet]>,
+}
+
+impl ApplyTicket {
+    /// Blocks until every transaction of the batch has been applied and
+    /// returns their outcomes, indexed like the submitted slice.
+    #[must_use]
+    pub fn wait(self) -> Vec<CommitOutcome> {
+        let mut remaining = self.state.remaining.lock().expect("ticket countdown");
+        while *remaining > 0 {
+            remaining = self.state.done.wait(remaining).expect("ticket countdown");
+        }
+        drop(remaining);
+        let mut outcomes = self.state.outcomes.lock().expect("ticket outcomes");
+        outcomes
+            .drain(..)
+            .map(|o| o.expect("every slot recorded before the countdown hits zero"))
+            .collect()
+    }
+
+    /// Whether this ticket still references the submitted batch
+    /// allocation (pointer equality — the zero-copy hand-off proof).
+    #[must_use]
+    pub fn shares_txns(&self, txns: &Arc<[ReadWriteSet]>) -> bool {
+        Arc::ptr_eq(&self.txns, txns)
+    }
+
+    /// Number of transactions in the tracked batch.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.txns.len()
+    }
+
+    /// Whether the tracked batch is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.txns.is_empty()
+    }
+}
 
 struct SchedulerInner {
     committer: Arc<ShardedCommitter>,
@@ -69,11 +171,31 @@ impl SchedulerInner {
             let shard = &self.committer.shards()[shard_id.0 as usize];
             shard.begin_run();
             while let Some(task) = shard.pop_task() {
-                let n = task.txns.len() as u64;
-                for rwset in &task.txns {
-                    let _ = self.committer.commit(rwset, self.validate_reads);
+                match task.work {
+                    TaskWork::Owned(txns) => {
+                        let n = txns.len() as u64;
+                        for rwset in &txns {
+                            let _ = self.committer.commit(rwset, self.validate_reads);
+                        }
+                        self.complete(n);
+                    }
+                    TaskWork::Tracked {
+                        txns,
+                        indices,
+                        ticket,
+                    } => {
+                        let n = indices.len() as u64;
+                        let entries: Vec<(usize, CommitOutcome)> = indices
+                            .iter()
+                            .map(|&i| {
+                                let i = i as usize;
+                                (i, self.committer.commit(&txns[i], self.validate_reads))
+                            })
+                            .collect();
+                        ticket.record_all(entries);
+                        self.complete(n);
+                    }
                 }
-                self.complete(n);
             }
             if shard.finish_run() {
                 // Work raced in behind the drain: back into the queue.
@@ -141,9 +263,92 @@ impl ShardScheduler {
                 continue;
             }
             let shard = &self.inner.committer.shards()[idx];
-            if shard.enqueue(ShardTask { seq, txns: batch }) {
+            if shard.enqueue(ShardTask {
+                seq,
+                work: TaskWork::Owned(batch),
+            }) {
                 self.inner.push_work(ShardId(idx as u32));
             }
+        }
+    }
+
+    /// Submits one committed batch whose per-transaction outcomes the
+    /// caller needs (the thread runtime's verifier apply stage): the batch
+    /// allocation is shared with every shard task (zero-copy — workers
+    /// read through `Arc` clones and only per-shard index lists are
+    /// built), and the returned [`ApplyTicket`] yields the outcomes once
+    /// the pool has applied everything.
+    ///
+    /// Per-shard FIFO queues drained by at most one worker at a time
+    /// preserve commit order within a shard across successive
+    /// submissions; cross-shard transactions run on their home shard's
+    /// worker through the committer's lock-ordered path, exactly like the
+    /// untracked [`Self::submit`] path.
+    #[must_use]
+    pub fn submit_tracked(&self, seq: u64, txns: Arc<[ReadWriteSet]>) -> ApplyTicket {
+        let router = *self.inner.committer.router();
+        let homes: Vec<Option<ShardId>> = txns
+            .iter()
+            .map(|rwset| router.shards_of(rwset).into_iter().next())
+            .collect();
+        self.submit_tracked_homed(seq, txns, &homes)
+    }
+
+    /// Like [`Self::submit_tracked`], but with the per-transaction home
+    /// shards already decided (`None` = touches no data). Callers that
+    /// routed the batch for their own bookkeeping — the verifier does,
+    /// for `ShardCcheck` accounting — pass the homes in instead of paying
+    /// for the key hashing again. (The worker still routes once inside
+    /// `commit`, which needs the full involved-shard set for the
+    /// cross-shard lock ordering.)
+    ///
+    /// # Panics
+    /// Panics if `homes` is shorter than `txns`.
+    #[must_use]
+    pub fn submit_tracked_homed(
+        &self,
+        seq: u64,
+        txns: Arc<[ReadWriteSet]>,
+        homes: &[Option<ShardId>],
+    ) -> ApplyTicket {
+        assert!(homes.len() >= txns.len(), "one home decision per txn");
+        let num_shards = self.inner.committer.router().num_shards();
+        let ticket = Arc::new(TicketState::new(txns.len()));
+        let mut per_shard: Vec<Vec<u32>> = vec![Vec::new(); num_shards];
+        let mut scheduled = 0u64;
+        for (i, home) in homes.iter().take(txns.len()).enumerate() {
+            match home {
+                Some(home) => {
+                    per_shard[home.0 as usize].push(i as u32);
+                    scheduled += 1;
+                }
+                // Touches no data: applied trivially, mirroring the
+                // committer's empty-route outcome.
+                None => ticket.record(i, CommitOutcome::Applied),
+            }
+        }
+        if scheduled > 0 {
+            self.inner.add_in_flight(scheduled);
+            for (idx, indices) in per_shard.into_iter().enumerate() {
+                if indices.is_empty() {
+                    continue;
+                }
+                let shard = &self.inner.committer.shards()[idx];
+                if shard.enqueue(ShardTask {
+                    seq,
+                    work: TaskWork::Tracked {
+                        txns: Arc::clone(&txns),
+                        indices,
+                        ticket: Arc::clone(&ticket),
+                    },
+                }) {
+                    self.inner.push_work(ShardId(idx as u32));
+                }
+            }
+        }
+        ApplyTicket {
+            state: ticket,
+            txns,
         }
     }
 
@@ -276,6 +481,90 @@ mod tests {
 
     fn pool_drop_path() -> (Arc<VersionedStore>, ShardScheduler) {
         pool(2, 2, 10)
+    }
+
+    #[test]
+    fn tracked_submit_returns_the_synchronous_outcomes() {
+        // A batch with fresh reads, a stale read and a no-data transaction:
+        // the tracked pool path must report exactly what the synchronous
+        // committer reports for the same batch.
+        let (store, pool) = pool(8, 4, 100);
+        store.put(Key(5), Value::new(50)); // bump key 5 to version 2
+        let mut fresh = ReadWriteSet::new();
+        fresh.record_read(Key(1), Version(1));
+        fresh.record_write(Key(1), Value::new(11));
+        let mut stale = ReadWriteSet::new();
+        stale.record_read(Key(5), Version(1));
+        stale.record_write(Key(5), Value::new(55));
+        let empty = ReadWriteSet::new();
+        let txns: Arc<[ReadWriteSet]> = vec![fresh, stale, empty].into();
+        let outcomes = pool.submit_tracked(1, Arc::clone(&txns)).wait();
+        assert_eq!(outcomes.len(), 3);
+        assert!(outcomes[0].is_applied());
+        assert!(matches!(
+            outcomes[1],
+            crate::committer::CommitOutcome::StaleReads(_)
+        ));
+        assert!(
+            outcomes[2].is_applied(),
+            "no-data transactions apply trivially"
+        );
+        assert_eq!(store.get(Key(1)).unwrap().value, Value::new(11));
+        assert_eq!(store.get(Key(5)).unwrap().value, Value::new(50));
+        pool.shutdown();
+    }
+
+    #[test]
+    fn tracked_submit_shares_the_submitted_allocation() {
+        // Zero-copy hand-off, scheduler layer: the batch the verifier
+        // submits is the very allocation the workers apply from — the
+        // ticket still points at it and every shard task holds a refcount
+        // bump, never a copy of the read-write sets.
+        let (_, pool) = pool(8, 4, 1_000);
+        let txns: Arc<[ReadWriteSet]> = (0..100u64)
+            .map(|i| {
+                let mut rw = ReadWriteSet::new();
+                rw.record_write(Key(i), Value::new(i));
+                rw
+            })
+            .collect();
+        let ticket = pool.submit_tracked(7, Arc::clone(&txns));
+        assert!(
+            ticket.shares_txns(&txns),
+            "the ticket must reference the submitted allocation"
+        );
+        assert_eq!(ticket.len(), 100);
+        assert!(!ticket.is_empty());
+        let outcomes = ticket.wait();
+        assert!(outcomes.iter().all(CommitOutcome::is_applied));
+        // After the drain only the caller's handle remains.
+        pool.drain();
+        assert_eq!(Arc::strong_count(&txns), 1);
+        pool.shutdown();
+    }
+
+    #[test]
+    fn tracked_batches_preserve_per_shard_commit_order() {
+        // 30 successive batches all write the same key without the caller
+        // waiting in between: the shard's FIFO queue (drained by at most
+        // one worker at a time) must apply them in submission order, so
+        // the final value is the last batch's write.
+        let (store, pool) = pool(4, 4, 10);
+        let tickets: Vec<ApplyTicket> = (0..30u64)
+            .map(|seq| {
+                let mut rw = ReadWriteSet::new();
+                rw.record_write(Key(3), Value::new(seq));
+                let txns: Arc<[ReadWriteSet]> = vec![rw].into();
+                pool.submit_tracked(seq, txns)
+            })
+            .collect();
+        for ticket in tickets {
+            assert!(ticket.wait()[0].is_applied());
+        }
+        assert_eq!(store.get(Key(3)).unwrap().value, Value::new(29));
+        // 1 load + 30 ordered writes.
+        assert_eq!(store.version_of(Key(3)), Version(31));
+        pool.shutdown();
     }
 
     #[test]

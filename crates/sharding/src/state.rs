@@ -41,8 +41,36 @@ const RUNNING: u8 = 2;
 pub struct ShardTask {
     /// Sequence number of the originating batch (for tracing).
     pub seq: u64,
-    /// The transactions' observed read-write sets.
-    pub txns: Vec<ReadWriteSet>,
+    /// The work itself: owned read-write sets (fire-and-forget) or a
+    /// shared slice of a tracked batch.
+    pub work: TaskWork,
+}
+
+/// How a [`ShardTask`] carries its transactions.
+#[derive(Clone, Debug)]
+pub enum TaskWork {
+    /// Read-write sets owned by the task; outcomes are discarded
+    /// (the [`crate::scheduler::ShardScheduler::submit`] path).
+    Owned(Vec<ReadWriteSet>),
+    /// Indices into a batch allocation shared with the submitter's
+    /// [`crate::scheduler::ApplyTicket`]: the worker applies
+    /// `txns[indices]` and records each outcome on the ticket. Sharing
+    /// the submitter's `Arc` keeps the hand-off zero-copy — no
+    /// per-transaction read-write sets are cloned into the queue.
+    Tracked {
+        /// The whole batch, shared with the submitter (refcount bump).
+        txns: std::sync::Arc<[ReadWriteSet]>,
+        /// Which transactions of the batch live on this shard.
+        indices: Vec<u32>,
+        /// Where the per-transaction outcomes are recorded.
+        ticket: std::sync::Arc<crate::scheduler::TicketState>,
+    },
+}
+
+impl Default for TaskWork {
+    fn default() -> Self {
+        TaskWork::Owned(Vec::new())
+    }
 }
 
 /// A shard's window onto the shared versioned store.

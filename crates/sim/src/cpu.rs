@@ -57,7 +57,11 @@ impl CpuModel {
     #[must_use]
     pub fn message_cost(&self, kind: &str, bytes: usize) -> SimDuration {
         let crypto = match kind {
-            // Verify the client's digital signature before batching.
+            // The client-authentication work attributable to one request.
+            // The implementation now verifies one *aggregate* signature
+            // per batch instead of one per request; the model
+            // conservatively keeps the full per-request cost until the
+            // saturation experiments are recalibrated (ROADMAP, PR 3).
             "CLIENT-REQUEST" => self.signature_cost,
             // MAC check on receipt plus the MAC of the prepare we emit.
             "PREPREPARE" => self.mac_cost + self.mac_cost,

@@ -2,15 +2,19 @@
 
 use proptest::prelude::*;
 use serverless_bft::consensus::messages::{batch_digest, compute_batch_digest};
+use serverless_bft::consensus::Batcher;
 use serverless_bft::core::planner::{BatchFootprint, BestEffortPlanner};
 use serverless_bft::core::ClientRequest;
 use serverless_bft::crypto::certificate::commit_digest;
-use serverless_bft::crypto::{CommitCertificate, KeyStore, SimSigner};
+use serverless_bft::crypto::{
+    AggregateSignature, CommitCertificate, CryptoProvider, KeyStore, SimSigner,
+};
 use serverless_bft::sharding::{ShardScheduler, ShardedCommitter};
 use serverless_bft::storage::{ConcurrencyChecker, VersionedStore};
 use serverless_bft::types::{
-    Batch, ClientId, ComponentId, Key, NodeId, Operation, ReadWriteSet, RwSetKeys, SeqNum,
-    ShardingConfig, Transaction, TxnId, Value, Version, ViewNumber,
+    Batch, ClientId, ComponentId, Digest, Key, NodeId, Operation, ReadWriteSet, RwSetKeys, SeqNum,
+    ShardingConfig, Signature, SimDuration, SimTime, Transaction, TxnId, Value, Version,
+    ViewNumber,
 };
 use std::collections::BTreeSet;
 use std::sync::Arc;
@@ -303,5 +307,104 @@ proptest! {
             let prev = last.insert(k, version.0);
             prop_assert!(prev.is_none() || prev.unwrap() < version.0);
         }
+    }
+
+    /// Aggregate batch verification accepts exactly the batches whose
+    /// every per-transaction signature check passes: any subset of
+    /// corrupted signatures flips the aggregate check, and the bisecting
+    /// fallback locates precisely the corrupted indices.
+    #[test]
+    fn aggregate_accepts_iff_every_signature_valid(
+        clients in prop::collection::vec(0u32..16, 1..24),
+        corrupt_mask in prop::collection::vec(any::<bool>(), 24..25),
+    ) {
+        let provider = CryptoProvider::new(33);
+        let mut claims: Vec<(ComponentId, Digest, Signature)> = clients
+            .iter()
+            .enumerate()
+            .map(|(i, c)| {
+                let id = ComponentId::Client(ClientId(*c));
+                let digest =
+                    serverless_bft::crypto::digest_u64s("agg-prop", &[i as u64, u64::from(*c)]);
+                let sig = provider.handle(id).sign(&digest);
+                (id, digest, sig)
+            })
+            .collect();
+        // Corrupt a subset with index-distinct deltas (flip one bit of
+        // byte i), so no two corruptions can cancel in the XOR fold.
+        let mut corrupted: Vec<usize> = Vec::new();
+        for (i, claim) in claims.iter_mut().enumerate() {
+            if corrupt_mask[i] {
+                claim.2 .0[i % 64] ^= 0x10;
+                corrupted.push(i);
+            }
+        }
+        let pairs: Vec<(ComponentId, Digest)> =
+            claims.iter().map(|(id, d, _)| (*id, *d)).collect();
+        let aggregate = AggregateSignature::from_signatures(claims.iter().map(|(_, _, s)| s));
+        let every_valid = claims
+            .iter()
+            .all(|(id, d, s)| provider.verify(*id, d, s));
+        prop_assert_eq!(corrupted.is_empty(), every_valid);
+        prop_assert_eq!(
+            provider.verify_aggregate(&pairs, &aggregate),
+            every_valid,
+            "aggregate must accept exactly when every per-txn check passes"
+        );
+        prop_assert_eq!(provider.locate_invalid_signatures(&claims), corrupted);
+    }
+
+    /// The bisecting fallback pinpoints a single corrupted signature at
+    /// any position, under any corruption of the signature bytes.
+    #[test]
+    fn bisect_pinpoints_single_corruption(
+        n in 1usize..32,
+        position_seed in any::<u64>(),
+        byte in 0usize..64,
+        flip in 1u64..256,
+    ) {
+        let provider = CryptoProvider::new(12);
+        let mut claims: Vec<(ComponentId, Digest, Signature)> = (0..n)
+            .map(|i| {
+                let id = ComponentId::Client(ClientId((i % 7) as u32));
+                let digest = serverless_bft::crypto::digest_u64s("bisect-prop", &[i as u64]);
+                let sig = provider.handle(id).sign(&digest);
+                (id, digest, sig)
+            })
+            .collect();
+        let position = (position_seed as usize) % n;
+        claims[position].2 .0[byte] ^= flip as u8;
+        let pairs: Vec<(ComponentId, Digest)> =
+            claims.iter().map(|(id, d, _)| (*id, *d)).collect();
+        let aggregate = AggregateSignature::from_signatures(claims.iter().map(|(_, _, s)| s));
+        prop_assert!(!provider.verify_aggregate(&pairs, &aggregate));
+        prop_assert_eq!(
+            provider.locate_invalid_signatures(&claims),
+            vec![position],
+            "bisection must name exactly the corrupted transaction"
+        );
+    }
+
+    /// The batcher's incrementally accumulated wire digest is identical
+    /// to the one-shot batch digest for arbitrary batches, so the
+    /// pre-memoized digest a released batch carries is always the digest
+    /// the replicas recompute and check.
+    #[test]
+    fn batcher_incremental_digest_matches_one_shot(
+        op_lists in prop::collection::vec(arb_ops(), 1..30),
+    ) {
+        let mut batcher = Batcher::new(op_lists.len(), SimDuration::from_millis(5));
+        let mut released = None;
+        for (i, ops) in op_lists.iter().enumerate() {
+            let txn = Transaction::new(
+                TxnId::new(ClientId((i % 5) as u32), i as u64),
+                ops.clone(),
+            );
+            released = batcher.push(txn, Digest::ZERO, Signature::ZERO, SimTime::ZERO);
+        }
+        let released = released.expect("batch released at the configured size");
+        let cached = released.batch().cached_digest().expect("memo prefilled");
+        prop_assert_eq!(cached, compute_batch_digest(released.batch()));
+        prop_assert_eq!(cached, batch_digest(released.batch()));
     }
 }
