@@ -207,7 +207,8 @@ fn bench_pbft_preprepare(c: &mut Criterion) {
         b.iter_batched(
             || (make_replica(), make_batch(100)),
             |(mut replica, batch)| {
-                let actions: Vec<ConsensusAction> = replica.submit_batch(batch);
+                let actions: Vec<ConsensusAction> =
+                    replica.submit_batch(batch, sbft_types::ShardPlan::Unplanned);
                 std::hint::black_box(actions)
             },
             BatchSize::SmallInput,
@@ -224,7 +225,8 @@ fn bench_pbft_preprepare(c: &mut Criterion) {
                 (make_replica(), batch)
             },
             |(mut replica, batch)| {
-                let actions: Vec<ConsensusAction> = replica.submit_batch(batch);
+                let actions: Vec<ConsensusAction> =
+                    replica.submit_batch(batch, sbft_types::ShardPlan::Unplanned);
                 std::hint::black_box(actions)
             },
             BatchSize::SmallInput,
@@ -276,7 +278,8 @@ fn bench_primary_submit_path(c: &mut Criterion) {
             |(mut replica, signed)| {
                 let (batch, rejected) = signed.verify_and_prune(&provider);
                 debug_assert!(rejected.is_empty());
-                let actions: Vec<ConsensusAction> = replica.submit_batch(batch.expect("all valid"));
+                let actions: Vec<ConsensusAction> = replica
+                    .submit_batch(batch.expect("all valid"), sbft_types::ShardPlan::Unplanned);
                 std::hint::black_box(actions)
             },
             BatchSize::SmallInput,

@@ -19,7 +19,7 @@
 use sbft_bench::experiment::{commit_path_points, print_header, run_point};
 use sbft_sharding::{ShardScheduler, ShardedCommitter};
 use sbft_storage::VersionedStore;
-use sbft_types::{CrossShardPolicy, Key, ReadWriteSet, ShardingConfig, Value};
+use sbft_types::{ClientId, Key, ReadWriteSet, ShardingConfig, TxnId, TxnResult, Value};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -35,17 +35,21 @@ fn scheduler_apply_point(workers: usize, batches: u64, per_batch: u64) {
         &ShardingConfig {
             num_shards: 8,
             workers,
-            cross_shard_policy: CrossShardPolicy::LockOrdered,
+            ..ShardingConfig::default()
         },
     ));
     let pool = ShardScheduler::new(committer, workers, true);
-    let work: Vec<Arc<[ReadWriteSet]>> = (0..batches)
+    let work: Vec<Arc<[TxnResult]>> = (0..batches)
         .map(|b| {
             (0..per_batch)
                 .map(|i| {
-                    let mut rw = ReadWriteSet::new();
-                    rw.record_write(Key((b * per_batch + i) % records), Value::new(b));
-                    rw
+                    let mut rwset = ReadWriteSet::new();
+                    rwset.record_write(Key((b * per_batch + i) % records), Value::new(b));
+                    TxnResult {
+                        txn: TxnId::new(ClientId(i as u32), b),
+                        output: b,
+                        rwset,
+                    }
                 })
                 .collect()
         })

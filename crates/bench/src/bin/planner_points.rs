@@ -1,0 +1,43 @@
+//! Ordering-time shard-planner sweep (Zipf skew × shard count).
+//!
+//! Each point runs the closed-loop simulator with known read-write sets
+//! (`KnownRwSets`) twice: `PLANNED` (per-shard ordering lanes at the
+//! primary — the shard-aware planner) and `UNPLANNED` (the PR 3
+//! baseline, where batches are routed only in the verifier's apply
+//! stage). The headline metric is `cross_fallback_rate`: the fraction of
+//! validated batches whose footprint spanned shards and therefore paid
+//! cross-shard coordination (or, in the pooled runtime, the synchronous
+//! fallback). With single-op YCSB transactions every transaction is
+//! single-home, so the lanes drive the rate to zero at every skew and
+//! shard count, while the unplanned baseline spans nearly every batch as
+//! soon as shards > 1. `planned_batches` counts verified fast-path
+//! batches and `plan_mismatches` must stay 0 under an honest primary
+//! (the trust-but-verify re-derivation never fires).
+//!
+//! CI runs this binary as a smoke test and asserts every row prints.
+
+use sbft_bench::{planner_points, run_point_silent};
+
+fn main() {
+    println!(
+        "figure,series,x,throughput_tps,cross_fallback_rate,single_home,validated,planned,mismatches,committed"
+    );
+    let shard_counts = [1usize, 2, 4, 8];
+    let thetas = [0.0f64, 0.6, 0.9, 0.99];
+    for point in planner_points(&shard_counts, &thetas) {
+        let result = run_point_silent(point);
+        println!(
+            "{},{},{:.0},{:.0},{:.3},{},{},{},{},{}",
+            result.figure,
+            result.series,
+            result.x,
+            result.metrics.throughput_tps(),
+            result.metrics.cross_shard_fallback_rate(),
+            result.metrics.single_home_batches,
+            result.metrics.validated_batches,
+            result.metrics.planned_batches,
+            result.metrics.plan_mismatches,
+            result.metrics.committed_txns,
+        );
+    }
+}

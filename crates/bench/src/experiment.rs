@@ -49,6 +49,9 @@ pub struct PointConfig {
     /// by experiments that shift the bottleneck, e.g. `fig6_shards` makes
     /// storage accesses expensive so the sharded commit path dominates.
     pub cpu: Option<CpuModel>,
+    /// When set, keys are drawn Zipfian with this exponent (the skew
+    /// axis of the `planner_points` sweep).
+    pub zipf_theta: Option<f64>,
 }
 
 impl PointConfig {
@@ -75,6 +78,7 @@ impl PointConfig {
             edge_execution_threads: None,
             bill_serverless: true,
             cpu: None,
+            zipf_theta: None,
         }
     }
 }
@@ -147,6 +151,7 @@ pub fn run_point_silent(point: PointConfig) -> PointResult {
         num_clients: clients,
         seed: point.seed,
         edge_execution_threads: point.edge_execution_threads,
+        zipf_theta: point.zipf_theta,
         ..SimParams::default()
     };
     let metrics = SimHarness::with_models(
@@ -241,6 +246,43 @@ pub fn divergence_points(record_counts: &[u64], spreads: &[usize]) -> Vec<PointC
     points
 }
 
+/// Builds the ordering-time shard-planner sweep: Zipfian skew × shard
+/// count, each point run twice — with the planner's per-shard ordering
+/// lanes (`PLANNED`) and with the PR 3 baseline where batches are routed
+/// only at apply time (`UNPLANNED`). Conflict handling is `KnownRwSets`
+/// (the planner needs declared read-write sets). The headline metric is
+/// the cross-shard-fallback rate: the fraction of validated batches
+/// whose footprint spanned shards, which the lanes drive to (near) zero
+/// for single-home workloads.
+#[must_use]
+pub fn planner_points(shard_counts: &[usize], zipf_thetas: &[f64]) -> Vec<PointConfig> {
+    let mut points = Vec::new();
+    for &theta in zipf_thetas {
+        for &shards in shard_counts {
+            for planned in [true, false] {
+                let mut config = SystemConfig::with_shim_size(4);
+                config.conflict_handling = sbft_types::ConflictHandling::KnownRwSets;
+                config.workload.num_records = 10_000;
+                config.workload.batch_size = 50;
+                config.sharding = sbft_types::ShardingConfig::with_shards(shards);
+                config.sharding.ordering_lanes = planned;
+                let series = format!(
+                    "{}-Z{:.2}",
+                    if planned { "PLANNED" } else { "UNPLANNED" },
+                    theta
+                );
+                let mut point = PointConfig::new("planner", series, shards as f64, config);
+                point.clients = 300;
+                point.duration = SimDuration::from_millis(400);
+                point.warmup = SimDuration::from_millis(100);
+                point.zipf_theta = (theta > 0.0).then_some(theta);
+                points.push(point);
+            }
+        }
+    }
+    points
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -299,6 +341,56 @@ mod tests {
         assert!(
             beyond.metrics.divergent_aborts > 0,
             "beyond-f_E corruption must trip the divergence rule"
+        );
+    }
+
+    #[test]
+    fn planner_lanes_cut_the_cross_shard_fallback_rate() {
+        // Uniform single-op workload over 8 shards: without ordering
+        // lanes nearly every 50-txn batch spans shards; with lanes every
+        // released home-lane batch is single-home by construction.
+        let scale_down = |mut point: PointConfig| {
+            point.clients = 80;
+            point.duration = SimDuration::from_millis(250);
+            point.warmup = SimDuration::from_millis(50);
+            point
+        };
+        let points = planner_points(&[8], &[0.0]);
+        let planned = run_point_silent(scale_down(
+            points
+                .iter()
+                .find(|p| p.series.starts_with("PLANNED"))
+                .cloned()
+                .expect("planned point"),
+        ));
+        let unplanned = run_point_silent(scale_down(
+            points
+                .iter()
+                .find(|p| p.series.starts_with("UNPLANNED"))
+                .cloned()
+                .expect("unplanned point"),
+        ));
+        assert!(planned.metrics.committed_txns > 0);
+        assert!(unplanned.metrics.committed_txns > 0);
+        assert!(planned.metrics.validated_batches > 0);
+        assert!(
+            planned.metrics.planned_batches > 0,
+            "lanes must produce verified single-home batches"
+        );
+        assert_eq!(
+            planned.metrics.plan_mismatches, 0,
+            "an honest primary's tags always verify"
+        );
+        assert_eq!(
+            unplanned.metrics.planned_batches, 0,
+            "the baseline never tags"
+        );
+        assert!(
+            planned.metrics.cross_shard_fallback_rate()
+                < unplanned.metrics.cross_shard_fallback_rate(),
+            "lanes must cut the fallback rate ({} vs {})",
+            planned.metrics.cross_shard_fallback_rate(),
+            unplanned.metrics.cross_shard_fallback_rate(),
         );
     }
 

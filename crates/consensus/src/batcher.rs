@@ -25,16 +25,38 @@
 //!   released batch's digest memo is already filled and
 //!   [`crate::messages::batch_digest`] is a cache hit when the primary
 //!   proposes.
+//!
+//! # Per-shard ordering lanes
+//!
+//! With the ordering-time shard planner active
+//! ([`Batcher::with_shard_lanes`]) the batcher keeps one independent lane
+//! per execution shard plus one *cross* lane: the shim classifies every
+//! transaction's declared read-write set against the shard map and pushes
+//! it into its home lane ([`Batcher::push_planned`]). Each lane fills,
+//! times out and releases independently, so a released batch is either
+//! entirely single-home — tagged [`ShardPlan::SingleHome`], its apply
+//! work lands on exactly one shard with no cross-shard coordination — or
+//! explicitly [`ShardPlan::CrossHome`], detected at batching time and
+//! destined for the lock-ordered committer path instead of being
+//! discovered late in the verifier's apply stage. The plan tag rides on
+//! the released [`SignedBatch`] and from there through `PREPREPARE`,
+//! `EXECUTE` and `VERIFY` (trust-but-verify; see `sbft_types::plan`).
 
 use crate::messages::BatchDigestAccumulator;
 use sbft_crypto::{AggregateSignature, CryptoProvider};
-use sbft_types::{Batch, ComponentId, Digest, Signature, SimDuration, SimTime, Transaction, TxnId};
+use sbft_types::{
+    Batch, ComponentId, Digest, ShardId, ShardPlan, Signature, SimDuration, SimTime, Transaction,
+    TxnId,
+};
 
 /// A released batch plus the client-authentication material needed to
 /// verify it in one aggregate check.
 #[derive(Clone, Debug)]
 pub struct SignedBatch {
     batch: Batch,
+    /// The ordering-time shard plan of the batch (the lane it was
+    /// assembled in, or [`ShardPlan::Unplanned`] without lanes).
+    plan: ShardPlan,
     /// Per-transaction signing digests, in batch order.
     digests: Vec<Digest>,
     /// Per-transaction client signatures, in batch order (needed only by
@@ -48,12 +70,35 @@ impl SignedBatch {
     /// A signed batch with a single transaction (unbatched operation).
     #[must_use]
     pub fn single(txn: Transaction, digest: Digest, signature: Signature) -> Self {
+        Self::single_planned(txn, digest, signature, ShardPlan::Unplanned)
+    }
+
+    /// Like [`Self::single`], with an ordering-time plan already
+    /// computed for the transaction (unbatched operation under the
+    /// shard planner).
+    #[must_use]
+    pub fn single_planned(
+        txn: Transaction,
+        digest: Digest,
+        signature: Signature,
+        plan: ShardPlan,
+    ) -> Self {
         SignedBatch {
             batch: Batch::single(txn),
+            plan,
             digests: vec![digest],
             signatures: vec![signature],
             aggregate: AggregateSignature::from_signatures([&signature]),
         }
+    }
+
+    /// The ordering-time shard plan of this batch. Pruning offenders
+    /// keeps the tag valid: a subset of a single-home batch is still
+    /// single-home, and a cross-home tag only costs the conservative
+    /// path.
+    #[must_use]
+    pub fn plan(&self) -> ShardPlan {
+        self.plan
     }
 
     /// The batch awaiting verification.
@@ -142,11 +187,10 @@ impl SignedBatch {
     }
 }
 
-/// Accumulates signed client transactions into consensus batches.
+/// One independent batching lane: its own pending list, authentication
+/// material, running wire digest and staleness clock.
 #[derive(Debug)]
-pub struct Batcher {
-    batch_size: usize,
-    max_wait: SimDuration,
+struct Lane {
     pending: Vec<Transaction>,
     digests: Vec<Digest>,
     signatures: Vec<Signature>,
@@ -155,51 +199,19 @@ pub struct Batcher {
     oldest_pending: Option<SimTime>,
 }
 
-impl Batcher {
-    /// Creates a batcher releasing batches of `batch_size` transactions, or
-    /// earlier once the oldest pending transaction has waited `max_wait`.
-    ///
-    /// # Panics
-    /// Panics if `batch_size` is zero.
-    #[must_use]
-    pub fn new(batch_size: usize, max_wait: SimDuration) -> Self {
-        assert!(batch_size > 0, "batch size must be positive");
-        Batcher {
-            batch_size,
-            max_wait,
-            pending: Vec::with_capacity(batch_size),
-            digests: Vec::with_capacity(batch_size),
-            signatures: Vec::with_capacity(batch_size),
+impl Lane {
+    fn new(capacity: usize) -> Self {
+        Lane {
+            pending: Vec::with_capacity(capacity),
+            digests: Vec::with_capacity(capacity),
+            signatures: Vec::with_capacity(capacity),
             aggregate: AggregateSignature::identity(),
             digest_acc: BatchDigestAccumulator::new(),
             oldest_pending: None,
         }
     }
 
-    /// The configured batch size.
-    #[must_use]
-    pub fn batch_size(&self) -> usize {
-        self.batch_size
-    }
-
-    /// Number of transactions waiting for a batch.
-    #[must_use]
-    pub fn pending(&self) -> usize {
-        self.pending.len()
-    }
-
-    /// Adds a signed transaction (its memoized signing digest plus the
-    /// client's signature over it); returns a full batch if the size
-    /// threshold is reached. The signature folds into the running
-    /// aggregate and the transaction is absorbed into the running wire
-    /// digest, so releasing a batch costs O(1) hashing.
-    pub fn push(
-        &mut self,
-        txn: Transaction,
-        digest: Digest,
-        signature: Signature,
-        now: SimTime,
-    ) -> Option<SignedBatch> {
+    fn push(&mut self, txn: Transaction, digest: Digest, signature: Signature, now: SimTime) {
         if self.pending.is_empty() {
             self.oldest_pending = Some(now);
         }
@@ -208,26 +220,18 @@ impl Batcher {
         self.pending.push(txn);
         self.digests.push(digest);
         self.signatures.push(signature);
-        if self.pending.len() >= self.batch_size {
-            return self.flush();
-        }
-        None
     }
 
-    /// Releases whatever is pending if the oldest transaction has waited at
-    /// least `max_wait` (called on a periodic tick).
-    pub fn poll(&mut self, now: SimTime) -> Option<SignedBatch> {
+    fn stale(&self, now: SimTime, max_wait: SimDuration) -> bool {
         match self.oldest_pending {
-            Some(oldest) if now.since(oldest) >= self.max_wait && !self.pending.is_empty() => {
-                self.flush()
-            }
-            _ => None,
+            Some(oldest) => !self.pending.is_empty() && now.since(oldest) >= max_wait,
+            None => false,
         }
     }
 
-    /// Releases all pending transactions as a batch immediately. The
+    /// Releases the lane's content as one batch tagged `plan`. The
     /// released batch carries its wire digest pre-memoized.
-    pub fn flush(&mut self) -> Option<SignedBatch> {
+    fn take(&mut self, plan: ShardPlan) -> Option<SignedBatch> {
         if self.pending.is_empty() {
             return None;
         }
@@ -243,10 +247,174 @@ impl Batcher {
         debug_assert_eq!(filled, wire_digest, "digest memo must take our value");
         Some(SignedBatch {
             batch,
+            plan,
             digests,
             signatures,
             aggregate,
         })
+    }
+}
+
+/// Accumulates signed client transactions into consensus batches —
+/// either one global lane (classic batching) or one lane per execution
+/// shard plus a cross lane (the ordering-time shard planner).
+#[derive(Debug)]
+pub struct Batcher {
+    batch_size: usize,
+    max_wait: SimDuration,
+    /// One lane without the planner; `home_lanes + 1` lanes with it
+    /// (index `home_lanes` is the cross lane).
+    lanes: Vec<Lane>,
+    /// Number of per-shard home lanes (0 = unlaned).
+    home_lanes: usize,
+}
+
+impl Batcher {
+    /// Creates a batcher releasing batches of `batch_size` transactions, or
+    /// earlier once the oldest pending transaction has waited `max_wait`.
+    ///
+    /// # Panics
+    /// Panics if `batch_size` is zero.
+    #[must_use]
+    pub fn new(batch_size: usize, max_wait: SimDuration) -> Self {
+        assert!(batch_size > 0, "batch size must be positive");
+        Batcher {
+            batch_size,
+            max_wait,
+            lanes: vec![Lane::new(batch_size)],
+            home_lanes: 0,
+        }
+    }
+
+    /// Creates a batcher with one ordering lane per execution shard plus
+    /// a cross lane: single-home transactions assemble into batches that
+    /// release tagged [`ShardPlan::SingleHome`]; transactions spanning
+    /// shards (or unclassifiable ones) assemble in the cross lane and
+    /// release tagged [`ShardPlan::CrossHome`].
+    ///
+    /// # Panics
+    /// Panics if `batch_size` or `num_shards` is zero.
+    #[must_use]
+    pub fn with_shard_lanes(batch_size: usize, max_wait: SimDuration, num_shards: usize) -> Self {
+        assert!(batch_size > 0, "batch size must be positive");
+        assert!(num_shards > 0, "shard lanes need at least one shard");
+        Batcher {
+            batch_size,
+            max_wait,
+            lanes: (0..=num_shards).map(|_| Lane::new(batch_size)).collect(),
+            home_lanes: num_shards,
+        }
+    }
+
+    /// The configured batch size.
+    #[must_use]
+    pub fn batch_size(&self) -> usize {
+        self.batch_size
+    }
+
+    /// Number of lanes (1 without the planner, shards + 1 with it).
+    #[must_use]
+    pub fn lanes(&self) -> usize {
+        self.lanes.len()
+    }
+
+    /// Number of transactions waiting across all lanes.
+    #[must_use]
+    pub fn pending(&self) -> usize {
+        self.lanes.iter().map(|l| l.pending.len()).sum()
+    }
+
+    /// Identifiers of every transaction waiting across all lanes (the
+    /// shim's never-validated expiry spares these — a pending
+    /// transaction must not lose its duplicate suppression).
+    #[must_use]
+    pub fn pending_txn_ids(&self) -> Vec<TxnId> {
+        self.lanes
+            .iter()
+            .flat_map(|l| l.pending.iter().map(|t| t.id))
+            .collect()
+    }
+
+    /// The plan a batch released from lane `idx` carries.
+    fn lane_plan(&self, idx: usize) -> ShardPlan {
+        if self.home_lanes == 0 {
+            ShardPlan::Unplanned
+        } else if idx < self.home_lanes {
+            ShardPlan::SingleHome(ShardId(idx as u32))
+        } else {
+            ShardPlan::CrossHome
+        }
+    }
+
+    /// The lane a transaction with ordering-time plan `plan` assembles in.
+    fn lane_of(&self, plan: ShardPlan) -> usize {
+        if self.home_lanes == 0 {
+            return 0;
+        }
+        match plan {
+            ShardPlan::SingleHome(s) if (s.0 as usize) < self.home_lanes => s.0 as usize,
+            // Cross-home and unclassifiable transactions share the cross
+            // lane (a no-key transaction is harmless there).
+            _ => self.home_lanes,
+        }
+    }
+
+    /// Adds a signed transaction (its memoized signing digest plus the
+    /// client's signature over it); returns a full batch if the size
+    /// threshold is reached. The signature folds into the running
+    /// aggregate and the transaction is absorbed into the running wire
+    /// digest, so releasing a batch costs O(1) hashing.
+    pub fn push(
+        &mut self,
+        txn: Transaction,
+        digest: Digest,
+        signature: Signature,
+        now: SimTime,
+    ) -> Option<SignedBatch> {
+        self.push_planned(txn, digest, signature, now, ShardPlan::Unplanned)
+    }
+
+    /// Like [`Self::push`], but steering the transaction into the lane
+    /// of its ordering-time plan (the shard-aware planner's entry
+    /// point). Without shard lanes the plan is ignored and everything
+    /// shares the single lane.
+    pub fn push_planned(
+        &mut self,
+        txn: Transaction,
+        digest: Digest,
+        signature: Signature,
+        now: SimTime,
+        plan: ShardPlan,
+    ) -> Option<SignedBatch> {
+        let idx = self.lane_of(plan);
+        let release = {
+            let lane = &mut self.lanes[idx];
+            lane.push(txn, digest, signature, now);
+            lane.pending.len() >= self.batch_size
+        };
+        if release {
+            let plan = self.lane_plan(idx);
+            return self.lanes[idx].take(plan);
+        }
+        None
+    }
+
+    /// Releases the next lane whose oldest pending transaction has waited
+    /// at least `max_wait` (called on a periodic tick; call repeatedly
+    /// until `None` to drain every stale lane).
+    pub fn poll(&mut self, now: SimTime) -> Option<SignedBatch> {
+        let idx = (0..self.lanes.len()).find(|i| self.lanes[*i].stale(now, self.max_wait))?;
+        let plan = self.lane_plan(idx);
+        self.lanes[idx].take(plan)
+    }
+
+    /// Releases the next non-empty lane as a batch immediately (call
+    /// repeatedly until `None` to flush everything). The released batch
+    /// carries its wire digest pre-memoized.
+    pub fn flush(&mut self) -> Option<SignedBatch> {
+        let idx = (0..self.lanes.len()).find(|i| !self.lanes[*i].pending.is_empty())?;
+        let plan = self.lane_plan(idx);
+        self.lanes[idx].take(plan)
     }
 }
 
@@ -342,6 +510,112 @@ mod tests {
         let cached2 = second.batch().cached_digest().expect("memo filled");
         assert_eq!(cached2, compute_batch_digest(second.batch()));
         assert_ne!(cached, cached2);
+    }
+
+    fn push_lane(
+        b: &mut Batcher,
+        t: Transaction,
+        plan: ShardPlan,
+        now: SimTime,
+    ) -> Option<SignedBatch> {
+        b.push_planned(t, Digest::ZERO, Signature::ZERO, now, plan)
+    }
+
+    #[test]
+    fn unlaned_batches_release_unplanned() {
+        let mut b = Batcher::new(2, SimDuration::from_millis(10));
+        assert_eq!(b.lanes(), 1);
+        let _ = push_plain(&mut b, txn(0), SimTime::ZERO);
+        let batch = push_plain(&mut b, txn(1), SimTime::ZERO).expect("full");
+        assert_eq!(batch.plan(), ShardPlan::Unplanned);
+    }
+
+    #[test]
+    fn shard_lanes_assemble_per_home_and_tag_single_home() {
+        let mut b = Batcher::with_shard_lanes(2, SimDuration::from_millis(10), 4);
+        assert_eq!(b.lanes(), 5, "4 home lanes + 1 cross lane");
+        let home2 = ShardPlan::SingleHome(ShardId(2));
+        let home3 = ShardPlan::SingleHome(ShardId(3));
+        // Interleaved pushes to different homes fill separate lanes.
+        assert!(push_lane(&mut b, txn(0), home2, SimTime::ZERO).is_none());
+        assert!(push_lane(&mut b, txn(1), home3, SimTime::ZERO).is_none());
+        assert_eq!(b.pending(), 2);
+        let released = push_lane(&mut b, txn(2), home2, SimTime::ZERO).expect("lane 2 full");
+        assert_eq!(released.plan(), home2);
+        assert_eq!(released.len(), 2);
+        assert_eq!(b.pending(), 1, "lane 3 still waiting");
+        // The released lane batch digests correctly despite interleaving.
+        assert_eq!(
+            released.batch().cached_digest().expect("memo filled"),
+            compute_batch_digest(released.batch()),
+        );
+    }
+
+    #[test]
+    fn cross_and_unplanned_transactions_share_the_cross_lane() {
+        let mut b = Batcher::with_shard_lanes(2, SimDuration::from_millis(10), 4);
+        assert!(push_lane(&mut b, txn(0), ShardPlan::CrossHome, SimTime::ZERO).is_none());
+        let released =
+            push_lane(&mut b, txn(1), ShardPlan::Unplanned, SimTime::ZERO).expect("cross full");
+        assert_eq!(released.plan(), ShardPlan::CrossHome);
+        // An out-of-range home shard is treated as cross, not a panic.
+        assert!(push_lane(
+            &mut b,
+            txn(2),
+            ShardPlan::SingleHome(ShardId(99)),
+            SimTime::ZERO
+        )
+        .is_none());
+        assert_eq!(b.pending(), 1);
+    }
+
+    #[test]
+    fn poll_drains_every_stale_lane_in_turn() {
+        let mut b = Batcher::with_shard_lanes(10, SimDuration::from_millis(10), 2);
+        let _ = push_lane(
+            &mut b,
+            txn(0),
+            ShardPlan::SingleHome(ShardId(0)),
+            SimTime::ZERO,
+        );
+        let _ = push_lane(
+            &mut b,
+            txn(1),
+            ShardPlan::SingleHome(ShardId(1)),
+            SimTime::ZERO,
+        );
+        let _ = push_lane(&mut b, txn(2), ShardPlan::CrossHome, SimTime::ZERO);
+        assert!(b.poll(SimTime::from_millis(5)).is_none(), "not stale yet");
+        let mut plans = Vec::new();
+        while let Some(batch) = b.poll(SimTime::from_millis(10)) {
+            plans.push(batch.plan());
+        }
+        assert_eq!(
+            plans,
+            vec![
+                ShardPlan::SingleHome(ShardId(0)),
+                ShardPlan::SingleHome(ShardId(1)),
+                ShardPlan::CrossHome,
+            ]
+        );
+        assert_eq!(b.pending(), 0);
+    }
+
+    #[test]
+    fn pruning_preserves_the_lane_plan() {
+        let provider = CryptoProvider::new(11);
+        let mut b = Batcher::with_shard_lanes(2, SimDuration::from_millis(10), 4);
+        let plan = ShardPlan::SingleHome(ShardId(1));
+        let (t, d, s) = signed(&provider, 0, 0);
+        assert!(b.push_planned(t, d, s, SimTime::ZERO, plan).is_none());
+        let (t, d, _) = signed(&provider, 1, 1);
+        let released = b
+            .push_planned(t, d, Signature::ZERO, SimTime::ZERO, plan)
+            .expect("full");
+        assert_eq!(released.plan(), plan);
+        let (verified, rejected) = released.verify_and_prune(&provider);
+        assert_eq!(rejected.len(), 1);
+        assert_eq!(verified.expect("one survivor").len(), 1);
     }
 
     /// A correctly signed transaction for `client` over an arbitrary

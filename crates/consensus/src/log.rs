@@ -7,7 +7,7 @@
 //! stable (featherweight) checkpoint.
 
 use crate::messages::{Commit, Prepare};
-use sbft_types::{Batch, Digest, NodeId, SeqNum, Signature, ViewNumber};
+use sbft_types::{Batch, Digest, NodeId, SeqNum, ShardPlan, Signature, ViewNumber};
 use std::collections::BTreeMap;
 
 /// Log entry for one sequence number.
@@ -19,6 +19,9 @@ pub struct LogEntry {
     pub digest: Option<Digest>,
     /// The batch itself (present on nodes that received the pre-prepare).
     pub batch: Option<Batch>,
+    /// The ordering-time shard plan carried by the accepted pre-prepare
+    /// (re-proposals after a view change re-issue it unchanged).
+    pub plan: ShardPlan,
     /// Prepare votes collected, by sender.
     pub prepares: BTreeMap<NodeId, Prepare>,
     /// Commit votes collected, by sender.
@@ -82,6 +85,7 @@ impl ConsensusLog {
         view: ViewNumber,
         digest: Digest,
         batch: Batch,
+        plan: ShardPlan,
     ) -> bool {
         let entry = self.entry_mut(seq);
         if let (Some(v), Some(d)) = (entry.view, entry.digest) {
@@ -98,6 +102,7 @@ impl ConsensusLog {
         entry.view = Some(view);
         entry.digest = Some(digest);
         entry.batch = Some(batch);
+        entry.plan = plan;
         true
     }
 
@@ -224,14 +229,23 @@ mod tests {
 
     #[test]
     fn accept_pre_prepare_rejects_equivocation() {
+        let plan = ShardPlan::Unplanned;
         let mut log = ConsensusLog::new();
-        assert!(log.accept_pre_prepare(SeqNum(1), ViewNumber(0), digest(1), batch()));
+        assert!(log.accept_pre_prepare(SeqNum(1), ViewNumber(0), digest(1), batch(), plan));
         // Same digest again is fine (duplicate delivery).
-        assert!(log.accept_pre_prepare(SeqNum(1), ViewNumber(0), digest(1), batch()));
+        assert!(log.accept_pre_prepare(SeqNum(1), ViewNumber(0), digest(1), batch(), plan));
         // A different digest at the same (view, seq) is equivocation.
-        assert!(!log.accept_pre_prepare(SeqNum(1), ViewNumber(0), digest(2), batch()));
+        assert!(!log.accept_pre_prepare(SeqNum(1), ViewNumber(0), digest(2), batch(), plan));
         // A different digest in a *new* view is allowed (view change re-proposal).
-        assert!(log.accept_pre_prepare(SeqNum(1), ViewNumber(1), digest(2), batch()));
+        assert!(log.accept_pre_prepare(SeqNum(1), ViewNumber(1), digest(2), batch(), plan));
+    }
+
+    #[test]
+    fn accepted_plan_is_stored_on_the_entry() {
+        let mut log = ConsensusLog::new();
+        let plan = ShardPlan::SingleHome(sbft_types::ShardId(3));
+        assert!(log.accept_pre_prepare(SeqNum(1), ViewNumber(0), digest(1), batch(), plan));
+        assert_eq!(log.entry(SeqNum(1)).unwrap().plan, plan);
     }
 
     #[test]
@@ -261,9 +275,21 @@ mod tests {
     #[test]
     fn prepared_uncommitted_reports_in_flight_entries() {
         let mut log = ConsensusLog::new();
-        log.accept_pre_prepare(SeqNum(1), ViewNumber(0), digest(1), batch());
+        log.accept_pre_prepare(
+            SeqNum(1),
+            ViewNumber(0),
+            digest(1),
+            batch(),
+            ShardPlan::Unplanned,
+        );
         log.entry_mut(SeqNum(1)).prepared = true;
-        log.accept_pre_prepare(SeqNum(2), ViewNumber(0), digest(1), batch());
+        log.accept_pre_prepare(
+            SeqNum(2),
+            ViewNumber(0),
+            digest(1),
+            batch(),
+            ShardPlan::Unplanned,
+        );
         log.entry_mut(SeqNum(2)).prepared = true;
         log.entry_mut(SeqNum(2)).committed = true;
         let pending = log.prepared_uncommitted();
@@ -275,7 +301,13 @@ mod tests {
     fn garbage_collection_drops_old_entries() {
         let mut log = ConsensusLog::new();
         for s in 1..=10 {
-            log.accept_pre_prepare(SeqNum(s), ViewNumber(0), digest(1), batch());
+            log.accept_pre_prepare(
+                SeqNum(s),
+                ViewNumber(0),
+                digest(1),
+                batch(),
+                ShardPlan::Unplanned,
+            );
             log.entry_mut(SeqNum(s)).committed = true;
         }
         assert_eq!(log.len(), 10);

@@ -9,7 +9,7 @@
 //! PBFT in Figure 7.
 
 use sbft_crypto::{CommitCertificate, U64Hasher};
-use sbft_types::{Batch, Digest, MacTag, NodeId, SeqNum, Signature, ViewNumber};
+use sbft_types::{Batch, Digest, MacTag, NodeId, SeqNum, ShardPlan, Signature, ViewNumber};
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 
@@ -29,6 +29,14 @@ pub struct PrePrepare {
     pub digest: Digest,
     /// The full batch of client transactions.
     pub batch: Batch,
+    /// The ordering-time shard plan the batcher computed for this batch.
+    /// Replicated alongside the batch so every node (and, after a view
+    /// change, every future primary) spawns executors with the same tag.
+    /// Deliberately *not* covered by the MAC or the digest: it is a
+    /// trust-but-verify hint that the verifier re-derives before acting
+    /// on it (see `sbft_types::plan`), so authenticating a byzantine
+    /// primary's claim would buy nothing.
+    pub plan: ShardPlan,
     /// MAC over the header fields from the primary.
     pub mac: MacTag,
 }
@@ -137,6 +145,9 @@ pub struct CftAccept {
     pub batch: Batch,
     /// Digest of the batch.
     pub digest: Digest,
+    /// The ordering-time shard plan (same trust-but-verify rules as in
+    /// [`PrePrepare`]).
+    pub plan: ShardPlan,
 }
 
 /// CFT acknowledgment from a follower.
@@ -210,7 +221,7 @@ impl ConsensusMessage {
     pub fn wire_size(&self) -> usize {
         match self {
             ConsensusMessage::PrePrepare(m) => {
-                FRAMING_OVERHEAD + 16 + 32 + 32 + m.batch.wire_size()
+                FRAMING_OVERHEAD + 16 + 32 + 32 + 5 + m.batch.wire_size()
             }
             ConsensusMessage::Prepare(_) => FRAMING_OVERHEAD + 16 + 32 + 4 + 32,
             ConsensusMessage::Commit(_) => FRAMING_OVERHEAD + 16 + 32 + 4 + 64,
@@ -235,7 +246,7 @@ impl ConsensusMessage {
                     + 64
                     + m.certificates.iter().map(|c| c.wire_size()).sum::<usize>()
             }
-            ConsensusMessage::CftAccept(m) => FRAMING_OVERHEAD + 16 + 32 + m.batch.wire_size(),
+            ConsensusMessage::CftAccept(m) => FRAMING_OVERHEAD + 16 + 32 + 5 + m.batch.wire_size(),
             ConsensusMessage::CftAccepted(_) => FRAMING_OVERHEAD + 16 + 32 + 4,
             ConsensusMessage::CftDecide(_) => FRAMING_OVERHEAD + 16 + 32,
         }
@@ -431,6 +442,7 @@ mod tests {
             seq: SeqNum(1),
             digest: batch_digest(&b),
             batch: b,
+            plan: ShardPlan::Unplanned,
             mac: MacTag::ZERO,
         });
         let size = msg.wire_size();
@@ -499,12 +511,14 @@ mod tests {
             seq: SeqNum(1),
             digest: batch_digest(&b),
             batch: b.clone(),
+            plan: ShardPlan::Unplanned,
         });
         let pp = ConsensusMessage::PrePrepare(PrePrepare {
             view: ViewNumber(0),
             seq: SeqNum(1),
             digest: batch_digest(&b),
             batch: b,
+            plan: ShardPlan::Unplanned,
             mac: MacTag::ZERO,
         });
         assert!(accept.wire_size() < pp.wire_size());

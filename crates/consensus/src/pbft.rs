@@ -33,7 +33,7 @@ use crate::traits::OrderingProtocol;
 use sbft_crypto::certificate::commit_digest;
 use sbft_crypto::{CommitCertificate, CryptoHandle};
 use sbft_types::{
-    Batch, ComponentId, Digest, FaultParams, NodeId, SeqNum, SimDuration, ViewNumber,
+    Batch, ComponentId, Digest, FaultParams, NodeId, SeqNum, ShardPlan, SimDuration, ViewNumber,
 };
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
@@ -230,7 +230,7 @@ impl PbftReplica {
         if !ready {
             return actions;
         }
-        let (view, digest, batch, cert_entries) = {
+        let (view, digest, batch, plan, cert_entries) = {
             let entry = self.log.entry_mut(seq);
             entry.committed = true;
             let digest = entry.digest.expect("committed entry has digest");
@@ -245,6 +245,7 @@ impl PbftReplica {
                 entry.view.expect("view"),
                 digest,
                 entry.batch.clone().expect("committed entry has batch"),
+                entry.plan,
                 entries,
             )
         };
@@ -255,6 +256,7 @@ impl PbftReplica {
             view,
             seq,
             batch,
+            plan,
             certificate: Some(certificate),
         });
         actions.extend(self.maybe_emit_checkpoint(seq));
@@ -322,6 +324,7 @@ impl PbftReplica {
                         entry.view = Some(cert.view);
                         entry.digest = Some(cert.batch_digest);
                         let batch = entry.batch.clone();
+                        let plan = entry.plan;
                         actions.push(ConsensusAction::CancelTimer(ConsensusTimer::Request(
                             cert.seq,
                         )));
@@ -334,6 +337,7 @@ impl PbftReplica {
                                 view: cert.view,
                                 seq: cert.seq,
                                 batch,
+                                plan,
                                 certificate: Some(Arc::clone(cert)),
                             });
                         } else {
@@ -438,13 +442,18 @@ impl PbftReplica {
             .map(|(seq, _, digest)| (seq, digest))
             .collect();
         for (seq, digest) in pending {
-            if let Some(batch) = self.log.entry(seq).and_then(|e| e.batch.clone()) {
+            let Some(entry) = self.log.entry(seq) else {
+                continue;
+            };
+            let plan = entry.plan;
+            if let Some(batch) = entry.batch.clone() {
                 let header = header_digest("preprepare", target, seq, &digest);
                 reissued.push(PrePrepare {
                     view: target,
                     seq,
                     digest,
                     batch,
+                    plan,
                     mac: self.crypto.broadcast_mac(&header),
                 });
             }
@@ -470,7 +479,7 @@ impl PbftReplica {
             let digest = pp.digest;
             if self
                 .log
-                .accept_pre_prepare(seq, target, digest, pp.batch.clone())
+                .accept_pre_prepare(seq, target, digest, pp.batch.clone(), pp.plan)
             {
                 actions.extend(self.after_pre_prepare(target, seq, digest));
             }
@@ -536,7 +545,7 @@ impl PbftReplica {
         }
         if !self
             .log
-            .accept_pre_prepare(pp.seq, pp.view, pp.digest, pp.batch.clone())
+            .accept_pre_prepare(pp.seq, pp.view, pp.digest, pp.batch.clone(), pp.plan)
         {
             // Equivocation detected: the primary proposed two different
             // batches at the same sequence number.
@@ -630,9 +639,13 @@ impl PbftReplica {
                 && self
                     .crypto
                     .verify_broadcast_mac(ComponentId::Node(from), &header, &pp.mac)
-                && self
-                    .log
-                    .accept_pre_prepare(pp.seq, pp.view, pp.digest, pp.batch.clone())
+                && self.log.accept_pre_prepare(
+                    pp.seq,
+                    pp.view,
+                    pp.digest,
+                    pp.batch.clone(),
+                    pp.plan,
+                )
             {
                 actions.extend(self.after_pre_prepare(pp.view, pp.seq, pp.digest));
             }
@@ -669,7 +682,7 @@ impl PrePrepare {
 }
 
 impl OrderingProtocol for PbftReplica {
-    fn submit_batch(&mut self, batch: Batch) -> Vec<ConsensusAction> {
+    fn submit_batch(&mut self, batch: Batch, plan: ShardPlan) -> Vec<ConsensusAction> {
         if !self.is_primary() || self.in_view_change {
             return Vec::new();
         }
@@ -678,7 +691,7 @@ impl OrderingProtocol for PbftReplica {
         let digest = batch_digest(&batch);
         if !self
             .log
-            .accept_pre_prepare(seq, self.view, digest, batch.clone())
+            .accept_pre_prepare(seq, self.view, digest, batch.clone(), plan)
         {
             return Vec::new();
         }
@@ -688,6 +701,7 @@ impl OrderingProtocol for PbftReplica {
             seq,
             digest,
             batch,
+            plan,
             mac: self.crypto.broadcast_mac(&header),
         };
         let mut actions = vec![ConsensusAction::Broadcast(ConsensusMessage::PrePrepare(pp))];
@@ -879,7 +893,8 @@ mod tests {
 
         fn submit_to_primary(&mut self, batch: Batch) {
             let primary = self.replicas[0].primary();
-            let actions = self.replicas[primary.0 as usize].submit_batch(batch);
+            let actions =
+                self.replicas[primary.0 as usize].submit_batch(batch, ShardPlan::Unplanned);
             self.run_actions(primary, actions);
         }
 
@@ -917,7 +932,8 @@ mod tests {
         let mut shim = TestShim::new(4);
         let submitted = batch(0);
         let primary = shim.replicas[0].primary();
-        let actions = shim.replicas[primary.0 as usize].submit_batch(submitted.clone());
+        let actions =
+            shim.replicas[primary.0 as usize].submit_batch(submitted.clone(), ShardPlan::Unplanned);
         shim.run_actions(primary, actions);
         assert_eq!(shim.committed_batches.len(), 4, "all replicas committed");
         for (node, b) in &shim.committed_batches {
@@ -959,7 +975,7 @@ mod tests {
     #[test]
     fn non_primary_ignores_submitted_batches() {
         let mut shim = TestShim::new(4);
-        let actions = shim.replicas[2].submit_batch(batch(0));
+        let actions = shim.replicas[2].submit_batch(batch(0), ShardPlan::Unplanned);
         assert!(actions.is_empty());
     }
 
@@ -1031,7 +1047,7 @@ mod tests {
             assert!(!shim.replicas[i as usize].in_view_change());
         }
         // The new primary can order new batches.
-        let actions = shim.replicas[1].submit_batch(batch(7));
+        let actions = shim.replicas[1].submit_batch(batch(7), ShardPlan::Unplanned);
         shim.run_actions(NodeId(1), actions);
         for i in 1..4u32 {
             assert!(!shim.committed_by(NodeId(i)).is_empty(), "node {i}");
@@ -1062,9 +1078,13 @@ mod tests {
         // commits were lost).
         let b = batch(1);
         let digest = batch_digest(&b);
-        shim.replicas[1]
-            .log
-            .accept_pre_prepare(SeqNum(2), ViewNumber(0), digest, b.clone());
+        shim.replicas[1].log.accept_pre_prepare(
+            SeqNum(2),
+            ViewNumber(0),
+            digest,
+            b.clone(),
+            ShardPlan::Unplanned,
+        );
         shim.replicas[1].log.entry_mut(SeqNum(2)).prepared = true;
         shim.down.insert(NodeId(0));
         let pending: Vec<(NodeId, Vec<ConsensusAction>)> = (1..4u32)
@@ -1089,6 +1109,57 @@ mod tests {
     }
 
     #[test]
+    fn plan_tag_replicates_to_every_log_and_survives_reproposal() {
+        let plan = ShardPlan::SingleHome(sbft_types::ShardId(2));
+        // Normal case: the tag lands in every replica's log entry.
+        let mut shim = TestShim::new(4);
+        let primary = shim.replicas[0].primary();
+        let actions = shim.replicas[primary.0 as usize].submit_batch(batch(0), plan);
+        shim.run_actions(primary, actions);
+        for r in &shim.replicas {
+            assert_eq!(
+                r.log().entry(SeqNum(1)).expect("entry").plan,
+                plan,
+                "node {} must replicate the tag",
+                r.node_id()
+            );
+        }
+        // View change: a prepared-but-uncommitted tagged proposal at the
+        // next primary is re-issued with the tag intact and commits.
+        let mut shim = TestShim::new(4);
+        let b = batch(1);
+        let digest = batch_digest(&b);
+        shim.replicas[1]
+            .log
+            .accept_pre_prepare(SeqNum(1), ViewNumber(0), digest, b, plan);
+        shim.replicas[1].log.entry_mut(SeqNum(1)).prepared = true;
+        shim.down.insert(NodeId(0));
+        let pending: Vec<(NodeId, Vec<ConsensusAction>)> = (1..4u32)
+            .map(|i| {
+                (
+                    NodeId(i),
+                    shim.replicas[i as usize].handle_timer(ConsensusTimer::Request(SeqNum(1))),
+                )
+            })
+            .collect();
+        for (origin, actions) in pending {
+            shim.run_actions(origin, actions);
+        }
+        for i in 1..4u32 {
+            assert!(shim.committed_by(NodeId(i)).contains(&SeqNum(1)));
+            assert_eq!(
+                shim.replicas[i as usize]
+                    .log()
+                    .entry(SeqNum(1))
+                    .expect("entry")
+                    .plan,
+                plan,
+                "node {i} must re-learn the tag from the re-proposal"
+            );
+        }
+    }
+
+    #[test]
     fn equivocating_pre_prepare_is_rejected() {
         let mut shim = TestShim::new(4);
         shim.submit_to_primary(batch(0));
@@ -1103,6 +1174,7 @@ mod tests {
             seq: SeqNum(1),
             digest,
             batch: evil,
+            plan: ShardPlan::Unplanned,
             mac: primary_handle.broadcast_mac(&header),
         };
         let actions = shim.replicas[1].handle_message(NodeId(0), ConsensusMessage::PrePrepare(pp));
@@ -1122,6 +1194,7 @@ mod tests {
             seq: SeqNum(1),
             digest,
             batch: b.clone(),
+            plan: ShardPlan::Unplanned,
             mac: sbft_types::MacTag::ZERO,
         };
         // Bad MAC.

@@ -1,4 +1,5 @@
-//! Best-effort conflict avoidance (Section VI-C).
+//! Best-effort conflict avoidance (Section VI-C) and the ordering-time
+//! shard planner.
 //!
 //! When read-write sets are known before execution, the primary borrows the
 //! queueing strategy of deterministic databases (Calvin, QueCC, Q-Store):
@@ -7,9 +8,46 @@
 //! every item the batch writes, dispatches non-conflicting batches in
 //! parallel, and releases the locks when the verifier confirms the batch.
 //! This avoids the aborts that plague the unknown-read-write-set case.
+//!
+//! # Ordering-time vs. apply-time planning
+//!
+//! The [`BestEffortPlanner`] above acts *after commit* (it gates executor
+//! spawning); the **shard planner** acts *before consensus*: the shim
+//! classifies each transaction's declared read-write set against the
+//! shard map ([`home_shard`]) and assembles per-shard ordering lanes
+//! (katana-style per-shard mempools), so whole batches arrive at the
+//! verifier's apply stage already conflict-free per shard — cross-home
+//! work is detected at batching time and tagged
+//! [`ShardPlan::CrossHome`] for the lock-ordered committer path instead
+//! of being discovered late by the apply-time fallback probe. The
+//! resulting [`ShardPlan`] is replicated with the batch but only ever
+//! consumed **trust-but-verify**: the verifier re-derives the claim
+//! from the observed read-write sets before honouring it and falls back
+//! deterministically on mismatch, so a lying primary can waste its own
+//! fast path but cannot corrupt state (see `sbft_types::plan`).
 
-use sbft_types::{Key, RwSetKeys, SeqNum};
+use sbft_sharding::ShardRouter;
+use sbft_types::{Key, RwSetKeys, SeqNum, ShardPlan, Transaction};
 use std::collections::{BTreeMap, BTreeSet};
+
+/// Classifies one transaction at ordering time: the lane it assembles
+/// in is the home shard of its declared (or, failing that, inferred)
+/// read-write set. Exact for YCSB-style transactions whose keys are
+/// literal; a mis-declared set costs the batch the verifier's fast
+/// path, never correctness.
+#[must_use]
+pub fn home_shard(txn: &Transaction, router: &ShardRouter) -> ShardPlan {
+    match &txn.declared_rwset {
+        Some(declared) => plan_rwset_keys(declared, router),
+        None => plan_rwset_keys(&txn.inferred_rwset(), router),
+    }
+}
+
+/// Classifies a declared key set against the shard map.
+#[must_use]
+pub fn plan_rwset_keys(keys: &RwSetKeys, router: &ShardRouter) -> ShardPlan {
+    router.plan_keys(keys.read_keys.iter().chain(keys.write_keys.iter()).copied())
+}
 
 /// Lock footprint of one batch: every key read and written by any of its
 /// transactions.
@@ -32,6 +70,14 @@ impl BatchFootprint {
             fp.writes.extend(rw.write_keys.iter().copied());
         }
         fp
+    }
+
+    /// Classifies the whole footprint against the shard map — the
+    /// batch-level ordering-time plan ([`ShardPlan::SingleHome`] iff
+    /// every read and written key lives on one shard).
+    #[must_use]
+    pub fn classify(&self, router: &ShardRouter) -> ShardPlan {
+        router.plan_keys(self.reads.iter().chain(self.writes.iter()).copied())
     }
 
     /// Whether two footprints conflict (shared item with at least one
@@ -213,6 +259,48 @@ mod tests {
             p.enqueue(SeqNum(1), fp(&[], &[1])).is_empty(),
             "completed batches never re-dispatch"
         );
+    }
+
+    #[test]
+    fn footprint_classification_matches_router_plan() {
+        use sbft_types::ShardPlan;
+        let router = ShardRouter::new(8);
+        let k = Key(5);
+        let home = router.shard_of(k);
+        let same = (6..)
+            .map(Key)
+            .find(|x| router.shard_of(*x) == home)
+            .unwrap();
+        let other = (6..)
+            .map(Key)
+            .find(|x| router.shard_of(*x) != home)
+            .unwrap();
+        let single = fp(&[k.0], &[same.0]);
+        assert_eq!(single.classify(&router), ShardPlan::SingleHome(home));
+        let cross = fp(&[k.0], &[other.0]);
+        assert_eq!(cross.classify(&router), ShardPlan::CrossHome);
+        assert_eq!(fp(&[], &[]).classify(&router), ShardPlan::Unplanned);
+    }
+
+    #[test]
+    fn home_shard_uses_declared_then_inferred_rwsets() {
+        use sbft_types::{ClientId, Operation, ShardPlan, TxnId};
+        let router = ShardRouter::new(8);
+        let k = Key(9);
+        let home = router.shard_of(k);
+        // Inferred: a literal single-key RMW is single-home.
+        let txn = Transaction::new(
+            TxnId::new(ClientId(0), 0),
+            vec![Operation::ReadModifyWrite(k, 1)],
+        );
+        assert_eq!(home_shard(&txn, &router), ShardPlan::SingleHome(home));
+        // Declared sets win over the operation list.
+        let other = (10..)
+            .map(Key)
+            .find(|x| router.shard_of(*x) != home)
+            .unwrap();
+        let declared = txn.with_declared_rwset(RwSetKeys::new([k], [other]));
+        assert_eq!(home_shard(&declared, &router), ShardPlan::CrossHome);
     }
 
     #[test]

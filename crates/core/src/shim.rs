@@ -17,13 +17,14 @@ use crate::events::{
     Action, BatchValidated, ClientRequest, Destination, ProtocolMessage, ProtocolTimer,
     RecoverySubject,
 };
-use crate::planner::{BatchFootprint, BestEffortPlanner};
+use crate::planner::{home_shard, BatchFootprint, BestEffortPlanner};
 use sbft_consensus::{Batcher, ConsensusAction, ConsensusMessage, OrderingProtocol, SignedBatch};
 use sbft_crypto::{CommitCertificate, CryptoHandle};
 use sbft_serverless::{ExecuteRequest, Invoker};
+use sbft_sharding::ShardRouter;
 use sbft_types::{
-    Batch, ComponentId, ConflictHandling, NodeId, SeqNum, SimTime, SpawningMode, SystemConfig,
-    TxnId, ViewNumber,
+    Batch, ComponentId, ConflictHandling, NodeId, SeqNum, ShardPlan, SimTime, SpawningMode,
+    SystemConfig, TxnId, ViewNumber,
 };
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -36,6 +37,10 @@ struct CommittedBatch {
     view: ViewNumber,
     batch: Batch,
     certificate: Arc<CommitCertificate>,
+    /// The ordering-time shard plan replicated with the batch; copied
+    /// into every `EXECUTE` this node spawns (including re-spawns after
+    /// view changes).
+    plan: ShardPlan,
     spawned: bool,
 }
 
@@ -48,6 +53,11 @@ pub struct ShimNode {
     batcher: Batcher,
     invoker: Invoker,
     planner: Option<BestEffortPlanner>,
+    /// The ordering-time shard planner's router: present when read-write
+    /// sets are known, the deployment has more than one shard and
+    /// ordering lanes are enabled. Each client transaction is classified
+    /// against it and steered into its home lane of the batcher.
+    lane_router: Option<ShardRouter>,
     /// Batches committed locally that the verifier has not validated yet.
     committed: BTreeMap<SeqNum, CommittedBatch>,
     /// Transactions this node has already placed in a batch, keyed to the
@@ -71,6 +81,17 @@ pub struct ShimNode {
     /// Transaction ids of validated batches, retained until the GC cutoff
     /// passes them (feeds the `seen_txns` truncation).
     validated_txns: BTreeMap<SeqNum, Vec<TxnId>>,
+    /// Expiry ledger for ids whose batch may never be validated: every
+    /// id is recorded here when it enters `seen_txns`, stamped with the
+    /// highest validated sequence number observed at that moment. Once
+    /// the GC cutoff passes an id's stamp, the id is *expired* from
+    /// `seen_txns` — unless it is still tracked by a committed batch or
+    /// a retained validated batch (those are released by the regular
+    /// checkpoint-rhythm truncation instead). This bounds the residual
+    /// growth from ids that were batched but whose batch was lost (e.g.
+    /// across a view change without re-proposal) and therefore never
+    /// receives a `BatchValidated`.
+    pending_seen: BTreeMap<SeqNum, Vec<TxnId>>,
     /// Highest `BatchValidated` sequence number observed.
     max_validated: SeqNum,
     /// Highest sequence number at or below which `seen_txns` has been
@@ -97,10 +118,20 @@ impl ShimNode {
         crypto: CryptoHandle,
         ordering: Box<dyn OrderingProtocol + Send>,
     ) -> Self {
-        let batcher = Batcher::new(
-            config.workload.batch_size,
-            sbft_types::SimDuration::from_millis(5),
-        );
+        let max_wait = sbft_types::SimDuration::from_millis(5);
+        // The ordering-time shard planner needs declared read-write sets
+        // (to classify before execution) and more than one shard (to
+        // have somewhere to route).
+        let lane_router = (matches!(config.conflict_handling, ConflictHandling::KnownRwSets)
+            && config.sharding.num_shards > 1
+            && config.sharding.ordering_lanes)
+            .then(|| ShardRouter::new(config.sharding.num_shards));
+        let batcher = match &lane_router {
+            Some(router) => {
+                Batcher::with_shard_lanes(config.workload.batch_size, max_wait, router.num_shards())
+            }
+            None => Batcher::new(config.workload.batch_size, max_wait),
+        };
         let invoker = Invoker::new(me, config.regions.clone());
         let planner = matches!(config.conflict_handling, ConflictHandling::KnownRwSets)
             .then(BestEffortPlanner::new);
@@ -112,9 +143,11 @@ impl ShimNode {
             batcher,
             invoker,
             planner,
+            lane_router,
             committed: BTreeMap::new(),
             seen_txns: std::collections::HashMap::new(),
             validated_txns: BTreeMap::new(),
+            pending_seen: BTreeMap::new(),
             max_validated: SeqNum(0),
             seen_gc_floor: SeqNum(0),
             retransmit_view: std::collections::HashMap::new(),
@@ -187,6 +220,13 @@ impl ShimNode {
         self.seen_txns.len()
     }
 
+    /// Whether this node runs the ordering-time shard planner (per-shard
+    /// batching lanes).
+    #[must_use]
+    pub fn ordering_lanes_active(&self) -> bool {
+        self.lane_router.is_some()
+    }
+
     fn component(&self) -> ComponentId {
         ComponentId::Node(self.me)
     }
@@ -236,6 +276,7 @@ impl ShimNode {
         signature: sbft_types::Signature,
         now: SimTime,
     ) -> Vec<Action> {
+        let mut newly_seen = false;
         match self.seen_txns.entry(txn.id) {
             std::collections::hash_map::Entry::Occupied(mut entry) => {
                 let (stored_sig, stored_digest) = *entry.get();
@@ -263,26 +304,44 @@ impl ShimNode {
             }
             std::collections::hash_map::Entry::Vacant(entry) => {
                 entry.insert((signature, digest));
+                newly_seen = true;
             }
         }
-        if !self.config.batching_enabled {
-            return self.submit_signed(SignedBatch::single(txn, digest, signature));
+        if newly_seen {
+            // Stamp the id for the never-validated expiry (see
+            // `pending_seen`): if its batch is lost before validation,
+            // the id is reclaimed once the GC cutoff passes this stamp.
+            self.pending_seen
+                .entry(self.max_validated)
+                .or_default()
+                .push(txn.id);
         }
-        match self.batcher.push(txn, digest, signature, now) {
+        // Ordering-time shard planning: classify the transaction's
+        // declared read-write set and steer it into its home lane.
+        let plan = match &self.lane_router {
+            Some(router) => home_shard(&txn, router),
+            None => ShardPlan::Unplanned,
+        };
+        if !self.config.batching_enabled {
+            return self.submit_signed(SignedBatch::single_planned(txn, digest, signature, plan));
+        }
+        match self.batcher.push_planned(txn, digest, signature, now, plan) {
             Some(batch) => self.submit_signed(batch),
             None => Vec::new(),
         }
     }
 
-    /// Periodic tick releasing partially filled batches.
+    /// Periodic tick releasing partially filled batches (every stale
+    /// lane releases independently).
     pub fn poll_batcher(&mut self, now: SimTime) -> Vec<Action> {
         if !self.is_primary() {
             return Vec::new();
         }
-        match self.batcher.poll(now) {
-            Some(batch) => self.submit_signed(batch),
-            None => Vec::new(),
+        let mut actions = Vec::new();
+        while let Some(batch) = self.batcher.poll(now) {
+            actions.extend(self.submit_signed(batch));
         }
+        actions
     }
 
     /// The primary's batch-submit path: one aggregate signature check
@@ -291,6 +350,7 @@ impl ShimNode {
     /// honest request with the same transaction id can still be ordered),
     /// and whatever survives is handed to the ordering protocol.
     fn submit_signed(&mut self, signed: SignedBatch) -> Vec<Action> {
+        let plan = signed.plan();
         let (batch, rejected) = signed.verify_and_prune(self.crypto.provider());
         if !rejected.is_empty() {
             self.rejected_txns += rejected.len() as u64;
@@ -306,7 +366,7 @@ impl ShimNode {
         let Some(batch) = batch else {
             return Vec::new(); // nothing survived the signature check
         };
-        let consensus_actions = self.ordering.submit_batch(batch);
+        let consensus_actions = self.ordering.submit_batch(batch, plan);
         self.translate(consensus_actions)
     }
 
@@ -343,8 +403,9 @@ impl ShimNode {
                     view,
                     seq,
                     batch,
+                    plan,
                     certificate,
-                } => out.extend(self.on_committed(view, seq, batch, certificate)),
+                } => out.extend(self.on_committed(view, seq, batch, plan, certificate)),
                 ConsensusAction::ViewInstalled { .. } => out.extend(self.on_view_installed()),
                 ConsensusAction::CaughtUp { .. } => {}
             }
@@ -357,6 +418,7 @@ impl ShimNode {
         view: ViewNumber,
         seq: SeqNum,
         batch: Batch,
+        plan: ShardPlan,
         certificate: Option<Arc<CommitCertificate>>,
     ) -> Vec<Action> {
         self.batches_committed += 1;
@@ -378,6 +440,7 @@ impl ShimNode {
                 view,
                 batch,
                 certificate,
+                plan,
                 spawned: false,
             },
         );
@@ -450,6 +513,7 @@ impl ShimNode {
             digest,
             batch: entry.batch.clone(),
             certificate: Arc::clone(&entry.certificate),
+            plan: entry.plan,
             spawner: self.me,
             signature: self.crypto.sign(&signing),
         };
@@ -606,6 +670,52 @@ impl ShimNode {
             for txn in txns {
                 self.seen_txns.remove(txn);
             }
+        }
+        self.expire_never_validated(cutoff);
+    }
+
+    /// Expires duplicate-suppression entries whose batch never received a
+    /// `BatchValidated`: every id stamped (in `pending_seen`) at or below
+    /// the GC cutoff — i.e. batched at least two checkpoint intervals of
+    /// validated progress ago — is reclaimed, *unless* a tracked batch
+    /// still accounts for it (a retained validated batch, released by the
+    /// regular truncation instead, or a locally committed batch that may
+    /// yet validate or be re-spawned; those ids are re-stamped and
+    /// reconsidered at a later cutoff). What remains are the genuinely
+    /// leaked ids: batched, then lost before commit — e.g. a proposal
+    /// dropped across a view change without re-proposal — which
+    /// previously accumulated forever.
+    fn expire_never_validated(&mut self, cutoff: SeqNum) {
+        let expired_stamps = {
+            let rest = self.pending_seen.split_off(&SeqNum(cutoff.0 + 1));
+            std::mem::replace(&mut self.pending_seen, rest)
+        };
+        if expired_stamps.is_empty() {
+            return;
+        }
+        let protected: std::collections::HashSet<TxnId> = self
+            .validated_txns
+            .values()
+            .flatten()
+            .copied()
+            .chain(self.committed.values().flat_map(|e| e.batch.txn_ids()))
+            .chain(self.batcher.pending_txn_ids())
+            .collect();
+        let mut restamped = Vec::new();
+        for ids in expired_stamps.into_values() {
+            for id in ids {
+                if protected.contains(&id) {
+                    restamped.push(id);
+                } else {
+                    self.seen_txns.remove(&id);
+                }
+            }
+        }
+        if !restamped.is_empty() {
+            self.pending_seen
+                .entry(self.max_validated)
+                .or_default()
+                .extend(restamped);
         }
     }
 
@@ -1041,6 +1151,255 @@ mod tests {
         assert!(!node
             .on_client_request(&signed_request(&provider, 0, 1), SimTime::ZERO)
             .is_empty());
+    }
+
+    #[test]
+    fn never_validated_ids_expire_after_the_checkpoint_rhythm() {
+        // A primary on a 4-node PBFT shim proposes batches whose
+        // consensus never completes (no peer traffic is delivered):
+        // every id lands in `seen_txns` but no `BatchValidated` will
+        // ever release it. Meanwhile the verifier reports progress for
+        // other proposals (re-proposed by later primaries), advancing
+        // the checkpoint rhythm — the expiry must reclaim the orphaned
+        // ids instead of retaining them forever.
+        let mut config = SystemConfig::with_shim_size(4);
+        config.workload.batch_size = 1;
+        config.timers.checkpoint_interval = 4;
+        let provider = CryptoProvider::new(5);
+        let mut node = ShimNode::new(
+            NodeId(0),
+            config.clone(),
+            provider.handle(ComponentId::Node(NodeId(0))),
+            Box::new(PbftReplica::new(
+                NodeId(0),
+                config.fault,
+                provider.handle(ComponentId::Node(NodeId(0))),
+                config.timers.node_timeout,
+                config.timers.checkpoint_interval,
+            )),
+        );
+        for i in 0..100u64 {
+            let actions = node.on_client_request(&signed_request(&provider, 0, i), SimTime::ZERO);
+            assert!(
+                actions.iter().any(|a| a.sends_kind("PREPREPARE")),
+                "request {i} must be proposed"
+            );
+            assert!(
+                !actions
+                    .iter()
+                    .any(|a| matches!(a, Action::BatchCommitted { .. })),
+                "nothing commits without a quorum"
+            );
+            let _ = node.on_message(&ProtocolMessage::BatchValidated(BatchValidated {
+                seq: SeqNum(i + 1),
+                committed: 1,
+                aborted: 0,
+            }));
+            assert!(
+                node.seen_txns_len() <= 3 * 4,
+                "after {} orphaned proposals seen_txns holds {} entries",
+                i + 1,
+                node.seen_txns_len()
+            );
+        }
+        // Expired ids are genuinely released: the client's retry is
+        // re-ordered instead of silently dropped.
+        assert!(!node
+            .on_client_request(&signed_request(&provider, 0, 1), SimTime::ZERO)
+            .is_empty());
+    }
+
+    #[test]
+    fn expiry_spares_committed_and_batcher_pending_ids() {
+        // Two ids that must survive arbitrary checkpoint progress: one in
+        // a locally committed (but never validated) batch, and one still
+        // sitting in the batcher. Both keep their duplicate suppression.
+        let mut config = SystemConfig::with_shim_size(4);
+        config.workload.batch_size = 1;
+        config.timers.checkpoint_interval = 4;
+        let provider = CryptoProvider::new(5);
+        let mut node = ShimNode::new(
+            NodeId(0),
+            config.clone(),
+            provider.handle(ComponentId::Node(NodeId(0))),
+            Box::new(CftReplica::new(
+                NodeId(0),
+                sbft_types::FaultParams {
+                    n_r: 1,
+                    f_r: 0,
+                    n_e: 3,
+                    f_e: 1,
+                },
+                config.timers.node_timeout,
+            )),
+        );
+        // Request 0 commits immediately (1-node CFT) at seq 1, but its
+        // BatchValidated never arrives.
+        let committed_req = signed_request(&provider, 0, 0);
+        let actions = node.on_client_request(&committed_req, SimTime::ZERO);
+        assert!(actions
+            .iter()
+            .any(|a| matches!(a, Action::BatchCommitted { .. })));
+        // A second node with a large batch keeps one id pending in the
+        // batcher (never released).
+        let mut big = config.clone();
+        big.workload.batch_size = 100;
+        let mut pending_node = ShimNode::new(
+            NodeId(0),
+            big.clone(),
+            provider.handle(ComponentId::Node(NodeId(0))),
+            Box::new(CftReplica::new(
+                NodeId(0),
+                sbft_types::FaultParams {
+                    n_r: 1,
+                    f_r: 0,
+                    n_e: 3,
+                    f_e: 1,
+                },
+                big.timers.node_timeout,
+            )),
+        );
+        let pending_req = signed_request(&provider, 7, 0);
+        assert!(pending_node
+            .on_client_request(&pending_req, SimTime::ZERO)
+            .is_empty());
+        // Far more checkpoint progress than any expiry horizon.
+        for seq in 2..=40u64 {
+            let validated = ProtocolMessage::BatchValidated(BatchValidated {
+                seq: SeqNum(seq),
+                committed: 1,
+                aborted: 0,
+            });
+            let _ = node.on_message(&validated);
+            let _ = pending_node.on_message(&validated);
+        }
+        // The committed batch's id is still suppressed (a retry would
+        // otherwise double-order a batch that may yet validate) …
+        assert!(node
+            .on_client_request(&signed_request(&provider, 0, 0), SimTime::ZERO)
+            .is_empty());
+        // … and so is the batcher-pending id.
+        assert!(pending_node
+            .on_client_request(&signed_request(&provider, 7, 0), SimTime::ZERO)
+            .is_empty());
+        assert!(pending_node.seen_txns_len() >= 1);
+    }
+
+    #[test]
+    fn ordering_lanes_assemble_single_home_batches_and_tag_executes() {
+        // KnownRwSets + 4 shards activates the ordering-time planner:
+        // two single-op transactions homed on the same shard fill that
+        // shard's lane, the released batch is proposed with a
+        // SingleHome tag, and every spawned EXECUTE carries it.
+        let mut config = SystemConfig::with_shim_size(4);
+        config.conflict_handling = ConflictHandling::KnownRwSets;
+        config.workload.batch_size = 2;
+        config.sharding = sbft_types::ShardingConfig::with_shards(4);
+        let mut shim = make_shim(config);
+        assert!(shim.nodes[0].ordering_lanes_active());
+        let provider = Arc::clone(&shim.provider);
+        let router = ShardRouter::new(4);
+        let home = router.shard_of(Key(1));
+        let second = (2..)
+            .map(Key)
+            .find(|k| router.shard_of(*k) == home)
+            .expect("another key on the same shard");
+        let foreign = (2..)
+            .map(Key)
+            .find(|k| router.shard_of(*k) != home)
+            .expect("a key on another shard");
+        let mk = |client: u32, key: Key| {
+            let txn = Transaction::new(
+                TxnId::new(ClientId(client), 0),
+                vec![Operation::ReadModifyWrite(key, 1)],
+            )
+            .with_inferred_rwset();
+            let digest = ClientRequest::signing_digest(&txn);
+            ClientRequest {
+                signature: provider
+                    .handle(ComponentId::Client(ClientId(client)))
+                    .sign(&digest),
+                txn,
+            }
+        };
+        // A foreign-shard transaction arrives in between: it must not
+        // pollute the home lane.
+        let a0 = shim.nodes[0].on_client_request(&mk(0, Key(1)), SimTime::ZERO);
+        assert!(a0.is_empty());
+        let a1 = shim.nodes[0].on_client_request(&mk(1, foreign), SimTime::ZERO);
+        assert!(a1.is_empty(), "the foreign lane is not full yet");
+        let actions = shim.nodes[0].on_client_request(&mk(2, second), SimTime::ZERO);
+        let plan = actions
+            .iter()
+            .find_map(|a| match a.as_send().map(|e| &e.msg) {
+                Some(ProtocolMessage::Consensus(sbft_consensus::ConsensusMessage::PrePrepare(
+                    pp,
+                ))) => Some((pp.plan, pp.batch.clone())),
+                _ => None,
+            })
+            .expect("the home lane releases a batch");
+        assert_eq!(plan.0, sbft_types::ShardPlan::SingleHome(home));
+        assert_eq!(plan.1.len(), 2, "only the two same-home transactions");
+        // Run consensus; the primary's EXECUTE messages carry the tag.
+        let external = run_consensus(&mut shim, 0, actions);
+        let executes: Vec<_> = external
+            .iter()
+            .filter_map(|(_, a)| match a {
+                Action::SpawnExecutor { execute, .. } => Some(execute.clone()),
+                _ => None,
+            })
+            .collect();
+        assert!(!executes.is_empty());
+        for execute in &executes {
+            assert_eq!(execute.plan, sbft_types::ShardPlan::SingleHome(home));
+        }
+    }
+
+    #[test]
+    fn cross_home_transactions_assemble_in_the_cross_lane() {
+        let mut config = SystemConfig::with_shim_size(4);
+        config.conflict_handling = ConflictHandling::KnownRwSets;
+        config.workload.batch_size = 2;
+        config.sharding = sbft_types::ShardingConfig::with_shards(4);
+        let mut shim = make_shim(config);
+        let provider = Arc::clone(&shim.provider);
+        let router = ShardRouter::new(4);
+        let k1 = Key(1);
+        let foreign = (2..)
+            .map(Key)
+            .find(|k| router.shard_of(*k) != router.shard_of(k1))
+            .expect("a key on another shard");
+        let mk = |client: u32| {
+            // Two operations spanning shards: the transaction is
+            // cross-home by construction.
+            let txn = Transaction::new(
+                TxnId::new(ClientId(client), 0),
+                vec![
+                    Operation::ReadModifyWrite(k1, 1),
+                    Operation::ReadModifyWrite(foreign, 1),
+                ],
+            )
+            .with_inferred_rwset();
+            let digest = ClientRequest::signing_digest(&txn);
+            ClientRequest {
+                signature: provider
+                    .handle(ComponentId::Client(ClientId(client)))
+                    .sign(&digest),
+                txn,
+            }
+        };
+        let _ = shim.nodes[0].on_client_request(&mk(0), SimTime::ZERO);
+        let actions = shim.nodes[0].on_client_request(&mk(1), SimTime::ZERO);
+        let plan = actions
+            .iter()
+            .find_map(|a| match a.as_send().map(|e| &e.msg) {
+                Some(ProtocolMessage::Consensus(sbft_consensus::ConsensusMessage::PrePrepare(
+                    pp,
+                ))) => Some(pp.plan),
+                _ => None,
+            })
+            .expect("the cross lane releases a batch");
+        assert_eq!(plan, sbft_types::ShardPlan::CrossHome);
     }
 
     #[test]

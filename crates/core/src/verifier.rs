@@ -26,7 +26,7 @@ use sbft_serverless::VerifyMessage;
 use sbft_sharding::{CommitOutcome, ShardId, ShardScheduler, ShardedCommitter};
 use sbft_storage::VersionedStore;
 use sbft_types::{
-    ComponentId, ConflictHandling, ExecutorId, FaultParams, ReadWriteSet, SeqNum, ShardingConfig,
+    ComponentId, ConflictHandling, ExecutorId, FaultParams, SeqNum, ShardPlan, ShardingConfig,
     SimDuration, TxnId, TxnOutcome,
 };
 use std::collections::{BTreeMap, BTreeSet, HashMap};
@@ -104,6 +104,9 @@ pub struct Verifier {
     validated_batches: u64,
     divergent_aborts: u64,
     pool_applied_txns: u64,
+    planned_batches: u64,
+    plan_mismatches: u64,
+    single_home_batches: u64,
 }
 
 impl Verifier {
@@ -128,6 +131,9 @@ impl Verifier {
             validated_batches: 0,
             divergent_aborts: 0,
             pool_applied_txns: 0,
+            planned_batches: 0,
+            plan_mismatches: 0,
+            single_home_batches: 0,
         }
     }
 
@@ -196,6 +202,32 @@ impl Verifier {
     #[must_use]
     pub fn divergent_aborts(&self) -> u64 {
         self.divergent_aborts
+    }
+
+    /// Batches applied through the verified ordering-time fast path (a
+    /// `SingleHome` plan tag that survived re-derivation: one shard, no
+    /// per-transaction routing, no cross-home probe).
+    #[must_use]
+    pub fn planned_batches(&self) -> u64 {
+        self.planned_batches
+    }
+
+    /// `SingleHome` plan tags that failed re-derivation against the
+    /// observed read-write sets (only a byzantine primary or mis-declared
+    /// read-write sets produce these); each fell back deterministically
+    /// to the unplanned routing path.
+    #[must_use]
+    pub fn plan_mismatches(&self) -> u64 {
+        self.plan_mismatches
+    }
+
+    /// Validated batches whose entire footprint lived on one shard —
+    /// whether pre-planned or discovered by apply-time routing. The
+    /// complement (over [`Self::validated_batches`]) is the cross-shard
+    /// coordination rate the ordering-time planner drives down.
+    #[must_use]
+    pub fn single_home_batches(&self) -> u64 {
+        self.single_home_batches
     }
 
     /// Entries currently held for client-retry answering (tests and memory
@@ -303,7 +335,7 @@ impl Verifier {
         }
 
         // Record where each transaction lives for client-retry handling.
-        for r in &msg.results {
+        for r in msg.results.iter() {
             self.txn_location.insert(r.txn, msg.seq);
         }
 
@@ -466,72 +498,162 @@ impl Verifier {
     /// [`ShardedCommitter`].
     fn apply_batch(&mut self, seq: SeqNum, matched: &VerifyMessage) -> Vec<Action> {
         let mut actions = Vec::new();
-        // Route every transaction once; the sets drive both the ShardCcheck
-        // accounting and the commit calls below.
-        let routes: Vec<BTreeSet<ShardId>> = matched
-            .results
-            .iter()
-            .map(|result| self.committer.shards_of(&result.rwset))
-            .collect();
-        let mut shard_work: BTreeMap<ShardId, (u32, u32)> = BTreeMap::new();
-        for (result, involved) in matched.results.iter().zip(&routes) {
-            // Cross-shard transactions charge every shard whose execution
-            // lock they hold through validate-and-apply.
-            for shard in involved {
-                let entry = shard_work.entry(*shard).or_insert((0, 0));
-                entry.0 += 1;
-                entry.1 += result.rwset.len() as u32;
+        let validate_reads = self.validate_reads();
+        let router = *self.committer.router();
+        // Trust-but-verify the ordering-time plan tag: a `SingleHome`
+        // claim is honoured only after re-deriving it from the read-write
+        // sets the executors actually observed (a cheap single pass over
+        // the keys — no sets, no allocation). Only a byzantine primary or
+        // a mis-declared read-write set can fail this check; the failure
+        // falls back deterministically to the unplanned routing path, so
+        // a lying tag costs the fast path but can never corrupt state.
+        let verified_home = match matched.plan {
+            ShardPlan::SingleHome(home) => {
+                let in_range = (home.0 as usize) < router.num_shards();
+                let all_home = in_range
+                    && matched.results.iter().all(|result| {
+                        router.all_on(
+                            home,
+                            result
+                                .rwset
+                                .reads
+                                .iter()
+                                .map(|(k, _)| *k)
+                                .chain(result.rwset.writes.iter().map(|(k, _)| *k)),
+                        )
+                    });
+                if all_home {
+                    Some(home)
+                } else {
+                    // Out-of-range homes are lies too: count them so the
+                    // detection telemetry sees every forged tag.
+                    self.plan_mismatches += 1;
+                    None
+                }
             }
-        }
-        for (shard, (txns, accesses)) in shard_work {
+            _ => None,
+        };
+        let (outcomes, via_pool): (Vec<CommitOutcome>, bool) = if let Some(home) = verified_home {
+            // Verified single-home fast path: the whole batch's ccheck
+            // lands on one shard, per-transaction routing and the
+            // cross-home fallback probe are skipped, and the pool (when
+            // attached) receives the VERIFY message's own allocation.
+            self.planned_batches += 1;
+            self.single_home_batches += 1;
+            let txns = matched.results.len() as u32;
+            let accesses: u32 = matched
+                .results
+                .iter()
+                .map(|result| result.rwset.len() as u32)
+                .sum();
             actions.push(Action::ShardCcheck {
-                shard,
+                shard: home,
                 txns,
                 accesses,
             });
-        }
-        let validate_reads = self.validate_reads();
-        // The pool preserves commit order *within* a home shard (FIFO
-        // queues, one worker per shard at a time), which is exact for
-        // batches whose key overlaps all live on one home shard. A batch
-        // where the same key is touched by transactions with different
-        // home shards would apply those transactions in nondeterministic
-        // relative order, so such (rare, cross-shard-conflicting) batches
-        // fall back to the synchronous in-order path.
-        let use_pool =
-            self.apply_pool.is_some() && Self::pool_order_exact(&matched.results, &routes);
-        let (outcomes, via_pool): (Vec<CommitOutcome>, bool) = if use_pool {
-            let pool = self.apply_pool.as_ref().expect("checked above");
-            // One shared allocation for the whole batch; the pool applies
-            // it across the shard workers while this thread waits for the
-            // per-transaction outcomes. Batches reach this point in k_max
-            // order, so per-shard commit order is submission order.
-            let rwsets: Arc<[ReadWriteSet]> = matched
-                .results
-                .iter()
-                .map(|result| result.rwset.clone())
-                .collect();
-            let homes: Vec<Option<ShardId>> = routes
-                .iter()
-                .map(|involved| involved.iter().next().copied())
-                .collect();
-            (
-                pool.submit_tracked_homed(seq.0, rwsets, &homes).wait(),
-                true,
-            )
-        } else {
-            (
-                matched
+            if let Some(pool) = self.apply_pool.as_ref() {
+                let homes: Vec<Option<ShardId>> = matched
                     .results
                     .iter()
-                    .zip(&routes)
-                    .map(|(result, involved)| {
-                        self.committer
-                            .commit_routed(&result.rwset, validate_reads, involved)
-                    })
-                    .collect(),
-                false,
-            )
+                    .map(|result| (!result.rwset.is_empty()).then_some(home))
+                    .collect();
+                (
+                    pool.submit_tracked_homed(seq.0, Arc::clone(&matched.results), &homes)
+                        .wait(),
+                    true,
+                )
+            } else {
+                let home_set: BTreeSet<ShardId> = std::iter::once(home).collect();
+                (
+                    matched
+                        .results
+                        .iter()
+                        .map(|result| {
+                            if result.rwset.is_empty() {
+                                CommitOutcome::Applied
+                            } else {
+                                self.committer.commit_routed(
+                                    &result.rwset,
+                                    validate_reads,
+                                    &home_set,
+                                )
+                            }
+                        })
+                        .collect(),
+                    false,
+                )
+            }
+        } else {
+            // Unplanned (or mis-tagged / cross-home) path: route every
+            // transaction once; the sets drive both the ShardCcheck
+            // accounting and the commit calls below.
+            let routes: Vec<BTreeSet<ShardId>> = matched
+                .results
+                .iter()
+                .map(|result| self.committer.shards_of(&result.rwset))
+                .collect();
+            let mut shard_work: BTreeMap<ShardId, (u32, u32)> = BTreeMap::new();
+            for (result, involved) in matched.results.iter().zip(&routes) {
+                // Cross-shard transactions charge every shard whose execution
+                // lock they hold through validate-and-apply.
+                for shard in involved {
+                    let entry = shard_work.entry(*shard).or_insert((0, 0));
+                    entry.0 += 1;
+                    entry.1 += result.rwset.len() as u32;
+                }
+            }
+            if shard_work.len() <= 1 {
+                // Discovered-late single-home batch (the planner would
+                // have tagged it; without lanes this is the baseline
+                // measurement the `planner_points` experiment compares).
+                self.single_home_batches += 1;
+            }
+            for (shard, (txns, accesses)) in shard_work {
+                actions.push(Action::ShardCcheck {
+                    shard,
+                    txns,
+                    accesses,
+                });
+            }
+            // The pool preserves commit order *within* a home shard (FIFO
+            // queues, one worker per shard at a time), which is exact for
+            // batches whose key overlaps all live on one home shard. A batch
+            // where the same key is touched by transactions with different
+            // home shards would apply those transactions in nondeterministic
+            // relative order, so such (rare, cross-shard-conflicting) batches
+            // fall back to the synchronous in-order path.
+            let use_pool =
+                self.apply_pool.is_some() && Self::pool_order_exact(&matched.results, &routes);
+            if use_pool {
+                let pool = self.apply_pool.as_ref().expect("checked above");
+                // The VERIFY message's own result allocation is shared with
+                // the pool (refcount bump — no per-transaction read-write
+                // set is cloned); this thread waits for the per-transaction
+                // outcomes. Batches reach this point in k_max order, so
+                // per-shard commit order is submission order.
+                let homes: Vec<Option<ShardId>> = routes
+                    .iter()
+                    .map(|involved| involved.iter().next().copied())
+                    .collect();
+                (
+                    pool.submit_tracked_homed(seq.0, Arc::clone(&matched.results), &homes)
+                        .wait(),
+                    true,
+                )
+            } else {
+                (
+                    matched
+                        .results
+                        .iter()
+                        .zip(&routes)
+                        .map(|(result, involved)| {
+                            self.committer
+                                .commit_routed(&result.rwset, validate_reads, involved)
+                        })
+                        .collect(),
+                    false,
+                )
+            }
         };
         if via_pool {
             self.pool_applied_txns += outcomes.len() as u64;
@@ -597,7 +719,7 @@ impl Verifier {
         };
         self.divergent_aborts += 1;
         let mut aborted = 0u32;
-        for result in &sample.results {
+        for result in sample.results.iter() {
             aborted += 1;
             self.aborted_txns += 1;
             let msg = ProtocolMessage::Abort(AbortMessage {
@@ -889,11 +1011,27 @@ mod tests {
                 seq: SeqNum(seq),
                 batch_id: batch.id(),
                 batch_digest: digest,
-                results,
+                results: results.into(),
                 result_digest,
                 certificate: self.certificate(seq, digest),
+                plan: ShardPlan::Unplanned,
                 signature: handle.sign(&result_digest),
             }
+        }
+
+        /// Like [`Self::verify_msg_with_results`], with an ordering-time
+        /// plan tag attached (honest or lying — the verifier must not
+        /// care for correctness).
+        fn verify_msg_planned(
+            &self,
+            executor: u64,
+            seq: u64,
+            results: Vec<TxnResult>,
+            plan: ShardPlan,
+        ) -> VerifyMessage {
+            let mut msg = self.verify_msg_with_results(executor, seq, results);
+            msg.plan = plan;
+            msg
         }
     }
 
@@ -1451,6 +1589,7 @@ mod tests {
             num_shards: 1024,
             workers: 1,
             cross_shard_policy: sbft_types::CrossShardPolicy::Abort,
+            ..sbft_types::ShardingConfig::default()
         };
         let mut v = fx.verifier_sharded(ConflictHandling::NonConflicting, sharding);
         // The fixture transaction reads key 1 and writes key 2; with 1024
@@ -1575,5 +1714,160 @@ mod tests {
         let _ = v.on_verify(&m);
         let actions = v.on_verify(&m2);
         assert!(response_kinds(&actions).contains(&"RESPONSE"));
+    }
+
+    /// A result writing `key` after reading it at version 1.
+    fn rmw_result(client: u32, key: Key, value: u64) -> TxnResult {
+        let mut rwset = ReadWriteSet::new();
+        rwset.record_read(key, Version(1));
+        rwset.record_write(key, Value::new(value));
+        TxnResult {
+            txn: TxnId::new(ClientId(client), 1),
+            output: value,
+            rwset,
+        }
+    }
+
+    /// `n` distinct keys all living on one shard of the verifier's router.
+    fn keys_on_one_shard(v: &Verifier, n: usize) -> (sbft_sharding::ShardId, Vec<Key>) {
+        let router = *v.committer().router();
+        let home = router.shard_of(Key(1));
+        let keys: Vec<Key> = (1..)
+            .map(Key)
+            .filter(|k| router.shard_of(*k) == home)
+            .take(n)
+            .collect();
+        (home, keys)
+    }
+
+    #[test]
+    fn verified_single_home_plan_takes_the_fast_path() {
+        let fx = Fixture::new();
+        let mut v = fx.verifier_sharded(
+            ConflictHandling::KnownRwSets,
+            sbft_types::ShardingConfig::with_shards(8),
+        );
+        let (home, keys) = keys_on_one_shard(&v, 3);
+        let results: Vec<TxnResult> = keys
+            .iter()
+            .enumerate()
+            .map(|(i, k)| rmw_result(i as u32, *k, 10 + i as u64))
+            .collect();
+        let plan = ShardPlan::SingleHome(home);
+        let _ = v.on_verify(&fx.verify_msg_planned(1, 1, results.clone(), plan));
+        let actions = v.on_verify(&fx.verify_msg_planned(2, 1, results, plan));
+        // Exactly one ShardCcheck, on the verified home shard.
+        let cchecks: Vec<_> = actions
+            .iter()
+            .filter_map(|a| match a {
+                Action::ShardCcheck { shard, txns, .. } => Some((*shard, *txns)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(cchecks, vec![(home, 3)]);
+        assert_eq!(v.planned_batches(), 1);
+        assert_eq!(v.plan_mismatches(), 0);
+        assert_eq!(v.single_home_batches(), 1);
+        assert_eq!(v.committed_txns(), 3);
+        assert_eq!(fx.store.get(keys[0]).unwrap().value, Value::new(10));
+    }
+
+    #[test]
+    fn lying_single_home_plan_falls_back_without_corrupting_state() {
+        // A byzantine primary tags a genuinely cross-home batch as
+        // SingleHome(0). The verifier must detect the mismatch and apply
+        // the batch exactly as an untagged verifier would.
+        let run = |plan: ShardPlan| {
+            let fx = Fixture::new();
+            let mut v = fx.verifier_sharded(
+                ConflictHandling::KnownRwSets,
+                sbft_types::ShardingConfig::with_shards(8),
+            );
+            let router = *v.committer().router();
+            let k1 = Key(1);
+            let k2 = (2..)
+                .map(Key)
+                .find(|k| router.shard_of(*k) != router.shard_of(k1))
+                .expect("8 shards split the keys");
+            let results = vec![rmw_result(0, k1, 5), rmw_result(1, k2, 6)];
+            let _ = v.on_verify(&fx.verify_msg_planned(1, 1, results.clone(), plan));
+            let actions = v.on_verify(&fx.verify_msg_planned(2, 1, results, plan));
+            let kinds = response_kinds(&actions);
+            (
+                v.committed_txns(),
+                v.aborted_txns(),
+                v.plan_mismatches(),
+                v.planned_batches(),
+                kinds,
+                fx.store.get(k1).unwrap().value,
+                fx.store.get(k2).unwrap().value,
+            )
+        };
+        let lied = run(ShardPlan::SingleHome(sbft_sharding::ShardId(0)));
+        let honest = run(ShardPlan::Unplanned);
+        assert_eq!(lied.2, 1, "the lie must be detected");
+        assert_eq!(lied.3, 0, "a lying tag never earns the fast path");
+        assert_eq!(honest.2, 0);
+        // Outcomes, responses and state are identical either way.
+        assert_eq!(lied.0, honest.0);
+        assert_eq!(lied.1, honest.1);
+        assert_eq!(lied.4, honest.4);
+        assert_eq!(lied.5, honest.5);
+        assert_eq!(lied.6, honest.6);
+    }
+
+    #[test]
+    fn fast_path_drives_the_apply_pool_with_the_verify_allocation() {
+        let fx = Fixture::new();
+        let mut v = fx.verifier_sharded(
+            ConflictHandling::KnownRwSets,
+            sbft_types::ShardingConfig::with_shards(8),
+        );
+        v.attach_apply_pool(4);
+        let (home, keys) = keys_on_one_shard(&v, 4);
+        let results: Vec<TxnResult> = keys
+            .iter()
+            .enumerate()
+            .map(|(i, k)| rmw_result(i as u32, *k, 50 + i as u64))
+            .collect();
+        let plan = ShardPlan::SingleHome(home);
+        let _ = v.on_verify(&fx.verify_msg_planned(1, 1, results.clone(), plan));
+        let actions = v.on_verify(&fx.verify_msg_planned(2, 1, results, plan));
+        assert!(response_kinds(&actions).contains(&"RESPONSE"));
+        assert_eq!(v.planned_batches(), 1);
+        assert_eq!(v.pool_applied_txns(), 4, "the pool applied the batch");
+        assert_eq!(v.committed_txns(), 4);
+        assert_eq!(fx.store.get(keys[3]).unwrap().value, Value::new(53));
+    }
+
+    #[test]
+    fn out_of_range_home_tag_is_ignored_not_honoured() {
+        // SingleHome(99) on an 8-shard verifier: neither a panic nor a
+        // fast path — the batch routes like an unplanned one.
+        let fx = Fixture::new();
+        let mut v = fx.verifier_sharded(
+            ConflictHandling::NonConflicting,
+            sbft_types::ShardingConfig::with_shards(8),
+        );
+        let plan = ShardPlan::SingleHome(sbft_sharding::ShardId(99));
+        let results = vec![rmw_result(0, Key(1), 7)];
+        let _ = v.on_verify(&fx.verify_msg_planned(1, 1, results.clone(), plan));
+        let actions = v.on_verify(&fx.verify_msg_planned(2, 1, results, plan));
+        assert!(response_kinds(&actions).contains(&"RESPONSE"));
+        assert_eq!(v.planned_batches(), 0);
+        assert_eq!(v.plan_mismatches(), 1, "an impossible home is a lie too");
+        assert_eq!(v.committed_txns(), 1);
+    }
+
+    #[test]
+    fn verify_message_clones_share_the_result_allocation() {
+        // The verifier stores every VERIFY twice (vote map + matched
+        // slot); with `results` behind `Arc` those clones are refcount
+        // bumps of the executor's allocation, never per-transaction
+        // read-write set copies.
+        let fx = Fixture::new();
+        let msg = fx.verify_msg(1, 1, 0, 42, 1);
+        let clone = msg.clone();
+        assert!(std::sync::Arc::ptr_eq(&msg.results, &clone.results));
     }
 }

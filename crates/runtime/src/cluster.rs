@@ -413,7 +413,7 @@ mod tests {
         cfg.sharding = sbft_types::ShardingConfig {
             num_shards: 8,
             workers: 4,
-            cross_shard_policy: sbft_types::CrossShardPolicy::LockOrdered,
+            ..sbft_types::ShardingConfig::default()
         };
         let system = SystemBuilder::new(cfg).clients(8).build();
         let report = LocalCluster::new(system)

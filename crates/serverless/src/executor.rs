@@ -192,11 +192,14 @@ impl Executor {
             seq: req.seq,
             batch_id: req.batch.id(),
             batch_digest: req.digest,
-            results,
+            results: results.into(),
             result_digest,
             // A refcount bump: the certificate is shared with the EXECUTE
             // message, not copied.
             certificate: Arc::clone(&req.certificate),
+            // Echoed so the verifier learns the ordering-time plan from
+            // the quorum it counts (trust-but-verify on its side).
+            plan: req.plan,
             signature: self.crypto.sign(&result_digest),
         };
         let copies = self.behavior.verify_copies() as usize;
@@ -272,6 +275,7 @@ mod tests {
                 digest,
                 batch,
                 certificate,
+                plan: sbft_types::ShardPlan::Unplanned,
                 spawner,
                 signature,
             }

@@ -19,6 +19,15 @@
 //! The [`sbft_types::CrossShardPolicy`] chooses between that locked path
 //! and a strict isolation mode that rejects cross-shard transactions
 //! outright (useful to measure how much coordination costs).
+//!
+//! With the ordering-time shard planner, batches usually arrive tagged
+//! [`sbft_types::ShardPlan::SingleHome`]: after the verifier re-derives
+//! the tag (trust-but-verify, see [`crate::router`]), every transaction
+//! of such a batch takes the single-shard fast path below with a
+//! pre-computed involved-set of one — no per-transaction routing and no
+//! cross-shard locks on the hot path. Cross-home batches were tagged
+//! for the lock-ordered path at batching time instead of being
+//! discovered here.
 
 use crate::router::{ShardId, ShardRouter};
 use crate::state::ShardState;
@@ -238,6 +247,7 @@ mod tests {
                 num_shards,
                 workers: 1,
                 cross_shard_policy: CrossShardPolicy::LockOrdered,
+                ..ShardingConfig::default()
             },
         )
     }
@@ -335,6 +345,7 @@ mod tests {
                 num_shards: 8,
                 workers: 1,
                 cross_shard_policy: CrossShardPolicy::Abort,
+                ..ShardingConfig::default()
             },
         );
         let (a, b) = split_keys(c.router());

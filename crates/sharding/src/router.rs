@@ -6,27 +6,29 @@
 //! runs, threads and processes — a requirement for the verifier, the
 //! simulator and the thread runtime to agree on where a transaction
 //! executes.
+//!
+//! # Ordering-time vs. apply-time routing
+//!
+//! The same `key → shard` map is consulted at two very different points
+//! of a batch's life:
+//!
+//! * **Ordering time** (the shard-aware planner): the primary classifies
+//!   each transaction's *declared* read-write set with [`ShardRouter::plan_keys`]
+//!   and steers single-home transactions into per-shard batching lanes,
+//!   so whole batches arrive at the verifier already conflict-free per
+//!   shard, tagged with the resulting [`ShardPlan`].
+//! * **Apply time** (trust-but-verify): the verifier *re-derives* the
+//!   plan from the read-write sets the executors actually observed
+//!   before honouring the tag ([`ShardRouter::all_on`] /
+//!   [`ShardRouter::plan_of`]). A mismatch — only a byzantine primary or
+//!   a mis-declared read-write set can cause one — deterministically
+//!   falls back to the unplanned routing path, so a lying tag can cost
+//!   the fast path but never corrupt state.
 
-use sbft_types::{Key, ReadWriteSet};
-use serde::{Deserialize, Serialize};
+use sbft_types::{Key, ReadWriteSet, ShardPlan};
 use std::collections::BTreeSet;
-use std::fmt;
 
-/// Identifier of one execution shard.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
-pub struct ShardId(pub u32);
-
-impl fmt::Debug for ShardId {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "s{}", self.0)
-    }
-}
-
-impl fmt::Display for ShardId {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "s{}", self.0)
-    }
-}
+pub use sbft_types::ShardId;
 
 /// Deterministically maps keys to shards.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -82,6 +84,39 @@ impl ShardRouter {
     pub fn is_single_shard(&self, rwset: &ReadWriteSet) -> bool {
         self.shards_of(rwset).len() <= 1
     }
+
+    /// Classifies an arbitrary key collection at ordering time: no keys
+    /// is [`ShardPlan::Unplanned`], all keys on one shard is
+    /// [`ShardPlan::SingleHome`], anything else is
+    /// [`ShardPlan::CrossHome`]. No allocation — a fold over the hash.
+    #[must_use]
+    pub fn plan_keys<I: IntoIterator<Item = Key>>(&self, keys: I) -> ShardPlan {
+        keys.into_iter().fold(ShardPlan::Unplanned, |plan, key| {
+            plan.merge_shard(self.shard_of(key))
+        })
+    }
+
+    /// Re-derives the plan of an *observed* read-write set at apply time
+    /// (the trust-but-verify side of [`Self::plan_keys`]).
+    #[must_use]
+    pub fn plan_of(&self, rwset: &ReadWriteSet) -> ShardPlan {
+        self.plan_keys(
+            rwset
+                .reads
+                .iter()
+                .map(|(k, _)| *k)
+                .chain(rwset.writes.iter().map(|(k, _)| *k)),
+        )
+    }
+
+    /// Whether every key of the collection maps to `home` — the cheap
+    /// single-pass check the verifier runs before honouring a
+    /// `SingleHome` tag (no sets, no allocation, early exit on the
+    /// first foreign key).
+    #[must_use]
+    pub fn all_on<I: IntoIterator<Item = Key>>(&self, home: ShardId, keys: I) -> bool {
+        keys.into_iter().all(|k| self.shard_of(k) == home)
+    }
 }
 
 #[cfg(test)]
@@ -129,6 +164,44 @@ mod tests {
         for c in counts {
             assert!((20_000..30_000).contains(&c), "imbalanced: {counts:?}");
         }
+    }
+
+    #[test]
+    fn plan_keys_classifies_empty_single_and_cross() {
+        let router = ShardRouter::new(8);
+        assert_eq!(router.plan_keys([]), sbft_types::ShardPlan::Unplanned);
+        let k = Key(7);
+        let home = router.shard_of(k);
+        assert_eq!(
+            router.plan_keys([k, k]),
+            sbft_types::ShardPlan::SingleHome(home)
+        );
+        let foreign = (8..)
+            .map(Key)
+            .find(|x| router.shard_of(*x) != home)
+            .unwrap();
+        assert_eq!(
+            router.plan_keys([k, foreign]),
+            sbft_types::ShardPlan::CrossHome
+        );
+    }
+
+    #[test]
+    fn plan_of_matches_plan_keys_and_all_on_agrees() {
+        let router = ShardRouter::new(16);
+        let mut rw = ReadWriteSet::new();
+        rw.record_read(Key(3), Version(1));
+        rw.record_write(Key(3), Value::new(1));
+        let home = router.shard_of(Key(3));
+        assert_eq!(router.plan_of(&rw), sbft_types::ShardPlan::SingleHome(home));
+        assert!(router.all_on(home, [Key(3)]));
+        let foreign = (4..)
+            .map(Key)
+            .find(|x| router.shard_of(*x) != home)
+            .unwrap();
+        assert!(!router.all_on(home, [Key(3), foreign]));
+        rw.record_write(foreign, Value::new(2));
+        assert_eq!(router.plan_of(&rw), sbft_types::ShardPlan::CrossHome);
     }
 
     #[test]

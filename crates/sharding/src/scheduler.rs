@@ -20,7 +20,7 @@
 use crate::committer::{CommitOutcome, ShardedCommitter};
 use crate::router::ShardId;
 use crate::state::{ShardTask, TaskWork};
-use sbft_types::ReadWriteSet;
+use sbft_types::{ReadWriteSet, TxnResult};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
@@ -85,7 +85,7 @@ impl TicketState {
 #[derive(Debug)]
 pub struct ApplyTicket {
     state: Arc<TicketState>,
-    txns: Arc<[ReadWriteSet]>,
+    txns: Arc<[TxnResult]>,
 }
 
 impl ApplyTicket {
@@ -106,9 +106,11 @@ impl ApplyTicket {
     }
 
     /// Whether this ticket still references the submitted batch
-    /// allocation (pointer equality — the zero-copy hand-off proof).
+    /// allocation (pointer equality — the zero-copy hand-off proof:
+    /// the `VERIFY` message's result slice is the very allocation the
+    /// pool workers apply from).
     #[must_use]
-    pub fn shares_txns(&self, txns: &Arc<[ReadWriteSet]>) -> bool {
+    pub fn shares_txns(&self, txns: &Arc<[TxnResult]>) -> bool {
         Arc::ptr_eq(&self.txns, txns)
     }
 
@@ -189,7 +191,10 @@ impl SchedulerInner {
                             .iter()
                             .map(|&i| {
                                 let i = i as usize;
-                                (i, self.committer.commit(&txns[i], self.validate_reads))
+                                (
+                                    i,
+                                    self.committer.commit(&txns[i].rwset, self.validate_reads),
+                                )
                             })
                             .collect();
                         ticket.record_all(entries);
@@ -273,11 +278,13 @@ impl ShardScheduler {
     }
 
     /// Submits one committed batch whose per-transaction outcomes the
-    /// caller needs (the thread runtime's verifier apply stage): the batch
-    /// allocation is shared with every shard task (zero-copy — workers
-    /// read through `Arc` clones and only per-shard index lists are
-    /// built), and the returned [`ApplyTicket`] yields the outcomes once
-    /// the pool has applied everything.
+    /// caller needs (the verifier's pooled apply stage): the result
+    /// allocation — in production the `VERIFY` message's own
+    /// `Arc<[TxnResult]>` — is shared with every shard task (zero-copy:
+    /// workers read the read-write sets through `Arc` clones and only
+    /// per-shard index lists are built), and the returned
+    /// [`ApplyTicket`] yields the outcomes once the pool has applied
+    /// everything.
     ///
     /// Per-shard FIFO queues drained by at most one worker at a time
     /// preserve commit order within a shard across successive
@@ -285,11 +292,11 @@ impl ShardScheduler {
     /// worker through the committer's lock-ordered path, exactly like the
     /// untracked [`Self::submit`] path.
     #[must_use]
-    pub fn submit_tracked(&self, seq: u64, txns: Arc<[ReadWriteSet]>) -> ApplyTicket {
+    pub fn submit_tracked(&self, seq: u64, txns: Arc<[TxnResult]>) -> ApplyTicket {
         let router = *self.inner.committer.router();
         let homes: Vec<Option<ShardId>> = txns
             .iter()
-            .map(|rwset| router.shards_of(rwset).into_iter().next())
+            .map(|result| router.shards_of(&result.rwset).into_iter().next())
             .collect();
         self.submit_tracked_homed(seq, txns, &homes)
     }
@@ -308,7 +315,7 @@ impl ShardScheduler {
     pub fn submit_tracked_homed(
         &self,
         seq: u64,
-        txns: Arc<[ReadWriteSet]>,
+        txns: Arc<[TxnResult]>,
         homes: &[Option<ShardId>],
     ) -> ApplyTicket {
         assert!(homes.len() >= txns.len(), "one home decision per txn");
@@ -400,6 +407,7 @@ mod tests {
                 num_shards,
                 workers,
                 cross_shard_policy: CrossShardPolicy::LockOrdered,
+                ..ShardingConfig::default()
             },
         ));
         (store, ShardScheduler::new(committer, workers, true))
@@ -409,6 +417,20 @@ mod tests {
         let mut rw = ReadWriteSet::new();
         rw.record_write(Key(key), Value::new(value));
         rw
+    }
+
+    /// Wraps bare read-write sets as the `TxnResult`s a `VERIFY` message
+    /// would carry (the tracked path's element type).
+    fn tracked(rwsets: Vec<ReadWriteSet>) -> Arc<[TxnResult]> {
+        rwsets
+            .into_iter()
+            .enumerate()
+            .map(|(i, rwset)| TxnResult {
+                txn: sbft_types::TxnId::new(sbft_types::ClientId(i as u32), 0),
+                output: i as u64,
+                rwset,
+            })
+            .collect()
     }
 
     #[test]
@@ -497,7 +519,7 @@ mod tests {
         stale.record_read(Key(5), Version(1));
         stale.record_write(Key(5), Value::new(55));
         let empty = ReadWriteSet::new();
-        let txns: Arc<[ReadWriteSet]> = vec![fresh, stale, empty].into();
+        let txns = tracked(vec![fresh, stale, empty]);
         let outcomes = pool.submit_tracked(1, Arc::clone(&txns)).wait();
         assert_eq!(outcomes.len(), 3);
         assert!(outcomes[0].is_applied());
@@ -521,13 +543,7 @@ mod tests {
         // ticket still points at it and every shard task holds a refcount
         // bump, never a copy of the read-write sets.
         let (_, pool) = pool(8, 4, 1_000);
-        let txns: Arc<[ReadWriteSet]> = (0..100u64)
-            .map(|i| {
-                let mut rw = ReadWriteSet::new();
-                rw.record_write(Key(i), Value::new(i));
-                rw
-            })
-            .collect();
+        let txns = tracked((0..100u64).map(|i| write_txn(i, i)).collect());
         let ticket = pool.submit_tracked(7, Arc::clone(&txns));
         assert!(
             ticket.shares_txns(&txns),
@@ -551,12 +567,7 @@ mod tests {
         // the final value is the last batch's write.
         let (store, pool) = pool(4, 4, 10);
         let tickets: Vec<ApplyTicket> = (0..30u64)
-            .map(|seq| {
-                let mut rw = ReadWriteSet::new();
-                rw.record_write(Key(3), Value::new(seq));
-                let txns: Arc<[ReadWriteSet]> = vec![rw].into();
-                pool.submit_tracked(seq, txns)
-            })
+            .map(|seq| pool.submit_tracked(seq, tracked(vec![write_txn(3, seq)])))
             .collect();
         for ticket in tickets {
             assert!(ticket.wait()[0].is_applied());

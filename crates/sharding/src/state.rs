@@ -54,12 +54,15 @@ pub enum TaskWork {
     Owned(Vec<ReadWriteSet>),
     /// Indices into a batch allocation shared with the submitter's
     /// [`crate::scheduler::ApplyTicket`]: the worker applies
-    /// `txns[indices]` and records each outcome on the ticket. Sharing
-    /// the submitter's `Arc` keeps the hand-off zero-copy — no
-    /// per-transaction read-write sets are cloned into the queue.
+    /// `txns[indices].rwset` and records each outcome on the ticket.
+    /// Sharing the submitter's `Arc` keeps the hand-off zero-copy — the
+    /// verifier passes the `VERIFY` message's own result allocation
+    /// straight through, and no per-transaction read-write sets are
+    /// cloned into the queue.
     Tracked {
-        /// The whole batch, shared with the submitter (refcount bump).
-        txns: std::sync::Arc<[ReadWriteSet]>,
+        /// The whole batch's results, shared with the submitter
+        /// (refcount bump of the `VerifyMessage` allocation).
+        txns: std::sync::Arc<[sbft_types::TxnResult]>,
         /// Which transactions of the batch live on this shard.
         indices: Vec<u32>,
         /// Where the per-transaction outcomes are recorded.

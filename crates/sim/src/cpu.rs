@@ -32,6 +32,10 @@ pub struct CpuModel {
     /// Cost at the spawning shim node of issuing one executor spawn (signed
     /// HTTPS request to the cloud provider via the invoker).
     pub spawn_cost: SimDuration,
+    /// Per-key cost of the ordering-time shard routing (one Fibonacci
+    /// hash plus the lane bookkeeping per declared key). Charged at the
+    /// primary per client request when the shard planner is active.
+    pub routing_ns_per_key: f64,
 }
 
 impl Default for CpuModel {
@@ -43,6 +47,7 @@ impl Default for CpuModel {
             base_cost: SimDuration::from_micros(3),
             storage_access_cost: SimDuration::from_micros(1),
             spawn_cost: SimDuration::from_micros(45),
+            routing_ns_per_key: 15.0,
         }
     }
 }
@@ -90,6 +95,14 @@ impl CpuModel {
     #[must_use]
     pub fn validation_cost(&self, txns: usize) -> SimDuration {
         self.storage_access_cost.saturating_mul(2 * txns as u64) + self.base_cost
+    }
+
+    /// Service time of classifying one client request against the shard
+    /// map at ordering time (`keys` declared read/write keys). Sub-micro
+    /// per request; it accumulates with batch size like the hashing term.
+    #[must_use]
+    pub fn routing_cost(&self, keys: usize) -> SimDuration {
+        SimDuration::from_micros(((keys as f64 * self.routing_ns_per_key) / 1000.0).round() as u64)
     }
 
     /// Service time of the concurrency-control check (`ccheck`) for a
@@ -168,6 +181,18 @@ mod tests {
     fn validation_cost_scales_with_batch_size() {
         let cpu = CpuModel::default();
         assert!(cpu.validation_cost(1_000) > cpu.validation_cost(10));
+    }
+
+    #[test]
+    fn routing_cost_is_small_but_scales_with_keys() {
+        let cpu = CpuModel::default();
+        assert_eq!(
+            cpu.routing_cost(1),
+            SimDuration::ZERO,
+            "sub-micro rounds down"
+        );
+        assert!(cpu.routing_cost(1_000) >= SimDuration::from_micros(10));
+        assert!(cpu.routing_cost(1_000) < cpu.validation_cost(1_000));
     }
 
     #[test]

@@ -39,6 +39,9 @@ pub struct SimParams {
     /// happens on the edge devices with a fixed number of execution
     /// threads (`PBFT-k-ET`); `None` models serverless executors.
     pub edge_execution_threads: Option<usize>,
+    /// When set, keys are drawn Zipfian with this exponent instead of
+    /// uniformly (the skew axis of the planner experiments).
+    pub zipf_theta: Option<f64>,
 }
 
 impl Default for SimParams {
@@ -51,6 +54,7 @@ impl Default for SimParams {
             batch_poll_interval: SimDuration::from_millis(2),
             max_events: 20_000_000,
             edge_execution_threads: None,
+            zipf_theta: None,
         }
     }
 }
@@ -126,6 +130,9 @@ pub struct SimHarness {
     submit_times: HashMap<TxnId, SimTime>,
     /// Shared execution station for the edge-execution baselines.
     edge_execution: Option<ServiceStation>,
+    /// Whether CLIENT-REQUEST service at a shim node includes the
+    /// ordering-time shard-routing classification.
+    charge_routing: bool,
     metrics: RunMetrics,
 }
 
@@ -150,9 +157,17 @@ impl SimHarness {
             system.config.conflict_handling,
             sbft_types::ConflictHandling::KnownRwSets
         );
-        let workload = YcsbWorkload::new(workload_cfg, params.seed)
+        let mut workload = YcsbWorkload::new(workload_cfg, params.seed)
             .with_distribution(KeyDistribution::Uniform)
             .with_declared_rwsets(declare);
+        if let Some(theta) = params.zipf_theta {
+            workload = workload.with_zipf_theta(theta);
+        }
+        // The ordering-time shard planner classifies every client request
+        // at the primary; charge that routing work in the CPU model.
+        let charge_routing = declare
+            && system.config.sharding.num_shards > 1
+            && system.config.sharding.ordering_lanes;
         let mut stations = HashMap::new();
         for node in &system.nodes {
             stations.insert(
@@ -184,6 +199,7 @@ impl SimHarness {
             workload,
             submit_times: HashMap::new(),
             edge_execution,
+            charge_routing,
             metrics: RunMetrics::default(),
         }
     }
@@ -255,6 +271,10 @@ impl SimHarness {
         self.metrics.executors_spawned = self.system.cloud.total_spawned();
         self.metrics.spawns_rejected = self.system.cloud.rejected();
         self.metrics.divergent_aborts = self.system.verifier.divergent_aborts();
+        self.metrics.validated_batches = self.system.verifier.validated_batches();
+        self.metrics.single_home_batches = self.system.verifier.single_home_batches();
+        self.metrics.planned_batches = self.system.verifier.planned_batches();
+        self.metrics.plan_mismatches = self.system.verifier.plan_mismatches();
         self.metrics
     }
 
@@ -302,7 +322,26 @@ impl SimHarness {
         self.metrics.messages_delivered += 1;
         self.metrics.bytes_delivered += msg.wire_size() as u64;
         // CPU service at the receiving component.
-        let cost = self.cpu.message_cost(msg.kind(), msg.wire_size());
+        let mut cost = self.cpu.message_cost(msg.kind(), msg.wire_size());
+        if self.charge_routing {
+            if let (ProtocolMessage::ClientRequest(req), ComponentId::Node(node)) = (&msg, to) {
+                // Ordering-time shard routing: the primary classifies the
+                // declared read/write keys against the shard map (a
+                // forwarding non-primary never runs the classification).
+                let is_primary = self
+                    .system
+                    .nodes
+                    .get(node.0 as usize)
+                    .is_some_and(sbft_core::ShimNode::is_primary);
+                if is_primary {
+                    let keys = req.txn.declared_rwset.as_ref().map_or_else(
+                        || req.txn.num_ops(),
+                        |rw| rw.read_keys.len() + rw.write_keys.len(),
+                    );
+                    cost += self.cpu.routing_cost(keys);
+                }
+            }
+        }
         let done = match self.stations.get_mut(&to) {
             Some(station) => station.schedule(now, cost),
             None => now, // clients are not CPU-bound in the model

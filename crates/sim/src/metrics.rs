@@ -70,6 +70,19 @@ pub struct RunMetrics {
     /// Section VI-B divergence rule. Counted over the whole run, not just
     /// the measured window.
     pub divergent_aborts: u64,
+    /// Batches the verifier validated over the whole run (commit or
+    /// whole-batch abort).
+    pub validated_batches: u64,
+    /// Validated batches whose entire footprint lived on one shard — the
+    /// complement is the cross-shard coordination rate the ordering-time
+    /// planner drives down. Counted over the whole run.
+    pub single_home_batches: u64,
+    /// Batches applied through the verified ordering-time fast path
+    /// (`SingleHome` tag that survived re-derivation).
+    pub planned_batches: u64,
+    /// `SingleHome` tags that failed re-derivation (byzantine primary or
+    /// mis-declared read-write sets) and fell back to unplanned routing.
+    pub plan_mismatches: u64,
     /// Client-observed latencies.
     pub latency: LatencyStats,
     /// Length of the measurement window.
@@ -115,6 +128,16 @@ impl RunMetrics {
     #[must_use]
     pub fn avg_latency_secs(&self) -> f64 {
         self.latency.avg_secs()
+    }
+
+    /// Fraction of validated batches that needed cross-shard
+    /// coordination (1 − single-home rate); 0 when nothing validated.
+    #[must_use]
+    pub fn cross_shard_fallback_rate(&self) -> f64 {
+        if self.validated_batches == 0 {
+            return 0.0;
+        }
+        1.0 - self.single_home_batches as f64 / self.validated_batches as f64
     }
 
     /// Builds the Figure-8 style cost report for this run.
@@ -176,6 +199,18 @@ mod tests {
             ..RunMetrics::default()
         };
         assert!((metrics.throughput_tps() - 10_000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cross_shard_fallback_rate_is_the_single_home_complement() {
+        let metrics = RunMetrics::default();
+        assert_eq!(metrics.cross_shard_fallback_rate(), 0.0);
+        let metrics = RunMetrics {
+            validated_batches: 10,
+            single_home_batches: 7,
+            ..RunMetrics::default()
+        };
+        assert!((metrics.cross_shard_fallback_rate() - 0.3).abs() < 1e-9);
     }
 
     #[test]

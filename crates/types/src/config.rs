@@ -218,6 +218,13 @@ pub struct ShardingConfig {
     pub workers: usize,
     /// What to do with transactions that span shards.
     pub cross_shard_policy: CrossShardPolicy,
+    /// Whether the primary runs the **ordering-time shard planner**:
+    /// with known read-write sets and more than one shard, the batcher
+    /// assembles per-shard ordering lanes so single-home batches reach
+    /// the verifier already conflict-free per shard (tagged with a
+    /// [`crate::ShardPlan`]). Disable to measure the PR 3 baseline where
+    /// cross-home batches are only discovered at apply time.
+    pub ordering_lanes: bool,
 }
 
 impl Default for ShardingConfig {
@@ -228,6 +235,7 @@ impl Default for ShardingConfig {
             num_shards: 1,
             workers: 1,
             cross_shard_policy: CrossShardPolicy::LockOrdered,
+            ordering_lanes: true,
         }
     }
 }

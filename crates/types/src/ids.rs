@@ -26,6 +26,16 @@ pub struct ClientId(pub u32);
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct ExecutorId(pub u64);
 
+/// Identifier of one execution shard of the sharded commit path.
+///
+/// Shards are numbered `0, 1, …, num_shards - 1` by the shard router
+/// (`sbft-sharding`), which re-exports this type. It lives here so the
+/// ordering-time plan tag ([`crate::ShardPlan`]) can travel through the
+/// consensus messages without the consensus crate depending on the
+/// sharding engine.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct ShardId(pub u32);
+
 /// A PBFT view number. The primary of view `v` is node `v mod n_R`.
 #[derive(
     Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize, Debug,
@@ -124,6 +134,18 @@ impl From<u32> for ClientId {
 impl From<u64> for ExecutorId {
     fn from(v: u64) -> Self {
         ExecutorId(v)
+    }
+}
+
+impl fmt::Debug for ShardId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+impl fmt::Display for ShardId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
     }
 }
 

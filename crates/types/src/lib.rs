@@ -30,6 +30,7 @@ pub mod config;
 pub mod digest;
 pub mod error;
 pub mod ids;
+pub mod plan;
 pub mod region;
 pub mod rwset;
 pub mod time;
@@ -42,7 +43,10 @@ pub use config::{
 };
 pub use digest::{Digest, MacTag, Signature, DIGEST_LEN};
 pub use error::{SbftError, SbftResult};
-pub use ids::{ClientId, ComponentId, ExecutorId, NodeId, ReplicaIndex, SeqNum, TxnId, ViewNumber};
+pub use ids::{
+    ClientId, ComponentId, ExecutorId, NodeId, ReplicaIndex, SeqNum, ShardId, TxnId, ViewNumber,
+};
+pub use plan::ShardPlan;
 pub use region::{Region, RegionSet};
 pub use rwset::{Key, KeySet, ReadWriteSet, RwSetKeys, Value, Version};
 pub use time::{SimDuration, SimTime};

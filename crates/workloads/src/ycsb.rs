@@ -69,6 +69,16 @@ impl YcsbWorkload {
         self
     }
 
+    /// Switches to a Zipfian distribution with an explicit exponent
+    /// (θ = 0 degenerates to near-uniform; the YCSB default is 0.99).
+    /// Used by the skew sweeps of the planner experiments.
+    #[must_use]
+    pub fn with_zipf_theta(mut self, theta: f64) -> Self {
+        self.zipf = ZipfianKeys::with_theta(self.config.num_records, theta);
+        self.distribution = KeyDistribution::Zipfian;
+        self
+    }
+
     /// Makes every generated transaction declare its read-write set
     /// (the known-read-write-set mode of Section VI-C).
     #[must_use]
@@ -238,6 +248,26 @@ mod tests {
             .filter(|c| *c)
             .count();
         assert!(conflicts > 0);
+    }
+
+    #[test]
+    fn zipf_theta_skews_the_key_popularity() {
+        // A strongly skewed generator hits the head of the key space far
+        // more often than a flat one.
+        let head_hits = |theta: f64| {
+            let mut cfg = config();
+            cfg.conflict_fraction = 0.0;
+            let mut wl = YcsbWorkload::new(cfg, 9).with_zipf_theta(theta);
+            (0..2_000)
+                .filter(|_| wl.next_transaction(ClientId(0)).ops[0].key().0 < 100)
+                .count()
+        };
+        let flat = head_hits(0.01);
+        let skewed = head_hits(0.99);
+        assert!(
+            skewed > flat * 2,
+            "θ=0.99 ({skewed}) must hit the head far more than θ=0.01 ({flat})"
+        );
     }
 
     #[test]

@@ -190,3 +190,59 @@ fn long_runs_with_tight_checkpoint_interval_stay_correct() {
     );
     assert_eq!(metrics.aborted_txns, 0);
 }
+
+#[test]
+fn ordering_planner_cuts_cross_shard_coordination_end_to_end() {
+    // KnownRwSets over 8 shards activates the ordering-time shard
+    // planner at the primary. Compared with the same deployment routed
+    // only at apply time, the full closed-loop system must (i) keep
+    // committing, (ii) tag batches the verifier's re-derivation always
+    // accepts, and (iii) clearly cut the cross-shard-fallback rate.
+    let run = |lanes: bool| {
+        let mut cfg = small_config();
+        cfg.conflict_handling = ConflictHandling::KnownRwSets;
+        cfg.sharding = serverless_bft::types::ShardingConfig::with_shards(8);
+        cfg.sharding.ordering_lanes = lanes;
+        let system = SystemBuilder::new(cfg).clients(60).build();
+        SimHarness::new(system, params(60)).run()
+    };
+    let planned = run(true);
+    let baseline = run(false);
+    assert!(planned.committed_txns > 100, "{}", planned.committed_txns);
+    assert!(baseline.committed_txns > 100, "{}", baseline.committed_txns);
+    assert!(planned.planned_batches > 0, "lanes must earn the fast path");
+    assert_eq!(
+        planned.plan_mismatches, 0,
+        "an honest primary's tags always survive re-derivation"
+    );
+    assert_eq!(baseline.planned_batches, 0, "the baseline never tags");
+    assert!(
+        planned.cross_shard_fallback_rate() < baseline.cross_shard_fallback_rate(),
+        "lanes must cut the fallback rate ({} vs {})",
+        planned.cross_shard_fallback_rate(),
+        baseline.cross_shard_fallback_rate(),
+    );
+}
+
+#[test]
+fn planner_runs_are_deterministic() {
+    // The laned pipeline must stay bit-deterministic for a fixed seed —
+    // the regression gate for the ordering-time planner, mirroring the
+    // unplanned determinism test above.
+    let run = || {
+        let mut cfg = small_config();
+        cfg.conflict_handling = ConflictHandling::KnownRwSets;
+        cfg.sharding = serverless_bft::types::ShardingConfig::with_shards(8);
+        let system = SystemBuilder::new(cfg).clients(50).build();
+        SimHarness::new(system, params(50)).run()
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.committed_txns, b.committed_txns);
+    assert_eq!(a.aborted_txns, b.aborted_txns);
+    assert_eq!(a.planned_batches, b.planned_batches);
+    assert_eq!(a.single_home_batches, b.single_home_batches);
+    assert_eq!(a.plan_mismatches, b.plan_mismatches);
+    assert_eq!(a.messages_delivered, b.messages_delivered);
+    assert_eq!(a.bytes_delivered, b.bytes_delivered);
+}

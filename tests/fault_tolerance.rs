@@ -5,7 +5,7 @@ use serverless_bft::core::{ShimAttack, SystemBuilder};
 use serverless_bft::serverless::cloud::CloudFaultPlan;
 use serverless_bft::serverless::ExecutorBehavior;
 use serverless_bft::sim::{SimHarness, SimParams};
-use serverless_bft::types::{NodeId, SimDuration, SystemConfig};
+use serverless_bft::types::{ConflictHandling, NodeId, ShardingConfig, SimDuration, SystemConfig};
 
 fn config() -> SystemConfig {
     let mut cfg = SystemConfig::with_shim_size(4);
@@ -127,9 +127,66 @@ fn duplicate_spawning_floods_but_does_not_break_safety() {
     assert!(metrics.executors_spawned as f64 >= metrics.committed_txns as f64 / 10.0 * 3.0);
 }
 
+/// A planner deployment: known read-write sets over 8 shards, so the
+/// ordering-time lanes are active at the primary.
+fn planner_config() -> SystemConfig {
+    let mut cfg = config();
+    cfg.conflict_handling = ConflictHandling::KnownRwSets;
+    cfg.sharding = ShardingConfig::with_shards(8);
+    cfg
+}
+
+#[test]
+fn misplanning_primary_is_detected_and_cannot_stop_progress() {
+    // The byzantine primary tags every batch SingleHome(0), whatever its
+    // footprint. The verifier's trust-but-verify re-derivation must
+    // catch the lies, fall back to unplanned routing, and keep
+    // committing — state safety and liveness are unaffected.
+    let system = SystemBuilder::new(planner_config())
+        .clients(60)
+        .attack(NodeId(0), ShimAttack::MisplanBatches)
+        .build();
+    let metrics = SimHarness::new(system, params()).run();
+    assert!(
+        metrics.committed_txns > 100,
+        "committed {}",
+        metrics.committed_txns
+    );
+    assert!(
+        metrics.plan_mismatches > 0,
+        "the forged tags must be detected at apply time"
+    );
+    assert_eq!(
+        metrics.divergent_aborts, 0,
+        "mis-planning must never corrupt execution"
+    );
+}
+
+#[test]
+fn misplanning_and_honest_runs_commit_identically() {
+    // The plan tag is a pure routing hint: a run whose primary forges
+    // every tag must produce exactly the same committed/aborted counts
+    // (and response stream) as the honest run of the same workload.
+    let run = |attack: bool| {
+        let mut builder = SystemBuilder::new(planner_config()).clients(60);
+        if attack {
+            builder = builder.attack(NodeId(0), ShimAttack::MisplanBatches);
+        }
+        SimHarness::new(builder.build(), params()).run()
+    };
+    let honest = run(false);
+    let attacked = run(true);
+    assert!(honest.planned_batches > 0, "honest tags earn the fast path");
+    assert_eq!(honest.plan_mismatches, 0);
+    assert!(attacked.plan_mismatches > 0);
+    assert_eq!(honest.committed_txns, attacked.committed_txns);
+    assert_eq!(honest.aborted_txns, attacked.aborted_txns);
+    assert_eq!(honest.latency.count(), attacked.latency.count());
+}
+
 #[test]
 fn decentralized_spawning_survives_a_delaying_primary() {
-    use serverless_bft::types::{ConflictHandling, SpawningMode};
+    use serverless_bft::types::SpawningMode;
     let mut cfg = config();
     cfg.conflict_handling = ConflictHandling::UnknownRwSets;
     cfg.workload.conflict_fraction = 0.2;
@@ -148,4 +205,227 @@ fn decentralized_spawning_survives_a_delaying_primary() {
         metrics.committed_txns > 50,
         "decentralized spawning must mask the delaying primary"
     );
+}
+
+/// Component-level fault injection: a mis-planning primary is detected by
+/// the verifier, the shim replaces it through a view change, and the new
+/// honest primary's tags earn the fast path again — end-to-end liveness
+/// of the trust-but-verify protocol across a primary replacement.
+#[test]
+fn misplanning_primary_is_replaced_and_the_fast_path_returns() {
+    use serverless_bft::consensus::{ConsensusMessage, PbftReplica};
+    use serverless_bft::core::events::{
+        Action, ClientRequest, Destination, ProtocolMessage, RecoverySubject, ReplaceMessage,
+    };
+    use serverless_bft::core::verifier::{Verifier, VerifierConfig};
+    use serverless_bft::core::{AttackInjector, ShimNode};
+    use serverless_bft::crypto::CryptoProvider;
+    use serverless_bft::serverless::{Executor, ExecutorBehavior};
+    use serverless_bft::sharding::ShardRouter;
+    use serverless_bft::storage::{StorageReader, YcsbTable};
+    use serverless_bft::types::{
+        ClientId, ComponentId, ExecutorId, FaultParams, Key, Operation, Region, SeqNum, Signature,
+        SimTime, Transaction, TxnId,
+    };
+
+    let mut cfg = SystemConfig::with_shim_size(4);
+    cfg.conflict_handling = ConflictHandling::KnownRwSets;
+    cfg.sharding = ShardingConfig::with_shards(8);
+    cfg.workload.batch_size = 1;
+
+    let provider = CryptoProvider::new(21);
+    let store = YcsbTable::populate(1_000).store().clone();
+    let mut nodes: Vec<ShimNode> = (0..4u32)
+        .map(|i| {
+            ShimNode::new(
+                NodeId(i),
+                cfg.clone(),
+                provider.handle(ComponentId::Node(NodeId(i))),
+                Box::new(PbftReplica::new(
+                    NodeId(i),
+                    cfg.fault,
+                    provider.handle(ComponentId::Node(NodeId(i))),
+                    cfg.timers.node_timeout,
+                    cfg.timers.checkpoint_interval,
+                )),
+            )
+        })
+        .collect();
+    let mut verifier = Verifier::new(
+        provider.handle(ComponentId::Verifier),
+        std::sync::Arc::clone(&store),
+        VerifierConfig {
+            params: FaultParams::for_shim_size(4),
+            conflict_handling: ConflictHandling::KnownRwSets,
+            abort_timeout: SimDuration::from_millis(100),
+            cert_quorum: 3,
+            spawned_per_batch: 3,
+            sharding: cfg.sharding,
+            checkpoint_interval: cfg.timers.checkpoint_interval,
+        },
+    );
+    let mut injector = AttackInjector::new(4);
+    injector.compromise(NodeId(0), ShimAttack::MisplanBatches);
+
+    // Drives consensus among the nodes (attacks applied at emission)
+    // until quiescence; returns the non-consensus leftovers per node.
+    let run_consensus = |nodes: &mut Vec<ShimNode>,
+                         injector: &mut AttackInjector,
+                         origin: usize,
+                         actions: Vec<Action>|
+     -> Vec<(NodeId, Action)> {
+        let mut external = Vec::new();
+        let mut queue: std::collections::VecDeque<(usize, usize, ConsensusMessage)> =
+            std::collections::VecDeque::new();
+        let push = |origin: usize,
+                    actions: Vec<Action>,
+                    queue: &mut std::collections::VecDeque<(usize, usize, ConsensusMessage)>,
+                    external: &mut Vec<(NodeId, Action)>| {
+            for a in actions {
+                match &a {
+                    Action::Send(env) => match (&env.to, &env.msg) {
+                        (Destination::AllNodes, ProtocolMessage::Consensus(m)) => {
+                            for to in 0..4usize {
+                                if to != origin {
+                                    queue.push_back((origin, to, m.clone()));
+                                }
+                            }
+                        }
+                        (Destination::Node(to), ProtocolMessage::Consensus(m)) => {
+                            queue.push_back((origin, to.0 as usize, m.clone()));
+                        }
+                        _ => external.push((NodeId(origin as u32), a.clone())),
+                    },
+                    _ => external.push((NodeId(origin as u32), a.clone())),
+                }
+            }
+        };
+        let actions = injector.apply(NodeId(origin as u32), actions);
+        push(origin, actions, &mut queue, &mut external);
+        while let Some((from, to, msg)) = queue.pop_front() {
+            let acts = nodes[to].on_consensus_message(NodeId(from as u32), msg);
+            let acts = injector.apply(NodeId(to as u32), acts);
+            push(to, acts, &mut queue, &mut external);
+        }
+        external
+    };
+
+    // Runs the spawned executors of `external` and feeds their VERIFYs to
+    // the verifier; returns every BatchValidated the verifier broadcast.
+    let mut next_executor = 0u64;
+    let mut run_executors =
+        |external: &[(NodeId, Action)], verifier: &mut Verifier| -> Vec<ProtocolMessage> {
+            let mut validated = Vec::new();
+            for (_, action) in external {
+                let Action::SpawnExecutor { execute, .. } = action else {
+                    continue;
+                };
+                let id = ExecutorId(next_executor);
+                next_executor += 1;
+                let executor = Executor::new(
+                    id,
+                    Region::Oregon,
+                    ExecutorBehavior::Honest,
+                    provider.handle(ComponentId::Executor(id)),
+                    StorageReader::new(std::sync::Arc::clone(&store)),
+                    4,
+                    3,
+                );
+                let output = executor.handle_execute(execute).expect("honest EXECUTE");
+                for verify in output.verify_messages {
+                    for action in verifier.on_verify(&verify) {
+                        if let Some(env) = action.as_send() {
+                            if matches!(env.msg, ProtocolMessage::BatchValidated(_)) {
+                                validated.push(env.msg.clone());
+                            }
+                        }
+                    }
+                }
+            }
+            validated
+        };
+
+    let router = ShardRouter::new(8);
+    // Keys off shard 0, so the forged SingleHome(0) tags are always lies.
+    let off_zero: Vec<Key> = (1..)
+        .map(Key)
+        .filter(|k| router.shard_of(*k).0 != 0)
+        .take(6)
+        .collect();
+    let request = |client: u32, key: Key| {
+        let txn = Transaction::new(
+            TxnId::new(ClientId(client), 0),
+            vec![Operation::ReadModifyWrite(key, 1)],
+        )
+        .with_inferred_rwset();
+        let digest = ClientRequest::signing_digest(&txn);
+        ClientRequest {
+            signature: provider
+                .handle(ComponentId::Client(ClientId(client)))
+                .sign(&digest),
+            txn,
+        }
+    };
+
+    // ---- Phase 1: the mis-planning primary orders three batches. ----
+    for (i, key) in off_zero[..3].iter().enumerate() {
+        let actions = nodes[0].on_client_request(&request(i as u32, *key), SimTime::ZERO);
+        let external = run_consensus(&mut nodes, &mut injector, 0, actions);
+        let validated = run_executors(&external, &mut verifier);
+        assert!(!validated.is_empty(), "batch {i} must validate");
+        for msg in validated {
+            for node in nodes.iter_mut() {
+                let _ = node.on_message(&msg);
+            }
+        }
+    }
+    assert_eq!(verifier.committed_txns(), 3, "lies never block commits");
+    assert_eq!(verifier.plan_mismatches(), 3, "every forged tag is caught");
+    assert_eq!(verifier.planned_batches(), 0, "no lie earns the fast path");
+    assert!(injector.plans_forged() > 0);
+
+    // ---- Phase 2: the verifier-style REPLACE triggers a view change. ----
+    let replace = ProtocolMessage::Replace(ReplaceMessage {
+        subject: RecoverySubject::Seq(SeqNum(1)),
+        signature: Signature::ZERO,
+    });
+    let pending: Vec<(usize, Vec<Action>)> = (1..4usize)
+        .map(|i| (i, nodes[i].on_message(&replace)))
+        .collect();
+    for (origin, actions) in pending {
+        let _ = run_consensus(&mut nodes, &mut injector, origin, actions);
+    }
+    assert_eq!(nodes[1].view(), serverless_bft::types::ViewNumber(1));
+    assert!(nodes[1].is_primary(), "node 1 leads the new view");
+
+    // ---- Phase 3: the honest primary's tags earn the fast path. ----
+    for (i, key) in off_zero[3..].iter().enumerate() {
+        let actions = nodes[1].on_client_request(&request(10 + i as u32, *key), SimTime::ZERO);
+        let external = run_consensus(&mut nodes, &mut injector, 1, actions);
+        let validated = run_executors(&external, &mut verifier);
+        assert!(
+            !validated.is_empty(),
+            "post-view-change batch {i} must validate"
+        );
+        for msg in validated {
+            for node in nodes.iter_mut() {
+                let _ = node.on_message(&msg);
+            }
+        }
+    }
+    assert_eq!(verifier.committed_txns(), 6, "liveness across the change");
+    assert_eq!(
+        verifier.plan_mismatches(),
+        3,
+        "no further mismatches under the honest primary"
+    );
+    assert_eq!(
+        verifier.planned_batches(),
+        3,
+        "honest single-home tags take the fast path again"
+    );
+    // Every write reached storage exactly once.
+    for key in &off_zero {
+        assert!(store.version_of(*key).0 > 1, "{key:?} was written");
+    }
 }

@@ -4,20 +4,94 @@ use proptest::prelude::*;
 use serverless_bft::consensus::messages::{batch_digest, compute_batch_digest};
 use serverless_bft::consensus::Batcher;
 use serverless_bft::core::planner::{BatchFootprint, BestEffortPlanner};
+use serverless_bft::core::verifier::{Verifier, VerifierConfig};
 use serverless_bft::core::ClientRequest;
 use serverless_bft::crypto::certificate::commit_digest;
 use serverless_bft::crypto::{
     AggregateSignature, CommitCertificate, CryptoProvider, KeyStore, SimSigner,
 };
-use serverless_bft::sharding::{ShardScheduler, ShardedCommitter};
-use serverless_bft::storage::{ConcurrencyChecker, VersionedStore};
+use serverless_bft::serverless::VerifyMessage;
+use serverless_bft::sharding::{ShardRouter, ShardScheduler, ShardedCommitter};
+use serverless_bft::storage::{ConcurrencyChecker, VersionedStore, YcsbTable};
 use serverless_bft::types::{
-    Batch, ClientId, ComponentId, Digest, Key, NodeId, Operation, ReadWriteSet, RwSetKeys, SeqNum,
-    ShardingConfig, Signature, SimDuration, SimTime, Transaction, TxnId, Value, Version,
-    ViewNumber,
+    Batch, ClientId, ComponentId, ConflictHandling, Digest, ExecutorId, FaultParams, Key, NodeId,
+    Operation, ReadWriteSet, RwSetKeys, SeqNum, ShardPlan, ShardingConfig, Signature, SimDuration,
+    SimTime, Transaction, TxnId, TxnResult, Value, Version, ViewNumber,
 };
 use std::collections::BTreeSet;
 use std::sync::Arc;
+
+/// Builds a verifier over a fresh 256-record store for the planner
+/// equivalence suite.
+fn equivalence_verifier(
+    provider: &Arc<CryptoProvider>,
+    shards: usize,
+    attach_pool: bool,
+) -> (Arc<VersionedStore>, Verifier) {
+    let store = YcsbTable::populate(256).store().clone();
+    let mut verifier = Verifier::new(
+        provider.handle(ComponentId::Verifier),
+        Arc::clone(&store),
+        VerifierConfig {
+            params: FaultParams::for_shim_size(4),
+            conflict_handling: ConflictHandling::KnownRwSets,
+            abort_timeout: SimDuration::from_millis(100),
+            cert_quorum: 3,
+            spawned_per_batch: 3,
+            sharding: ShardingConfig::with_shards(shards),
+            checkpoint_interval: 0,
+        },
+    );
+    if attach_pool {
+        verifier.attach_apply_pool(4);
+    }
+    (store, verifier)
+}
+
+/// A well-formed VERIFY message from `executor` carrying `results` and a
+/// (possibly lying) ordering-time plan tag.
+fn equivalence_verify(
+    provider: &Arc<CryptoProvider>,
+    executor: u64,
+    seq: u64,
+    results: Vec<TxnResult>,
+    plan: ShardPlan,
+) -> VerifyMessage {
+    let batch_digest = Digest::from_bytes([seq as u8; 32]);
+    let cd = commit_digest(ViewNumber(0), SeqNum(seq), &batch_digest);
+    let entries = (0..3u32)
+        .map(|n| {
+            let kp = provider
+                .key_store()
+                .keypair_for(ComponentId::Node(NodeId(n)));
+            (NodeId(n), SimSigner::sign(&kp, &cd))
+        })
+        .collect();
+    let certificate = Arc::new(CommitCertificate::new(
+        ViewNumber(0),
+        SeqNum(seq),
+        batch_digest,
+        entries,
+    ));
+    let result_digest = VerifyMessage::digest_of_results(SeqNum(seq), &results);
+    let handle = provider.handle(ComponentId::Executor(ExecutorId(executor)));
+    let batch = Batch::single(Transaction::new(
+        results[0].txn,
+        vec![Operation::Read(Key(0))],
+    ));
+    VerifyMessage {
+        executor: ExecutorId(executor),
+        view: ViewNumber(0),
+        seq: SeqNum(seq),
+        batch_id: batch.id(),
+        batch_digest,
+        results: results.into(),
+        result_digest,
+        certificate,
+        plan,
+        signature: handle.sign(&result_digest),
+    }
+}
 
 fn arb_ops() -> impl Strategy<Value = Vec<Operation>> {
     prop::collection::vec(
@@ -406,5 +480,142 @@ proptest! {
         let cached = released.batch().cached_digest().expect("memo prefilled");
         prop_assert_eq!(cached, compute_batch_digest(released.batch()));
         prop_assert_eq!(cached, batch_digest(released.batch()));
+    }
+
+    /// The ordering-time classification agrees with the apply-time
+    /// re-derivation for arbitrary key sets and shard counts: the two
+    /// sides of the trust-but-verify protocol can never disagree for an
+    /// honest primary.
+    #[test]
+    fn ordering_plan_matches_apply_time_rederivation(
+        keys in prop::collection::vec(0u64..1_000, 0..12),
+        shards in 1usize..16,
+    ) {
+        let router = ShardRouter::new(shards);
+        let plan = router.plan_keys(keys.iter().copied().map(Key));
+        match plan {
+            ShardPlan::Unplanned => prop_assert!(keys.is_empty()),
+            ShardPlan::SingleHome(home) => {
+                prop_assert!(router.all_on(home, keys.iter().copied().map(Key)));
+            }
+            ShardPlan::CrossHome => {
+                let distinct: BTreeSet<_> =
+                    keys.iter().map(|k| router.shard_of(Key(*k))).collect();
+                prop_assert!(distinct.len() >= 2);
+            }
+        }
+    }
+
+    /// **Planner equivalence**: routed execution ≡ unrouted execution.
+    ///
+    /// The same ordered VERIFY stream — random Zipf-skewed keys, random
+    /// shard counts, forced cross-home batches, and arbitrary (honest
+    /// *or lying*) plan tags — through a plan-honouring verifier (with
+    /// or without the worker pool) and through an untagged synchronous
+    /// verifier must produce byte-identical results: the same
+    /// per-transaction commit/abort outcomes (= the same per-client
+    /// responses) and the same final KV state.
+    #[test]
+    fn planner_routed_execution_equals_unrouted(
+        batches in prop::collection::vec(
+            prop::collection::vec((0u64..255, any::<u64>(), any::<bool>()), 1..6),
+            1..8,
+        ),
+        shards in 1usize..12,
+        skew in 0u32..3,
+        lie_mask in any::<u64>(),
+        attach_pool in any::<bool>(),
+    ) {
+        let provider = CryptoProvider::new(17);
+        let router = ShardRouter::new(shards);
+        // Materialise the batches once: read-write sets with version-1
+        // reads (some go stale as earlier batches write — exercising
+        // aborts) and an occasional forced cross-home second key.
+        let all_results: Vec<Vec<TxnResult>> = batches
+            .iter()
+            .enumerate()
+            .map(|(b, txns)| {
+                txns.iter()
+                    .enumerate()
+                    .map(|(i, (key, value, cross))| {
+                        // Zipf-style skew: shifting compresses the key
+                        // space towards the head.
+                        let key = Key(key >> (skew * 3));
+                        let mut rwset = ReadWriteSet::new();
+                        rwset.record_read(key, Version(1));
+                        rwset.record_write(key, Value::new(*value));
+                        if *cross {
+                            // Force a second key on another shard when
+                            // one exists.
+                            if let Some(far) = (0..255u64)
+                                .map(Key)
+                                .find(|k| router.shard_of(*k) != router.shard_of(key))
+                            {
+                                rwset.record_write(far, Value::new(value.wrapping_add(1)));
+                            }
+                        }
+                        TxnResult {
+                            txn: TxnId::new(ClientId(i as u32), b as u64),
+                            output: *value,
+                            rwset,
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        // Tags for the routed run: the honest classification, or — when
+        // the lie bit fires — a byzantine SingleHome(0) claim.
+        let plans: Vec<ShardPlan> = all_results
+            .iter()
+            .enumerate()
+            .map(|(b, results)| {
+                if lie_mask & (1 << (b % 64)) != 0 {
+                    ShardPlan::SingleHome(serverless_bft::types::ShardId(0))
+                } else {
+                    router.plan_keys(results.iter().flat_map(|r| {
+                        r.rwset
+                            .reads
+                            .iter()
+                            .map(|(k, _)| *k)
+                            .chain(r.rwset.writes.iter().map(|(k, _)| *k))
+                    }))
+                }
+            })
+            .collect();
+        let run = |tagged: bool, pool: bool| {
+            let (store, mut verifier) = equivalence_verifier(&provider, shards, pool);
+            let mut outcomes = Vec::new();
+            for (b, results) in all_results.iter().enumerate() {
+                let seq = b as u64 + 1;
+                let plan = if tagged { plans[b] } else { ShardPlan::Unplanned };
+                let m1 = equivalence_verify(&provider, 1, seq, results.clone(), plan);
+                let m2 = equivalence_verify(&provider, 2, seq, results.clone(), plan);
+                let _ = verifier.on_verify(&m1);
+                let actions = verifier.on_verify(&m2);
+                for action in &actions {
+                    if let Some(env) = action.as_send() {
+                        outcomes.push(env.msg.kind().to_string());
+                    }
+                }
+            }
+            let state: Vec<(u64, u64)> = (0..256u64)
+                .map(|k| {
+                    let e = store.get(Key(k)).expect("populated key");
+                    (e.value.data, e.version.0)
+                })
+                .collect();
+            (
+                verifier.committed_txns(),
+                verifier.aborted_txns(),
+                outcomes,
+                state,
+            )
+        };
+        let routed = run(true, attach_pool);
+        let unrouted = run(false, false);
+        prop_assert_eq!(&routed.0, &unrouted.0, "committed counts diverge");
+        prop_assert_eq!(&routed.1, &unrouted.1, "aborted counts diverge");
+        prop_assert_eq!(&routed.2, &unrouted.2, "per-client responses diverge");
+        prop_assert_eq!(&routed.3, &unrouted.3, "final KV state diverges");
     }
 }
