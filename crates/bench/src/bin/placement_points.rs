@@ -1,0 +1,48 @@
+//! Plan-aware executor placement sweep (region count × Zipf skew).
+//!
+//! Each point runs the closed-loop simulator over **geo-partitioned
+//! storage** (every execution shard's partition homed in a region) twice:
+//! `PINNED` — the invoker consumes the batch's replicated `ShardPlan` tag
+//! and pins a `SingleHome` batch's executors to its shard's home region —
+//! and `RR`, the paper's Section IX-E round-robin rotation over the same
+//! partitioned store. Both series pay executor ⇄ storage inter-region
+//! latency; only the placement policy differs, so the gap in
+//! `avg_latency_s` is exactly what plan-aware placement buys. With
+//! single-op YCSB transactions every ordering-lane batch is single-home,
+//! so the pinned series drives `remote_fetch_rate` to zero at every skew
+//! and region count while the rotation keeps crossing regions.
+//!
+//! CI runs this binary as a smoke test and asserts pinned ≤ round-robin
+//! mean commit latency on the single-home (`Z0.00`) sweep only — under
+//! heavy skew the closed-loop batch-assembly feedback can let the
+//! rotation edge out one point (see the ROADMAP's "load-aware pinning
+//! under skew" item), which the skewed rows record rather than gate on.
+//! The equivalence proptests separately prove outcomes are identical
+//! under either placement.
+
+use sbft_bench::{placement_points, run_point_silent};
+
+fn main() {
+    println!(
+        "figure,series,x,throughput_tps,avg_latency_s,p50_s,p99_s,remote_fetch_rate,pinned_spawns,placement_fallbacks,committed"
+    );
+    let region_counts = [1usize, 2, 3, 5];
+    let thetas = [0.0f64, 0.9];
+    for point in placement_points(&region_counts, &thetas) {
+        let result = run_point_silent(point);
+        println!(
+            "{},{},{:.0},{:.0},{:.6},{:.6},{:.6},{:.3},{},{},{}",
+            result.figure,
+            result.series,
+            result.x,
+            result.metrics.throughput_tps(),
+            result.metrics.avg_latency_secs(),
+            result.metrics.latency.p50_secs(),
+            result.metrics.latency.p99_secs(),
+            result.metrics.remote_fetch_rate(),
+            result.metrics.pinned_spawns,
+            result.metrics.placement_fallbacks,
+            result.metrics.committed_txns,
+        );
+    }
+}

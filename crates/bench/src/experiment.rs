@@ -283,6 +283,44 @@ pub fn planner_points(shard_counts: &[usize], zipf_thetas: &[f64]) -> Vec<PointC
     points
 }
 
+/// Builds the plan-aware placement sweep: region count × Zipf skew over
+/// geo-partitioned storage, each point run twice — `PINNED` (the invoker
+/// pins a `SingleHome` batch's executors to its shard's home region) and
+/// `RR` (the paper's round-robin rotation over the same geo-partitioned
+/// store, so both series pay executor ⇄ storage latency and only the
+/// placement differs). Conflict handling is `KnownRwSets` with single-op
+/// transactions, so every batch released by the ordering lanes is
+/// single-home and eligible for pinning. The headline metric is mean
+/// commit latency: pinning turns every storage fetch local, so it must
+/// never lose to the rotation — while the equivalence proptests prove the
+/// outcomes themselves are identical either way.
+#[must_use]
+pub fn placement_points(region_counts: &[usize], zipf_thetas: &[f64]) -> Vec<PointConfig> {
+    let mut points = Vec::new();
+    for &theta in zipf_thetas {
+        for &regions in region_counts {
+            for pinned in [true, false] {
+                let mut config = SystemConfig::with_shim_size(4);
+                config.conflict_handling = sbft_types::ConflictHandling::KnownRwSets;
+                config.workload.num_records = 10_000;
+                config.workload.batch_size = 50;
+                config.regions = sbft_types::RegionSet::first_n(regions);
+                config.sharding = sbft_types::ShardingConfig::with_shards(8)
+                    .with_geo_partitioning()
+                    .with_pinned_placement(pinned);
+                let series = format!("{}-Z{:.2}", if pinned { "PINNED" } else { "RR" }, theta);
+                let mut point = PointConfig::new("placement", series, regions as f64, config);
+                point.clients = 300;
+                point.duration = SimDuration::from_millis(400);
+                point.warmup = SimDuration::from_millis(100);
+                point.zipf_theta = (theta > 0.0).then_some(theta);
+                points.push(point);
+            }
+        }
+    }
+    points
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -391,6 +429,58 @@ mod tests {
             "lanes must cut the fallback rate ({} vs {})",
             planned.metrics.cross_shard_fallback_rate(),
             unplanned.metrics.cross_shard_fallback_rate(),
+        );
+    }
+
+    #[test]
+    fn pinned_placement_beats_round_robin_on_single_home_workloads() {
+        // The acceptance gate of the geo tentpole, scaled down: over 3
+        // regions, pinning must commit with a lower (or equal) mean
+        // latency than the rotation, with every batch pinned and no
+        // remote fetch left, while the baseline keeps crossing regions.
+        let scale_down = |mut point: PointConfig| {
+            point.clients = 80;
+            point.duration = SimDuration::from_millis(250);
+            point.warmup = SimDuration::from_millis(50);
+            point
+        };
+        let points = placement_points(&[3], &[0.0]);
+        let pinned = run_point_silent(scale_down(
+            points
+                .iter()
+                .find(|p| p.series.starts_with("PINNED"))
+                .cloned()
+                .expect("pinned point"),
+        ));
+        let rr = run_point_silent(scale_down(
+            points
+                .iter()
+                .find(|p| p.series.starts_with("RR"))
+                .cloned()
+                .expect("round-robin point"),
+        ));
+        assert!(pinned.metrics.committed_txns > 0);
+        assert!(rr.metrics.committed_txns > 0);
+        assert!(
+            pinned.metrics.pinned_spawns > 0,
+            "single-home batches must pin"
+        );
+        assert_eq!(rr.metrics.pinned_spawns, 0, "the baseline never pins");
+        assert_eq!(
+            pinned.metrics.placement_fallbacks, 0,
+            "no outage, no capacity limit — nothing to fall back from"
+        );
+        assert!(
+            pinned.metrics.remote_fetch_rate() < rr.metrics.remote_fetch_rate(),
+            "pinning must cut cross-region fetches ({} vs {})",
+            pinned.metrics.remote_fetch_rate(),
+            rr.metrics.remote_fetch_rate()
+        );
+        assert!(
+            pinned.metrics.avg_latency_secs() <= rr.metrics.avg_latency_secs(),
+            "pinned mean commit latency must not lose to round-robin ({} vs {})",
+            pinned.metrics.avg_latency_secs(),
+            rr.metrics.avg_latency_secs()
         );
     }
 

@@ -21,6 +21,6 @@
 pub mod experiment;
 
 pub use experiment::{
-    commit_path_points, divergence_points, planner_points, print_header, run_point,
-    run_point_silent, PointConfig, PointResult,
+    commit_path_points, divergence_points, placement_points, planner_points, print_header,
+    run_point, run_point_silent, PointConfig, PointResult,
 };

@@ -290,6 +290,17 @@ pub enum Action {
         txns: u32,
         /// Total read/write-set entries validated and applied.
         accesses: u32,
+        /// Whether the work ran on the verified ordering-time fast path
+        /// (a `SingleHome` tag that survived re-derivation): no
+        /// per-transaction route sets, no probe key map — charged
+        /// cheaper than probed work by the CPU model.
+        planned: bool,
+        /// Whether this slice is cross-shard work acquiring execution
+        /// locks in ascending shard order: a chained slice starts only
+        /// after the previous chained slice of the same action list has
+        /// granted (the lock-ordered staircase), while unchained slices
+        /// run in parallel across shard stations.
+        chained: bool,
     },
 }
 

@@ -132,7 +132,19 @@ impl ShimNode {
             }
             None => Batcher::new(config.workload.batch_size, max_wait),
         };
-        let invoker = Invoker::new(me, config.regions.clone());
+        // Plan-aware spawn placement needs geo-partitioned storage (the
+        // shard → home-region map) and the placement knob left on; the
+        // partition is re-derived from the shared configuration, never
+        // communicated.
+        let invoker = match config
+            .sharding
+            .pinned_placement
+            .then(|| config.region_partition())
+            .flatten()
+        {
+            Some(partition) => Invoker::new(me, config.regions.clone()).with_partition(partition),
+            None => Invoker::new(me, config.regions.clone()),
+        };
         let planner = matches!(config.conflict_handling, ConflictHandling::KnownRwSets)
             .then(BestEffortPlanner::new);
         ShimNode {
@@ -225,6 +237,30 @@ impl ShimNode {
     #[must_use]
     pub fn ordering_lanes_active(&self) -> bool {
         self.lane_router.is_some()
+    }
+
+    /// Executors this node placed by pinning (geo placement).
+    #[must_use]
+    pub fn pinned_spawns(&self) -> u64 {
+        self.invoker.pinned_spawns()
+    }
+
+    /// Batches whose pin was refused and fell back to the rotation.
+    #[must_use]
+    pub fn placement_fallbacks(&self) -> u64 {
+        self.invoker.placement_fallbacks()
+    }
+
+    /// Informs this node's invoker that a cloud region is offline
+    /// (a [`sbft_serverless::RegionOutage`] observed by the deployment);
+    /// placement avoids the region until it recovers.
+    pub fn mark_region_down(&mut self, region: sbft_types::Region) {
+        self.invoker.mark_region_down(region);
+    }
+
+    /// Informs this node's invoker that a region has recovered.
+    pub fn mark_region_up(&mut self, region: sbft_types::Region) {
+        self.invoker.mark_region_up(region);
     }
 
     fn component(&self) -> ComponentId {
@@ -517,7 +553,10 @@ impl ShimNode {
             spawner: self.me,
             signature: self.crypto.sign(&signing),
         };
-        let plan = self.invoker.plan(seq, count);
+        // Plan-aware placement: a SingleHome tag pins this batch's
+        // executors to its shard's home region (with deterministic
+        // round-robin fallback); cross-home and untagged batches rotate.
+        let plan = self.invoker.plan_placed(seq, count, entry.plan);
         self.executors_spawned += plan.requests.len() as u64;
         plan.requests
             .into_iter()

@@ -14,7 +14,7 @@ use crate::verifier::{Verifier, VerifierConfig};
 use sbft_consensus::{CftReplica, NoShim, OrderingProtocol, PbftReplica};
 use sbft_crypto::CryptoProvider;
 use sbft_serverless::cloud::CloudFaultPlan;
-use sbft_serverless::{Executor, ExecutorBehavior, ServerlessCloud, SpawnOutcome};
+use sbft_serverless::{Executor, ExecutorBehavior, RegionOutage, ServerlessCloud, SpawnOutcome};
 use sbft_storage::{StorageReader, VersionedStore, YcsbTable};
 use sbft_types::{ClientId, ComponentId, ExecutorId, NodeId, Region, SystemConfig};
 use std::sync::Arc;
@@ -122,6 +122,7 @@ pub struct SystemBuilder {
     attacks: Vec<(NodeId, ShimAttack)>,
     cloud_fault_plan: CloudFaultPlan,
     cloud_concurrency_limit: usize,
+    region_outage: RegionOutage,
 }
 
 impl SystemBuilder {
@@ -137,6 +138,7 @@ impl SystemBuilder {
             attacks: Vec::new(),
             cloud_fault_plan: CloudFaultPlan::default(),
             cloud_concurrency_limit: usize::MAX / 2,
+            region_outage: RegionOutage::none(),
         }
     }
 
@@ -183,6 +185,15 @@ impl SystemBuilder {
         self
     }
 
+    /// Injects a region-outage scenario: the cloud rejects spawns into
+    /// the downed regions and every shim node's invoker is informed, so
+    /// plan-aware placement falls back deterministically.
+    #[must_use]
+    pub fn region_outage(mut self, outage: RegionOutage) -> Self {
+        self.region_outage = outage;
+        self
+    }
+
     /// Assembles the system.
     ///
     /// # Panics
@@ -201,7 +212,7 @@ impl SystemBuilder {
             ShimProtocol::NoShim => 1,
             _ => self.config.fault.n_r,
         };
-        let nodes: Vec<ShimNode> = (0..n_nodes as u32)
+        let mut nodes: Vec<ShimNode> = (0..n_nodes as u32)
             .map(|i| {
                 let id = NodeId(i);
                 let ordering: Box<dyn OrderingProtocol + Send> = match self.protocol {
@@ -267,6 +278,14 @@ impl SystemBuilder {
             sbft_serverless::cloud::DEFAULT_COLD_START,
         );
         cloud.set_fault_plan(self.cloud_fault_plan);
+        if self.region_outage.is_active() {
+            for region in self.region_outage.regions() {
+                for node in &mut nodes {
+                    node.mark_region_down(region);
+                }
+            }
+            cloud.set_region_outage(self.region_outage);
+        }
 
         // Attacks.
         let mut injector = AttackInjector::new(self.config.fault.n_r);

@@ -550,6 +550,8 @@ impl Verifier {
                 shard: home,
                 txns,
                 accesses,
+                planned: true,
+                chained: false,
             });
             if let Some(pool) = self.apply_pool.as_ref() {
                 let homes: Vec<Option<ShardId>> = matched
@@ -592,27 +594,50 @@ impl Verifier {
                 .iter()
                 .map(|result| self.committer.shards_of(&result.rwset))
                 .collect();
-            let mut shard_work: BTreeMap<ShardId, (u32, u32)> = BTreeMap::new();
+            // Split the announced ccheck work: single-home transactions
+            // charge their one shard and run in parallel across stations,
+            // while cross-shard transactions hold every involved shard's
+            // execution lock in ascending shard order — their slices are
+            // `chained`, so CPU-modelling runtimes serialise them (shard
+            // i+1 starts only after shard i grants).
+            let mut solo_work: BTreeMap<ShardId, (u32, u32)> = BTreeMap::new();
+            let mut cross_work: BTreeMap<ShardId, (u32, u32)> = BTreeMap::new();
+            let mut all_shards: BTreeSet<ShardId> = BTreeSet::new();
             for (result, involved) in matched.results.iter().zip(&routes) {
-                // Cross-shard transactions charge every shard whose execution
-                // lock they hold through validate-and-apply.
+                all_shards.extend(involved.iter().copied());
+                let work = if involved.len() > 1 {
+                    &mut cross_work
+                } else {
+                    &mut solo_work
+                };
                 for shard in involved {
-                    let entry = shard_work.entry(*shard).or_insert((0, 0));
+                    let entry = work.entry(*shard).or_insert((0, 0));
                     entry.0 += 1;
                     entry.1 += result.rwset.len() as u32;
                 }
             }
-            if shard_work.len() <= 1 {
+            if all_shards.len() <= 1 {
                 // Discovered-late single-home batch (the planner would
                 // have tagged it; without lanes this is the baseline
                 // measurement the `planner_points` experiment compares).
                 self.single_home_batches += 1;
             }
-            for (shard, (txns, accesses)) in shard_work {
+            for (shard, (txns, accesses)) in solo_work {
                 actions.push(Action::ShardCcheck {
                     shard,
                     txns,
                     accesses,
+                    planned: false,
+                    chained: false,
+                });
+            }
+            for (shard, (txns, accesses)) in cross_work {
+                actions.push(Action::ShardCcheck {
+                    shard,
+                    txns,
+                    accesses,
+                    planned: false,
+                    chained: true,
                 });
             }
             // The pool preserves commit order *within* a home shard (FIFO

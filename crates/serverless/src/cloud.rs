@@ -8,7 +8,7 @@
 //! byzantine behaviours to up to `f_E` executors per batch (*lack of trust
 //! at the serverless cloud*).
 
-use crate::faults::ExecutorBehavior;
+use crate::faults::{ExecutorBehavior, RegionOutage};
 use sbft_types::{ExecutorId, NodeId, Region, SbftError, SbftResult, SeqNum, SimDuration};
 use std::collections::BTreeMap;
 
@@ -54,6 +54,9 @@ pub struct ServerlessCloud {
     active: usize,
     cold_start: SimDuration,
     fault_plan: CloudFaultPlan,
+    /// Regions currently offline: spawns into them are rejected.
+    outage: RegionOutage,
+    rejected_by_outage: u64,
     /// Spawns per shim node (accountability/payment bookkeeping).
     spawns_by_node: BTreeMap<NodeId, u64>,
     /// Spawns per batch, used to apply the fault plan deterministically.
@@ -89,6 +92,8 @@ impl ServerlessCloud {
             active: 0,
             cold_start,
             fault_plan: CloudFaultPlan::default(),
+            outage: RegionOutage::none(),
+            rejected_by_outage: 0,
             spawns_by_node: BTreeMap::new(),
             spawns_by_seq: BTreeMap::new(),
             total_spawned: 0,
@@ -101,8 +106,23 @@ impl ServerlessCloud {
         self.fault_plan = plan;
     }
 
-    /// Handles a spawn request. Fails if the concurrency limit is reached.
+    /// Applies a region-outage scenario: spawns into downed regions fail
+    /// until the outage is lifted.
+    pub fn set_region_outage(&mut self, outage: RegionOutage) {
+        self.outage = outage;
+    }
+
+    /// Handles a spawn request. Fails if the target region is offline or
+    /// the concurrency limit is reached.
     pub fn spawn(&mut self, req: SpawnRequest) -> SbftResult<SpawnOutcome> {
+        if self.outage.affects(req.region) {
+            self.rejected += 1;
+            self.rejected_by_outage += 1;
+            return Err(SbftError::SpawnRejected(format!(
+                "region {} is offline",
+                req.region
+            )));
+        }
         if self.active >= self.concurrency_limit {
             self.rejected += 1;
             return Err(SbftError::SpawnRejected(format!(
@@ -149,10 +169,19 @@ impl ServerlessCloud {
         self.total_spawned
     }
 
-    /// Spawn requests rejected because of the concurrency limit.
+    /// Spawn requests rejected for any reason (concurrency limit or
+    /// region outage).
     #[must_use]
     pub fn rejected(&self) -> u64 {
         self.rejected
+    }
+
+    /// Spawn requests rejected because their target region was offline —
+    /// stays zero when the invokers' placement correctly avoids downed
+    /// regions.
+    #[must_use]
+    pub fn rejected_by_outage(&self) -> u64 {
+        self.rejected_by_outage
     }
 
     /// Executors spawned (and paid for) by a given shim node. The edge
@@ -247,6 +276,27 @@ mod tests {
         let mut cloud = ServerlessCloud::new();
         cloud.release(ExecutorId(99));
         assert_eq!(cloud.active(), 0);
+    }
+
+    #[test]
+    fn region_outage_rejects_spawns_until_lifted() {
+        use crate::faults::RegionOutage;
+        let mut cloud = ServerlessCloud::new();
+        cloud.set_region_outage(RegionOutage::of(Region::Oregon));
+        let err = cloud.spawn(req(0, 1)).unwrap_err();
+        assert!(matches!(err, SbftError::SpawnRejected(_)));
+        assert_eq!(cloud.rejected_by_outage(), 1);
+        assert_eq!(cloud.rejected(), 1);
+        // Other regions are unaffected.
+        let ok = cloud.spawn(SpawnRequest {
+            spawner: NodeId(0),
+            region: Region::Ohio,
+            seq: SeqNum(1),
+        });
+        assert!(ok.is_ok());
+        // Lifting the outage restores the region.
+        cloud.set_region_outage(RegionOutage::none());
+        assert!(cloud.spawn(req(0, 1)).is_ok());
     }
 
     #[test]

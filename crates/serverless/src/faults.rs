@@ -1,12 +1,74 @@
-//! Byzantine executor behaviours.
+//! Byzantine executor behaviours and region-level fault scenarios.
 //!
 //! Up to `f_E` of the spawned executors may be byzantine (Section III-A):
 //! they "can either provide incorrect result or ignore execution". The
 //! verifier-flooding attack (Section V-C) adds a third behaviour: sending
 //! duplicate `VERIFY` messages. Behaviours are assigned per executor by the
 //! experiment configuration or by the attack-injection layer.
+//!
+//! [`RegionOutage`] is the geo-scale fault: a whole cloud region goes
+//! dark, taking its spawn capacity (and, under geo-partitioned storage,
+//! the locality advantage of the shards homed there) with it. The cloud
+//! rejects spawns into downed regions and the invokers' plan-aware
+//! placement deterministically falls back to the round-robin rotation —
+//! liveness and the spawn margin are preserved, and the fault-injection
+//! suite proves commit outcomes are unchanged.
 
+use sbft_types::Region;
 use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// A multi-region fault scenario: one or more cloud regions offline.
+///
+/// The scenario is *placement-level* fault injection: it never corrupts
+/// an executor (those are [`ExecutorBehavior`]s) — it removes spawn
+/// capacity. Runtimes apply it in two places: the simulated cloud
+/// rejects spawn requests into downed regions, and each shim node's
+/// invoker is told so its placement avoids them.
+#[derive(Clone, PartialEq, Eq, Debug, Default, Serialize, Deserialize)]
+pub struct RegionOutage {
+    downed: BTreeSet<Region>,
+}
+
+impl RegionOutage {
+    /// No outage.
+    #[must_use]
+    pub fn none() -> Self {
+        RegionOutage::default()
+    }
+
+    /// A single-region outage.
+    #[must_use]
+    pub fn of(region: Region) -> Self {
+        let mut outage = RegionOutage::default();
+        outage.downed.insert(region);
+        outage
+    }
+
+    /// Adds another downed region to the scenario.
+    #[must_use]
+    pub fn and(mut self, region: Region) -> Self {
+        self.downed.insert(region);
+        self
+    }
+
+    /// Whether the scenario takes `region` offline.
+    #[must_use]
+    pub fn affects(&self, region: Region) -> bool {
+        self.downed.contains(&region)
+    }
+
+    /// Whether any region is down at all.
+    #[must_use]
+    pub fn is_active(&self) -> bool {
+        !self.downed.is_empty()
+    }
+
+    /// The downed regions, in order.
+    pub fn regions(&self) -> impl Iterator<Item = Region> + '_ {
+        self.downed.iter().copied()
+    }
+}
 
 /// How a spawned executor behaves.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default, Serialize, Deserialize)]
@@ -109,5 +171,16 @@ mod tests {
             30
         );
         assert_eq!(ExecutorBehavior::Honest.extra_delay_ms(), 0);
+    }
+
+    #[test]
+    fn region_outage_tracks_the_downed_set() {
+        assert!(!RegionOutage::none().is_active());
+        let outage = RegionOutage::of(Region::Ohio).and(Region::Seoul);
+        assert!(outage.is_active());
+        assert!(outage.affects(Region::Ohio));
+        assert!(outage.affects(Region::Seoul));
+        assert!(!outage.affects(Region::Oregon));
+        assert_eq!(outage.regions().count(), 2);
     }
 }

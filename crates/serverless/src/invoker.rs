@@ -5,11 +5,28 @@
 //! wait for the spawned executors to finish and proceeds to spawn the
 //! executors for the next client request" (Section VIII). The invoker is a
 //! pure planner: given a committed batch it decides how many executors to
-//! spawn and in which regions (round-robin, Section IX-E), and the runtime
-//! turns the plan into [`crate::cloud::SpawnRequest`]s.
+//! spawn and in which regions, and the runtime turns the plan into
+//! [`crate::cloud::SpawnRequest`]s.
+//!
+//! # Placement policy
+//!
+//! The paper spawns round-robin across the enabled regions (Section
+//! IX-E). With geo-partitioned storage the invoker can do better: a batch
+//! whose replicated [`ShardPlan`] tag says `SingleHome(s)` has its whole
+//! read-write footprint in shard `s`'s partition, so its executors are
+//! *pinned* to that shard's home region — every storage fetch becomes
+//! local. Pinning falls back to the round-robin rotation, deterministically,
+//! when the home region is not in the spawnable set, is marked faulted
+//! (a [`crate::faults::RegionOutage`]), or lacks spawn capacity for the
+//! whole batch. Cross-home and untagged batches keep the paper's
+//! rotation. Placement is strictly a performance hint: every executor
+//! runs the same deterministic function wherever it lands, so outcomes,
+//! responses and final state are identical under any placement — the
+//! equivalence proptests pin that down.
 
 use crate::cloud::SpawnRequest;
-use sbft_types::{NodeId, RegionSet, SeqNum};
+use sbft_types::{NodeId, Region, RegionPartition, RegionSet, SeqNum, ShardPlan};
+use std::collections::BTreeSet;
 
 /// A plan for spawning the executors of one committed batch.
 #[derive(Clone, PartialEq, Eq, Debug)]
@@ -26,19 +43,53 @@ pub struct Invoker {
     node: NodeId,
     regions: RegionSet,
     /// Monotonic counter used to rotate the region round-robin across
-    /// batches as well as within a batch.
+    /// batches as well as within a batch. Advanced identically whether a
+    /// batch is pinned or rotated, so the rotation state — and therefore
+    /// every later placement decision — is independent of how earlier
+    /// batches were placed.
     spawned_so_far: usize,
+    /// The shard → home-region map of the geo-partitioned storage.
+    /// `None` (the default) reproduces the paper's pure rotation.
+    partition: Option<RegionPartition>,
+    /// Regions currently believed faulted (region outages observed by
+    /// this node); pinning never targets them.
+    down_regions: BTreeSet<Region>,
+    /// Per-batch spawn capacity of a single region, when the provider
+    /// imposes one; a pin that would exceed it falls back to rotation.
+    region_capacity: Option<usize>,
+    pinned_spawns: u64,
+    placement_fallbacks: u64,
 }
 
 impl Invoker {
-    /// Creates the invoker for a shim node.
+    /// Creates the invoker for a shim node (round-robin placement).
     #[must_use]
     pub fn new(node: NodeId, regions: RegionSet) -> Self {
         Invoker {
             node,
             regions,
             spawned_so_far: 0,
+            partition: None,
+            down_regions: BTreeSet::new(),
+            region_capacity: None,
+            pinned_spawns: 0,
+            placement_fallbacks: 0,
         }
+    }
+
+    /// Enables plan-aware placement against a geo-partitioned store.
+    #[must_use]
+    pub fn with_partition(mut self, partition: RegionPartition) -> Self {
+        self.partition = Some(partition);
+        self
+    }
+
+    /// Caps how many executors one batch may pin into a single region
+    /// (a provider-side per-region concurrency budget).
+    #[must_use]
+    pub fn with_region_capacity(mut self, capacity: usize) -> Self {
+        self.region_capacity = Some(capacity);
+        self
     }
 
     /// The node this invoker runs on.
@@ -47,20 +98,104 @@ impl Invoker {
         self.node
     }
 
+    /// Marks a region as faulted: pinning avoids it until it recovers.
+    pub fn mark_region_down(&mut self, region: Region) {
+        self.down_regions.insert(region);
+    }
+
+    /// Marks a region as recovered.
+    pub fn mark_region_up(&mut self, region: Region) {
+        self.down_regions.remove(&region);
+    }
+
+    /// Executors placed by pinning so far.
+    #[must_use]
+    pub fn pinned_spawns(&self) -> u64 {
+        self.pinned_spawns
+    }
+
+    /// Batches whose pin was refused (home region missing, faulted or
+    /// over capacity) and that fell back to the rotation.
+    #[must_use]
+    pub fn placement_fallbacks(&self) -> u64 {
+        self.placement_fallbacks
+    }
+
     /// Plans the spawning of `count` executors for the batch at `seq`,
     /// assigning regions round-robin so the executors are spread as evenly
     /// as possible (the paper "tried to evenly split these executors across
     /// these regions").
     pub fn plan(&mut self, seq: SeqNum, count: usize) -> SpawnPlan {
+        self.plan_placed(seq, count, ShardPlan::Unplanned)
+    }
+
+    /// Plans the spawning of `count` executors for the batch at `seq`,
+    /// consulting the batch's replicated [`ShardPlan`] tag: a verified
+    /// geo deployment pins a `SingleHome` batch's executors to its
+    /// shard's home region, everything else rotates.
+    pub fn plan_placed(&mut self, seq: SeqNum, count: usize, plan: ShardPlan) -> SpawnPlan {
+        if count == 0 {
+            return SpawnPlan {
+                seq,
+                requests: Vec::new(),
+            };
+        }
+        if let Some(home) = self.pin_target(plan, count) {
+            // Advance the rotation exactly as a rotated batch would have,
+            // so later batches place identically either way.
+            self.spawned_so_far += count;
+            self.pinned_spawns += count as u64;
+            return SpawnPlan {
+                seq,
+                requests: (0..count)
+                    .map(|_| SpawnRequest {
+                        spawner: self.node,
+                        region: home,
+                        seq,
+                    })
+                    .collect(),
+            };
+        }
+        if self.partition.is_some() && plan.is_single_home() {
+            self.placement_fallbacks += 1;
+        }
         let requests = (0..count)
             .map(|i| SpawnRequest {
                 spawner: self.node,
-                region: self.regions.round_robin(self.spawned_so_far + i),
+                region: self.round_robin_region(self.spawned_so_far + i),
                 seq,
             })
             .collect();
         self.spawned_so_far += count;
         SpawnPlan { seq, requests }
+    }
+
+    /// The region a `SingleHome` batch would be pinned to, if pinning is
+    /// possible: geo placement enabled, the home region spawnable, not
+    /// faulted, and within the per-region capacity for the whole batch.
+    fn pin_target(&self, plan: ShardPlan, count: usize) -> Option<Region> {
+        let partition = self.partition.as_ref()?;
+        let home = partition.home_of(plan.home()?);
+        let usable = self.regions.contains(home)
+            && !self.down_regions.contains(&home)
+            && self.region_capacity.is_none_or(|cap| count <= cap);
+        usable.then_some(home)
+    }
+
+    /// The rotation, skipping faulted regions (unless every region is
+    /// down, in which case the plain rotation stands — the cloud will
+    /// reject and the recovery path takes over).
+    fn round_robin_region(&self, i: usize) -> Region {
+        let candidate = self.regions.round_robin(i);
+        if self.down_regions.contains(&candidate) {
+            if let Some(up) = (0..self.regions.len())
+                .map(|step| self.regions.round_robin(i + step))
+                .find(|r| !self.down_regions.contains(r))
+            {
+                return up;
+            }
+        }
+        candidate
     }
 
     /// Total executors this invoker has planned so far (what the node will
@@ -74,7 +209,12 @@ impl Invoker {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use sbft_types::Region;
+    use sbft_types::{Region, RegionPartition, ShardId};
+
+    fn geo_invoker(regions: usize, shards: usize) -> Invoker {
+        let set = RegionSet::first_n(regions);
+        Invoker::new(NodeId(0), set.clone()).with_partition(RegionPartition::new(set, shards))
+    }
 
     #[test]
     fn plan_spawns_requested_count_for_the_right_batch() {
@@ -124,5 +264,102 @@ mod tests {
     fn zero_executors_is_an_empty_plan() {
         let mut invoker = Invoker::new(NodeId(0), RegionSet::home_only());
         assert!(invoker.plan(SeqNum(1), 0).requests.is_empty());
+    }
+
+    #[test]
+    fn single_home_batches_are_pinned_to_their_shards_home_region() {
+        let mut invoker = geo_invoker(3, 8);
+        // Shard 1 is homed in the second region of the set.
+        let plan = invoker.plan_placed(SeqNum(1), 3, ShardPlan::SingleHome(ShardId(1)));
+        assert!(plan.requests.iter().all(|r| r.region == Region::Oregon));
+        assert_eq!(invoker.pinned_spawns(), 3);
+        assert_eq!(invoker.placement_fallbacks(), 0);
+    }
+
+    #[test]
+    fn cross_home_and_untagged_batches_keep_the_rotation() {
+        let mut invoker = geo_invoker(3, 8);
+        let cross = invoker.plan_placed(SeqNum(1), 3, ShardPlan::CrossHome);
+        let regions: Vec<Region> = cross.requests.iter().map(|r| r.region).collect();
+        assert_eq!(
+            regions,
+            vec![Region::NorthCalifornia, Region::Oregon, Region::Ohio]
+        );
+        let untagged = invoker.plan_placed(SeqNum(2), 2, ShardPlan::Unplanned);
+        assert_eq!(untagged.requests[0].region, Region::NorthCalifornia);
+        assert_eq!(invoker.pinned_spawns(), 0);
+        assert_eq!(invoker.placement_fallbacks(), 0);
+    }
+
+    #[test]
+    fn pinning_advances_the_rotation_in_lockstep_with_round_robin() {
+        // After one pinned batch of 2, the next rotated batch must start
+        // exactly where a rotation-only invoker would have been.
+        let mut pinned = geo_invoker(3, 8);
+        let _ = pinned.plan_placed(SeqNum(1), 2, ShardPlan::SingleHome(ShardId(1)));
+        let mut rotated = Invoker::new(NodeId(0), RegionSet::first_n(3));
+        let _ = rotated.plan(SeqNum(1), 2);
+        assert_eq!(
+            pinned.plan(SeqNum(2), 3).requests,
+            rotated.plan(SeqNum(2), 3).requests,
+        );
+    }
+
+    #[test]
+    fn faulted_home_region_falls_back_to_the_rotation() {
+        let mut invoker = geo_invoker(3, 8);
+        invoker.mark_region_down(Region::Oregon);
+        let plan = invoker.plan_placed(SeqNum(1), 3, ShardPlan::SingleHome(ShardId(1)));
+        assert!(
+            plan.requests.iter().all(|r| r.region != Region::Oregon),
+            "the rotation must skip the faulted region too: {plan:?}"
+        );
+        assert_eq!(invoker.placement_fallbacks(), 1);
+        assert_eq!(invoker.pinned_spawns(), 0);
+        // Recovery restores the pin.
+        invoker.mark_region_up(Region::Oregon);
+        let plan = invoker.plan_placed(SeqNum(2), 3, ShardPlan::SingleHome(ShardId(1)));
+        assert!(plan.requests.iter().all(|r| r.region == Region::Oregon));
+    }
+
+    #[test]
+    fn home_region_outside_the_spawnable_set_falls_back() {
+        // 2 spawnable regions but 5 shards homed over a 5-region map:
+        // shards homed in regions this invoker cannot spawn into rotate.
+        let spawnable = RegionSet::first_n(2);
+        let mut invoker = Invoker::new(NodeId(0), spawnable)
+            .with_partition(RegionPartition::new(RegionSet::first_n(5), 5));
+        let plan = invoker.plan_placed(SeqNum(1), 2, ShardPlan::SingleHome(ShardId(4)));
+        assert_eq!(plan.requests[0].region, Region::NorthCalifornia);
+        assert_eq!(plan.requests[1].region, Region::Oregon);
+        assert_eq!(invoker.placement_fallbacks(), 1);
+    }
+
+    #[test]
+    fn region_capacity_limits_the_pin() {
+        let mut invoker = geo_invoker(3, 8).with_region_capacity(2);
+        // A 2-executor pin fits the capacity …
+        let small = invoker.plan_placed(SeqNum(1), 2, ShardPlan::SingleHome(ShardId(1)));
+        assert!(small.requests.iter().all(|r| r.region == Region::Oregon));
+        // … a 3-executor pin does not and rotates instead.
+        let big = invoker.plan_placed(SeqNum(2), 3, ShardPlan::SingleHome(ShardId(1)));
+        let distinct: std::collections::BTreeSet<Region> =
+            big.requests.iter().map(|r| r.region).collect();
+        assert!(distinct.len() > 1, "over-capacity pin must spread");
+        assert_eq!(invoker.placement_fallbacks(), 1);
+    }
+
+    #[test]
+    fn rotation_skips_faulted_regions_when_possible() {
+        let mut invoker = Invoker::new(NodeId(0), RegionSet::first_n(3));
+        invoker.mark_region_down(Region::Oregon);
+        let plan = invoker.plan(SeqNum(1), 3);
+        assert!(plan.requests.iter().all(|r| r.region != Region::Oregon));
+        // With every region down the plain rotation stands (the cloud
+        // rejects; recovery handles it).
+        invoker.mark_region_down(Region::NorthCalifornia);
+        invoker.mark_region_down(Region::Ohio);
+        let plan = invoker.plan(SeqNum(2), 1);
+        assert_eq!(plan.requests.len(), 1);
     }
 }

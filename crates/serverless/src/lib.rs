@@ -10,13 +10,15 @@
 //!   the result to the verifier. Executors are stateless and never write to
 //!   the storage (Section IV-C).
 //! * [`faults`] — byzantine executor behaviours (crash, wrong result,
-//!   duplicate `VERIFY` flooding) injected per executor.
+//!   duplicate `VERIFY` flooding) injected per executor, plus the
+//!   [`RegionOutage`] scenario that takes whole cloud regions offline.
 //! * [`cloud`] — the cloud control plane: spawn requests, per-region
 //!   placement, cold-start latency, the provider's concurrency limit (the
 //!   paper could not scale past 21 parallel executors), and billing.
 //! * [`invoker`] — the invoker deployed on every shim node that turns a
-//!   committed batch into spawn requests (round-robin over the configured
-//!   regions, optionally decentralized across all shim nodes).
+//!   committed batch into spawn requests: round-robin over the configured
+//!   regions by default, or — under geo-partitioned storage — pinned to a
+//!   `SingleHome` batch's home region with deterministic fallback.
 //! * [`billing`] — the pay-per-use cost model used for Figure 8's
 //!   cents-per-kilo-transaction comparison.
 
@@ -33,6 +35,6 @@ pub mod messages;
 pub use billing::{CostModel, CostReport};
 pub use cloud::{ServerlessCloud, SpawnOutcome, SpawnRequest};
 pub use executor::{Executor, ExecutorOutput};
-pub use faults::ExecutorBehavior;
+pub use faults::{ExecutorBehavior, RegionOutage};
 pub use invoker::{Invoker, SpawnPlan};
 pub use messages::{ExecuteRequest, VerifyMessage};

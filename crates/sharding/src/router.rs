@@ -52,13 +52,12 @@ impl ShardRouter {
     }
 
     /// The shard owning `key`. Pure and stable: the same key always maps
-    /// to the same shard for a given shard count.
+    /// to the same shard for a given shard count. Delegates to the one
+    /// canonical [`ShardId::of_key`] the geo-partitioned storage view
+    /// also uses, so routing and placement can never disagree.
     #[must_use]
     pub fn shard_of(&self, key: Key) -> ShardId {
-        // Fibonacci hashing: multiply by 2^64/φ and take the top bits,
-        // scaled into [0, num_shards) without modulo bias.
-        let h = key.0.wrapping_mul(0x9e37_79b9_7f4a_7c15);
-        ShardId(((u128::from(h) * u128::from(self.num_shards)) >> 64) as u32)
+        ShardId::of_key(key, self.num_shards as usize)
     }
 
     /// The set of shards a transaction's observed read-write set touches.

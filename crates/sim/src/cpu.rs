@@ -36,6 +36,14 @@ pub struct CpuModel {
     /// hash plus the lane bookkeeping per declared key). Charged at the
     /// primary per client request when the shard planner is active.
     pub routing_ns_per_key: f64,
+    /// Per-transaction overhead of the *probed* apply path: building the
+    /// `BTreeSet` route set of each transaction. The verified
+    /// ordering-time fast path skips it entirely.
+    pub probe_ns_per_txn: f64,
+    /// Per-access overhead of the probed path's key map (the cross-home
+    /// fallback probe hashing every read/write key once more). Also
+    /// skipped by the verified fast path.
+    pub probe_ns_per_access: f64,
 }
 
 impl Default for CpuModel {
@@ -48,6 +56,8 @@ impl Default for CpuModel {
             storage_access_cost: SimDuration::from_micros(1),
             spawn_cost: SimDuration::from_micros(45),
             routing_ns_per_key: 15.0,
+            probe_ns_per_txn: 150.0,
+            probe_ns_per_access: 40.0,
         }
     }
 }
@@ -108,10 +118,25 @@ impl CpuModel {
     /// Service time of the concurrency-control check (`ccheck`) for a
     /// batch slice of `accesses` read/write-set entries on one execution
     /// shard: one storage access per validated read and applied write,
-    /// plus the fixed dispatch overhead.
+    /// plus the fixed dispatch overhead. This is the *pre-planned*
+    /// (verified single-home fast path) cost — no per-transaction route
+    /// sets, no probe key map.
     #[must_use]
     pub fn ccheck_cost(&self, accesses: usize) -> SimDuration {
         self.storage_access_cost.saturating_mul(accesses as u64) + self.base_cost
+    }
+
+    /// Service time of the *probed* ccheck for `txns` transactions with
+    /// `accesses` total read/write-set entries: the planned cost plus the
+    /// per-transaction `BTreeSet` routing and the probe's per-access key
+    /// map the fast path skips. Always strictly dearer than
+    /// [`Self::ccheck_cost`] for non-empty work (the fast-path gap the
+    /// ROADMAP asked the model to reflect).
+    #[must_use]
+    pub fn ccheck_cost_probed(&self, txns: usize, accesses: usize) -> SimDuration {
+        let probe_ns =
+            txns as f64 * self.probe_ns_per_txn + accesses as f64 * self.probe_ns_per_access;
+        self.ccheck_cost(accesses) + SimDuration::from_micros((probe_ns / 1000.0).ceil() as u64)
     }
 }
 
@@ -193,6 +218,24 @@ mod tests {
         );
         assert!(cpu.routing_cost(1_000) >= SimDuration::from_micros(10));
         assert!(cpu.routing_cost(1_000) < cpu.validation_cost(1_000));
+    }
+
+    #[test]
+    fn probed_ccheck_costs_strictly_more_than_preplanned() {
+        // Pins the fast-path gap: the planned cost is the pure
+        // storage-access term, the probed cost adds exactly the
+        // route-set and key-map overhead the verified fast path skips.
+        let cpu = CpuModel::default();
+        let accesses = 200; // a 100-txn batch of 1-read-1-write txns
+        let txns = 100;
+        let planned = cpu.ccheck_cost(accesses);
+        let probed = cpu.ccheck_cost_probed(txns, accesses);
+        assert_eq!(planned, SimDuration::from_micros(200 + 3));
+        // 100 × 150 ns + 200 × 40 ns = 23 µs of skipped probe work.
+        assert_eq!(probed, planned + SimDuration::from_micros(23));
+        assert!(probed > planned);
+        // Empty work costs the same either way (nothing to probe).
+        assert_eq!(cpu.ccheck_cost_probed(0, 0), cpu.ccheck_cost(0));
     }
 
     #[test]

@@ -12,7 +12,10 @@ use crate::network::NetworkModel;
 use sbft_core::events::{Action, Destination, Envelope, ProtocolMessage, ProtocolTimer};
 use sbft_core::System;
 use sbft_serverless::{ExecuteRequest, ExecutorBehavior};
-use sbft_types::{ComponentId, ExecutorId, Region, SimDuration, SimTime, TxnId, TxnOutcome};
+use sbft_storage::GeoPartitionedStore;
+use sbft_types::{
+    ComponentId, ExecutorId, Region, SeqNum, SimDuration, SimTime, TxnId, TxnOutcome,
+};
 use sbft_workloads::{KeyDistribution, YcsbWorkload};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
@@ -133,6 +136,15 @@ pub struct SimHarness {
     /// Whether CLIENT-REQUEST service at a shim node includes the
     /// ordering-time shard-routing classification.
     charge_routing: bool,
+    /// The region-partitioned storage view, when the deployment
+    /// geo-partitions: executor ⇄ storage fetches are classified (and
+    /// counted) through it and pay the inter-region round trip to every
+    /// remote partition they touch.
+    geo: Option<GeoPartitionedStore>,
+    /// Per-batch memo of the distinct storage partitions its keys are
+    /// homed in — classified once, reused by every spawned executor of
+    /// the batch (including re-spawns).
+    touched_partitions: HashMap<SeqNum, std::collections::BTreeSet<Region>>,
     metrics: RunMetrics,
 }
 
@@ -184,6 +196,10 @@ impl SimHarness {
             .map(|_| ServiceStation::new(sharding.workers))
             .collect();
         let edge_execution = params.edge_execution_threads.map(ServiceStation::new);
+        let geo = system
+            .config
+            .region_partition()
+            .map(|p| GeoPartitionedStore::new(std::sync::Arc::clone(&system.storage), p));
         SimHarness {
             system,
             params,
@@ -200,6 +216,8 @@ impl SimHarness {
             submit_times: HashMap::new(),
             edge_execution,
             charge_routing,
+            geo,
+            touched_partitions: HashMap::new(),
             metrics: RunMetrics::default(),
         }
     }
@@ -275,6 +293,17 @@ impl SimHarness {
         self.metrics.single_home_batches = self.system.verifier.single_home_batches();
         self.metrics.planned_batches = self.system.verifier.planned_batches();
         self.metrics.plan_mismatches = self.system.verifier.plan_mismatches();
+        self.metrics.pinned_spawns = self.system.nodes.iter().map(|n| n.pinned_spawns()).sum();
+        self.metrics.placement_fallbacks = self
+            .system
+            .nodes
+            .iter()
+            .map(|n| n.placement_fallbacks())
+            .sum();
+        if let Some(geo) = &self.geo {
+            self.metrics.local_storage_fetches = geo.local_fetches();
+            self.metrics.remote_storage_fetches = geo.remote_fetches();
+        }
         self.metrics
     }
 
@@ -430,7 +459,43 @@ impl SimHarness {
         };
         // The function's billable time: certificate validation + execution.
         let cert_cost = self.cpu.message_cost("EXECUTE", execute.wire_size());
-        let busy = cert_cost + output.compute;
+        // Geo-partitioned storage: the executor bulk-fetches the batch's
+        // read-write sets from every partition its keys are homed in.
+        // Fetches to distinct partitions run in parallel, so the stall is
+        // the worst round trip; a pinned executor whose batch is
+        // single-home in its own region stalls only for the local hop.
+        // The touched-partition set is a property of the batch alone, so
+        // it is classified once per sequence number (every spawned
+        // executor of the batch reuses it) through the storage view,
+        // which also keeps the local/remote fetch counters.
+        let fetch_stall = match &self.geo {
+            Some(geo) => {
+                let touched = self
+                    .touched_partitions
+                    .entry(execute.seq)
+                    .or_insert_with(|| {
+                        geo.regions_touched(
+                            execute
+                                .batch
+                                .iter()
+                                .flat_map(|t| t.ops.iter())
+                                .map(|op| op.key()),
+                        )
+                    });
+                let mut worst = SimDuration::ZERO;
+                for home in touched.iter() {
+                    let _remote = geo.record_partition_fetch(region, *home);
+                    let rtt = self
+                        .network
+                        .inter_region_delay(region, *home, 256)
+                        .saturating_mul(2);
+                    worst = worst.max(rtt);
+                }
+                worst
+            }
+            None => SimDuration::ZERO,
+        };
+        let busy = cert_cost + fetch_stall + output.compute;
         self.metrics.executor_busy += busy;
         // Serverless executors run fully in parallel; the edge-execution
         // baselines funnel all execution through a fixed thread pool.
@@ -459,21 +524,41 @@ impl SimHarness {
         // Shard `ccheck` work announced in this action list gates the
         // sends that follow it: responses for a validated batch leave only
         // once every involved shard station has finished the batch's
-        // validate-and-apply work. Shards work in parallel (each from
-        // `arrival`); the watermark `now` tracks the latest completion.
+        // validate-and-apply work. Unchained slices (single-home work) run
+        // in parallel, each from `arrival`; chained slices are the
+        // lock-ordered cross-shard staircase — shard i+1 starts only after
+        // shard i grants, so `chain` carries the previous grant time. The
+        // watermark `now` tracks the latest completion either way.
         let arrival = now;
+        let mut chain = now;
         let mut now = now;
         for action in actions {
             match action {
                 Action::ShardCcheck {
-                    shard, accesses, ..
+                    shard,
+                    txns,
+                    accesses,
+                    planned,
+                    chained,
                 } => {
                     if self.shard_stations.is_empty() {
                         continue;
                     }
                     let idx = shard.0 as usize % self.shard_stations.len();
-                    let cost = self.cpu.ccheck_cost(accesses as usize);
-                    let done = self.shard_stations[idx].schedule(arrival, cost);
+                    // The verified fast path skipped the per-transaction
+                    // route sets and the probe key map; probed work pays
+                    // for them.
+                    let cost = if planned {
+                        self.cpu.ccheck_cost(accesses as usize)
+                    } else {
+                        self.cpu
+                            .ccheck_cost_probed(txns as usize, accesses as usize)
+                    };
+                    let start = if chained { chain } else { arrival };
+                    let done = self.shard_stations[idx].schedule(start, cost);
+                    if chained {
+                        chain = done;
+                    }
                     now = now.max(done);
                 }
                 Action::Send(Envelope { from, to, msg }) => {
@@ -586,8 +671,8 @@ mod tests {
     use super::*;
     use sbft_core::system::ShimProtocol;
     use sbft_core::{ShimAttack, SystemBuilder};
-    use sbft_types::NodeId;
     use sbft_types::{ConflictHandling, SystemConfig};
+    use sbft_types::{NodeId, ShardId};
 
     fn tiny_config() -> SystemConfig {
         let mut cfg = SystemConfig::with_shim_size(4);
@@ -810,6 +895,141 @@ mod tests {
             "4 shards ({}) must clearly beat 1 shard ({})",
             four.committed_txns,
             one.committed_txns
+        );
+    }
+
+    #[test]
+    fn chained_cchecks_climb_the_lock_ordered_staircase() {
+        // Cross-shard (`chained`) ccheck slices model the lock-ordered
+        // two-phase acquisition: shard i+1 starts only after shard i
+        // grants, so completions form a strict staircase. Single-home
+        // (unchained) slices keep running in parallel from arrival.
+        let mk_harness = || {
+            let system = SystemBuilder::new({
+                let mut c = tiny_config();
+                c.sharding = sbft_types::ShardingConfig::with_shards(4);
+                c
+            })
+            .clients(4)
+            .build();
+            SimHarness::new(system, tiny_params())
+        };
+        let slice = |shard: u32, chained: bool| Action::ShardCcheck {
+            shard: ShardId(shard),
+            txns: 1,
+            accesses: 10,
+            planned: false,
+            chained,
+        };
+        let probe = |h: &mut SimHarness| -> Vec<SimTime> {
+            h.shard_stations
+                .iter_mut()
+                .map(|s| s.schedule(SimTime::ZERO, SimDuration::ZERO))
+                .collect()
+        };
+        let cost = CpuModel::default().ccheck_cost_probed(1, 10);
+
+        let mut chained = mk_harness();
+        chained.process_actions(
+            ComponentId::Verifier,
+            SimTime::ZERO,
+            vec![slice(0, true), slice(1, true), slice(2, true)],
+        );
+        let steps = probe(&mut chained);
+        assert_eq!(steps[0], SimTime::ZERO + cost, "first lock from arrival");
+        assert_eq!(
+            steps[1],
+            SimTime::ZERO + cost + cost,
+            "shard 1 starts after shard 0 grants"
+        );
+        assert_eq!(steps[2], SimTime::ZERO + cost + cost + cost);
+
+        let mut parallel = mk_harness();
+        parallel.process_actions(
+            ComponentId::Verifier,
+            SimTime::ZERO,
+            vec![slice(0, false), slice(1, false), slice(2, false)],
+        );
+        let flat = probe(&mut parallel);
+        for done in &flat[..3] {
+            assert_eq!(*done, SimTime::ZERO + cost, "unchained slices overlap");
+        }
+    }
+
+    #[test]
+    fn cross_shard_batches_pay_the_staircase_in_commit_latency() {
+        // Metrics-level staircase: the same key-disjoint workload, once
+        // as single-home transactions and once as 2-key cross-home
+        // transactions over geo-unaware shards. With an expensive ccheck
+        // the cross-home run's mean commit latency must carry the
+        // serialised (chained) shard acquisitions instead of the
+        // parallel charge.
+        let run = |ops_per_txn: usize| {
+            let mut cfg = tiny_config();
+            cfg.workload.num_clients = 60;
+            cfg.workload.ops_per_txn = ops_per_txn;
+            cfg.sharding = sbft_types::ShardingConfig::with_shards(4);
+            let system = SystemBuilder::new(cfg).clients(60).build();
+            let cpu = CpuModel {
+                storage_access_cost: SimDuration::from_micros(600),
+                ..CpuModel::default()
+            };
+            SimHarness::with_models(
+                system,
+                SimParams {
+                    num_clients: 60,
+                    ..tiny_params()
+                },
+                crate::network::NetworkModel::default(),
+                cpu,
+            )
+            .run()
+        };
+        let single = run(1);
+        let cross = run(2);
+        assert!(single.committed_txns > 0 && cross.committed_txns > 0);
+        assert!(
+            cross.avg_latency_secs() > single.avg_latency_secs() * 1.5,
+            "lock-ordered chaining must show up in latency: cross {} vs single {}",
+            cross.avg_latency_secs(),
+            single.avg_latency_secs()
+        );
+    }
+
+    #[test]
+    fn geo_partitioning_charges_remote_fetches_and_pinning_removes_them() {
+        // Plan-aware placement end to end in the simulator: same
+        // single-home workload over geo-partitioned storage, once with
+        // the invoker pinning SingleHome batches to their home region
+        // and once with the round-robin baseline. Pinning must (a)
+        // actually pin, (b) drive the remote-fetch rate down, and (c)
+        // not raise the mean commit latency.
+        let run = |pinned: bool| {
+            let mut cfg = tiny_config();
+            cfg.conflict_handling = ConflictHandling::KnownRwSets;
+            cfg.regions = sbft_types::RegionSet::first_n(3);
+            cfg.sharding = sbft_types::ShardingConfig::with_shards(6)
+                .with_geo_partitioning()
+                .with_pinned_placement(pinned);
+            let system = SystemBuilder::new(cfg).clients(40).build();
+            SimHarness::new(system, tiny_params()).run()
+        };
+        let pinned = run(true);
+        let rr = run(false);
+        assert!(pinned.committed_txns > 0 && rr.committed_txns > 0);
+        assert!(pinned.pinned_spawns > 0, "SingleHome batches must pin");
+        assert_eq!(rr.pinned_spawns, 0, "the baseline never pins");
+        assert!(
+            pinned.remote_fetch_rate() < rr.remote_fetch_rate(),
+            "pinning must cut cross-region fetches: {} vs {}",
+            pinned.remote_fetch_rate(),
+            rr.remote_fetch_rate()
+        );
+        assert!(
+            pinned.avg_latency_secs() <= rr.avg_latency_secs(),
+            "pinned placement must not be slower: {} vs {}",
+            pinned.avg_latency_secs(),
+            rr.avg_latency_secs()
         );
     }
 

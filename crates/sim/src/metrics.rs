@@ -83,6 +83,18 @@ pub struct RunMetrics {
     /// `SingleHome` tags that failed re-derivation (byzantine primary or
     /// mis-declared read-write sets) and fell back to unplanned routing.
     pub plan_mismatches: u64,
+    /// Executors placed by pinning (plan-aware placement against a
+    /// geo-partitioned store), summed over the shim nodes.
+    pub pinned_spawns: u64,
+    /// Batches whose pin was refused (home region faulted, unavailable
+    /// or over capacity) and that fell back to the round-robin rotation.
+    pub placement_fallbacks: u64,
+    /// Executor storage fetches served by the executor's own region's
+    /// partition (geo-partitioned runs only).
+    pub local_storage_fetches: u64,
+    /// Executor storage fetches that crossed regions and paid the
+    /// inter-region round trip (geo-partitioned runs only).
+    pub remote_storage_fetches: u64,
     /// Client-observed latencies.
     pub latency: LatencyStats,
     /// Length of the measurement window.
@@ -138,6 +150,18 @@ impl RunMetrics {
             return 0.0;
         }
         1.0 - self.single_home_batches as f64 / self.validated_batches as f64
+    }
+
+    /// Fraction of executor storage fetches that crossed regions — the
+    /// locality metric plan-aware placement drives down; 0 when storage
+    /// is not geo-partitioned (no fetch is ever classified).
+    #[must_use]
+    pub fn remote_fetch_rate(&self) -> f64 {
+        let total = self.local_storage_fetches + self.remote_storage_fetches;
+        if total == 0 {
+            return 0.0;
+        }
+        self.remote_storage_fetches as f64 / total as f64
     }
 
     /// Builds the Figure-8 style cost report for this run.
@@ -211,6 +235,17 @@ mod tests {
             ..RunMetrics::default()
         };
         assert!((metrics.cross_shard_fallback_rate() - 0.3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn remote_fetch_rate_is_the_cross_region_share() {
+        assert_eq!(RunMetrics::default().remote_fetch_rate(), 0.0);
+        let metrics = RunMetrics {
+            local_storage_fetches: 30,
+            remote_storage_fetches: 10,
+            ..RunMetrics::default()
+        };
+        assert!((metrics.remote_fetch_rate() - 0.25).abs() < 1e-9);
     }
 
     #[test]

@@ -52,6 +52,31 @@ impl NetworkModel {
             SimDuration::from_secs_f64(region.one_way_latency_ms_from_home() / 1000.0);
         propagation + self.per_message_overhead + self.transmission(bytes)
     }
+
+    /// One-way propagation between two arbitrary regions. Within a region
+    /// it is the local (home-site) latency; across regions the model
+    /// routes over the home-site backbone (the triangle through North
+    /// California the latency table is anchored to), summing both legs.
+    /// Only the relative ordering matters — what the geo experiments need
+    /// is that a same-region storage fetch is far cheaper than any
+    /// cross-region one.
+    #[must_use]
+    pub fn inter_region_one_way(&self, a: Region, b: Region) -> SimDuration {
+        if a == b {
+            return self.local_latency;
+        }
+        SimDuration::from_secs_f64(
+            (a.one_way_latency_ms_from_home() + b.one_way_latency_ms_from_home()) / 1000.0,
+        )
+    }
+
+    /// Delay for a message between components in two (possibly equal)
+    /// regions — e.g. an executor fetching from a geo-partitioned storage
+    /// partition homed elsewhere.
+    #[must_use]
+    pub fn inter_region_delay(&self, a: Region, b: Region, bytes: usize) -> SimDuration {
+        self.inter_region_one_way(a, b) + self.per_message_overhead + self.transmission(bytes)
+    }
 }
 
 #[cfg(test)]
@@ -88,5 +113,26 @@ mod tests {
     fn big_batches_cost_more_to_ship() {
         let net = NetworkModel::default();
         assert!(net.local_delay(8_000 * 53) > net.local_delay(100 * 53));
+    }
+
+    #[test]
+    fn inter_region_latency_is_symmetric_and_local_within_a_region() {
+        let net = NetworkModel::default();
+        assert_eq!(
+            net.inter_region_one_way(Region::Oregon, Region::Oregon),
+            net.local_latency,
+            "a same-region fetch costs only the local hop"
+        );
+        assert_eq!(
+            net.inter_region_one_way(Region::Oregon, Region::Seoul),
+            net.inter_region_one_way(Region::Seoul, Region::Oregon),
+        );
+        // A cross-region fetch dwarfs a local one — the gap plan-aware
+        // placement exists to close.
+        assert!(
+            net.inter_region_delay(Region::Oregon, Region::Seoul, 1_000)
+                > net.inter_region_delay(Region::Oregon, Region::Oregon, 1_000)
+                    + SimDuration::from_millis(50)
+        );
     }
 }

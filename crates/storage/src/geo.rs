@@ -1,0 +1,178 @@
+//! The region-partitioned view of the on-premise store.
+//!
+//! When a deployment geo-partitions its storage, every execution shard's
+//! partition is replicated to a *home region* (the deterministic
+//! [`RegionPartition`] shared by the whole workspace). The store's data
+//! and versioning semantics are untouched — the view only adds the
+//! *placement* dimension: which region a key's partition lives in, which
+//! regions a read-write footprint touches, and counters separating local
+//! from remote accesses. Runtimes that model latency (the simulator)
+//! use the classification to charge inter-region round trips on
+//! executor ⇄ storage fetches; correctness never depends on it.
+
+use crate::kvstore::{StoreEntry, VersionedStore};
+use sbft_types::{Key, Region, RegionPartition};
+use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A [`VersionedStore`] seen through the geo-partitioning lens.
+#[derive(Debug)]
+pub struct GeoPartitionedStore {
+    store: Arc<VersionedStore>,
+    partition: RegionPartition,
+    local_fetches: AtomicU64,
+    remote_fetches: AtomicU64,
+}
+
+impl GeoPartitionedStore {
+    /// Wraps a store with the deployment's shard → region map.
+    #[must_use]
+    pub fn new(store: Arc<VersionedStore>, partition: RegionPartition) -> Self {
+        GeoPartitionedStore {
+            store,
+            partition,
+            local_fetches: AtomicU64::new(0),
+            remote_fetches: AtomicU64::new(0),
+        }
+    }
+
+    /// The underlying store.
+    #[must_use]
+    pub fn store(&self) -> &Arc<VersionedStore> {
+        &self.store
+    }
+
+    /// The shard → home-region map in force.
+    #[must_use]
+    pub fn partition(&self) -> &RegionPartition {
+        &self.partition
+    }
+
+    /// The home region of the partition holding `key` (delegates to the
+    /// shared [`RegionPartition`] map).
+    #[must_use]
+    pub fn home_of_key(&self, key: Key) -> Region {
+        self.partition.home_of_key(key)
+    }
+
+    /// The set of distinct home regions a key collection touches — what
+    /// an executor must reach to fetch a batch's read-write sets.
+    #[must_use]
+    pub fn regions_touched<I: IntoIterator<Item = Key>>(&self, keys: I) -> BTreeSet<Region> {
+        keys.into_iter().map(|k| self.home_of_key(k)).collect()
+    }
+
+    /// Records one bulk fetch from the partition homed in `home`, issued
+    /// by an accessor running in `from`; returns whether it crossed
+    /// regions. Latency-aware runtimes call this once per touched
+    /// partition per executor (executors fetch read-write sets in bulk).
+    pub fn record_partition_fetch(&self, from: Region, home: Region) -> bool {
+        let remote = home != from;
+        if remote {
+            self.remote_fetches.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.local_fetches.fetch_add(1, Ordering::Relaxed);
+        }
+        remote
+    }
+
+    /// Reads a key on behalf of an accessor running in `from`, counting
+    /// the access as local (accessor sits in the key's home region) or
+    /// remote. Returns the entry and whether the fetch crossed regions.
+    #[must_use]
+    pub fn fetch_from(&self, from: Region, key: Key) -> (Option<StoreEntry>, bool) {
+        let remote = self.record_partition_fetch(from, self.home_of_key(key));
+        (self.store.get(key), remote)
+    }
+
+    /// Fetches counted as local so far.
+    #[must_use]
+    pub fn local_fetches(&self) -> u64 {
+        self.local_fetches.load(Ordering::Relaxed)
+    }
+
+    /// Fetches counted as remote (cross-region) so far.
+    #[must_use]
+    pub fn remote_fetches(&self) -> u64 {
+        self.remote_fetches.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sbft_types::{RegionSet, ShardId, Value};
+
+    fn view(regions: usize, shards: usize) -> GeoPartitionedStore {
+        let store = Arc::new(VersionedStore::new());
+        store.load((0..1_000u64).map(|k| (Key(k), Value::new(k))));
+        GeoPartitionedStore::new(
+            store,
+            RegionPartition::new(RegionSet::first_n(regions), shards),
+        )
+    }
+
+    #[test]
+    fn home_of_key_agrees_with_the_canonical_shard_map() {
+        let geo = view(3, 8);
+        for k in 0..1_000u64 {
+            let shard = ShardId::of_key(Key(k), 8);
+            assert_eq!(geo.home_of_key(Key(k)), geo.partition().home_of(shard));
+        }
+    }
+
+    #[test]
+    fn regions_touched_collects_distinct_homes() {
+        let geo = view(3, 8);
+        // Enough dense keys touch every region the 8 shards spread over.
+        let all = geo.regions_touched((0..1_000u64).map(Key));
+        assert_eq!(all.len(), 3);
+        // A key set from one shard touches exactly its home region.
+        let home = geo.home_of_key(Key(1));
+        let same: Vec<Key> = (0..1_000u64)
+            .map(Key)
+            .filter(|k| geo.home_of_key(*k) == home)
+            .take(10)
+            .collect();
+        assert_eq!(geo.regions_touched(same), BTreeSet::from([home]));
+    }
+
+    #[test]
+    fn fetch_from_classifies_and_counts_local_vs_remote() {
+        let geo = view(3, 8);
+        let key = Key(7);
+        let home = geo.home_of_key(key);
+        let (entry, remote) = geo.fetch_from(home, key);
+        assert_eq!(entry.unwrap().value, Value::new(7));
+        assert!(!remote);
+        let elsewhere = RegionSet::first_n(3)
+            .regions()
+            .iter()
+            .copied()
+            .find(|r| *r != home)
+            .unwrap();
+        let (_, remote) = geo.fetch_from(elsewhere, key);
+        assert!(remote);
+        assert_eq!(geo.local_fetches(), 1);
+        assert_eq!(geo.remote_fetches(), 1);
+    }
+
+    #[test]
+    fn single_region_partition_makes_every_fetch_local() {
+        let geo = view(1, 4);
+        for k in 0..100u64 {
+            let (_, remote) = geo.fetch_from(Region::NorthCalifornia, Key(k));
+            assert!(!remote);
+        }
+        assert_eq!(geo.remote_fetches(), 0);
+    }
+
+    #[test]
+    fn view_does_not_change_store_semantics() {
+        let geo = view(3, 8);
+        let before = geo.store().version_of(Key(3));
+        let _ = geo.fetch_from(Region::Oregon, Key(3));
+        assert_eq!(geo.store().version_of(Key(3)), before);
+    }
+}

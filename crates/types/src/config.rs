@@ -225,6 +225,22 @@ pub struct ShardingConfig {
     /// [`crate::ShardPlan`]). Disable to measure the PR 3 baseline where
     /// cross-home batches are only discovered at apply time.
     pub ordering_lanes: bool,
+    /// Whether storage is **geo-partitioned**: every shard's partition
+    /// lives in a home region (the deterministic
+    /// [`crate::RegionPartition`] over the deployment's region set), and
+    /// an executor pays inter-region latency whenever it fetches keys
+    /// homed outside its own region. Off by default — the paper's setup
+    /// keeps all storage at the home site.
+    pub geo_partitioned: bool,
+    /// Whether the invoker consumes the replicated [`crate::ShardPlan`]
+    /// for spawn placement: a `SingleHome` batch's executors are pinned
+    /// to its shard's home region (with deterministic round-robin
+    /// fallback when that region is faulted or lacks spawn capacity);
+    /// cross-home and untagged batches keep the paper's round-robin
+    /// rotation. Only meaningful when `geo_partitioned` is set — without
+    /// partitioned storage there is nothing to be near. Placement is a
+    /// pure performance hint: outcomes are proven identical either way.
+    pub pinned_placement: bool,
 }
 
 impl Default for ShardingConfig {
@@ -236,6 +252,8 @@ impl Default for ShardingConfig {
             workers: 1,
             cross_shard_policy: CrossShardPolicy::LockOrdered,
             ordering_lanes: true,
+            geo_partitioned: false,
+            pinned_placement: true,
         }
     }
 }
@@ -254,6 +272,22 @@ impl ShardingConfig {
     #[must_use]
     pub fn with_workers(mut self, workers: usize) -> Self {
         self.workers = workers;
+        self
+    }
+
+    /// Enables geo-partitioned storage (shard partitions homed across the
+    /// deployment's regions).
+    #[must_use]
+    pub fn with_geo_partitioning(mut self) -> Self {
+        self.geo_partitioned = true;
+        self
+    }
+
+    /// Overrides plan-aware spawn placement (the round-robin baseline of
+    /// the `placement_points` sweep sets this to `false`).
+    #[must_use]
+    pub fn with_pinned_placement(mut self, pinned: bool) -> Self {
+        self.pinned_placement = pinned;
         self
     }
 
@@ -404,6 +438,17 @@ impl SystemConfig {
         }
     }
 
+    /// The geo-partitioning of the execution shards over this
+    /// deployment's regions, when [`ShardingConfig::geo_partitioned`] is
+    /// set. Every component derives the identical map from the shared
+    /// configuration — nothing about placement is ever communicated.
+    #[must_use]
+    pub fn region_partition(&self) -> Option<crate::RegionPartition> {
+        self.sharding
+            .geo_partitioned
+            .then(|| crate::RegionPartition::new(self.regions.clone(), self.sharding.num_shards))
+    }
+
     /// Validates fault parameters, regions, sharding and workload settings.
     pub fn validate(&self) -> SbftResult<()> {
         self.fault.validate()?;
@@ -531,6 +576,22 @@ mod tests {
             .with_workers(0)
             .validate()
             .is_err());
+    }
+
+    #[test]
+    fn geo_partitioning_is_off_by_default_and_derives_the_shared_map() {
+        let mut cfg = SystemConfig::servbft_8();
+        assert!(!cfg.sharding.geo_partitioned);
+        assert!(cfg.sharding.pinned_placement);
+        assert!(cfg.region_partition().is_none());
+        cfg.sharding = ShardingConfig::with_shards(8).with_geo_partitioning();
+        let part = cfg.region_partition().expect("geo map derived");
+        assert_eq!(part.num_shards(), 8);
+        assert_eq!(part.regions(), &cfg.regions);
+        // The round-robin baseline keeps the partition but not the pin.
+        cfg.sharding = cfg.sharding.with_pinned_placement(false);
+        assert!(cfg.region_partition().is_some());
+        assert!(!cfg.sharding.pinned_placement);
     }
 
     #[test]

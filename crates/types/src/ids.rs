@@ -36,6 +36,22 @@ pub struct ExecutorId(pub u64);
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
 pub struct ShardId(pub u32);
 
+impl ShardId {
+    /// The shard owning `key` among `num_shards` shards — the one
+    /// canonical `key → shard` function of the whole workspace (Fibonacci
+    /// multiplicative hashing, scaled without modulo bias). The shard
+    /// router (`sbft-sharding`) and the region-partitioned storage view
+    /// (`sbft-storage`) both delegate here, so ordering-time planning,
+    /// apply-time routing and geo placement can never disagree about
+    /// where a key lives.
+    #[must_use]
+    pub fn of_key(key: crate::rwset::Key, num_shards: usize) -> ShardId {
+        let n = num_shards.max(1) as u32;
+        let h = key.0.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        ShardId(((u128::from(h) * u128::from(n)) >> 64) as u32)
+    }
+}
+
 /// A PBFT view number. The primary of view `v` is node `v mod n_R`.
 #[derive(
     Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize, Debug,

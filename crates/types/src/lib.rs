@@ -47,7 +47,7 @@ pub use ids::{
     ClientId, ComponentId, ExecutorId, NodeId, ReplicaIndex, SeqNum, ShardId, TxnId, ViewNumber,
 };
 pub use plan::ShardPlan;
-pub use region::{Region, RegionSet};
+pub use region::{Region, RegionPartition, RegionSet};
 pub use rwset::{Key, KeySet, ReadWriteSet, RwSetKeys, Value, Version};
 pub use time::{SimDuration, SimTime};
 pub use transaction::{Operation, Transaction, TxnOutcome, TxnResult};

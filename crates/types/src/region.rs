@@ -6,6 +6,7 @@
 //! verifier and shim are deployed in North California, so regions further
 //! down the list have a larger round-trip time to the verifier.
 
+use crate::ids::ShardId;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -154,6 +155,12 @@ impl RegionSet {
         self.regions[i % self.regions.len()]
     }
 
+    /// Whether the set contains `region`.
+    #[must_use]
+    pub fn contains(&self, region: Region) -> bool {
+        self.regions.contains(&region)
+    }
+
     /// Evenly splits `n_executors` across the regions and reports how many
     /// land in each region (the executor-scaling experiments "try to evenly
     /// split executors across regions").
@@ -168,6 +175,74 @@ impl RegionSet {
             .copied()
             .zip(counts)
             .filter(|(_, c)| *c > 0)
+            .collect()
+    }
+}
+
+/// The geo-partitioning of the execution shards across regions: every
+/// shard has exactly one *home region* where its storage partition lives.
+///
+/// The map is a pure function of `(region set, shard count)` — shard `s`
+/// is homed in `regions[s mod |regions|]` — so the shim's invoker, the
+/// verifier's runtime, the simulator and the experiment binaries all
+/// derive the identical placement without ever exchanging it. This is the
+/// geo analogue of [`crate::ShardPlan`]'s trust-but-verify rule: because
+/// everyone can re-derive the map, no component ever has to believe
+/// another's claim about where a shard lives.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct RegionPartition {
+    regions: RegionSet,
+    num_shards: usize,
+}
+
+impl RegionPartition {
+    /// Builds the partition of `num_shards` shards over a region set.
+    ///
+    /// # Panics
+    /// Panics if `num_shards` is zero.
+    #[must_use]
+    pub fn new(regions: RegionSet, num_shards: usize) -> Self {
+        assert!(num_shards >= 1, "a partition needs at least one shard");
+        RegionPartition {
+            regions,
+            num_shards,
+        }
+    }
+
+    /// Number of shards being partitioned.
+    #[must_use]
+    pub fn num_shards(&self) -> usize {
+        self.num_shards
+    }
+
+    /// The regions the shards are spread over.
+    #[must_use]
+    pub fn regions(&self) -> &RegionSet {
+        &self.regions
+    }
+
+    /// The home region of a shard. Deterministic round-robin over the
+    /// region set; shards outside `0..num_shards` wrap the same way so a
+    /// forged [`ShardId`] still maps somewhere stable.
+    #[must_use]
+    pub fn home_of(&self, shard: ShardId) -> Region {
+        self.regions.round_robin(shard.0 as usize)
+    }
+
+    /// The home region of the partition holding `key` — the one place
+    /// the key → shard → region composition lives, so the storage view,
+    /// the invoker and the simulator can never drift apart.
+    #[must_use]
+    pub fn home_of_key(&self, key: crate::rwset::Key) -> Region {
+        self.home_of(ShardId::of_key(key, self.num_shards))
+    }
+
+    /// The shards whose storage partition lives in `region`.
+    #[must_use]
+    pub fn shards_homed_in(&self, region: Region) -> Vec<ShardId> {
+        (0..self.num_shards as u32)
+            .map(ShardId)
+            .filter(|s| self.home_of(*s) == region)
             .collect()
     }
 }
@@ -253,5 +328,67 @@ mod tests {
     fn names_are_human_readable() {
         assert_eq!(Region::NorthCalifornia.name(), "North California");
         assert_eq!(format!("{}", Region::Seoul), "Seoul");
+    }
+
+    #[test]
+    fn contains_reports_membership() {
+        let set = RegionSet::first_n(2);
+        assert!(set.contains(Region::NorthCalifornia));
+        assert!(set.contains(Region::Oregon));
+        assert!(!set.contains(Region::Singapore));
+    }
+
+    #[test]
+    fn partition_homes_every_shard_round_robin() {
+        let part = RegionPartition::new(RegionSet::first_n(3), 8);
+        assert_eq!(part.num_shards(), 8);
+        assert_eq!(part.home_of(ShardId(0)), Region::NorthCalifornia);
+        assert_eq!(part.home_of(ShardId(1)), Region::Oregon);
+        assert_eq!(part.home_of(ShardId(2)), Region::Ohio);
+        assert_eq!(part.home_of(ShardId(3)), Region::NorthCalifornia);
+        // Out-of-range shards (a forged tag) still map deterministically.
+        assert_eq!(part.home_of(ShardId(100)), part.home_of(ShardId(1)));
+    }
+
+    #[test]
+    fn partition_is_a_pure_function_of_its_inputs() {
+        let a = RegionPartition::new(RegionSet::first_n(4), 16);
+        let b = RegionPartition::new(RegionSet::first_n(4), 16);
+        for s in 0..16u32 {
+            assert_eq!(a.home_of(ShardId(s)), b.home_of(ShardId(s)));
+        }
+    }
+
+    #[test]
+    fn home_of_key_composes_the_canonical_shard_map() {
+        use crate::rwset::Key;
+        let part = RegionPartition::new(RegionSet::first_n(3), 8);
+        for k in 0..1_000u64 {
+            assert_eq!(
+                part.home_of_key(Key(k)),
+                part.home_of(ShardId::of_key(Key(k), 8))
+            );
+        }
+    }
+
+    #[test]
+    fn shards_homed_in_inverts_home_of() {
+        let part = RegionPartition::new(RegionSet::first_n(3), 8);
+        let mut total = 0;
+        for region in RegionSet::first_n(3).regions() {
+            let shards = part.shards_homed_in(*region);
+            total += shards.len();
+            for s in shards {
+                assert_eq!(part.home_of(s), *region);
+            }
+        }
+        assert_eq!(total, 8, "every shard is homed exactly once");
+    }
+
+    #[test]
+    fn more_regions_than_shards_leaves_some_regions_empty() {
+        let part = RegionPartition::new(RegionSet::first_n(5), 2);
+        assert!(part.shards_homed_in(Region::Frankfurt).is_empty());
+        assert_eq!(part.shards_homed_in(Region::NorthCalifornia).len(), 1);
     }
 }

@@ -225,6 +225,72 @@ fn ordering_planner_cuts_cross_shard_coordination_end_to_end() {
 }
 
 #[test]
+fn geo_partitioned_deployment_pins_placement_end_to_end() {
+    // Geo-partitioned storage over 3 regions with plan-aware placement:
+    // the full closed-loop system must keep committing, pin every
+    // single-home batch's executors to its shard's home region (zero
+    // cross-region storage fetches), and never trip the trust-but-verify
+    // re-derivation. The round-robin baseline over the same partitioned
+    // store keeps paying remote fetches — and a mean commit latency at
+    // least as high.
+    let run = |pinned: bool| {
+        let mut cfg = small_config();
+        cfg.conflict_handling = ConflictHandling::KnownRwSets;
+        cfg.regions = serverless_bft::types::RegionSet::first_n(3);
+        cfg.sharding = serverless_bft::types::ShardingConfig::with_shards(8)
+            .with_geo_partitioning()
+            .with_pinned_placement(pinned);
+        let system = SystemBuilder::new(cfg).clients(60).build();
+        SimHarness::new(system, params(60)).run()
+    };
+    let pinned = run(true);
+    let rr = run(false);
+    assert!(pinned.committed_txns > 100, "{}", pinned.committed_txns);
+    assert!(rr.committed_txns > 100, "{}", rr.committed_txns);
+    assert!(pinned.pinned_spawns > 0, "single-home batches must pin");
+    assert_eq!(pinned.placement_fallbacks, 0, "nothing to fall back from");
+    assert_eq!(pinned.plan_mismatches, 0, "honest tags always verify");
+    assert_eq!(rr.pinned_spawns, 0, "the baseline never pins");
+    assert_eq!(
+        pinned.remote_fetch_rate(),
+        0.0,
+        "pinned single-home executors fetch only from their own region"
+    );
+    assert!(rr.remote_fetch_rate() > 0.3, "{}", rr.remote_fetch_rate());
+    assert!(
+        pinned.avg_latency_secs() <= rr.avg_latency_secs(),
+        "pinned mean commit latency must not lose ({} vs {})",
+        pinned.avg_latency_secs(),
+        rr.avg_latency_secs()
+    );
+}
+
+#[test]
+fn geo_partitioned_runs_are_deterministic() {
+    // The geo pipeline (partitioned fetch charging + pinned placement)
+    // must stay bit-deterministic for a fixed seed, like its unplanned
+    // and planner counterparts above.
+    let run = || {
+        let mut cfg = small_config();
+        cfg.conflict_handling = ConflictHandling::KnownRwSets;
+        cfg.regions = serverless_bft::types::RegionSet::first_n(3);
+        cfg.sharding =
+            serverless_bft::types::ShardingConfig::with_shards(8).with_geo_partitioning();
+        let system = SystemBuilder::new(cfg).clients(50).build();
+        SimHarness::new(system, params(50)).run()
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.committed_txns, b.committed_txns);
+    assert_eq!(a.pinned_spawns, b.pinned_spawns);
+    assert_eq!(a.placement_fallbacks, b.placement_fallbacks);
+    assert_eq!(a.local_storage_fetches, b.local_storage_fetches);
+    assert_eq!(a.remote_storage_fetches, b.remote_storage_fetches);
+    assert_eq!(a.messages_delivered, b.messages_delivered);
+    assert_eq!(a.bytes_delivered, b.bytes_delivered);
+}
+
+#[test]
 fn planner_runs_are_deterministic() {
     // The laned pipeline must stay bit-deterministic for a fixed seed —
     // the regression gate for the ordering-time planner, mirroring the

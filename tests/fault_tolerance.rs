@@ -3,9 +3,11 @@
 
 use serverless_bft::core::{ShimAttack, SystemBuilder};
 use serverless_bft::serverless::cloud::CloudFaultPlan;
-use serverless_bft::serverless::ExecutorBehavior;
+use serverless_bft::serverless::{ExecutorBehavior, RegionOutage};
 use serverless_bft::sim::{SimHarness, SimParams};
-use serverless_bft::types::{ConflictHandling, NodeId, ShardingConfig, SimDuration, SystemConfig};
+use serverless_bft::types::{
+    ConflictHandling, NodeId, Region, ShardingConfig, SimDuration, SystemConfig,
+};
 
 fn config() -> SystemConfig {
     let mut cfg = SystemConfig::with_shim_size(4);
@@ -182,6 +184,206 @@ fn misplanning_and_honest_runs_commit_identically() {
     assert_eq!(honest.committed_txns, attacked.committed_txns);
     assert_eq!(honest.aborted_txns, attacked.aborted_txns);
     assert_eq!(honest.latency.count(), attacked.latency.count());
+}
+
+/// A geo deployment: planner lanes over geo-partitioned storage spread
+/// across 3 regions, with plan-aware (pinned) executor placement.
+fn geo_config() -> SystemConfig {
+    let mut cfg = planner_config();
+    cfg.regions = serverless_bft::types::RegionSet::first_n(3);
+    cfg.sharding = ShardingConfig::with_shards(8).with_geo_partitioning();
+    cfg
+}
+
+#[test]
+fn region_outage_preserves_liveness_and_the_spawn_margin() {
+    // A whole region goes dark. The cloud would reject every spawn into
+    // it, but the invokers know about the outage, so pinned batches
+    // homed there fall back to the (outage-aware) rotation: not one
+    // spawn request targets the dead region, every batch still gets its
+    // full executor complement, and the system keeps committing.
+    let system = SystemBuilder::new(geo_config())
+        .clients(60)
+        .region_outage(RegionOutage::of(Region::Ohio))
+        .build();
+    let metrics = SimHarness::new(system, params()).run();
+    assert!(
+        metrics.committed_txns > 100,
+        "liveness under a region outage: committed {}",
+        metrics.committed_txns
+    );
+    assert!(
+        metrics.placement_fallbacks > 0,
+        "batches homed in the dead region must fall back"
+    );
+    assert!(
+        metrics.pinned_spawns > 0,
+        "batches homed in healthy regions keep their pin"
+    );
+    assert_eq!(
+        metrics.spawns_rejected, 0,
+        "the invokers must never route a spawn into the dead region"
+    );
+    // The spawn margin is intact: every validated batch was served by
+    // its full executors_per_batch complement despite the outage.
+    assert!(
+        metrics.executors_spawned >= metrics.validated_batches * 3,
+        "spawn margin eroded: {} executors for {} batches",
+        metrics.executors_spawned,
+        metrics.validated_batches
+    );
+    assert_eq!(metrics.divergent_aborts, 0);
+}
+
+#[test]
+fn region_outage_and_healthy_runs_commit_identically() {
+    // Placement is a pure performance hint, even mid-fault: the same
+    // committed stream driven once with healthy pinning and once with
+    // the home region down (forcing the round-robin fallback) must
+    // produce identical commit counts, responses and final storage
+    // state — only the spawn regions may differ.
+    use serverless_bft::consensus::CftReplica;
+    use serverless_bft::core::events::{Action, ClientRequest, ProtocolMessage};
+    use serverless_bft::core::verifier::{Verifier, VerifierConfig};
+    use serverless_bft::core::ShimNode;
+    use serverless_bft::crypto::CryptoProvider;
+    use serverless_bft::serverless::Executor;
+    use serverless_bft::sharding::ShardRouter;
+    use serverless_bft::storage::{StorageReader, YcsbTable};
+    use serverless_bft::types::{
+        ClientId, ComponentId, ExecutorId, FaultParams, Key, Operation, RegionPartition, RegionSet,
+        SimTime, Transaction, TxnId,
+    };
+
+    let mut cfg = SystemConfig::with_shim_size(4);
+    cfg.conflict_handling = ConflictHandling::KnownRwSets;
+    cfg.regions = RegionSet::first_n(3);
+    cfg.sharding = ShardingConfig::with_shards(4).with_geo_partitioning();
+    cfg.workload.batch_size = 1;
+
+    // Keys homed (key → shard → region) in Oregon, so healthy pinning
+    // targets Oregon and the outage run must steer around it.
+    let router = ShardRouter::new(4);
+    let partition = RegionPartition::new(RegionSet::first_n(3), 4);
+    let oregon_keys: Vec<Key> = (1..)
+        .map(Key)
+        .filter(|k| partition.home_of(router.shard_of(*k)) == Region::Oregon)
+        .take(6)
+        .collect();
+
+    let run = |outage: bool| {
+        let provider = CryptoProvider::new(11);
+        let store = YcsbTable::populate(1_000).store().clone();
+        // A 1-node CFT shim commits every submission immediately, so the
+        // committed stream is identical by construction across runs.
+        let mut node = ShimNode::new(
+            NodeId(0),
+            cfg.clone(),
+            provider.handle(ComponentId::Node(NodeId(0))),
+            Box::new(CftReplica::new(
+                NodeId(0),
+                FaultParams {
+                    n_r: 1,
+                    f_r: 0,
+                    n_e: 3,
+                    f_e: 1,
+                },
+                cfg.timers.node_timeout,
+            )),
+        );
+        if outage {
+            node.mark_region_down(Region::Oregon);
+        }
+        let mut verifier = Verifier::new(
+            provider.handle(ComponentId::Verifier),
+            std::sync::Arc::clone(&store),
+            VerifierConfig {
+                params: FaultParams::for_shim_size(4),
+                conflict_handling: ConflictHandling::KnownRwSets,
+                abort_timeout: SimDuration::from_millis(100),
+                cert_quorum: 0,
+                spawned_per_batch: 3,
+                sharding: cfg.sharding,
+                checkpoint_interval: cfg.timers.checkpoint_interval,
+            },
+        );
+        let mut next_executor = 0u64;
+        let mut spawn_regions = Vec::new();
+        let mut responses = Vec::new();
+        for (i, key) in oregon_keys.iter().enumerate() {
+            let txn = Transaction::new(
+                TxnId::new(ClientId(i as u32), 0),
+                vec![Operation::ReadModifyWrite(*key, 7)],
+            )
+            .with_inferred_rwset();
+            let digest = ClientRequest::signing_digest(&txn);
+            let request = ClientRequest {
+                signature: provider
+                    .handle(ComponentId::Client(ClientId(i as u32)))
+                    .sign(&digest),
+                txn,
+            };
+            for action in node.on_client_request(&request, SimTime::ZERO) {
+                let Action::SpawnExecutor { request, execute } = action else {
+                    continue;
+                };
+                spawn_regions.push(request.region);
+                let id = ExecutorId(next_executor);
+                next_executor += 1;
+                let executor = Executor::new(
+                    id,
+                    request.region,
+                    ExecutorBehavior::Honest,
+                    provider.handle(ComponentId::Executor(id)),
+                    StorageReader::new(std::sync::Arc::clone(&store)),
+                    4,
+                    0,
+                );
+                let output = executor.handle_execute(&execute).expect("honest EXECUTE");
+                for verify in output.verify_messages {
+                    for action in verifier.on_verify(&verify) {
+                        if let Some(env) = action.as_send() {
+                            if matches!(
+                                env.msg,
+                                ProtocolMessage::Response(_) | ProtocolMessage::Abort(_)
+                            ) {
+                                responses.push(format!("{:?}", env.msg));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        let state: Vec<u64> = oregon_keys.iter().map(|k| store.version_of(*k).0).collect();
+        (
+            verifier.committed_txns(),
+            verifier.aborted_txns(),
+            responses,
+            state,
+            spawn_regions,
+        )
+    };
+
+    let healthy = run(false);
+    let faulted = run(true);
+    // The placements really differ …
+    assert!(
+        healthy.4.iter().all(|r| *r == Region::Oregon),
+        "healthy pinning targets the home region: {:?}",
+        healthy.4
+    );
+    assert!(
+        faulted.4.iter().all(|r| *r != Region::Oregon),
+        "the outage run must avoid the dead region: {:?}",
+        faulted.4
+    );
+    assert_eq!(healthy.4.len(), faulted.4.len(), "full spawn margin kept");
+    // … and nothing else does: honest ≡ faulted, byte for byte.
+    assert_eq!(healthy.0, faulted.0, "committed counts diverge");
+    assert_eq!(healthy.1, faulted.1, "aborted counts diverge");
+    assert_eq!(healthy.2, faulted.2, "client responses diverge");
+    assert_eq!(healthy.3, faulted.3, "final storage state diverges");
+    assert_eq!(healthy.0, oregon_keys.len() as u64, "every batch commits");
 }
 
 #[test]

@@ -10,13 +10,16 @@ use serverless_bft::crypto::certificate::commit_digest;
 use serverless_bft::crypto::{
     AggregateSignature, CommitCertificate, CryptoProvider, KeyStore, SimSigner,
 };
-use serverless_bft::serverless::VerifyMessage;
+use serverless_bft::serverless::{
+    ExecuteRequest, Executor, ExecutorBehavior, Invoker, VerifyMessage,
+};
 use serverless_bft::sharding::{ShardRouter, ShardScheduler, ShardedCommitter};
-use serverless_bft::storage::{ConcurrencyChecker, VersionedStore, YcsbTable};
+use serverless_bft::storage::{ConcurrencyChecker, StorageReader, VersionedStore, YcsbTable};
 use serverless_bft::types::{
     Batch, ClientId, ComponentId, ConflictHandling, Digest, ExecutorId, FaultParams, Key, NodeId,
-    Operation, ReadWriteSet, RwSetKeys, SeqNum, ShardPlan, ShardingConfig, Signature, SimDuration,
-    SimTime, Transaction, TxnId, TxnResult, Value, Version, ViewNumber,
+    Operation, ReadWriteSet, Region, RegionPartition, RegionSet, RwSetKeys, SeqNum, ShardPlan,
+    ShardingConfig, Signature, SimDuration, SimTime, Transaction, TxnId, TxnResult, Value, Version,
+    ViewNumber,
 };
 use std::collections::BTreeSet;
 use std::sync::Arc;
@@ -617,5 +620,165 @@ proptest! {
         prop_assert_eq!(&routed.1, &unrouted.1, "aborted counts diverge");
         prop_assert_eq!(&routed.2, &unrouted.2, "per-client responses diverge");
         prop_assert_eq!(&routed.3, &unrouted.3, "final KV state diverges");
+    }
+
+    /// **Placement equivalence**: pinned placement ≡ round-robin placement.
+    ///
+    /// The same committed stream — random Zipf-skewed keys, random shard
+    /// and region counts, forced cross-home batches — is executed three
+    /// times end to end through real invokers and executors: with the
+    /// paper's round-robin placement, with plan-aware pinning against the
+    /// geo partition, and with pinning under a [`RegionOutage`] of one
+    /// region (exercising the deterministic fallback). Per-transaction
+    /// outcomes, client responses and the final KV state must be
+    /// byte-identical in all three; only the spawn regions may differ.
+    /// This is what licenses the invoker to treat placement as a pure
+    /// performance hint.
+    #[test]
+    fn placement_equals_round_robin(
+        batches in prop::collection::vec(
+            prop::collection::vec((0u64..255, any::<u64>(), any::<bool>()), 1..5),
+            1..6,
+        ),
+        shards in 1usize..10,
+        region_count in 1usize..6,
+        skew in 0u32..3,
+    ) {
+        let provider = CryptoProvider::new(23);
+        let router = ShardRouter::new(shards);
+        let regions = RegionSet::first_n(region_count);
+        // One region the outage run takes down (the second of the set,
+        // so multi-region runs genuinely lose pin targets).
+        let downed = regions.round_robin(1);
+        // Materialise the committed stream once: read-modify-writes over
+        // a skew-compressed key space, with an occasional forced second
+        // key on another shard (a cross-home batch).
+        let all_txns: Vec<Vec<Transaction>> = batches
+            .iter()
+            .enumerate()
+            .map(|(b, txns)| {
+                txns.iter()
+                    .enumerate()
+                    .map(|(i, (key, salt, cross))| {
+                        let key = Key(key >> (skew * 3));
+                        let mut ops = vec![Operation::ReadModifyWrite(key, *salt)];
+                        if *cross {
+                            if let Some(far) = (0..255u64)
+                                .map(Key)
+                                .find(|k| router.shard_of(*k) != router.shard_of(key))
+                            {
+                                ops.push(Operation::ReadModifyWrite(far, salt.wrapping_add(1)));
+                            }
+                        }
+                        Transaction::new(TxnId::new(ClientId(i as u32), b as u64), ops)
+                            .with_inferred_rwset()
+                    })
+                    .collect()
+            })
+            .collect();
+        #[derive(Clone, Copy)]
+        enum Placement {
+            RoundRobin,
+            Pinned,
+            PinnedUnderOutage,
+        }
+        let run = |placement: Placement| {
+            let (store, mut verifier) = equivalence_verifier(&provider, shards, false);
+            let mut invoker = match placement {
+                Placement::RoundRobin => Invoker::new(NodeId(0), regions.clone()),
+                _ => Invoker::new(NodeId(0), regions.clone())
+                    .with_partition(RegionPartition::new(regions.clone(), shards)),
+            };
+            if matches!(placement, Placement::PinnedUnderOutage) {
+                invoker.mark_region_down(downed);
+            }
+            let mut next_executor = 0u64;
+            let mut responses = Vec::new();
+            let mut spawn_regions: Vec<Region> = Vec::new();
+            for (b, txns) in all_txns.iter().enumerate() {
+                let seq = b as u64 + 1;
+                let batch = Batch::new(txns.clone());
+                let digest = batch_digest(&batch);
+                let plan = router.plan_keys(
+                    batch.iter().flat_map(|t| t.ops.iter().map(|op| op.key())),
+                );
+                let cd = commit_digest(ViewNumber(0), SeqNum(seq), &digest);
+                let entries = (0..3u32)
+                    .map(|n| {
+                        let kp = provider
+                            .key_store()
+                            .keypair_for(ComponentId::Node(NodeId(n)));
+                        (NodeId(n), SimSigner::sign(&kp, &cd))
+                    })
+                    .collect();
+                let certificate =
+                    Arc::new(CommitCertificate::new(ViewNumber(0), SeqNum(seq), digest, entries));
+                let signing =
+                    ExecuteRequest::signing_digest(ViewNumber(0), SeqNum(seq), &digest, NodeId(0));
+                let execute = ExecuteRequest {
+                    view: ViewNumber(0),
+                    seq: SeqNum(seq),
+                    digest,
+                    batch,
+                    certificate,
+                    plan,
+                    spawner: NodeId(0),
+                    signature: provider.handle(ComponentId::Node(NodeId(0))).sign(&signing),
+                };
+                let spawn_plan = invoker.plan_placed(SeqNum(seq), 3, plan);
+                prop_assert_eq!(spawn_plan.requests.len(), 3, "full spawn complement");
+                // f_E + 1 = 2 matching VERIFYs validate the batch; run the
+                // first two spawned executors wherever they were placed.
+                for request in &spawn_plan.requests[..2] {
+                    spawn_regions.push(request.region);
+                    let id = ExecutorId(next_executor);
+                    next_executor += 1;
+                    let executor = Executor::new(
+                        id,
+                        request.region,
+                        ExecutorBehavior::Honest,
+                        provider.handle(ComponentId::Executor(id)),
+                        StorageReader::new(Arc::clone(&store)),
+                        4,
+                        3,
+                    );
+                    let output = executor.handle_execute(&execute).expect("honest EXECUTE");
+                    for verify in output.verify_messages {
+                        for action in verifier.on_verify(&verify) {
+                            if let Some(env) = action.as_send() {
+                                responses.push(format!("{:?}", env.msg));
+                            }
+                        }
+                    }
+                }
+            }
+            let state: Vec<(u64, u64)> = (0..256u64)
+                .map(|k| {
+                    let e = store.get(Key(k)).expect("populated key");
+                    (e.value.data, e.version.0)
+                })
+                .collect();
+            (
+                verifier.committed_txns(),
+                verifier.aborted_txns(),
+                responses,
+                state,
+                spawn_regions,
+            )
+        };
+        let rr = run(Placement::RoundRobin);
+        let pinned = run(Placement::Pinned);
+        let outage = run(Placement::PinnedUnderOutage);
+        for (label, side) in [("pinned", &pinned), ("pinned-under-outage", &outage)] {
+            prop_assert_eq!(&rr.0, &side.0, "{}: committed counts diverge", label);
+            prop_assert_eq!(&rr.1, &side.1, "{}: aborted counts diverge", label);
+            prop_assert_eq!(&rr.2, &side.2, "{}: client responses diverge", label);
+            prop_assert_eq!(&rr.3, &side.3, "{}: final KV state diverges", label);
+        }
+        // The equivalence is not vacuous: the fallback really avoids the
+        // downed region whenever an alternative exists.
+        if region_count > 1 {
+            prop_assert!(outage.4.iter().all(|r| *r != downed));
+        }
     }
 }
