@@ -131,6 +131,22 @@ pub fn run_point(point: PointConfig) -> PointResult {
 
 /// Runs one data point on the simulator without printing.
 pub fn run_point_silent(point: PointConfig) -> PointResult {
+    run_point_with_sink(point, None)
+}
+
+/// Runs one data point with batch lifecycle tracing into `sink`
+/// (the `trace_report` binary's entry point).
+pub fn run_point_traced(
+    point: PointConfig,
+    sink: std::sync::Arc<dyn sbft_telemetry::TraceSink>,
+) -> PointResult {
+    run_point_with_sink(point, Some(sink))
+}
+
+fn run_point_with_sink(
+    point: PointConfig,
+    sink: Option<std::sync::Arc<dyn sbft_telemetry::TraceSink>>,
+) -> PointResult {
     let clients = point.clients.max(1);
     let mut config = point.config.clone();
     config.workload.num_clients = clients;
@@ -154,13 +170,16 @@ pub fn run_point_silent(point: PointConfig) -> PointResult {
         zipf_theta: point.zipf_theta,
         ..SimParams::default()
     };
-    let metrics = SimHarness::with_models(
+    let mut harness = SimHarness::with_models(
         system,
         params,
         NetworkModel::default(),
         point.cpu.unwrap_or_default(),
-    )
-    .run();
+    );
+    if let Some(sink) = sink {
+        harness = harness.with_tracer(sink);
+    }
+    let metrics = harness.run();
 
     // Cost accounting: the shim nodes + verifier machines run for the whole
     // wall-clock window; executors are billed per invocation.

@@ -44,6 +44,7 @@
 
 use crate::messages::BatchDigestAccumulator;
 use sbft_crypto::{AggregateSignature, CryptoProvider};
+use sbft_telemetry::{Counter, Registry};
 use sbft_types::{
     Batch, ComponentId, Digest, ShardId, ShardPlan, Signature, SimDuration, SimTime, Transaction,
     TxnId,
@@ -267,6 +268,11 @@ pub struct Batcher {
     lanes: Vec<Lane>,
     /// Number of per-shard home lanes (0 = unlaned).
     home_lanes: usize,
+    /// Batches released because a lane reached the size threshold.
+    released_full: Counter,
+    /// Batches released because the oldest pending transaction waited
+    /// out `max_wait` (the periodic poll).
+    released_timeout: Counter,
 }
 
 impl Batcher {
@@ -283,6 +289,8 @@ impl Batcher {
             max_wait,
             lanes: vec![Lane::new(batch_size)],
             home_lanes: 0,
+            released_full: Counter::new(),
+            released_timeout: Counter::new(),
         }
     }
 
@@ -303,7 +311,16 @@ impl Batcher {
             max_wait,
             lanes: (0..=num_shards).map(|_| Lane::new(batch_size)).collect(),
             home_lanes: num_shards,
+            released_full: Counter::new(),
+            released_timeout: Counter::new(),
         }
+    }
+
+    /// Re-homes the release counters into `registry` under
+    /// `<prefix>.batcher.*` (the shim node passes its own prefix).
+    pub fn register_metrics(&mut self, registry: &Registry, prefix: &str) {
+        self.released_full = registry.counter(&format!("{prefix}.batcher.released_full"));
+        self.released_timeout = registry.counter(&format!("{prefix}.batcher.released_timeout"));
     }
 
     /// The configured batch size.
@@ -394,6 +411,7 @@ impl Batcher {
         };
         if release {
             let plan = self.lane_plan(idx);
+            self.released_full.inc();
             return self.lanes[idx].take(plan);
         }
         None
@@ -405,7 +423,11 @@ impl Batcher {
     pub fn poll(&mut self, now: SimTime) -> Option<SignedBatch> {
         let idx = (0..self.lanes.len()).find(|i| self.lanes[*i].stale(now, self.max_wait))?;
         let plan = self.lane_plan(idx);
-        self.lanes[idx].take(plan)
+        let released = self.lanes[idx].take(plan);
+        if released.is_some() {
+            self.released_timeout.inc();
+        }
+        released
     }
 
     /// Releases the next non-empty lane as a batch immediately (call
@@ -436,6 +458,20 @@ mod tests {
     /// exercise sizing/timing).
     fn push_plain(b: &mut Batcher, t: Transaction, now: SimTime) -> Option<SignedBatch> {
         b.push(t, Digest::ZERO, Signature::ZERO, now)
+    }
+
+    #[test]
+    fn release_counters_track_full_and_timeout() {
+        let registry = Registry::new();
+        let mut b = Batcher::new(2, SimDuration::from_millis(5));
+        b.register_metrics(&registry, "shim.0");
+        push_plain(&mut b, txn(0), SimTime::ZERO);
+        assert!(push_plain(&mut b, txn(1), SimTime::ZERO).is_some());
+        assert_eq!(registry.counter_value("shim.0.batcher.released_full"), 1);
+        push_plain(&mut b, txn(2), SimTime::ZERO);
+        assert!(b.poll(SimTime::from_millis(10)).is_some());
+        assert_eq!(registry.counter_value("shim.0.batcher.released_timeout"), 1);
+        assert_eq!(registry.counter_value("shim.0.batcher.released_full"), 1);
     }
 
     #[test]

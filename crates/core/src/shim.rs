@@ -22,6 +22,7 @@ use sbft_consensus::{Batcher, ConsensusAction, ConsensusMessage, OrderingProtoco
 use sbft_crypto::{CommitCertificate, CryptoHandle};
 use sbft_serverless::{ExecuteRequest, Invoker};
 use sbft_sharding::ShardRouter;
+use sbft_telemetry::{Counter, Registry};
 use sbft_types::{
     Batch, ComponentId, ConflictHandling, NodeId, SeqNum, ShardPlan, SimTime, SpawningMode,
     SystemConfig, TxnId, ViewNumber,
@@ -103,10 +104,10 @@ pub struct ShimNode {
     /// what prevents one byzantine primary from cascading the shim through
     /// many views when many `ERROR` messages arrive at once).
     retransmit_view: std::collections::HashMap<RecoverySubject, ViewNumber>,
-    batches_committed: u64,
-    executors_spawned: u64,
-    requests_forwarded: u64,
-    rejected_txns: u64,
+    batches_committed: Counter,
+    executors_spawned: Counter,
+    requests_forwarded: Counter,
+    rejected_txns: Counter,
 }
 
 impl ShimNode {
@@ -163,10 +164,10 @@ impl ShimNode {
             max_validated: SeqNum(0),
             seen_gc_floor: SeqNum(0),
             retransmit_view: std::collections::HashMap::new(),
-            batches_committed: 0,
-            executors_spawned: 0,
-            requests_forwarded: 0,
-            rejected_txns: 0,
+            batches_committed: Counter::new(),
+            executors_spawned: Counter::new(),
+            requests_forwarded: Counter::new(),
+            rejected_txns: Counter::new(),
         }
     }
 
@@ -203,26 +204,41 @@ impl ShimNode {
     /// Batches this node has committed locally.
     #[must_use]
     pub fn batches_committed(&self) -> u64 {
-        self.batches_committed
+        self.batches_committed.get()
     }
 
     /// Executors this node has spawned (and will be reimbursed for).
     #[must_use]
     pub fn executors_spawned(&self) -> u64 {
-        self.executors_spawned
+        self.executors_spawned.get()
     }
 
     /// Client requests this node forwarded to the primary.
     #[must_use]
     pub fn requests_forwarded(&self) -> u64 {
-        self.requests_forwarded
+        self.requests_forwarded.get()
     }
 
     /// Transactions rejected by the batch aggregate-signature check (the
     /// bisecting fallback pruned them before ordering).
     #[must_use]
     pub fn rejected_txns(&self) -> u64 {
-        self.rejected_txns
+        self.rejected_txns.get()
+    }
+
+    /// Re-homes this node's counters (and its batcher's and invoker's)
+    /// into `registry` under `shim.<id>.*`. Called once by the system
+    /// builder; nodes constructed without a registry keep standalone
+    /// counters.
+    pub fn register_metrics(&mut self, registry: &Registry) {
+        let id = self.id().0;
+        self.batches_committed = registry.counter(&format!("shim.{id}.batches_committed"));
+        self.executors_spawned = registry.counter(&format!("shim.{id}.executors_spawned"));
+        self.requests_forwarded = registry.counter(&format!("shim.{id}.requests_forwarded"));
+        self.rejected_txns = registry.counter(&format!("shim.{id}.rejected_txns"));
+        self.batcher
+            .register_metrics(registry, &format!("shim.{id}"));
+        self.invoker.register_metrics(registry);
     }
 
     /// Entries currently held in the duplicate-suppression set (tests and
@@ -291,7 +307,7 @@ impl ShimNode {
             }
             // Clients normally target the primary; a node that is not the
             // primary forwards the request (e.g. after a view change).
-            self.requests_forwarded += 1;
+            self.requests_forwarded.inc();
             return vec![Action::send(
                 self.component(),
                 Destination::Node(self.primary()),
@@ -389,7 +405,7 @@ impl ShimNode {
         let plan = signed.plan();
         let (batch, rejected) = signed.verify_and_prune(self.crypto.provider());
         if !rejected.is_empty() {
-            self.rejected_txns += rejected.len() as u64;
+            self.rejected_txns.add(rejected.len() as u64);
             for (txn, forged_sig) in &rejected {
                 // Release the id only if the forged signature still owns
                 // it — a valid request that took over the entry in the
@@ -457,7 +473,7 @@ impl ShimNode {
         plan: ShardPlan,
         certificate: Option<Arc<CommitCertificate>>,
     ) -> Vec<Action> {
-        self.batches_committed += 1;
+        self.batches_committed.inc();
         let len = batch.len();
         // Baseline protocols (CFT / NoShim) produce no certificate; an
         // empty certificate stands in so the message flow stays identical
@@ -557,7 +573,7 @@ impl ShimNode {
         // executors to its shard's home region (with deterministic
         // round-robin fallback); cross-home and untagged batches rotate.
         let plan = self.invoker.plan_placed(seq, count, entry.plan);
-        self.executors_spawned += plan.requests.len() as u64;
+        self.executors_spawned.add(plan.requests.len() as u64);
         plan.requests
             .into_iter()
             .map(|request| Action::SpawnExecutor {

@@ -16,6 +16,7 @@ use sbft_crypto::CryptoProvider;
 use sbft_serverless::cloud::CloudFaultPlan;
 use sbft_serverless::{Executor, ExecutorBehavior, RegionOutage, ServerlessCloud, SpawnOutcome};
 use sbft_storage::{StorageReader, VersionedStore, YcsbTable};
+use sbft_telemetry::Registry;
 use sbft_types::{ClientId, ComponentId, ExecutorId, NodeId, Region, SystemConfig};
 use std::sync::Arc;
 
@@ -51,6 +52,10 @@ pub struct System {
     pub cloud: ServerlessCloud,
     /// The byzantine-attack injector.
     pub injector: AttackInjector,
+    /// The deployment-wide metrics namespace: every component's counters
+    /// are registered here at build time (see `OBSERVABILITY.md` for the
+    /// naming conventions), so run harnesses read final values through it.
+    pub registry: Arc<Registry>,
 }
 
 impl System {
@@ -293,6 +298,15 @@ impl SystemBuilder {
             injector.compromise(node, attack);
         }
 
+        // Metrics: every component re-homes its counters into the shared
+        // registry so run harnesses read final values in one place.
+        let registry = Arc::new(Registry::new());
+        let mut verifier = verifier;
+        verifier.register_metrics(&registry);
+        for node in &mut nodes {
+            node.register_metrics(&registry);
+        }
+
         System {
             config: self.config,
             protocol: self.protocol,
@@ -303,6 +317,7 @@ impl SystemBuilder {
             verifier,
             cloud,
             injector,
+            registry,
         }
     }
 }

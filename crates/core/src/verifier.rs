@@ -25,6 +25,7 @@ use sbft_crypto::CryptoHandle;
 use sbft_serverless::VerifyMessage;
 use sbft_sharding::{CommitOutcome, ShardId, ShardScheduler, ShardedCommitter};
 use sbft_storage::VersionedStore;
+use sbft_telemetry::{Counter, Registry};
 use sbft_types::{
     ComponentId, ConflictHandling, ExecutorId, FaultParams, SeqNum, ShardPlan, ShardingConfig,
     SimDuration, TxnId, TxnOutcome,
@@ -98,15 +99,15 @@ pub struct Verifier {
     /// owe an `ACK`.
     outstanding: BTreeSet<RecoverySubject>,
 
-    committed_txns: u64,
-    aborted_txns: u64,
-    ignored_verifies: u64,
-    validated_batches: u64,
-    divergent_aborts: u64,
-    pool_applied_txns: u64,
-    planned_batches: u64,
-    plan_mismatches: u64,
-    single_home_batches: u64,
+    committed_txns: Counter,
+    aborted_txns: Counter,
+    ignored_verifies: Counter,
+    validated_batches: Counter,
+    divergent_aborts: Counter,
+    pool_applied_txns: Counter,
+    planned_batches: Counter,
+    plan_mismatches: Counter,
+    single_home_batches: Counter,
 }
 
 impl Verifier {
@@ -125,16 +126,37 @@ impl Verifier {
             txn_location: HashMap::new(),
             gc_floor: SeqNum(0),
             outstanding: BTreeSet::new(),
-            committed_txns: 0,
-            aborted_txns: 0,
-            ignored_verifies: 0,
-            validated_batches: 0,
-            divergent_aborts: 0,
-            pool_applied_txns: 0,
-            planned_batches: 0,
-            plan_mismatches: 0,
-            single_home_batches: 0,
+            committed_txns: Counter::new(),
+            aborted_txns: Counter::new(),
+            ignored_verifies: Counter::new(),
+            validated_batches: Counter::new(),
+            divergent_aborts: Counter::new(),
+            pool_applied_txns: Counter::new(),
+            planned_batches: Counter::new(),
+            plan_mismatches: Counter::new(),
+            single_home_batches: Counter::new(),
         }
+    }
+
+    /// Re-homes the verifier's counters into `registry` under
+    /// `verifier.*`. Called once by the system builder.
+    pub fn register_metrics(&mut self, registry: &Registry) {
+        self.committed_txns = registry.counter("verifier.committed_txns");
+        self.aborted_txns = registry.counter("verifier.aborted_txns");
+        self.ignored_verifies = registry.counter("verifier.ignored_verifies");
+        self.validated_batches = registry.counter("verifier.validated_batches");
+        self.divergent_aborts = registry.counter("verifier.divergent_aborts");
+        self.pool_applied_txns = registry.counter("verifier.pool_applied_txns");
+        self.planned_batches = registry.counter("verifier.planned_batches");
+        self.plan_mismatches = registry.counter("verifier.plan_mismatches");
+        self.single_home_batches = registry.counter("verifier.single_home_batches");
+    }
+
+    /// The attached apply pool, when one is active (the runtime registers
+    /// its metrics after attaching it).
+    #[must_use]
+    pub fn apply_pool(&self) -> Option<&ShardScheduler> {
+        self.apply_pool.as_ref()
     }
 
     /// Attaches a [`ShardScheduler`] worker pool as the apply stage:
@@ -163,7 +185,7 @@ impl Verifier {
     /// Transactions applied through the attached worker pool.
     #[must_use]
     pub fn pool_applied_txns(&self) -> u64 {
-        self.pool_applied_txns
+        self.pool_applied_txns.get()
     }
 
     /// Sequence number of the next batch the verifier will validate.
@@ -175,25 +197,25 @@ impl Verifier {
     /// Transactions whose writes have been applied.
     #[must_use]
     pub fn committed_txns(&self) -> u64 {
-        self.committed_txns
+        self.committed_txns.get()
     }
 
     /// Transactions aborted (stale reads or byzantine-abort detection).
     #[must_use]
     pub fn aborted_txns(&self) -> u64 {
-        self.aborted_txns
+        self.aborted_txns.get()
     }
 
     /// `VERIFY` messages ignored by the flooding mitigation.
     #[must_use]
     pub fn ignored_verifies(&self) -> u64 {
-        self.ignored_verifies
+        self.ignored_verifies.get()
     }
 
     /// Batches fully validated so far.
     #[must_use]
     pub fn validated_batches(&self) -> u64 {
-        self.validated_batches
+        self.validated_batches.get()
     }
 
     /// Whole batches aborted because every spawned executor answered and
@@ -201,7 +223,7 @@ impl Verifier {
     /// rule, both the count-triggered and the timer-triggered form).
     #[must_use]
     pub fn divergent_aborts(&self) -> u64 {
-        self.divergent_aborts
+        self.divergent_aborts.get()
     }
 
     /// Batches applied through the verified ordering-time fast path (a
@@ -209,7 +231,7 @@ impl Verifier {
     /// per-transaction routing, no cross-home probe).
     #[must_use]
     pub fn planned_batches(&self) -> u64 {
-        self.planned_batches
+        self.planned_batches.get()
     }
 
     /// `SingleHome` plan tags that failed re-derivation against the
@@ -218,7 +240,7 @@ impl Verifier {
     /// to the unplanned routing path.
     #[must_use]
     pub fn plan_mismatches(&self) -> u64 {
-        self.plan_mismatches
+        self.plan_mismatches.get()
     }
 
     /// Validated batches whose entire footprint lived on one shard —
@@ -227,7 +249,7 @@ impl Verifier {
     /// coordination rate the ordering-time planner drives down.
     #[must_use]
     pub fn single_home_batches(&self) -> u64 {
-        self.single_home_batches
+        self.single_home_batches.get()
     }
 
     /// Entries currently held for client-retry answering (tests and memory
@@ -300,7 +322,7 @@ impl Verifier {
         // Already validated requests and already matched batches: ignore
         // (the flooding mitigation of Section V-C).
         if msg.seq < self.kmax {
-            self.ignored_verifies += 1;
+            self.ignored_verifies.inc();
             return Vec::new();
         }
         let quorum = self.config.params.verify_quorum();
@@ -312,12 +334,12 @@ impl Verifier {
         );
         let state = self.pending.entry(msg.seq).or_default();
         if state.matched.is_some() {
-            self.ignored_verifies += 1;
+            self.ignored_verifies.inc();
             return Vec::new();
         }
         if state.verifies.contains_key(&msg.executor) {
             // Duplicate VERIFY from the same executor (flooding attack).
-            self.ignored_verifies += 1;
+            self.ignored_verifies.inc();
             return Vec::new();
         }
         state.verifies.insert(msg.executor, msg.clone());
@@ -527,7 +549,7 @@ impl Verifier {
                 } else {
                     // Out-of-range homes are lies too: count them so the
                     // detection telemetry sees every forged tag.
-                    self.plan_mismatches += 1;
+                    self.plan_mismatches.inc();
                     None
                 }
             }
@@ -538,8 +560,8 @@ impl Verifier {
             // lands on one shard, per-transaction routing and the
             // cross-home fallback probe are skipped, and the pool (when
             // attached) receives the VERIFY message's own allocation.
-            self.planned_batches += 1;
-            self.single_home_batches += 1;
+            self.planned_batches.inc();
+            self.single_home_batches.inc();
             let txns = matched.results.len() as u32;
             let accesses: u32 = matched
                 .results
@@ -620,7 +642,7 @@ impl Verifier {
                 // Discovered-late single-home batch (the planner would
                 // have tagged it; without lanes this is the baseline
                 // measurement the `planner_points` experiment compares).
-                self.single_home_batches += 1;
+                self.single_home_batches.inc();
             }
             for (shard, (txns, accesses)) in solo_work {
                 actions.push(Action::ShardCcheck {
@@ -681,14 +703,14 @@ impl Verifier {
             }
         };
         if via_pool {
-            self.pool_applied_txns += outcomes.len() as u64;
+            self.pool_applied_txns.add(outcomes.len() as u64);
         }
         let mut committed = 0u32;
         let mut aborted = 0u32;
         for (result, outcome) in matched.results.iter().zip(&outcomes) {
             let (msg, txn_outcome) = if outcome.is_applied() {
                 committed += 1;
-                self.committed_txns += 1;
+                self.committed_txns.inc();
                 (
                     ProtocolMessage::Response(ResponseMessage {
                         txn: result.txn,
@@ -701,7 +723,7 @@ impl Verifier {
                 )
             } else {
                 aborted += 1;
-                self.aborted_txns += 1;
+                self.aborted_txns.inc();
                 (
                     ProtocolMessage::Abort(AbortMessage {
                         txn: result.txn,
@@ -720,7 +742,7 @@ impl Verifier {
             ));
             actions.extend(self.resolve_subject(RecoverySubject::Txn(result.txn)));
         }
-        self.validated_batches += 1;
+        self.validated_batches.inc();
         actions.push(Action::send(
             self.me(),
             Destination::AllNodes,
@@ -742,11 +764,11 @@ impl Verifier {
         let Some(sample) = state.verifies.values().next() else {
             return actions;
         };
-        self.divergent_aborts += 1;
+        self.divergent_aborts.inc();
         let mut aborted = 0u32;
         for result in sample.results.iter() {
             aborted += 1;
-            self.aborted_txns += 1;
+            self.aborted_txns.inc();
             let msg = ProtocolMessage::Abort(AbortMessage {
                 txn: result.txn,
                 seq,
@@ -760,7 +782,7 @@ impl Verifier {
             ));
             actions.extend(self.resolve_subject(RecoverySubject::Txn(result.txn)));
         }
-        self.validated_batches += 1;
+        self.validated_batches.inc();
         actions.push(Action::send(
             self.me(),
             Destination::AllNodes,

@@ -9,9 +9,11 @@
 use crossbeam_channel::{unbounded, Receiver, Sender};
 use sbft_core::events::{Action, Destination, Envelope, ProtocolMessage};
 use sbft_core::System;
-use sbft_types::{ClientId, ComponentId, NodeId, SimTime, TxnOutcome};
+use sbft_telemetry::{Stage, TraceSink, Tracer};
+use sbft_types::{ClientId, ComponentId, NodeId, SeqNum, SimTime, TxnOutcome};
 use sbft_workloads::YcsbWorkload;
 use std::collections::HashMap;
+use std::sync::Arc;
 use std::thread;
 use std::time::{Duration, Instant};
 
@@ -43,11 +45,52 @@ struct Router {
             sbft_serverless::ExecuteRequest,
         )>,
     >,
+    /// Lifecycle tracer; markers are stamped with wall-clock microseconds
+    /// since `epoch` so exported traces line up with `ClusterReport`
+    /// elapsed time.
+    tracer: Tracer,
+    epoch: Instant,
 }
 
 impl Router {
+    fn now(&self) -> SimTime {
+        SimTime::from_micros(self.epoch.elapsed().as_micros() as u64)
+    }
+
+    /// Marks the batch-lifecycle edges visible at routing time. The
+    /// thread runtime has no discrete clock, so it traces the
+    /// cross-thread handoffs (batch release, commit, executor spawn,
+    /// verify ingest, client response) rather than the per-request
+    /// admission edges the simulator can see.
+    fn trace_action(&self, action: &Action) {
+        let now = self.now();
+        match action {
+            Action::Send(Envelope { msg, .. }) => match msg {
+                ProtocolMessage::Consensus(c) => {
+                    if let Some(seq) = ordering_batch_seq(c) {
+                        self.tracer.emit(seq.0, Stage::BatchRelease, now);
+                    }
+                }
+                ProtocolMessage::Verify(v) => self.tracer.emit(v.seq.0, Stage::VerifyIngest, now),
+                ProtocolMessage::Response(r) => self.tracer.emit(r.seq.0, Stage::Respond, now),
+                ProtocolMessage::Abort(a) => self.tracer.emit(a.seq.0, Stage::Respond, now),
+                _ => {}
+            },
+            Action::SpawnExecutor { execute, .. } => {
+                self.tracer.emit(execute.seq.0, Stage::ExecuteSpawn, now);
+            }
+            Action::BatchCommitted { seq, .. } => {
+                self.tracer.emit(seq.0, Stage::CommitQuorum, now);
+            }
+            _ => {}
+        }
+    }
+
     fn route(&self, origin: ComponentId, actions: Vec<Action>) {
         for action in actions {
+            if self.tracer.enabled() {
+                self.trace_action(&action);
+            }
             match action {
                 Action::Send(Envelope { from, to, msg }) => match to {
                     Destination::Node(n) => {
@@ -129,6 +172,7 @@ pub struct LocalCluster {
     target_txns: u64,
     deadline: Duration,
     workload_seed: u64,
+    trace_sink: Option<Arc<dyn TraceSink>>,
 }
 
 impl LocalCluster {
@@ -141,7 +185,17 @@ impl LocalCluster {
             target_txns: 200,
             deadline: Duration::from_secs(10),
             workload_seed: 1,
+            trace_sink: None,
         }
+    }
+
+    /// Records batch lifecycle span events into `sink` (wall-clock
+    /// microseconds since run start). Off by default: the router then
+    /// pays one branch per action.
+    #[must_use]
+    pub fn with_trace_sink(mut self, sink: Arc<dyn TraceSink>) -> Self {
+        self.trace_sink = Some(sink);
+        self
     }
 
     /// Number of closed-loop clients to drive.
@@ -175,8 +229,10 @@ impl LocalCluster {
             target_txns,
             deadline,
             workload_seed,
+            trace_sink,
         } = self;
         let num_clients = num_clients.min(system.clients.len()).max(1);
+        let start = Instant::now();
 
         // Channels.
         let mut node_rx: Vec<Receiver<Work<Delivery>>> = Vec::new();
@@ -199,9 +255,13 @@ impl LocalCluster {
             verifier: verifier_tx,
             clients: client_tx,
             executor_pool: pool_tx,
+            tracer: match trace_sink {
+                Some(sink) => Tracer::new(sink),
+                None => Tracer::disabled(),
+            },
+            epoch: start,
         };
 
-        let start = Instant::now();
         let mut handles = Vec::new();
 
         // Shim node threads.
@@ -281,6 +341,9 @@ impl LocalCluster {
             let apply_workers = system.config.sharding.workers;
             if apply_workers > 1 {
                 verifier.attach_apply_pool(apply_workers);
+                if let Some(pool) = verifier.apply_pool() {
+                    pool.register_metrics(&system.registry);
+                }
             }
             let pool_applied = std::sync::Arc::clone(&pool_applied);
             handles.push(thread::spawn(move || {
@@ -365,6 +428,16 @@ impl LocalCluster {
     }
 }
 
+/// The sequence number of the batch an ordering-protocol message carries,
+/// if it carries one (PBFT `PREPREPARE` / CFT accept).
+fn ordering_batch_seq(msg: &sbft_consensus::ConsensusMessage) -> Option<SeqNum> {
+    match msg {
+        sbft_consensus::ConsensusMessage::PrePrepare(p) => Some(p.seq),
+        sbft_consensus::ConsensusMessage::CftAccept(a) => Some(a.seq),
+        _ => None,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -432,6 +505,46 @@ mod tests {
             report.pool_applied,
             report.committed
         );
+    }
+
+    #[test]
+    fn trace_sink_captures_the_cross_thread_lifecycle_edges() {
+        let system = SystemBuilder::new(config()).clients(4).build();
+        let sink = Arc::new(sbft_telemetry::MemorySink::new());
+        let report = LocalCluster::new(system)
+            .clients(4)
+            .target_txns(12)
+            .deadline(Duration::from_secs(20))
+            .with_trace_sink(Arc::clone(&sink) as Arc<dyn TraceSink>)
+            .run();
+        assert!(report.committed >= 12);
+        let events = sink.events();
+        let stages: std::collections::HashSet<Stage> = events.iter().map(|e| e.stage).collect();
+        for stage in [
+            Stage::BatchRelease,
+            Stage::CommitQuorum,
+            Stage::ExecuteSpawn,
+            Stage::VerifyIngest,
+            Stage::Respond,
+        ] {
+            assert!(stages.contains(&stage), "missing {stage:?} markers");
+        }
+        // Within one trace the markers must be time-ordered the way the
+        // pipeline runs.
+        let marks = sbft_telemetry::export::marks(&events);
+        let complete = marks
+            .values()
+            .filter(|m| m.contains_key(&Stage::BatchRelease) && m.contains_key(&Stage::Respond))
+            .count();
+        assert!(complete > 0, "no trace carried release..respond markers");
+        for stage_times in marks.values() {
+            if let (Some(release), Some(respond)) = (
+                stage_times.get(&Stage::BatchRelease),
+                stage_times.get(&Stage::Respond),
+            ) {
+                assert!(release <= respond, "respond before batch release");
+            }
+        }
     }
 
     #[test]

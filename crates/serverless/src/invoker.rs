@@ -25,6 +25,7 @@
 //! equivalence proptests pin that down.
 
 use crate::cloud::SpawnRequest;
+use sbft_telemetry::{Counter, Registry};
 use sbft_types::{NodeId, Region, RegionPartition, RegionSet, SeqNum, ShardPlan};
 use std::collections::BTreeSet;
 
@@ -57,8 +58,8 @@ pub struct Invoker {
     /// Per-batch spawn capacity of a single region, when the provider
     /// imposes one; a pin that would exceed it falls back to rotation.
     region_capacity: Option<usize>,
-    pinned_spawns: u64,
-    placement_fallbacks: u64,
+    pinned_spawns: Counter,
+    placement_fallbacks: Counter,
 }
 
 impl Invoker {
@@ -72,8 +73,8 @@ impl Invoker {
             partition: None,
             down_regions: BTreeSet::new(),
             region_capacity: None,
-            pinned_spawns: 0,
-            placement_fallbacks: 0,
+            pinned_spawns: Counter::new(),
+            placement_fallbacks: Counter::new(),
         }
     }
 
@@ -111,14 +112,23 @@ impl Invoker {
     /// Executors placed by pinning so far.
     #[must_use]
     pub fn pinned_spawns(&self) -> u64 {
-        self.pinned_spawns
+        self.pinned_spawns.get()
     }
 
     /// Batches whose pin was refused (home region missing, faulted or
     /// over capacity) and that fell back to the rotation.
     #[must_use]
     pub fn placement_fallbacks(&self) -> u64 {
-        self.placement_fallbacks
+        self.placement_fallbacks.get()
+    }
+
+    /// Re-homes the placement counters into `registry` under
+    /// `shim.<node>.invoker.*`.
+    pub fn register_metrics(&mut self, registry: &Registry) {
+        let node = self.node.0;
+        self.pinned_spawns = registry.counter(&format!("shim.{node}.invoker.pinned_spawns"));
+        self.placement_fallbacks =
+            registry.counter(&format!("shim.{node}.invoker.placement_fallbacks"));
     }
 
     /// Plans the spawning of `count` executors for the batch at `seq`,
@@ -144,7 +154,7 @@ impl Invoker {
             // Advance the rotation exactly as a rotated batch would have,
             // so later batches place identically either way.
             self.spawned_so_far += count;
-            self.pinned_spawns += count as u64;
+            self.pinned_spawns.add(count as u64);
             return SpawnPlan {
                 seq,
                 requests: (0..count)
@@ -157,7 +167,7 @@ impl Invoker {
             };
         }
         if self.partition.is_some() && plan.is_single_home() {
-            self.placement_fallbacks += 1;
+            self.placement_fallbacks.inc();
         }
         let requests = (0..count)
             .map(|i| SpawnRequest {

@@ -20,6 +20,7 @@
 use crate::committer::{CommitOutcome, ShardedCommitter};
 use crate::router::ShardId;
 use crate::state::{ShardTask, TaskWork};
+use sbft_telemetry::{Counter, Registry};
 use sbft_types::{ReadWriteSet, TxnResult};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -135,6 +136,10 @@ struct SchedulerInner {
     in_flight: Mutex<u64>,
     drained: Condvar,
     shutdown: AtomicBool,
+    /// Batches that queued at least one transaction on a shard.
+    batches_submitted: Counter,
+    /// Transactions the workers finished applying.
+    txns_applied: Counter,
 }
 
 impl SchedulerInner {
@@ -161,6 +166,7 @@ impl SchedulerInner {
     }
 
     fn complete(&self, n: u64) {
+        self.txns_applied.add(n);
         let mut in_flight = self.in_flight.lock().expect("in-flight");
         *in_flight -= n;
         if *in_flight == 0 {
@@ -230,6 +236,8 @@ impl ShardScheduler {
             in_flight: Mutex::new(0),
             drained: Condvar::new(),
             shutdown: AtomicBool::new(false),
+            batches_submitted: Counter::new(),
+            txns_applied: Counter::new(),
         });
         let workers = (0..workers.max(1))
             .map(|_| {
@@ -244,6 +252,26 @@ impl ShardScheduler {
     #[must_use]
     pub fn committer(&self) -> &Arc<ShardedCommitter> {
         &self.inner.committer
+    }
+
+    /// Shares the pool's counters into `registry` under `scheduler.*`.
+    /// (The counters live inside the worker-shared state, so they are
+    /// bound into the registry rather than re-homed.)
+    pub fn register_metrics(&self, registry: &Registry) {
+        registry.bind_counter("scheduler.batches_submitted", &self.inner.batches_submitted);
+        registry.bind_counter("scheduler.txns_applied", &self.inner.txns_applied);
+    }
+
+    /// Batches that queued at least one transaction on a shard.
+    #[must_use]
+    pub fn batches_submitted(&self) -> u64 {
+        self.inner.batches_submitted.get()
+    }
+
+    /// Transactions the workers have finished applying.
+    #[must_use]
+    pub fn txns_applied(&self) -> u64 {
+        self.inner.txns_applied.get()
     }
 
     /// Submits one committed batch: every transaction is queued on its
@@ -262,6 +290,7 @@ impl ShardScheduler {
         if submitted == 0 {
             return;
         }
+        self.inner.batches_submitted.inc();
         self.inner.add_in_flight(submitted);
         for (idx, batch) in per_shard.into_iter().enumerate() {
             if batch.is_empty() {
@@ -335,6 +364,7 @@ impl ShardScheduler {
             }
         }
         if scheduled > 0 {
+            self.inner.batches_submitted.inc();
             self.inner.add_in_flight(scheduled);
             for (idx, indices) in per_shard.into_iter().enumerate() {
                 if indices.is_empty() {

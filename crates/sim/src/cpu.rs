@@ -22,6 +22,12 @@ pub struct CpuModel {
     pub signature_cost: SimDuration,
     /// Cost of creating or verifying one MAC.
     pub mac_cost: SimDuration,
+    /// Per-request share of the primary's client-authentication work
+    /// under aggregate verification: bookkeeping one request's slot in the
+    /// batch's aggregate signature check (hash-and-accumulate), not a full
+    /// verification. One full [`Self::signature_cost`] aggregate check is
+    /// charged per released batch on top of these shares.
+    pub request_share_cost: SimDuration,
     /// Cost per byte of serialisation / hashing work.
     pub per_byte_ns: f64,
     /// Fixed dispatch overhead per message.
@@ -51,6 +57,7 @@ impl Default for CpuModel {
         CpuModel {
             signature_cost: SimDuration::from_micros(22),
             mac_cost: SimDuration::from_micros(2),
+            request_share_cost: SimDuration::from_micros(2),
             per_byte_ns: 0.6,
             base_cost: SimDuration::from_micros(3),
             storage_access_cost: SimDuration::from_micros(1),
@@ -72,11 +79,11 @@ impl CpuModel {
     #[must_use]
     pub fn message_cost(&self, kind: &str, bytes: usize) -> SimDuration {
         let crypto = match kind {
-            // The client-authentication work attributable to one request.
-            // The implementation now verifies one *aggregate* signature
-            // per batch instead of one per request; the model
-            // conservatively keeps the full per-request cost until the
-            // saturation experiments are recalibrated (ROADMAP, PR 3).
+            // A full per-request verification — the non-primary path (a
+            // replica eagerly verifies before forwarding). The primary's
+            // amortised aggregate path goes through
+            // [`Self::client_request_cost`] /
+            // [`Self::aggregate_batch_check_cost`] instead.
             "CLIENT-REQUEST" => self.signature_cost,
             // MAC check on receipt plus the MAC of the prepare we emit.
             "PREPREPARE" => self.mac_cost + self.mac_cost,
@@ -98,6 +105,34 @@ impl CpuModel {
             _ => SimDuration::ZERO,
         };
         self.base_cost + crypto + self.bytes_cost(bytes)
+    }
+
+    /// Service time of admitting one client request at a shim node. At
+    /// the primary the per-request crypto is the aggregate-verification
+    /// *share* ([`Self::request_share_cost`]) — the full
+    /// [`Self::signature_cost`] aggregate check is charged once per batch
+    /// via [`Self::aggregate_batch_check_cost`] when the batch is
+    /// released, which is how the implementation amortises client
+    /// authentication (one aggregate signature per batch). Non-primary
+    /// replicas still verify each request eagerly before forwarding and
+    /// keep the full per-request cost.
+    #[must_use]
+    pub fn client_request_cost(&self, bytes: usize, at_primary: bool) -> SimDuration {
+        let crypto = if at_primary {
+            self.request_share_cost
+        } else {
+            self.signature_cost
+        };
+        self.base_cost + crypto + self.bytes_cost(bytes)
+    }
+
+    /// The once-per-batch aggregate signature check charged at the
+    /// primary when a batch is released into ordering (and at commit time
+    /// for the NoShim baseline, which validates client authentication as
+    /// part of the protocol check).
+    #[must_use]
+    pub fn aggregate_batch_check_cost(&self) -> SimDuration {
+        self.signature_cost
     }
 
     /// Extra service time for the verifier when validating a batch of
@@ -200,6 +235,28 @@ mod tests {
     fn bigger_messages_cost_more() {
         let cpu = CpuModel::default();
         assert!(cpu.message_cost("PREPREPARE", 50_000) > cpu.message_cost("PREPREPARE", 5_000));
+    }
+
+    #[test]
+    fn aggregate_verification_amortises_client_auth_at_the_primary() {
+        let cpu = CpuModel::default();
+        let bytes = 180;
+        // The primary's per-request admission is much cheaper than the
+        // eager per-request verification non-primaries still do.
+        assert!(cpu.client_request_cost(bytes, true) < cpu.client_request_cost(bytes, false));
+        assert_eq!(
+            cpu.client_request_cost(bytes, false),
+            cpu.message_cost("CLIENT-REQUEST", bytes)
+        );
+        // Across a batch of B requests the amortised primary path (B
+        // shares + one aggregate check) undercuts B full verifications.
+        let batch = 50u64;
+        let amortised = cpu.client_request_cost(bytes, true).saturating_mul(batch)
+            + cpu.aggregate_batch_check_cost();
+        let eager = cpu
+            .message_cost("CLIENT-REQUEST", bytes)
+            .saturating_mul(batch);
+        assert!(amortised < eager);
     }
 
     #[test]

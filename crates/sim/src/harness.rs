@@ -13,6 +13,7 @@ use sbft_core::events::{Action, Destination, Envelope, ProtocolMessage, Protocol
 use sbft_core::System;
 use sbft_serverless::{ExecuteRequest, ExecutorBehavior};
 use sbft_storage::GeoPartitionedStore;
+use sbft_telemetry::{Stage, TraceSink, Tracer};
 use sbft_types::{
     ComponentId, ExecutorId, Region, SeqNum, SimDuration, SimTime, TxnId, TxnOutcome,
 };
@@ -145,6 +146,13 @@ pub struct SimHarness {
     /// homed in — classified once, reused by every spawned executor of
     /// the batch (including re-spawns).
     touched_partitions: HashMap<SeqNum, std::collections::BTreeSet<Region>>,
+    /// Batch lifecycle tracer. Disabled by default: every marker site
+    /// pays one branch and nothing else.
+    tracer: Tracer,
+    /// Admission times of requests at the primary — (arrival, admission
+    /// done) — consumed when the request's batch is released into
+    /// ordering. Only populated while tracing is enabled.
+    ingest_times: HashMap<TxnId, (SimTime, SimTime)>,
     metrics: RunMetrics,
 }
 
@@ -196,10 +204,15 @@ impl SimHarness {
             .map(|_| ServiceStation::new(sharding.workers))
             .collect();
         let edge_execution = params.edge_execution_threads.map(ServiceStation::new);
-        let geo = system
-            .config
-            .region_partition()
-            .map(|p| GeoPartitionedStore::new(std::sync::Arc::clone(&system.storage), p));
+        let geo = system.config.region_partition().map(|p| {
+            let mut geo = GeoPartitionedStore::new(std::sync::Arc::clone(&system.storage), p);
+            geo.register_metrics(&system.registry);
+            geo
+        });
+        let metrics = RunMetrics::default();
+        system
+            .registry
+            .bind_histogram("client.latency_us", metrics.latency.histogram());
         SimHarness {
             system,
             params,
@@ -218,8 +231,18 @@ impl SimHarness {
             charge_routing,
             geo,
             touched_partitions: HashMap::new(),
-            metrics: RunMetrics::default(),
+            tracer: Tracer::disabled(),
+            ingest_times: HashMap::new(),
+            metrics,
         }
+    }
+
+    /// Enables batch lifecycle tracing into `sink`. Span events carry sim
+    /// timestamps, so two identical runs trace identically.
+    #[must_use]
+    pub fn with_tracer(mut self, sink: std::sync::Arc<dyn TraceSink>) -> Self {
+        self.tracer = Tracer::new(sink);
+        self
     }
 
     /// Read access to the system (after a run, for assertions).
@@ -288,21 +311,22 @@ impl SimHarness {
         self.metrics.end_time = self.clock;
         self.metrics.executors_spawned = self.system.cloud.total_spawned();
         self.metrics.spawns_rejected = self.system.cloud.rejected();
-        self.metrics.divergent_aborts = self.system.verifier.divergent_aborts();
-        self.metrics.validated_batches = self.system.verifier.validated_batches();
-        self.metrics.single_home_batches = self.system.verifier.single_home_batches();
-        self.metrics.planned_batches = self.system.verifier.planned_batches();
-        self.metrics.plan_mismatches = self.system.verifier.plan_mismatches();
-        self.metrics.pinned_spawns = self.system.nodes.iter().map(|n| n.pinned_spawns()).sum();
-        self.metrics.placement_fallbacks = self
-            .system
-            .nodes
-            .iter()
-            .map(|n| n.placement_fallbacks())
-            .sum();
-        if let Some(geo) = &self.geo {
-            self.metrics.local_storage_fetches = geo.local_fetches();
-            self.metrics.remote_storage_fetches = geo.remote_fetches();
+        // Every component registered its counters into the system
+        // registry at build time; the run report reads them back from
+        // there (RunMetrics is a façade over the registry).
+        let registry = &self.system.registry;
+        self.metrics.divergent_aborts = registry.counter_value("verifier.divergent_aborts");
+        self.metrics.validated_batches = registry.counter_value("verifier.validated_batches");
+        self.metrics.single_home_batches = registry.counter_value("verifier.single_home_batches");
+        self.metrics.planned_batches = registry.counter_value("verifier.planned_batches");
+        self.metrics.plan_mismatches = registry.counter_value("verifier.plan_mismatches");
+        self.metrics.pinned_spawns = registry.sum_counters("pinned_spawns");
+        self.metrics.placement_fallbacks = registry.sum_counters("placement_fallbacks");
+        if self.geo.is_some() {
+            self.metrics.local_storage_fetches =
+                registry.counter_value("storage.geo.local_fetches");
+            self.metrics.remote_storage_fetches =
+                registry.counter_value("storage.geo.remote_fetches");
         }
         self.metrics
     }
@@ -351,26 +375,32 @@ impl SimHarness {
         self.metrics.messages_delivered += 1;
         self.metrics.bytes_delivered += msg.wire_size() as u64;
         // CPU service at the receiving component.
-        let mut cost = self.cpu.message_cost(msg.kind(), msg.wire_size());
-        if self.charge_routing {
+        let cost =
             if let (ProtocolMessage::ClientRequest(req), ComponentId::Node(node)) = (&msg, to) {
-                // Ordering-time shard routing: the primary classifies the
-                // declared read/write keys against the shard map (a
-                // forwarding non-primary never runs the classification).
                 let is_primary = self
                     .system
                     .nodes
                     .get(node.0 as usize)
                     .is_some_and(sbft_core::ShimNode::is_primary);
-                if is_primary {
+                // The primary verifies client authentication as one aggregate
+                // signature per batch (charged when the batch is released), so
+                // admission pays only the per-request share; a non-primary
+                // still verifies eagerly before forwarding.
+                let mut cost = self.cpu.client_request_cost(msg.wire_size(), is_primary);
+                if self.charge_routing && is_primary {
+                    // Ordering-time shard routing: the primary classifies the
+                    // declared read/write keys against the shard map (a
+                    // forwarding non-primary never runs the classification).
                     let keys = req.txn.declared_rwset.as_ref().map_or_else(
                         || req.txn.num_ops(),
                         |rw| rw.read_keys.len() + rw.write_keys.len(),
                     );
                     cost += self.cpu.routing_cost(keys);
                 }
-            }
-        }
+                cost
+            } else {
+                self.cpu.message_cost(msg.kind(), msg.wire_size())
+            };
         let done = match self.stations.get_mut(&to) {
             Some(station) => station.schedule(now, cost),
             None => now, // clients are not CPU-bound in the model
@@ -383,24 +413,46 @@ impl SimHarness {
                 }
                 let actions = match &msg {
                     ProtocolMessage::ClientRequest(req) => {
+                        if self.tracer.enabled() && self.system.nodes[idx].is_primary() {
+                            // Remembered until the request's batch is
+                            // released, then folded into its trace.
+                            self.ingest_times.insert(req.txn.id, (now, done));
+                        }
                         self.system.nodes[idx].on_client_request(req, done)
                     }
-                    ProtocolMessage::Consensus(c) => match from.as_node() {
-                        Some(sender) => {
-                            self.system.nodes[idx].on_consensus_message(sender, c.clone())
+                    ProtocolMessage::Consensus(c) => {
+                        if let Some(seq) = ordering_batch_seq(c) {
+                            self.tracer.emit(seq.0, Stage::PrePrepare, done);
                         }
-                        None => Vec::new(),
-                    },
+                        match from.as_node() {
+                            Some(sender) => {
+                                self.system.nodes[idx].on_consensus_message(sender, c.clone())
+                            }
+                            None => Vec::new(),
+                        }
+                    }
                     other => self.system.nodes[idx].on_message_at(other, done),
                 };
                 let actions = self.system.injector.apply(node_id, actions);
                 self.process_actions(to, done, actions);
             }
             ComponentId::Verifier => {
+                if let ProtocolMessage::Verify(v) = &msg {
+                    self.tracer.emit(v.seq.0, Stage::VerifyIngest, now);
+                }
                 let actions = self.system.verifier.on_message(&msg);
                 self.process_actions(to, done, actions);
             }
             ComponentId::Client(client_id) => {
+                match &msg {
+                    ProtocolMessage::Response(r) => {
+                        self.tracer.emit(r.seq.0, Stage::Respond, now);
+                    }
+                    ProtocolMessage::Abort(a) => {
+                        self.tracer.emit(a.seq.0, Stage::Respond, now);
+                    }
+                    _ => {}
+                }
                 let idx = client_id.0 as usize;
                 if idx >= self.system.clients.len() {
                     return;
@@ -532,6 +584,22 @@ impl SimHarness {
         let arrival = now;
         let mut chain = now;
         let mut now = now;
+        // When the verifier's action list applies validated batches, the
+        // whole list is their apply phase: mark each batch's start, the
+        // shard slices, and (after the loop) each batch's end. One
+        // quorum-completing VERIFY can release several queued batches
+        // (ordered apply), so all of them are marked; the shard slices
+        // are attributed to the first.
+        let apply_seqs = if self.tracer.enabled() && origin == ComponentId::Verifier {
+            let seqs = validated_batch_seqs(&actions);
+            for seq in &seqs {
+                self.tracer.emit(seq.0, Stage::ApplyStart, arrival);
+            }
+            seqs
+        } else {
+            Vec::new()
+        };
+        let apply_seq = apply_seqs.first().copied();
         for action in actions {
             match action {
                 Action::ShardCcheck {
@@ -556,12 +624,33 @@ impl SimHarness {
                     };
                     let start = if chained { chain } else { arrival };
                     let done = self.shard_stations[idx].schedule(start, cost);
+                    if let Some(seq) = apply_seq {
+                        self.tracer
+                            .emit_shard(seq.0, Stage::ShardSliceStart, start, shard.0);
+                        self.tracer
+                            .emit_shard(seq.0, Stage::ShardSliceEnd, done, shard.0);
+                    }
                     if chained {
                         chain = done;
                     }
                     now = now.max(done);
                 }
                 Action::Send(Envelope { from, to, msg }) => {
+                    if let ProtocolMessage::Consensus(c) = &msg {
+                        if let Some((seq, batch)) = ordering_batch(c) {
+                            // Releasing a batch into ordering is where the
+                            // primary verifies the one aggregate signature
+                            // covering the batch's client authentication
+                            // (the per-request share was charged at
+                            // admission).
+                            if let Some(station) = self.stations.get_mut(&origin) {
+                                station.schedule(now, self.cpu.aggregate_batch_check_cost());
+                            }
+                            if self.tracer.enabled() {
+                                self.mark_batch_release(seq, batch, now);
+                            }
+                        }
+                    }
                     let targets: Vec<ComponentId> = match to {
                         Destination::Node(n) => vec![ComponentId::Node(n)],
                         Destination::AllNodes => self
@@ -604,6 +693,7 @@ impl SimHarness {
                     *self.timer_generation.entry((origin, timer)).or_insert(0) += 1;
                 }
                 Action::SpawnExecutor { request, execute } => {
+                    self.tracer.emit(execute.seq.0, Stage::ExecuteSpawn, now);
                     // Issuing the spawn costs CPU at the spawning node (the
                     // invoker signs and ships the request to the provider).
                     let spawn_issue_done = match self.stations.get_mut(&origin) {
@@ -660,10 +750,86 @@ impl SimHarness {
                         }
                     }
                 }
-                Action::BatchCommitted { .. } => {}
+                Action::BatchCommitted { seq, .. } => {
+                    self.tracer.emit(seq.0, Stage::CommitQuorum, now);
+                    // The NoShim baseline never sends an ordering message,
+                    // so its once-per-batch aggregate client-authentication
+                    // check lands at commit time instead.
+                    if matches!(
+                        self.system.protocol,
+                        sbft_core::system::ShimProtocol::NoShim
+                    ) {
+                        if let Some(station) = self.stations.get_mut(&origin) {
+                            station.schedule(now, self.cpu.aggregate_batch_check_cost());
+                        }
+                    }
+                }
+            }
+        }
+        for seq in &apply_seqs {
+            self.tracer.emit(seq.0, Stage::ApplyEnd, now);
+        }
+    }
+
+    /// Emits the batch-release markers: the batch's earliest member
+    /// admission (shim ingest), earliest lane enqueue, and the release
+    /// itself. The members' admission times are consumed here.
+    fn mark_batch_release(&mut self, seq: SeqNum, batch: &sbft_types::Batch, now: SimTime) {
+        let mut first_arrival: Option<SimTime> = None;
+        let mut first_enqueue: Option<SimTime> = None;
+        for txn in batch.iter() {
+            if let Some((arrival, enqueued)) = self.ingest_times.remove(&txn.id) {
+                first_arrival = Some(first_arrival.map_or(arrival, |a| a.min(arrival)));
+                first_enqueue = Some(first_enqueue.map_or(enqueued, |e| e.min(enqueued)));
+            }
+        }
+        if let Some(at) = first_arrival {
+            self.tracer.emit(seq.0, Stage::ShimIngest, at);
+        }
+        if let Some(at) = first_enqueue {
+            self.tracer.emit(seq.0, Stage::LaneEnqueue, at);
+        }
+        self.tracer.emit(seq.0, Stage::BatchRelease, now);
+    }
+}
+
+/// The sequence number and batch of a batch-carrying ordering message
+/// (the batch-release edge of PBFT and CFT), if this is one.
+fn ordering_batch(msg: &sbft_consensus::ConsensusMessage) -> Option<(SeqNum, &sbft_types::Batch)> {
+    match msg {
+        sbft_consensus::ConsensusMessage::PrePrepare(p) => Some((p.seq, &p.batch)),
+        sbft_consensus::ConsensusMessage::CftAccept(a) => Some((a.seq, &a.batch)),
+        _ => None,
+    }
+}
+
+/// The sequence number of a batch-carrying ordering message, if any.
+fn ordering_batch_seq(msg: &sbft_consensus::ConsensusMessage) -> Option<SeqNum> {
+    ordering_batch(msg).map(|(seq, _)| seq)
+}
+
+/// The batches a verifier action list validated, identified by their
+/// outcome-bearing sends (response, abort or batch-validated broadcast),
+/// deduplicated in first-seen order.
+fn validated_batch_seqs(actions: &[Action]) -> Vec<SeqNum> {
+    let mut seqs = Vec::new();
+    for action in actions {
+        let seq = match action {
+            Action::Send(Envelope { msg, .. }) => match msg {
+                ProtocolMessage::Response(r) => Some(r.seq),
+                ProtocolMessage::Abort(a) => Some(a.seq),
+                ProtocolMessage::BatchValidated(b) => Some(b.seq),
+                _ => None,
+            },
+            _ => None,
+        };
+        if let Some(seq) = seq {
+            if !seqs.contains(&seq) {
+                seqs.push(seq);
             }
         }
     }
+    seqs
 }
 
 #[cfg(test)]

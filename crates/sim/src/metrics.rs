@@ -1,46 +1,51 @@
 //! Run metrics: throughput, latency, aborts, traffic and cost.
 
 use sbft_serverless::{CostModel, CostReport};
+use sbft_telemetry::Histogram;
 use sbft_types::{SimDuration, SimTime};
 
 /// Latency statistics over the measured (post-warm-up) window.
+///
+/// A façade over the telemetry [`Histogram`]: recording is
+/// allocation-free and percentile queries walk the fixed bucket table
+/// (quantisation error ≤ 1/64) instead of cloning and sorting the sample
+/// vector on every call. `Clone` shares the underlying histogram.
 #[derive(Clone, Debug, Default)]
 pub struct LatencyStats {
-    samples_us: Vec<u64>,
+    histogram: Histogram,
 }
 
 impl LatencyStats {
     /// Records one client-observed latency.
     pub fn record(&mut self, latency: SimDuration) {
-        self.samples_us.push(latency.as_micros());
+        self.histogram.record(latency.as_micros());
     }
 
     /// Number of samples.
     #[must_use]
     pub fn count(&self) -> usize {
-        self.samples_us.len()
+        self.histogram.count() as usize
     }
 
-    /// Average latency in seconds (0 when empty).
+    /// Average latency in seconds (0 when empty). Exact — the histogram
+    /// keeps the true sum, not bucket representatives.
     #[must_use]
     pub fn avg_secs(&self) -> f64 {
-        if self.samples_us.is_empty() {
-            return 0.0;
-        }
-        let sum: u64 = self.samples_us.iter().sum();
-        sum as f64 / self.samples_us.len() as f64 / 1_000_000.0
+        self.histogram.mean_us() / 1_000_000.0
     }
 
-    /// The given percentile (0.0–1.0) in seconds.
+    /// The given percentile (0.0–1.0) in seconds, quantised to the
+    /// histogram bucket's upper bound (≤ 1/64 above the true order
+    /// statistic, never below).
     #[must_use]
     pub fn percentile_secs(&self, p: f64) -> f64 {
-        if self.samples_us.is_empty() {
-            return 0.0;
-        }
-        let mut sorted = self.samples_us.clone();
-        sorted.sort_unstable();
-        let idx = ((sorted.len() - 1) as f64 * p.clamp(0.0, 1.0)).round() as usize;
-        sorted[idx] as f64 / 1_000_000.0
+        self.histogram.percentile_us(p) as f64 / 1_000_000.0
+    }
+
+    /// The underlying shared histogram (for registry registration).
+    #[must_use]
+    pub fn histogram(&self) -> &Histogram {
+        &self.histogram
     }
 
     /// Median latency in seconds.

@@ -11,9 +11,9 @@
 //! executor ⇄ storage fetches; correctness never depends on it.
 
 use crate::kvstore::{StoreEntry, VersionedStore};
+use sbft_telemetry::{Counter, Registry};
 use sbft_types::{Key, Region, RegionPartition};
 use std::collections::BTreeSet;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// A [`VersionedStore`] seen through the geo-partitioning lens.
@@ -21,8 +21,8 @@ use std::sync::Arc;
 pub struct GeoPartitionedStore {
     store: Arc<VersionedStore>,
     partition: RegionPartition,
-    local_fetches: AtomicU64,
-    remote_fetches: AtomicU64,
+    local_fetches: Counter,
+    remote_fetches: Counter,
 }
 
 impl GeoPartitionedStore {
@@ -32,9 +32,16 @@ impl GeoPartitionedStore {
         GeoPartitionedStore {
             store,
             partition,
-            local_fetches: AtomicU64::new(0),
-            remote_fetches: AtomicU64::new(0),
+            local_fetches: Counter::new(),
+            remote_fetches: Counter::new(),
         }
+    }
+
+    /// Re-homes the locality counters into `registry` under
+    /// `storage.geo.*`.
+    pub fn register_metrics(&mut self, registry: &Registry) {
+        self.local_fetches = registry.counter("storage.geo.local_fetches");
+        self.remote_fetches = registry.counter("storage.geo.remote_fetches");
     }
 
     /// The underlying store.
@@ -70,9 +77,9 @@ impl GeoPartitionedStore {
     pub fn record_partition_fetch(&self, from: Region, home: Region) -> bool {
         let remote = home != from;
         if remote {
-            self.remote_fetches.fetch_add(1, Ordering::Relaxed);
+            self.remote_fetches.inc();
         } else {
-            self.local_fetches.fetch_add(1, Ordering::Relaxed);
+            self.local_fetches.inc();
         }
         remote
     }
@@ -89,13 +96,13 @@ impl GeoPartitionedStore {
     /// Fetches counted as local so far.
     #[must_use]
     pub fn local_fetches(&self) -> u64 {
-        self.local_fetches.load(Ordering::Relaxed)
+        self.local_fetches.get()
     }
 
     /// Fetches counted as remote (cross-region) so far.
     #[must_use]
     pub fn remote_fetches(&self) -> u64 {
-        self.remote_fetches.load(Ordering::Relaxed)
+        self.remote_fetches.get()
     }
 }
 

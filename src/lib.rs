@@ -17,6 +17,8 @@
 //! * [`sim`] — the discrete-event evaluation harness.
 //! * [`runtime`] — the thread-based local emulation.
 //! * [`workloads`] — YCSB workload generation.
+//! * [`telemetry`] — batch lifecycle tracing, the metrics registry and
+//!   latency histograms (see `OBSERVABILITY.md`).
 //!
 //! ## Quick start
 //!
@@ -85,5 +87,6 @@ pub use sbft_serverless as serverless;
 pub use sbft_sharding as sharding;
 pub use sbft_sim as sim;
 pub use sbft_storage as storage;
+pub use sbft_telemetry as telemetry;
 pub use sbft_types as types;
 pub use sbft_workloads as workloads;
