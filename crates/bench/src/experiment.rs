@@ -11,7 +11,7 @@
 use sbft_core::system::ShimProtocol;
 use sbft_core::{ShimAttack, SystemBuilder};
 use sbft_serverless::cloud::CloudFaultPlan;
-use sbft_serverless::CostModel;
+use sbft_serverless::{CostModel, CrashRestart};
 use sbft_sim::{CpuModel, NetworkModel, RunMetrics, SimHarness, SimParams};
 use sbft_types::{NodeId, SimDuration, SystemConfig};
 
@@ -52,6 +52,9 @@ pub struct PointConfig {
     /// When set, keys are drawn Zipfian with this exponent (the skew
     /// axis of the `planner_points` sweep).
     pub zipf_theta: Option<f64>,
+    /// When set, one shim node crashes and restarts mid-run (the
+    /// `recovery_points` sweep's fault axis).
+    pub crash: Option<CrashRestart>,
 }
 
 impl PointConfig {
@@ -79,6 +82,7 @@ impl PointConfig {
             bill_serverless: true,
             cpu: None,
             zipf_theta: None,
+            crash: None,
         }
     }
 }
@@ -168,6 +172,7 @@ fn run_point_with_sink(
         seed: point.seed,
         edge_execution_threads: point.edge_execution_threads,
         zipf_theta: point.zipf_theta,
+        crash: point.crash,
         ..SimParams::default()
     };
     let mut harness = SimHarness::with_models(
@@ -335,6 +340,60 @@ pub fn placement_points(region_counts: &[usize], zipf_thetas: &[f64]) -> Vec<Poi
                 point.zipf_theta = (theta > 0.0).then_some(theta);
                 points.push(point);
             }
+        }
+    }
+    points
+}
+
+/// Builds the crash-restart sweep: durable runs (WAL + featherweight
+/// snapshots) at each snapshot interval, each run three ways —
+/// `BASELINE` (no fault), `CRASH-BACKUP` (a backup replica goes dark
+/// mid-run and recovers via snapshot + WAL replay + peer state
+/// transfer) and `CRASH-PRIMARY` (the view-zero primary crashes, so
+/// recovery overlaps a view change). Liveness must hold everywhere; the
+/// crashed series show how gracefully throughput degrades while the
+/// recovery counters (`replay_batches`, `state_transfer_batches`,
+/// `recoveries`) prove the recovery path actually ran.
+#[must_use]
+pub fn recovery_points(snapshot_intervals: &[u64]) -> Vec<PointConfig> {
+    let mut points = Vec::new();
+    for &interval in snapshot_intervals {
+        for (series, crash) in [
+            ("BASELINE", None),
+            (
+                "CRASH-BACKUP",
+                Some(CrashRestart::of(
+                    NodeId(2),
+                    SimDuration::from_millis(150),
+                    SimDuration::from_millis(60),
+                )),
+            ),
+            (
+                "CRASH-PRIMARY",
+                Some(CrashRestart::of(
+                    NodeId(0),
+                    SimDuration::from_millis(150),
+                    SimDuration::from_millis(60),
+                )),
+            ),
+        ] {
+            let mut config = SystemConfig::with_shim_size(4);
+            config.workload.num_records = 10_000;
+            config.workload.batch_size = 20;
+            config.durability =
+                sbft_types::DurabilityConfig::enabled().with_snapshot_interval(interval);
+            // Short protocol timers so a crashed primary is replaced
+            // well inside the measured window.
+            config.timers.client_timeout = SimDuration::from_millis(60);
+            config.timers.node_timeout = SimDuration::from_millis(40);
+            config.timers.retransmit_timeout = SimDuration::from_millis(40);
+            let mut point = PointConfig::new("recovery", series, interval as f64, config);
+            point.clients = 200;
+            point.duration = SimDuration::from_millis(600);
+            point.warmup = SimDuration::from_millis(100);
+            point.seed = 3;
+            point.crash = crash;
+            points.push(point);
         }
     }
     points

@@ -22,5 +22,5 @@ pub mod experiment;
 
 pub use experiment::{
     commit_path_points, divergence_points, placement_points, planner_points, print_header,
-    run_point, run_point_silent, run_point_traced, PointConfig, PointResult,
+    recovery_points, run_point, run_point_silent, run_point_traced, PointConfig, PointResult,
 };

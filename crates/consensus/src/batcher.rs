@@ -273,6 +273,9 @@ pub struct Batcher {
     /// Batches released because the oldest pending transaction waited
     /// out `max_wait` (the periodic poll).
     released_timeout: Counter,
+    /// Batches released before their own timeout because another lane's
+    /// staleness triggered the global drain.
+    global_drains: Counter,
 }
 
 impl Batcher {
@@ -291,6 +294,7 @@ impl Batcher {
             home_lanes: 0,
             released_full: Counter::new(),
             released_timeout: Counter::new(),
+            global_drains: Counter::new(),
         }
     }
 
@@ -313,6 +317,7 @@ impl Batcher {
             home_lanes: num_shards,
             released_full: Counter::new(),
             released_timeout: Counter::new(),
+            global_drains: Counter::new(),
         }
     }
 
@@ -321,6 +326,7 @@ impl Batcher {
     pub fn register_metrics(&mut self, registry: &Registry, prefix: &str) {
         self.released_full = registry.counter(&format!("{prefix}.batcher.released_full"));
         self.released_timeout = registry.counter(&format!("{prefix}.batcher.released_timeout"));
+        self.global_drains = registry.counter(&format!("{prefix}.batcher.global_drains"));
     }
 
     /// The configured batch size.
@@ -417,15 +423,38 @@ impl Batcher {
         None
     }
 
-    /// Releases the next lane whose oldest pending transaction has waited
-    /// at least `max_wait` (called on a periodic tick; call repeatedly
-    /// until `None` to drain every stale lane).
+    /// Releases the next lane due under the timeout rule (called on a
+    /// periodic tick; call repeatedly until `None` to drain fully).
+    ///
+    /// A lane is *due* when its own oldest pending transaction has
+    /// waited `max_wait` — and, once any lane is stale, every other
+    /// non-empty lane becomes due too (the **global drain**): under
+    /// light load with many shard lanes, transactions that arrived
+    /// after the triggering one would otherwise each sit out their own
+    /// full timeout. Piggybacked lanes release first, so the stale lane
+    /// keeps the trigger alive until everything pending is out.
     pub fn poll(&mut self, now: SimTime) -> Option<SignedBatch> {
-        let idx = (0..self.lanes.len()).find(|i| self.lanes[*i].stale(now, self.max_wait))?;
+        let max_wait = self.max_wait;
+        if !self.lanes.iter().any(|l| l.stale(now, max_wait)) {
+            return None;
+        }
+        let piggyback = (0..self.lanes.len())
+            .find(|&i| !self.lanes[i].pending.is_empty() && !self.lanes[i].stale(now, max_wait));
+        let (idx, was_stale) = match piggyback {
+            Some(i) => (i, false),
+            None => (
+                (0..self.lanes.len()).find(|&i| self.lanes[i].stale(now, max_wait))?,
+                true,
+            ),
+        };
         let plan = self.lane_plan(idx);
         let released = self.lanes[idx].take(plan);
         if released.is_some() {
-            self.released_timeout.inc();
+            if was_stale {
+                self.released_timeout.inc();
+            } else {
+                self.global_drains.inc();
+            }
         }
         released
     }
@@ -634,6 +663,44 @@ mod tests {
                 ShardPlan::CrossHome,
             ]
         );
+        assert_eq!(b.pending(), 0);
+    }
+
+    #[test]
+    fn one_stale_lane_triggers_a_global_drain_of_fresher_lanes() {
+        let registry = Registry::new();
+        let mut b = Batcher::with_shard_lanes(10, SimDuration::from_millis(5), 2);
+        b.register_metrics(&registry, "shim.0");
+        let _ = push_lane(
+            &mut b,
+            txn(0),
+            ShardPlan::SingleHome(ShardId(0)),
+            SimTime::ZERO,
+        );
+        // Lane 1's transaction arrives 3 ms later: on its own clock it
+        // would not release until 8 ms.
+        let _ = push_lane(
+            &mut b,
+            txn(1),
+            ShardPlan::SingleHome(ShardId(1)),
+            SimTime::from_millis(3),
+        );
+        assert!(b.poll(SimTime::from_millis(4)).is_none(), "no lane stale");
+        let mut plans = Vec::new();
+        while let Some(batch) = b.poll(SimTime::from_millis(5)) {
+            plans.push(batch.plan());
+        }
+        // Lane 0 hit its timeout; lane 1 rode along (piggyback first)
+        // instead of waiting out its own.
+        assert_eq!(
+            plans,
+            vec![
+                ShardPlan::SingleHome(ShardId(1)),
+                ShardPlan::SingleHome(ShardId(0)),
+            ]
+        );
+        assert_eq!(registry.counter_value("shim.0.batcher.released_timeout"), 1);
+        assert_eq!(registry.counter_value("shim.0.batcher.global_drains"), 1);
         assert_eq!(b.pending(), 0);
     }
 

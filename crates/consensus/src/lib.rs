@@ -41,7 +41,7 @@ pub use batcher::{Batcher, SignedBatch};
 pub use cft::CftReplica;
 pub use messages::{
     BatchDigestAccumulator, Checkpoint, Commit, ConsensusMessage, NewView, PrePrepare, Prepare,
-    ViewChange,
+    StateRequest, StateResponse, ViewChange,
 };
 pub use noshim::NoShim;
 pub use pbft::PbftReplica;

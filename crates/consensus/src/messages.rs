@@ -9,6 +9,7 @@
 //! PBFT in Figure 7.
 
 use sbft_crypto::{CommitCertificate, U64Hasher};
+use sbft_durability::RecoveredEntry;
 use sbft_types::{Batch, Digest, MacTag, NodeId, SeqNum, ShardPlan, Signature, ViewNumber};
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
@@ -134,6 +135,35 @@ pub struct Checkpoint {
     pub signature: Signature,
 }
 
+/// `STATEREQUEST`: a crash-restarted replica asks its peers for the
+/// committed suffix above what its durable log reconstructed. Signed so
+/// byzantine nodes cannot trigger transfer storms in someone else's name.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct StateRequest {
+    /// The recovering replica.
+    pub sender: NodeId,
+    /// Highest sequence number the sender already holds; peers reply
+    /// with committed entries strictly above it.
+    pub above: SeqNum,
+    /// Digital signature over the request digest.
+    pub signature: Signature,
+}
+
+/// `STATERESPONSE`: a peer ships committed entries (batch + certificate)
+/// above the requested floor. Unsigned: each entry's `2f_R + 1`-signer
+/// commit certificate self-certifies, so the recovering replica verifies
+/// the certificates rather than trusting the sender.
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub struct StateResponse {
+    /// The responding peer.
+    pub sender: NodeId,
+    /// The responder's stable-checkpoint floor (tells the recovering
+    /// replica how far behind it could possibly be).
+    pub stable_seq: SeqNum,
+    /// Committed entries above the requested floor, in sequence order.
+    pub entries: Vec<RecoveredEntry>,
+}
+
 /// CFT (Multi-Paxos-style) accept message from the leader.
 #[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
 pub struct CftAccept {
@@ -189,6 +219,10 @@ pub enum ConsensusMessage {
     NewView(NewView),
     /// Featherweight checkpoint.
     Checkpoint(Checkpoint),
+    /// State-transfer request from a crash-restarted replica.
+    StateRequest(StateRequest),
+    /// State-transfer response carrying the committed suffix.
+    StateResponse(StateResponse),
     /// CFT accept (leader → followers).
     CftAccept(CftAccept),
     /// CFT accepted (follower → leader).
@@ -208,6 +242,8 @@ impl ConsensusMessage {
             ConsensusMessage::ViewChange(_) => "VIEWCHANGE",
             ConsensusMessage::NewView(_) => "NEWVIEW",
             ConsensusMessage::Checkpoint(_) => "CHECKPOINT",
+            ConsensusMessage::StateRequest(_) => "STATEREQUEST",
+            ConsensusMessage::StateResponse(_) => "STATERESPONSE",
             ConsensusMessage::CftAccept(_) => "CFT-ACCEPT",
             ConsensusMessage::CftAccepted(_) => "CFT-ACCEPTED",
             ConsensusMessage::CftDecide(_) => "CFT-DECIDE",
@@ -246,6 +282,16 @@ impl ConsensusMessage {
                     + 64
                     + m.certificates.iter().map(|c| c.wire_size()).sum::<usize>()
             }
+            ConsensusMessage::StateRequest(_) => FRAMING_OVERHEAD + 4 + 8 + 64,
+            ConsensusMessage::StateResponse(m) => {
+                FRAMING_OVERHEAD
+                    + 4
+                    + 8
+                    + m.entries
+                        .iter()
+                        .map(|e| 24 + e.batch.wire_size() + e.certificate.wire_size())
+                        .sum::<usize>()
+            }
             ConsensusMessage::CftAccept(m) => FRAMING_OVERHEAD + 16 + 32 + 5 + m.batch.wire_size(),
             ConsensusMessage::CftAccepted(_) => FRAMING_OVERHEAD + 16 + 32 + 4,
             ConsensusMessage::CftDecide(_) => FRAMING_OVERHEAD + 16 + 32,
@@ -262,6 +308,7 @@ impl ConsensusMessage {
                 | ConsensusMessage::ViewChange(_)
                 | ConsensusMessage::NewView(_)
                 | ConsensusMessage::Checkpoint(_)
+                | ConsensusMessage::StateRequest(_)
         )
     }
 }

@@ -27,11 +27,12 @@ use crate::actions::{ConsensusAction, ConsensusTimer};
 use crate::log::ConsensusLog;
 use crate::messages::{
     batch_digest, header_digest, Checkpoint, Commit, ConsensusMessage, NewView, PrePrepare,
-    Prepare, PreparedProof, ViewChange,
+    Prepare, PreparedProof, StateRequest, StateResponse, ViewChange,
 };
 use crate::traits::OrderingProtocol;
 use sbft_crypto::certificate::commit_digest;
 use sbft_crypto::{CommitCertificate, CryptoHandle};
+use sbft_durability::RecoveredEntry;
 use sbft_types::{
     Batch, ComponentId, Digest, FaultParams, NodeId, SeqNum, ShardPlan, SimDuration, ViewNumber,
 };
@@ -667,6 +668,100 @@ impl PbftReplica {
         }
         self.record_checkpoint_vote(cp)
     }
+
+    fn on_state_request(&mut self, from: NodeId, req: StateRequest) -> Vec<ConsensusAction> {
+        if req.sender != from {
+            return Vec::new();
+        }
+        let digest = state_request_digest(req.sender, req.above);
+        if !self
+            .crypto
+            .verify(ComponentId::Node(from), &digest, &req.signature)
+        {
+            return Vec::new();
+        }
+        // Ship every committed entry above the requested floor for which
+        // we still hold both the batch and the certificate (everything
+        // since our last stable checkpoint; older entries were garbage
+        // collected and are covered by checkpoint catch-up instead).
+        let entries: Vec<RecoveredEntry> = self
+            .pending_certs
+            .range(SeqNum(req.above.0 + 1)..)
+            .filter_map(|(seq, cert)| {
+                let entry = self.log.entry(*seq)?;
+                let batch = entry.batch.clone()?;
+                entry.committed.then(|| RecoveredEntry {
+                    seq: *seq,
+                    view: cert.view,
+                    batch,
+                    plan: entry.plan,
+                    certificate: Arc::clone(cert),
+                })
+            })
+            .collect();
+        if entries.is_empty() && self.log.stable_seq() <= req.above {
+            // Nothing the requester is missing; stay silent.
+            return Vec::new();
+        }
+        vec![ConsensusAction::Send(
+            from,
+            ConsensusMessage::StateResponse(StateResponse {
+                sender: self.me,
+                stable_seq: self.log.stable_seq(),
+                entries,
+            }),
+        )]
+    }
+
+    fn on_state_response(&mut self, from: NodeId, resp: StateResponse) -> Vec<ConsensusAction> {
+        if resp.sender != from {
+            return Vec::new();
+        }
+        let mut actions = Vec::new();
+        for e in resp.entries {
+            if e.seq <= self.log.stable_seq() || self.log.is_committed(e.seq) {
+                continue;
+            }
+            // The response is unsigned; each entry must self-certify: the
+            // certificate carries a commit quorum and the batch must hash
+            // to the digest the quorum signed.
+            if e.certificate.seq != e.seq
+                || e.certificate
+                    .verify(
+                        self.crypto.provider().key_store(),
+                        self.quorum(),
+                        self.params.n_r,
+                    )
+                    .is_err()
+                || batch_digest(&e.batch) != e.certificate.batch_digest
+            {
+                continue;
+            }
+            let entry = self.log.entry_mut(e.seq);
+            entry.committed = true;
+            entry.prepared = true;
+            entry.view = Some(e.certificate.view);
+            entry.digest = Some(e.certificate.batch_digest);
+            entry.batch = Some(e.batch.clone());
+            entry.plan = e.plan;
+            self.pending_certs.insert(e.seq, Arc::clone(&e.certificate));
+            self.next_seq = self.next_seq.max(SeqNum(e.seq.0 + 1));
+            actions.push(ConsensusAction::CancelTimer(ConsensusTimer::Request(e.seq)));
+            actions.push(ConsensusAction::Committed {
+                view: e.certificate.view,
+                seq: e.seq,
+                batch: e.batch,
+                plan: e.plan,
+                certificate: Some(e.certificate),
+            });
+        }
+        actions
+    }
+}
+
+/// The digest a recovering replica signs over its `STATEREQUEST`.
+fn state_request_digest(sender: NodeId, above: SeqNum) -> Digest {
+    sbft_crypto::digest_u64s("staterequest", &[u64::from(sender.0), above.0])
 }
 
 impl PrePrepare {
@@ -717,6 +812,8 @@ impl OrderingProtocol for PbftReplica {
             ConsensusMessage::ViewChange(vc) => self.on_view_change(from, vc),
             ConsensusMessage::NewView(nv) => self.on_new_view(from, nv),
             ConsensusMessage::Checkpoint(cp) => self.on_checkpoint(from, cp),
+            ConsensusMessage::StateRequest(req) => self.on_state_request(from, req),
+            ConsensusMessage::StateResponse(resp) => self.on_state_response(from, resp),
             // CFT messages are ignored by a BFT replica.
             _ => Vec::new(),
         }
@@ -745,6 +842,46 @@ impl OrderingProtocol for PbftReplica {
 
     fn request_view_change(&mut self) -> Vec<ConsensusAction> {
         self.start_view_change(self.view.next())
+    }
+
+    fn install_recovered(
+        &mut self,
+        entries: Vec<RecoveredEntry>,
+        stable: SeqNum,
+        view: ViewNumber,
+    ) -> Vec<ConsensusAction> {
+        self.view = self.view.max(view);
+        self.in_view_change = false;
+        if stable > SeqNum(0) {
+            self.log.collect_below(stable);
+        }
+        // Re-seat the durable committed suffix. No `Committed` action is
+        // emitted for these: the caller already acted on them before the
+        // crash (the WAL record was synced after the fact) and re-seating
+        // must not re-spawn executors.
+        let mut max_seq = stable;
+        for e in entries {
+            max_seq = max_seq.max(e.seq);
+            let entry = self.log.entry_mut(e.seq);
+            entry.committed = true;
+            entry.prepared = true;
+            entry.view = Some(e.view);
+            entry.digest = Some(e.certificate.batch_digest);
+            entry.batch = Some(e.batch);
+            entry.plan = e.plan;
+            self.pending_certs.insert(e.seq, e.certificate);
+        }
+        self.next_seq = self.next_seq.max(SeqNum(max_seq.0 + 1));
+        // Everything above the durable suffix was lost with the process;
+        // ask the peers for it.
+        let digest = state_request_digest(self.me, max_seq);
+        vec![ConsensusAction::Broadcast(ConsensusMessage::StateRequest(
+            StateRequest {
+                sender: self.me,
+                above: max_seq,
+                signature: self.crypto.sign(&digest),
+            },
+        ))]
     }
 
     fn view(&self) -> ViewNumber {
@@ -1279,6 +1416,145 @@ mod tests {
         shim.submit_to_primary(batch(0));
         let actions = shim.replicas[1].handle_timer(ConsensusTimer::Request(SeqNum(1)));
         assert!(actions.is_empty());
+    }
+
+    #[test]
+    fn crashed_replica_with_empty_log_state_transfers_everything() {
+        let mut shim = TestShim::new(4);
+        for i in 0..3 {
+            shim.submit_to_primary(batch(i));
+        }
+        // Node 3 crashes with no durable log at all: replace it with a
+        // fresh replica and run recovery.
+        let params = FaultParams::for_shim_size(4);
+        shim.replicas[3] = PbftReplica::new(
+            NodeId(3),
+            params,
+            shim.provider.handle(ComponentId::Node(NodeId(3))),
+            SimDuration::from_millis(100),
+            4,
+        );
+        let before = shim.committed_by(NodeId(3)).len();
+        let actions = shim.replicas[3].install_recovered(Vec::new(), SeqNum(0), ViewNumber(0));
+        assert!(
+            actions.iter().any(|a| a.is_message_kind("STATEREQUEST")),
+            "recovery must ask peers for the suffix: {actions:?}"
+        );
+        shim.run_actions(NodeId(3), actions);
+        let recovered: Vec<SeqNum> = shim.committed_by(NodeId(3))[before..].to_vec();
+        assert_eq!(recovered, vec![SeqNum(1), SeqNum(2), SeqNum(3)]);
+        // The replica is live again: a new batch commits on it normally.
+        shim.submit_to_primary(batch(9));
+        assert!(shim.committed_by(NodeId(3)).contains(&SeqNum(4)));
+    }
+
+    #[test]
+    fn recovered_suffix_is_reseated_without_reemitting_commits() {
+        let mut shim = TestShim::new(4);
+        for i in 0..2 {
+            shim.submit_to_primary(batch(i));
+        }
+        // Capture node 3's committed state as its "durable log" contents.
+        let entries: Vec<RecoveredEntry> = (1..=2)
+            .map(|s| {
+                let entry = shim.replicas[3].log().entry(SeqNum(s)).expect("entry");
+                RecoveredEntry {
+                    seq: SeqNum(s),
+                    view: ViewNumber(0),
+                    batch: entry.batch.clone().expect("batch"),
+                    plan: entry.plan,
+                    certificate: Arc::clone(&shim.replicas[3].pending_certs[&SeqNum(s)]),
+                }
+            })
+            .collect();
+        let params = FaultParams::for_shim_size(4);
+        shim.replicas[3] = PbftReplica::new(
+            NodeId(3),
+            params,
+            shim.provider.handle(ComponentId::Node(NodeId(3))),
+            SimDuration::from_millis(100),
+            4,
+        );
+        let before = shim.committed.len();
+        let actions = shim.replicas[3].install_recovered(entries, SeqNum(0), ViewNumber(0));
+        shim.run_actions(NodeId(3), actions);
+        // Nothing was missing, so re-seating produced no Committed actions
+        // anywhere (peers had nothing above seq 2 either).
+        assert_eq!(shim.committed.len(), before, "no re-delivery");
+        assert!(shim.replicas[3].log().is_committed(SeqNum(1)));
+        assert!(shim.replicas[3].log().is_committed(SeqNum(2)));
+        // And ordering continues at the right sequence number.
+        shim.submit_to_primary(batch(5));
+        assert!(shim.committed_by(NodeId(3)).contains(&SeqNum(3)));
+    }
+
+    #[test]
+    fn forged_state_request_and_bogus_response_are_ignored() {
+        let mut shim = TestShim::new(4);
+        shim.submit_to_primary(batch(0));
+        // A state request whose signature does not verify is dropped.
+        let req = StateRequest {
+            sender: NodeId(3),
+            above: SeqNum(0),
+            signature: sbft_types::Signature::ZERO,
+        };
+        assert!(shim.replicas[1]
+            .handle_message(NodeId(3), ConsensusMessage::StateRequest(req))
+            .is_empty());
+        // A response whose entry certificate does not verify is dropped.
+        let bogus = StateResponse {
+            sender: NodeId(2),
+            stable_seq: SeqNum(0),
+            entries: vec![RecoveredEntry {
+                seq: SeqNum(7),
+                view: ViewNumber(0),
+                batch: batch(7),
+                plan: ShardPlan::Unplanned,
+                certificate: Arc::new(CommitCertificate::new(
+                    ViewNumber(0),
+                    SeqNum(7),
+                    batch_digest(&batch(7)),
+                    vec![(NodeId(0), sbft_types::Signature::ZERO)],
+                )),
+            }],
+        };
+        assert!(shim.replicas[1]
+            .handle_message(NodeId(2), ConsensusMessage::StateResponse(bogus))
+            .is_empty());
+        assert!(!shim.replicas[1].log().is_committed(SeqNum(7)));
+    }
+
+    #[test]
+    fn state_response_with_mismatched_batch_is_rejected() {
+        // A byzantine responder ships a *valid* certificate but pairs it
+        // with a different batch; the digest check must catch it.
+        let mut shim = TestShim::new(4);
+        shim.submit_to_primary(batch(0));
+        let cert = Arc::clone(&shim.certificates[0]);
+        let evil = StateResponse {
+            sender: NodeId(2),
+            stable_seq: SeqNum(0),
+            entries: vec![RecoveredEntry {
+                seq: cert.seq,
+                view: cert.view,
+                batch: batch(99),
+                plan: ShardPlan::Unplanned,
+                certificate: cert,
+            }],
+        };
+        // Reset node 3 so the entry is genuinely missing there.
+        let params = FaultParams::for_shim_size(4);
+        shim.replicas[3] = PbftReplica::new(
+            NodeId(3),
+            params,
+            shim.provider.handle(ComponentId::Node(NodeId(3))),
+            SimDuration::from_millis(100),
+            4,
+        );
+        let actions =
+            shim.replicas[3].handle_message(NodeId(2), ConsensusMessage::StateResponse(evil));
+        assert!(actions.is_empty());
+        assert!(!shim.replicas[3].log().is_committed(SeqNum(1)));
     }
 
     #[test]

@@ -2,7 +2,8 @@
 
 use crate::actions::{ConsensusAction, ConsensusTimer};
 use crate::messages::ConsensusMessage;
-use sbft_types::{Batch, NodeId, ShardPlan, ViewNumber};
+use sbft_durability::RecoveredEntry;
+use sbft_types::{Batch, NodeId, SeqNum, ShardPlan, ViewNumber};
 
 /// A deterministic ordering-protocol state machine running on one shim
 /// node. `PbftReplica`, `CftReplica` and `NoShim` all implement this trait,
@@ -39,6 +40,21 @@ pub trait OrderingProtocol {
     /// Whether this node is the primary of the current view.
     fn is_primary(&self) -> bool {
         self.primary() == self.node_id()
+    }
+
+    /// Installs state reconstructed from a durable log after a crash
+    /// restart: committed `entries` above the `stable` snapshot floor,
+    /// resuming in `view`. Returns the actions needed to rejoin (for
+    /// PBFT, a broadcast `STATEREQUEST` for the missing suffix).
+    /// Protocols without a recovery path ignore it.
+    fn install_recovered(
+        &mut self,
+        entries: Vec<RecoveredEntry>,
+        stable: SeqNum,
+        view: ViewNumber,
+    ) -> Vec<ConsensusAction> {
+        let _ = (entries, stable, view);
+        Vec::new()
     }
 
     /// Short protocol name used in experiment output ("PBFT", "CFT",

@@ -10,8 +10,8 @@ use sbft_consensus::{ConsensusMessage, ConsensusTimer};
 use sbft_serverless::{ExecuteRequest, SpawnRequest, VerifyMessage};
 use sbft_sharding::ShardId;
 use sbft_types::{
-    ClientId, ComponentId, ExecutorId, NodeId, SeqNum, Signature, SimDuration, Transaction, TxnId,
-    TxnOutcome,
+    ClientId, ComponentId, ExecutorId, NodeId, Region, SeqNum, Signature, SimDuration, Transaction,
+    TxnId, TxnOutcome,
 };
 use serde::{Deserialize, Serialize};
 
@@ -239,6 +239,9 @@ pub enum ProtocolTimer {
     VerifierAbort(SeqNum),
     /// The primary's periodic batch-release tick.
     BatchPoll,
+    /// Probation on a region an invoker reactively marked down after a
+    /// `SpawnRejected` answer: on expiry the region is tried again.
+    RegionProbation(Region),
 }
 
 /// An action requested by a role state machine, interpreted by the runtime.
@@ -301,6 +304,17 @@ pub enum Action {
         /// granted (the lock-ordered staircase), while unchained slices
         /// run in parallel across shard stations.
         chained: bool,
+    },
+    /// The emitting component wrote to its durable write-ahead log.
+    /// Runtimes that model CPU/disk charge the write (and the fsync, when
+    /// set) to the component's station *before* any later action in the
+    /// same list takes effect — that ordering is what makes a synced
+    /// `Vote` record durable before the `COMMIT` message leaves the node.
+    Persist {
+        /// Encoded bytes appended to the log.
+        bytes: u64,
+        /// Whether the write ends with an fsync.
+        fsync: bool,
     },
 }
 

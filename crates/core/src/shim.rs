@@ -18,8 +18,11 @@ use crate::events::{
     RecoverySubject,
 };
 use crate::planner::{home_shard, BatchFootprint, BestEffortPlanner};
-use sbft_consensus::{Batcher, ConsensusAction, ConsensusMessage, OrderingProtocol, SignedBatch};
+use sbft_consensus::{
+    Batcher, ConsensusAction, ConsensusMessage, OrderingProtocol, PbftReplica, SignedBatch,
+};
 use sbft_crypto::{CommitCertificate, CryptoHandle};
+use sbft_durability::{codec as wal_codec, recover, MemWal, WalRecord, WriteAheadLog};
 use sbft_serverless::{ExecuteRequest, Invoker};
 use sbft_sharding::ShardRouter;
 use sbft_telemetry::{Counter, Registry};
@@ -104,10 +107,23 @@ pub struct ShimNode {
     /// what prevents one byzantine primary from cascading the shim through
     /// many views when many `ERROR` messages arrive at once).
     retransmit_view: std::collections::HashMap<RecoverySubject, ViewNumber>,
+    /// The durable write-ahead log, present when `config.durability` is
+    /// enabled. `new` attaches the deterministic in-memory backend (what
+    /// the simulator crashes and restarts); the thread runtime swaps in
+    /// the buffered-file backend via [`Self::attach_wal`].
+    wal: Option<Box<dyn WriteAheadLog>>,
+    /// Sequence number of the last snapshot cut into the WAL; the log
+    /// below it has been truncated.
+    last_snapshot: SeqNum,
     batches_committed: Counter,
     executors_spawned: Counter,
     requests_forwarded: Counter,
     rejected_txns: Counter,
+    wal_appends: Counter,
+    snapshot_bytes: Counter,
+    replay_batches: Counter,
+    state_transfers: Counter,
+    region_outages_detected: Counter,
 }
 
 impl ShimNode {
@@ -148,6 +164,10 @@ impl ShimNode {
         };
         let planner = matches!(config.conflict_handling, ConflictHandling::KnownRwSets)
             .then(BestEffortPlanner::new);
+        let wal = config
+            .durability
+            .enabled
+            .then(|| Box::new(MemWal::new()) as Box<dyn WriteAheadLog>);
         ShimNode {
             me,
             config,
@@ -164,11 +184,25 @@ impl ShimNode {
             max_validated: SeqNum(0),
             seen_gc_floor: SeqNum(0),
             retransmit_view: std::collections::HashMap::new(),
+            wal,
+            last_snapshot: SeqNum(0),
             batches_committed: Counter::new(),
             executors_spawned: Counter::new(),
             requests_forwarded: Counter::new(),
             rejected_txns: Counter::new(),
+            wal_appends: Counter::new(),
+            snapshot_bytes: Counter::new(),
+            replay_batches: Counter::new(),
+            state_transfers: Counter::new(),
+            region_outages_detected: Counter::new(),
         }
+    }
+
+    /// Replaces the write-ahead log backend (the thread runtime attaches
+    /// a [`sbft_durability::FileWal`] here). Implies durability even if
+    /// the configuration left it off.
+    pub fn attach_wal(&mut self, wal: Box<dyn WriteAheadLog>) {
+        self.wal = Some(wal);
     }
 
     /// This node's identifier.
@@ -236,9 +270,60 @@ impl ShimNode {
         self.executors_spawned = registry.counter(&format!("shim.{id}.executors_spawned"));
         self.requests_forwarded = registry.counter(&format!("shim.{id}.requests_forwarded"));
         self.rejected_txns = registry.counter(&format!("shim.{id}.rejected_txns"));
+        self.wal_appends = registry.counter(&format!("shim.{id}.durability.wal_appends"));
+        self.snapshot_bytes = registry.counter(&format!("shim.{id}.durability.snapshot_bytes"));
+        self.replay_batches = registry.counter(&format!("shim.{id}.durability.replay_batches"));
+        self.state_transfers =
+            registry.counter(&format!("shim.{id}.durability.state_transfer_batches"));
+        self.region_outages_detected =
+            registry.counter(&format!("shim.{id}.region_outages_detected"));
         self.batcher
             .register_metrics(registry, &format!("shim.{id}"));
         self.invoker.register_metrics(registry);
+    }
+
+    /// Records appended to the write-ahead log.
+    #[must_use]
+    pub fn wal_appends(&self) -> u64 {
+        self.wal_appends.get()
+    }
+
+    /// Bytes reclaimed by snapshot truncation.
+    #[must_use]
+    pub fn snapshot_bytes(&self) -> u64 {
+        self.snapshot_bytes.get()
+    }
+
+    /// Committed batches re-seated from WAL replay after a crash restart.
+    #[must_use]
+    pub fn replay_batches(&self) -> u64 {
+        self.replay_batches.get()
+    }
+
+    /// Committed batches adopted from peer state transfer after a crash
+    /// restart.
+    #[must_use]
+    pub fn state_transfers(&self) -> u64 {
+        self.state_transfers.get()
+    }
+
+    /// Region outages this node detected reactively from rejected spawns.
+    #[must_use]
+    pub fn region_outages_detected(&self) -> u64 {
+        self.region_outages_detected.get()
+    }
+
+    /// Sequence number of the last snapshot cut into the WAL.
+    #[must_use]
+    pub fn last_snapshot(&self) -> SeqNum {
+        self.last_snapshot
+    }
+
+    /// Durable (synced) records currently retained in the WAL, when one
+    /// is attached (tests and memory accounting).
+    #[must_use]
+    pub fn wal_durable_len(&self) -> Option<usize> {
+        self.wal.as_ref().map(|w| w.durable_len())
     }
 
     /// Entries currently held in the duplicate-suppression set (tests and
@@ -426,7 +511,15 @@ impl ShimNode {
 
     /// Handles a consensus message from another shim node.
     pub fn on_consensus_message(&mut self, from: NodeId, msg: ConsensusMessage) -> Vec<Action> {
+        let is_state_response = matches!(msg, ConsensusMessage::StateResponse(_));
         let actions = self.ordering.handle_message(from, msg);
+        if is_state_response {
+            let adopted = actions
+                .iter()
+                .filter(|a| matches!(a, ConsensusAction::Committed { .. }))
+                .count();
+            self.state_transfers.add(adopted as u64);
+        }
         self.translate(actions)
     }
 
@@ -434,11 +527,16 @@ impl ShimNode {
         let mut out = Vec::new();
         for action in actions {
             match action {
-                ConsensusAction::Broadcast(msg) => out.push(Action::send(
-                    self.component(),
-                    Destination::AllNodes,
-                    ProtocolMessage::Consensus(msg),
-                )),
+                ConsensusAction::Broadcast(msg) => {
+                    // The durable-vote rule: the WAL write (synced for
+                    // COMMIT votes) is charged before the send leaves.
+                    out.extend(self.wal_on_broadcast(&msg));
+                    out.push(Action::send(
+                        self.component(),
+                        Destination::AllNodes,
+                        ProtocolMessage::Consensus(msg),
+                    ));
+                }
                 ConsensusAction::Send(to, msg) => out.push(Action::send(
                     self.component(),
                     Destination::Node(to),
@@ -457,12 +555,214 @@ impl ShimNode {
                     batch,
                     plan,
                     certificate,
-                } => out.extend(self.on_committed(view, seq, batch, plan, certificate)),
-                ConsensusAction::ViewInstalled { .. } => out.extend(self.on_view_installed()),
+                } => {
+                    out.extend(self.wal_on_committed(
+                        view,
+                        seq,
+                        &batch,
+                        plan,
+                        certificate.as_ref(),
+                    ));
+                    out.extend(self.on_committed(view, seq, batch, plan, certificate));
+                }
+                ConsensusAction::ViewInstalled { view, .. } => {
+                    out.extend(self.wal_on_view_installed(view));
+                    out.extend(self.on_view_installed());
+                }
                 ConsensusAction::CaughtUp { .. } => {}
             }
         }
         out
+    }
+
+    // ---- durability -----------------------------------------------------------
+
+    /// Logs outgoing protocol steps that must survive a crash: a released
+    /// proposal (buffered — it is recoverable from peers) and this node's
+    /// COMMIT vote (synced — the vote must not be forgotten once sent,
+    /// or a restarted replica could vote differently in the same view).
+    fn wal_on_broadcast(&mut self, msg: &ConsensusMessage) -> Vec<Action> {
+        let Some(wal) = self.wal.as_mut() else {
+            return Vec::new();
+        };
+        match msg {
+            ConsensusMessage::PrePrepare(pp) => {
+                let bytes = wal.append(&WalRecord::Released {
+                    seq: pp.seq,
+                    view: pp.view,
+                    digest: pp.digest,
+                });
+                self.wal_appends.inc();
+                vec![Action::Persist {
+                    bytes,
+                    fsync: false,
+                }]
+            }
+            ConsensusMessage::Commit(c) => {
+                let bytes = wal.append(&WalRecord::Vote {
+                    seq: c.seq,
+                    view: c.view,
+                    digest: c.digest,
+                });
+                wal.sync();
+                self.wal_appends.inc();
+                vec![Action::Persist { bytes, fsync: true }]
+            }
+            _ => Vec::new(),
+        }
+    }
+
+    /// Logs a locally committed batch (with its certificate) and, at the
+    /// featherweight-checkpoint rhythm, cuts a snapshot: a synced
+    /// `SnapshotMark` after which the log below the mark is truncated.
+    fn wal_on_committed(
+        &mut self,
+        view: ViewNumber,
+        seq: SeqNum,
+        batch: &Batch,
+        plan: ShardPlan,
+        certificate: Option<&Arc<CommitCertificate>>,
+    ) -> Vec<Action> {
+        let Some(wal) = self.wal.as_mut() else {
+            return Vec::new();
+        };
+        // Baselines without certificates (CFT / NoShim) have no recovery
+        // path; only certified commits are worth making durable.
+        let Some(cert) = certificate else {
+            return Vec::new();
+        };
+        let mut bytes = wal.append(&WalRecord::Committed {
+            seq,
+            view,
+            plan,
+            batch: batch.clone(),
+            certificate: Arc::clone(cert),
+        });
+        self.wal_appends.inc();
+        let interval = self.config.durability.snapshot_interval;
+        if interval > 0 && seq.0 >= self.last_snapshot.0 + interval {
+            bytes += wal.append(&WalRecord::SnapshotMark { upto: seq, view });
+            self.wal_appends.inc();
+            wal.sync();
+            let dropped = wal.truncate_below(seq);
+            self.last_snapshot = seq;
+            self.snapshot_bytes.add(dropped);
+        } else {
+            wal.sync();
+        }
+        vec![Action::Persist { bytes, fsync: true }]
+    }
+
+    /// Logs an installed view (buffered: losing it only costs rejoining
+    /// in an older view, which the state transfer corrects).
+    fn wal_on_view_installed(&mut self, view: ViewNumber) -> Vec<Action> {
+        let Some(wal) = self.wal.as_mut() else {
+            return Vec::new();
+        };
+        let bytes = wal.append(&WalRecord::ViewInstalled { view });
+        self.wal_appends.inc();
+        vec![Action::Persist {
+            bytes,
+            fsync: false,
+        }]
+    }
+
+    /// Simulates the process dying: the unsynced WAL tail is lost. The
+    /// volatile state is discarded by [`Self::crash_restart`]; between the
+    /// two calls the node must receive no messages or timers.
+    pub fn crash(&mut self) {
+        if let Some(wal) = self.wal.as_mut() {
+            wal.lose_unsynced();
+        }
+    }
+
+    /// Restarts this node after a crash: all volatile state is discarded,
+    /// the ordering protocol is rebuilt, and the durable log is replayed
+    /// through [`recover`]. Returns the replay-cost [`Action::Persist`]
+    /// followed by the rejoin actions (for PBFT, a broadcast
+    /// `STATEREQUEST` for the suffix committed while this node was down).
+    pub fn crash_restart(&mut self) -> Vec<Action> {
+        let max_wait = sbft_types::SimDuration::from_millis(5);
+        self.batcher = match &self.lane_router {
+            Some(router) => Batcher::with_shard_lanes(
+                self.config.workload.batch_size,
+                max_wait,
+                router.num_shards(),
+            ),
+            None => Batcher::new(self.config.workload.batch_size, max_wait),
+        };
+        self.committed.clear();
+        self.seen_txns.clear();
+        self.validated_txns.clear();
+        self.pending_seen.clear();
+        self.retransmit_view.clear();
+        self.max_validated = SeqNum(0);
+        self.seen_gc_floor = SeqNum(0);
+        self.last_snapshot = SeqNum(0);
+        if self.planner.is_some() {
+            self.planner = Some(BestEffortPlanner::new());
+        }
+        if self.ordering.name() == "PBFT" {
+            self.ordering = Box::new(PbftReplica::new(
+                self.me,
+                self.config.fault,
+                self.crypto.provider().handle(self.component()),
+                self.config.timers.node_timeout,
+                self.config.timers.checkpoint_interval,
+            ));
+        }
+        let Some(wal) = self.wal.as_mut() else {
+            return Vec::new();
+        };
+        let records = wal.replay();
+        let replay_bytes: u64 = records
+            .iter()
+            .map(|r| wal_codec::encode(r).len() as u64)
+            .sum();
+        let state = recover(&records);
+        self.replay_batches.add(state.entries.len() as u64);
+        self.last_snapshot = state.stable_seq;
+        self.max_validated = state.stable_seq;
+        for e in &state.entries {
+            // Re-seated as already spawned: this node acted on the commit
+            // before crashing, and the verifier's ERROR path re-triggers
+            // a spawn if the executors were in fact lost with it.
+            self.committed.insert(
+                e.seq,
+                CommittedBatch {
+                    view: e.view,
+                    batch: e.batch.clone(),
+                    certificate: Arc::clone(&e.certificate),
+                    plan: e.plan,
+                    spawned: true,
+                },
+            );
+        }
+        let mut actions = vec![Action::Persist {
+            bytes: replay_bytes,
+            fsync: false,
+        }];
+        let rejoin = self
+            .ordering
+            .install_recovered(state.entries, state.stable_seq, state.view);
+        actions.extend(self.translate(rejoin));
+        actions
+    }
+
+    /// Reactive region-outage detection: the deployment rejected a spawn
+    /// because `region` is offline. The invoker marks the region down
+    /// locally and a probation timer is started; when it fires the region
+    /// is marked back up (and re-probed by the next placement there).
+    pub fn on_spawn_rejected(&mut self, region: sbft_types::Region) -> Vec<Action> {
+        if self.invoker.is_region_down(region) {
+            return Vec::new();
+        }
+        self.invoker.mark_region_down(region);
+        self.region_outages_detected.inc();
+        vec![Action::StartTimer {
+            timer: ProtocolTimer::RegionProbation(region),
+            duration: self.config.timers.region_probation,
+        }]
     }
 
     fn on_committed(
@@ -795,6 +1095,13 @@ impl ShimNode {
                 }
             }
             ProtocolTimer::BatchPoll => self.poll_batcher(now),
+            ProtocolTimer::RegionProbation(region) => {
+                // Probation over: optimistically mark the region back up.
+                // If it is still down the next spawn there is rejected
+                // again and the cycle restarts.
+                self.invoker.mark_region_up(region);
+                Vec::new()
+            }
             _ => Vec::new(),
         }
     }
@@ -1697,5 +2004,165 @@ mod tests {
             .count();
         assert_eq!(spawns, config.executors_per_batch());
         assert_eq!(noshim.protocol_name(), "NoShim");
+    }
+
+    /// Like [`run_consensus`] but messages to the nodes in `down` are
+    /// dropped (they are crashed).
+    fn run_consensus_partitioned(
+        shim: &mut Shim,
+        origin: usize,
+        actions: Vec<Action>,
+        down: &[usize],
+    ) -> Vec<(NodeId, Action)> {
+        let mut external = Vec::new();
+        let mut queue: std::collections::VecDeque<(usize, usize, ConsensusMessage)> =
+            std::collections::VecDeque::new();
+        let n = shim.nodes.len();
+        let push_actions =
+            |origin: usize,
+             actions: Vec<Action>,
+             queue: &mut std::collections::VecDeque<(usize, usize, ConsensusMessage)>,
+             external: &mut Vec<(NodeId, Action)>| {
+                for a in actions {
+                    match &a {
+                        Action::Send(env) => match (&env.to, &env.msg) {
+                            (Destination::AllNodes, ProtocolMessage::Consensus(msg)) => {
+                                for to in 0..n {
+                                    if to != origin {
+                                        queue.push_back((origin, to, msg.clone()));
+                                    }
+                                }
+                            }
+                            (Destination::Node(to), ProtocolMessage::Consensus(msg)) => {
+                                queue.push_back((origin, to.0 as usize, msg.clone()));
+                            }
+                            _ => external.push((NodeId(origin as u32), a.clone())),
+                        },
+                        _ => external.push((NodeId(origin as u32), a.clone())),
+                    }
+                }
+            };
+        push_actions(origin, actions, &mut queue, &mut external);
+        while let Some((from, to, msg)) = queue.pop_front() {
+            if down.contains(&to) {
+                continue;
+            }
+            let acts = shim.nodes[to].on_consensus_message(NodeId(from as u32), msg);
+            push_actions(to, acts, &mut queue, &mut external);
+        }
+        external
+    }
+
+    fn durable_config(snapshot_interval: u64) -> SystemConfig {
+        let mut config = base_config();
+        config.durability =
+            sbft_types::DurabilityConfig::enabled().with_snapshot_interval(snapshot_interval);
+        config
+    }
+
+    /// Commits one batch of two transactions through the whole shim and
+    /// returns the external actions.
+    fn commit_one_batch(
+        shim: &mut Shim,
+        client_base: u32,
+        down: &[usize],
+    ) -> Vec<(NodeId, Action)> {
+        let provider = Arc::clone(&shim.provider);
+        let _ = shim.nodes[0]
+            .on_client_request(&signed_request(&provider, client_base, 0), SimTime::ZERO);
+        let actions = shim.nodes[0].on_client_request(
+            &signed_request(&provider, client_base + 1, 0),
+            SimTime::ZERO,
+        );
+        run_consensus_partitioned(shim, 0, actions, down)
+    }
+
+    #[test]
+    fn wal_records_votes_and_commits_and_cuts_snapshots() {
+        // Snapshot every 2 batches: after two commits the log is
+        // truncated to the mark and the reclaimed bytes are counted.
+        let mut shim = make_shim(durable_config(2));
+        let external = commit_one_batch(&mut shim, 0, &[]);
+        // Synced WAL writes are charged through Persist actions.
+        assert!(external
+            .iter()
+            .any(|(_, a)| matches!(a, Action::Persist { fsync: true, .. })));
+        assert!(shim.nodes[0].wal_appends() >= 2); // a Vote and a Committed at least
+        assert_eq!(shim.nodes[0].last_snapshot(), SeqNum(0));
+        commit_one_batch(&mut shim, 2, &[]);
+        for node in &shim.nodes {
+            assert_eq!(node.last_snapshot(), SeqNum(2));
+            assert!(node.snapshot_bytes() > 0, "truncation reclaims bytes");
+            // Only the mark survives the cut.
+            assert_eq!(node.wal_durable_len(), Some(1));
+        }
+    }
+
+    #[test]
+    fn crash_restarted_node_replays_its_wal_and_rejoins() {
+        let mut shim = make_shim(durable_config(8));
+        commit_one_batch(&mut shim, 0, &[]);
+        commit_one_batch(&mut shim, 2, &[]);
+        // Node 3 dies and restarts: the synced log replays both commits.
+        shim.nodes[3].crash();
+        let restart = shim.nodes[3].crash_restart();
+        assert_eq!(shim.nodes[3].replay_batches(), 2);
+        assert!(
+            restart.iter().any(|a| a.sends_kind("STATEREQUEST")),
+            "restart broadcasts a state request"
+        );
+        // Nothing was missed, so peers stay silent and no batch is adopted.
+        run_consensus_partitioned(&mut shim, 3, restart, &[]);
+        assert_eq!(shim.nodes[3].state_transfers(), 0);
+        // The restarted node keeps participating: the next batch commits
+        // everywhere, including on node 3.
+        let external = commit_one_batch(&mut shim, 4, &[]);
+        assert!(external.iter().any(|(n, a)| *n == NodeId(3)
+            && matches!(a, Action::BatchCommitted { seq, .. } if *seq == SeqNum(3))));
+    }
+
+    #[test]
+    fn crash_restarted_node_state_transfers_the_suffix_it_missed() {
+        let mut shim = make_shim(durable_config(8));
+        commit_one_batch(&mut shim, 0, &[]);
+        // Node 3 is dark while batch 2 commits on the others.
+        shim.nodes[3].crash();
+        commit_one_batch(&mut shim, 2, &[3]);
+        let restart = shim.nodes[3].crash_restart();
+        assert_eq!(shim.nodes[3].replay_batches(), 1);
+        let external = run_consensus_partitioned(&mut shim, 3, restart, &[]);
+        // Peers answered the state request; node 3 adopted the missed
+        // batch exactly once and observed its commit.
+        assert_eq!(shim.nodes[3].state_transfers(), 1);
+        assert!(external.iter().any(|(n, a)| *n == NodeId(3)
+            && matches!(a, Action::BatchCommitted { seq, .. } if *seq == SeqNum(2))));
+    }
+
+    #[test]
+    fn spawn_rejection_marks_the_region_down_until_probation_expires() {
+        use sbft_types::Region;
+        let mut shim = make_shim(base_config());
+        let node = &mut shim.nodes[0];
+        let actions = node.on_spawn_rejected(Region::Oregon);
+        assert!(actions.iter().any(|a| matches!(
+            a,
+            Action::StartTimer {
+                timer: ProtocolTimer::RegionProbation(Region::Oregon),
+                ..
+            }
+        )));
+        assert_eq!(node.region_outages_detected(), 1);
+        // Repeated rejections while already marked down are absorbed.
+        assert!(node.on_spawn_rejected(Region::Oregon).is_empty());
+        assert_eq!(node.region_outages_detected(), 1);
+        // Probation expiry marks the region back up; a later rejection
+        // re-detects the outage and restarts the cycle.
+        let up = node.on_timer(
+            ProtocolTimer::RegionProbation(Region::Oregon),
+            SimTime::ZERO,
+        );
+        assert!(up.is_empty());
+        assert!(!node.on_spawn_rejected(Region::Oregon).is_empty());
+        assert_eq!(node.region_outages_detected(), 2);
     }
 }

@@ -264,9 +264,23 @@ impl LocalCluster {
 
         let mut handles = Vec::new();
 
-        // Shim node threads.
+        // Shim node threads. Under durability each node writes a real
+        // buffered WAL file (the in-memory backend attached at build time
+        // is only the simulator's deterministic stand-in); an unopenable
+        // file falls back to that in-memory log rather than failing the
+        // run.
         let nodes = std::mem::take(&mut system.nodes);
+        let wal_dir = system.config.durability.enabled.then(|| {
+            let dir = std::env::temp_dir().join(format!("sbft-wal-{}", std::process::id()));
+            let _ = std::fs::create_dir_all(&dir);
+            dir
+        });
         for (i, mut node) in nodes.into_iter().enumerate() {
+            if let Some(dir) = &wal_dir {
+                if let Ok(wal) = sbft_durability::FileWal::open(dir.join(format!("node-{i}.wal"))) {
+                    node.attach_wal(Box::new(wal));
+                }
+            }
             let rx = node_rx.remove(0);
             let router = router.clone();
             handles.push(thread::spawn(move || {
@@ -545,6 +559,28 @@ mod tests {
                 assert!(release <= respond, "respond before batch release");
             }
         }
+    }
+
+    #[test]
+    fn durable_cluster_commits_through_file_backed_wals() {
+        // With durability on, every node writes a file-backed WAL under the
+        // process-scoped temp directory; the fsync tax must not stop the
+        // cluster from committing its target.
+        let mut cfg = config();
+        cfg.durability = sbft_types::DurabilityConfig::enabled();
+        let system = SystemBuilder::new(cfg).clients(4).build();
+        let report = LocalCluster::new(system)
+            .clients(4)
+            .target_txns(12)
+            .deadline(Duration::from_secs(20))
+            .run();
+        assert!(
+            report.committed >= 12,
+            "committed only {} transactions",
+            report.committed
+        );
+        let dir = std::env::temp_dir().join(format!("sbft-wal-{}", std::process::id()));
+        assert!(dir.join("node-0.wal").exists(), "WAL file was not created");
     }
 
     #[test]

@@ -112,6 +112,14 @@ impl ServerlessCloud {
         self.outage = outage;
     }
 
+    /// Whether the active outage scenario takes `region` offline (what
+    /// lets a runtime translate a rejected spawn into the reactive
+    /// region-outage signal for the spawning node's invoker).
+    #[must_use]
+    pub fn region_is_down(&self, region: Region) -> bool {
+        self.outage.affects(region)
+    }
+
     /// Handles a spawn request. Fails if the target region is offline or
     /// the concurrency limit is reached.
     pub fn spawn(&mut self, req: SpawnRequest) -> SbftResult<SpawnOutcome> {

@@ -14,7 +14,7 @@
 //! liveness and the spawn margin are preserved, and the fault-injection
 //! suite proves commit outcomes are unchanged.
 
-use sbft_types::Region;
+use sbft_types::{NodeId, Region, SimDuration};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
 
@@ -67,6 +67,38 @@ impl RegionOutage {
     /// The downed regions, in order.
     pub fn regions(&self) -> impl Iterator<Item = Region> + '_ {
         self.downed.iter().copied()
+    }
+}
+
+/// A crash-restart fault on one shim node: the node's process dies at
+/// `at` (losing its volatile state and the unsynced tail of its
+/// write-ahead log), stays dark for `restart_after`, then restarts and
+/// recovers via snapshot + log replay + peer state transfer.
+///
+/// Unlike the byzantine behaviours this is a *benign* fault — the node
+/// follows the protocol before and after the crash — but it exercises
+/// the entire durability subsystem: what was synced must be replayed,
+/// what was in flight must be re-fetched from peers, and the committed
+/// outcomes must be byte-identical to a run without the crash.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct CrashRestart {
+    /// The shim node that crashes.
+    pub node: NodeId,
+    /// Simulated time at which the process dies.
+    pub at: SimDuration,
+    /// How long the node stays dark before restarting.
+    pub restart_after: SimDuration,
+}
+
+impl CrashRestart {
+    /// A crash of `node` at `at`, restarting after `restart_after`.
+    #[must_use]
+    pub fn of(node: NodeId, at: SimDuration, restart_after: SimDuration) -> Self {
+        CrashRestart {
+            node,
+            at,
+            restart_after,
+        }
     }
 }
 

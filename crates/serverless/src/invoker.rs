@@ -109,6 +109,12 @@ impl Invoker {
         self.down_regions.remove(&region);
     }
 
+    /// Whether `region` is currently marked down on this invoker.
+    #[must_use]
+    pub fn is_region_down(&self, region: Region) -> bool {
+        self.down_regions.contains(&region)
+    }
+
     /// Executors placed by pinning so far.
     #[must_use]
     pub fn pinned_spawns(&self) -> u64 {

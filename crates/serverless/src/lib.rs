@@ -35,6 +35,6 @@ pub mod messages;
 pub use billing::{CostModel, CostReport};
 pub use cloud::{ServerlessCloud, SpawnOutcome, SpawnRequest};
 pub use executor::{Executor, ExecutorOutput};
-pub use faults::{ExecutorBehavior, RegionOutage};
+pub use faults::{CrashRestart, ExecutorBehavior, RegionOutage};
 pub use invoker::{Invoker, SpawnPlan};
 pub use messages::{ExecuteRequest, VerifyMessage};

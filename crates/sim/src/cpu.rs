@@ -50,6 +50,13 @@ pub struct CpuModel {
     /// fallback probe hashing every read/write key once more). Also
     /// skipped by the verified fast path.
     pub probe_ns_per_access: f64,
+    /// Cost of one fsync on the write-ahead log (the durable-vote rule
+    /// charges it before a synced record's message leaves the node). An
+    /// edge device's flash commit latency, not a datacenter NVMe.
+    pub fsync_cost: SimDuration,
+    /// Per-byte cost of writing (or replaying) WAL records, on top of
+    /// [`Self::fsync_cost`] for synced writes.
+    pub wal_byte_ns: f64,
 }
 
 impl Default for CpuModel {
@@ -65,6 +72,8 @@ impl Default for CpuModel {
             routing_ns_per_key: 15.0,
             probe_ns_per_txn: 150.0,
             probe_ns_per_access: 40.0,
+            fsync_cost: SimDuration::from_micros(80),
+            wal_byte_ns: 0.3,
         }
     }
 }
@@ -159,6 +168,23 @@ impl CpuModel {
     #[must_use]
     pub fn ccheck_cost(&self, accesses: usize) -> SimDuration {
         self.storage_access_cost.saturating_mul(accesses as u64) + self.base_cost
+    }
+
+    /// Service time of one write-ahead-log operation of `bytes` encoded
+    /// bytes: the per-byte write (or replay) work, plus one
+    /// [`Self::fsync_cost`] when the operation ends with an fsync. This
+    /// is the durability axis of the cost model: synced votes and
+    /// commits slow the pipeline down by a bounded, modelled amount
+    /// instead of being free.
+    #[must_use]
+    pub fn persist_cost(&self, bytes: u64, fsync: bool) -> SimDuration {
+        let write =
+            SimDuration::from_micros(((bytes as f64 * self.wal_byte_ns) / 1000.0).ceil() as u64);
+        if fsync {
+            write + self.fsync_cost
+        } else {
+            write
+        }
     }
 
     /// Service time of the *probed* ccheck for `txns` transactions with
@@ -293,6 +319,16 @@ mod tests {
         assert!(probed > planned);
         // Empty work costs the same either way (nothing to probe).
         assert_eq!(cpu.ccheck_cost_probed(0, 0), cpu.ccheck_cost(0));
+    }
+
+    #[test]
+    fn synced_wal_writes_cost_an_fsync() {
+        let cpu = CpuModel::default();
+        // The fsync dominates small synced writes…
+        assert!(cpu.persist_cost(256, true) >= cpu.fsync_cost);
+        assert!(cpu.persist_cost(256, false) < cpu.persist_cost(256, true));
+        // …and buffered writes scale with the encoded size only.
+        assert!(cpu.persist_cost(1_000_000, false) > cpu.persist_cost(100, false));
     }
 
     #[test]

@@ -11,7 +11,7 @@ use crate::metrics::RunMetrics;
 use crate::network::NetworkModel;
 use sbft_core::events::{Action, Destination, Envelope, ProtocolMessage, ProtocolTimer};
 use sbft_core::System;
-use sbft_serverless::{ExecuteRequest, ExecutorBehavior};
+use sbft_serverless::{CrashRestart, ExecuteRequest, ExecutorBehavior};
 use sbft_storage::GeoPartitionedStore;
 use sbft_telemetry::{Stage, TraceSink, Tracer};
 use sbft_types::{
@@ -46,6 +46,11 @@ pub struct SimParams {
     /// When set, keys are drawn Zipfian with this exponent instead of
     /// uniformly (the skew axis of the planner experiments).
     pub zipf_theta: Option<f64>,
+    /// When set, the given shim node crashes at the scheduled sim time
+    /// (losing volatile state and the unsynced WAL tail), stays dark, and
+    /// restarts after the configured delay — replaying its log and
+    /// state-transferring the missing suffix from peers.
+    pub crash: Option<CrashRestart>,
 }
 
 impl Default for SimParams {
@@ -59,6 +64,7 @@ impl Default for SimParams {
             max_events: 20_000_000,
             edge_execution_threads: None,
             zipf_theta: None,
+            crash: None,
         }
     }
 }
@@ -87,6 +93,15 @@ enum EventKind {
         execute: Box<ExecuteRequest>,
     },
     BatchTick {
+        node: usize,
+    },
+    /// The node's process dies: volatile state and the unsynced WAL tail
+    /// are lost, and deliveries/timers to it are dropped until `Restart`.
+    Crash {
+        node: usize,
+    },
+    /// The node restarts and recovers from its durable log.
+    Restart {
         node: usize,
     },
 }
@@ -153,6 +168,9 @@ pub struct SimHarness {
     /// done) — consumed when the request's batch is released into
     /// ordering. Only populated while tracing is enabled.
     ingest_times: HashMap<TxnId, (SimTime, SimTime)>,
+    /// Node indices currently crashed: deliveries and timer firings to
+    /// them are dropped until their `Restart` event.
+    down: std::collections::BTreeSet<usize>,
     metrics: RunMetrics,
 }
 
@@ -233,6 +251,7 @@ impl SimHarness {
             touched_partitions: HashMap::new(),
             tracer: Tracer::disabled(),
             ingest_times: HashMap::new(),
+            down: std::collections::BTreeSet::new(),
             metrics,
         }
     }
@@ -296,6 +315,17 @@ impl SimHarness {
                 EventKind::BatchTick { node },
             );
         }
+        // The scheduled crash-restart fault, if any.
+        if let Some(crash) = self.params.crash {
+            let node = crash.node.0 as usize;
+            if node < self.system.nodes.len() {
+                self.push_event(SimTime::ZERO + crash.at, EventKind::Crash { node });
+                self.push_event(
+                    SimTime::ZERO + crash.at + crash.restart_after,
+                    EventKind::Restart { node },
+                );
+            }
+        }
 
         let hard_end = self.end_time() + SimDuration::from_millis(50);
         while let Some(Reverse(event)) = self.queue.pop() {
@@ -328,6 +358,12 @@ impl SimHarness {
             self.metrics.remote_storage_fetches =
                 registry.counter_value("storage.geo.remote_fetches");
         }
+        self.metrics.wal_appends = registry.sum_counters("durability.wal_appends");
+        self.metrics.snapshot_bytes = registry.sum_counters("durability.snapshot_bytes");
+        self.metrics.replay_batches = registry.sum_counters("durability.replay_batches");
+        self.metrics.state_transfer_batches =
+            registry.sum_counters("durability.state_transfer_batches");
+        self.metrics.recoveries = registry.counter_value("recovery.recoveries");
         self.metrics
     }
 
@@ -357,10 +393,14 @@ impl SimHarness {
             } => self.run_executor(executor, region, behavior, *execute, event.time),
             EventKind::BatchTick { node } => {
                 let now = event.time;
-                let actions = self.system.nodes[node].poll_batcher(now);
-                let id = self.system.nodes[node].id();
-                let actions = self.system.injector.apply(id, actions);
-                self.process_actions(ComponentId::Node(id), now, actions);
+                // A crashed node skips the poll but keeps its tick alive,
+                // so batching resumes as soon as it restarts.
+                if !self.down.contains(&node) {
+                    let actions = self.system.nodes[node].poll_batcher(now);
+                    let id = self.system.nodes[node].id();
+                    let actions = self.system.injector.apply(id, actions);
+                    self.process_actions(ComponentId::Node(id), now, actions);
+                }
                 if now < self.end_time() {
                     self.push_event(
                         now + self.params.batch_poll_interval,
@@ -368,10 +408,31 @@ impl SimHarness {
                     );
                 }
             }
+            EventKind::Crash { node } => {
+                self.down.insert(node);
+                self.system.nodes[node].crash();
+            }
+            EventKind::Restart { node } => {
+                self.down.remove(&node);
+                let id = self.system.nodes[node].id();
+                let actions = self.system.nodes[node].crash_restart();
+                self.system.registry.counter("recovery.recoveries").inc();
+                // The recover span: one event per recovery, keyed by the
+                // restarting node (not part of the batch pipeline).
+                self.tracer
+                    .emit(u64::from(id.0), Stage::Recover, event.time);
+                self.process_actions(ComponentId::Node(id), event.time, actions);
+            }
         }
     }
 
     fn deliver(&mut self, from: ComponentId, to: ComponentId, msg: ProtocolMessage, now: SimTime) {
+        // A crashed node is dark: anything addressed to it is lost.
+        if let ComponentId::Node(node) = to {
+            if self.down.contains(&(node.0 as usize)) {
+                return;
+            }
+        }
         self.metrics.messages_delivered += 1;
         self.metrics.bytes_delivered += msg.wire_size() as u64;
         // CPU service at the receiving component.
@@ -468,7 +529,7 @@ impl SimHarness {
         match owner {
             ComponentId::Node(node_id) => {
                 let idx = node_id.0 as usize;
-                if idx >= self.system.nodes.len() {
+                if idx >= self.system.nodes.len() || self.down.contains(&idx) {
                     return;
                 }
                 let actions = self.system.nodes[idx].on_timer(timer, now);
@@ -692,8 +753,18 @@ impl SimHarness {
                 Action::CancelTimer(timer) => {
                     *self.timer_generation.entry((origin, timer)).or_insert(0) += 1;
                 }
+                Action::Persist { bytes, fsync } => {
+                    // WAL writes run on the component's own station and
+                    // gate every later action in this list: a synced vote
+                    // is durable before its COMMIT leaves the node.
+                    if let Some(station) = self.stations.get_mut(&origin) {
+                        let done = station.schedule(now, self.cpu.persist_cost(bytes, fsync));
+                        now = now.max(done);
+                    }
+                }
                 Action::SpawnExecutor { request, execute } => {
                     self.tracer.emit(execute.seq.0, Stage::ExecuteSpawn, now);
+                    let spawn_region = request.region;
                     // Issuing the spawn costs CPU at the spawning node (the
                     // invoker signs and ships the request to the provider).
                     let spawn_issue_done = match self.stations.get_mut(&origin) {
@@ -721,8 +792,21 @@ impl SimHarness {
                             );
                         }
                         Err(_) => {
-                            // Rejected by the concurrency limit; counted at
-                            // the end of the run from the cloud's stats.
+                            // Rejected; counted at the end of the run from
+                            // the cloud's stats. If the cause is a region
+                            // outage, the rejection doubles as the reactive
+                            // outage signal: the spawning node marks the
+                            // region down and probes it again later.
+                            if self.system.cloud.region_is_down(spawn_region) {
+                                if let Some(node) = origin.as_node() {
+                                    let idx = node.0 as usize;
+                                    if idx < self.system.nodes.len() {
+                                        let reactions =
+                                            self.system.nodes[idx].on_spawn_rejected(spawn_region);
+                                        self.process_actions(origin, spawn_issue_done, reactions);
+                                    }
+                                }
+                            }
                         }
                     }
                 }
@@ -1196,6 +1280,115 @@ mod tests {
             "pinned placement must not be slower: {} vs {}",
             pinned.avg_latency_secs(),
             rr.avg_latency_secs()
+        );
+    }
+
+    #[test]
+    fn crash_restarted_backup_replays_its_wal_and_liveness_degrades_gracefully() {
+        let mut cfg = tiny_config();
+        // A wide snapshot interval keeps replayable entries in the log at
+        // the crash point (truncation itself is pinned by
+        // `snapshots_truncate_the_wal_during_a_run`).
+        cfg.durability = sbft_types::DurabilityConfig::enabled().with_snapshot_interval(1_000);
+        let baseline = {
+            let system = SystemBuilder::new(cfg.clone()).clients(40).build();
+            SimHarness::new(system, tiny_params()).run()
+        };
+        let crashed = {
+            let system = SystemBuilder::new(cfg.clone()).clients(40).build();
+            let params = SimParams {
+                crash: Some(CrashRestart::of(
+                    NodeId(2),
+                    SimDuration::from_millis(150),
+                    SimDuration::from_millis(60),
+                )),
+                ..tiny_params()
+            };
+            SimHarness::new(system, params).run()
+        };
+        assert!(baseline.wal_appends > 0, "durability logs protocol steps");
+        assert_eq!(baseline.recoveries, 0);
+        assert_eq!(crashed.recoveries, 1);
+        assert!(
+            crashed.replay_batches > 0,
+            "the restarted backup replays committed batches from its WAL"
+        );
+        assert!(
+            crashed.state_transfer_batches > 0,
+            "the suffix committed while the node was dark is state-transferred"
+        );
+        // One crashed backup must not stop the shim (quorum of 3 remains),
+        // and throughput degrades gracefully rather than collapsing.
+        assert!(
+            crashed.committed_txns as f64 > baseline.committed_txns as f64 * 0.5,
+            "crashed {} vs baseline {}",
+            crashed.committed_txns,
+            baseline.committed_txns
+        );
+    }
+
+    #[test]
+    fn snapshots_truncate_the_wal_during_a_run() {
+        let mut cfg = tiny_config();
+        cfg.durability = sbft_types::DurabilityConfig::enabled().with_snapshot_interval(4);
+        let system = SystemBuilder::new(cfg).clients(40).build();
+        let metrics = SimHarness::new(system, tiny_params()).run();
+        assert!(metrics.committed_txns > 0);
+        assert!(
+            metrics.snapshot_bytes > 0,
+            "the snapshot rhythm reclaims log bytes"
+        );
+    }
+
+    #[test]
+    fn crash_restarting_the_primary_is_survivable() {
+        let mut cfg = tiny_config();
+        cfg.durability = sbft_types::DurabilityConfig::enabled();
+        cfg.timers.client_timeout = SimDuration::from_millis(40);
+        cfg.timers.node_timeout = SimDuration::from_millis(30);
+        cfg.timers.retransmit_timeout = SimDuration::from_millis(30);
+        let system = SystemBuilder::new(cfg).clients(40).build();
+        let params = SimParams {
+            duration: SimDuration::from_millis(600),
+            warmup: SimDuration::from_millis(50),
+            num_clients: 40,
+            seed: 3,
+            crash: Some(CrashRestart::of(
+                NodeId(0),
+                SimDuration::from_millis(120),
+                SimDuration::from_millis(80),
+            )),
+            ..SimParams::default()
+        };
+        let metrics = SimHarness::new(system, params).run();
+        assert_eq!(metrics.recoveries, 1);
+        assert!(
+            metrics.committed_txns > 0,
+            "the shim must replace the crashed primary and keep committing"
+        );
+    }
+
+    #[test]
+    fn durability_costs_bound_the_fsync_tax() {
+        // The fsync-aware cost axis: a durable run pays for its synced
+        // WAL writes, so it can never commit more than the identical run
+        // without durability.
+        let plain = {
+            let system = SystemBuilder::new(tiny_config()).clients(40).build();
+            SimHarness::new(system, tiny_params()).run()
+        };
+        let durable = {
+            let mut cfg = tiny_config();
+            cfg.durability = sbft_types::DurabilityConfig::enabled();
+            let system = SystemBuilder::new(cfg).clients(40).build();
+            SimHarness::new(system, tiny_params()).run()
+        };
+        assert!(durable.committed_txns > 0);
+        assert!(
+            durable.committed_txns <= plain.committed_txns,
+            "durable {} vs plain {}",
+            durable.committed_txns,
+            plain.committed_txns
         );
     }
 

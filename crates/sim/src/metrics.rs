@@ -116,6 +116,17 @@ pub struct RunMetrics {
     pub executor_busy: SimDuration,
     /// View changes observed.
     pub view_changes: u64,
+    /// Records appended to the shim nodes' write-ahead logs, summed.
+    pub wal_appends: u64,
+    /// Bytes reclaimed by WAL snapshot truncation, summed over nodes.
+    pub snapshot_bytes: u64,
+    /// Committed batches re-seated from WAL replay after crash restarts.
+    pub replay_batches: u64,
+    /// Committed batches adopted from peer state transfer after crash
+    /// restarts.
+    pub state_transfer_batches: u64,
+    /// Crash-restart recoveries completed during the run.
+    pub recoveries: u64,
     /// Simulated time at which the run ended.
     pub end_time: SimTime,
 }

@@ -46,6 +46,10 @@ pub enum Stage {
     ApplyEnd,
     /// The client response for the batch was processed.
     Respond,
+    /// A crashed replica finished recovery (snapshot + WAL replay + peer
+    /// state transfer). Not part of the per-batch pipeline: the trace id
+    /// is the recovering node, and the span covers the whole replay.
+    Recover,
 }
 
 impl Stage {
@@ -65,6 +69,7 @@ impl Stage {
             Stage::ShardSliceEnd => "shard_slice_end",
             Stage::ApplyEnd => "apply_end",
             Stage::Respond => "respond",
+            Stage::Recover => "recover",
         }
     }
 

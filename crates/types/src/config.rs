@@ -157,6 +157,9 @@ pub struct TimerConfig {
     pub client_backoff_factor: f64,
     /// Featherweight checkpoint period, in committed sequence numbers.
     pub checkpoint_interval: u64,
+    /// Probation period before an invoker that reactively marked a region
+    /// down (after a `SpawnRejected` answer) tries the region again.
+    pub region_probation: SimDuration,
 }
 
 impl Default for TimerConfig {
@@ -168,7 +171,60 @@ impl Default for TimerConfig {
             verifier_abort_timeout: SimDuration::from_millis(800),
             client_backoff_factor: 2.0,
             checkpoint_interval: 100,
+            region_probation: SimDuration::from_millis(200),
         }
+    }
+}
+
+/// Configuration of the durability subsystem (`sbft-durability`): the
+/// write-ahead log each shim replica appends to and the featherweight
+/// snapshot rhythm that truncates it.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct DurabilityConfig {
+    /// Whether shim replicas keep a write-ahead log at all. Off by
+    /// default: the paper's replicas are purely in-memory, and the WAL
+    /// adds an fsync to the commit-vote path.
+    pub enabled: bool,
+    /// Snapshot period, in committed sequence numbers: every
+    /// `snapshot_interval` commits the replica cuts a
+    /// featherweight-snapshot mark and truncates its log below it.
+    pub snapshot_interval: u64,
+}
+
+impl Default for DurabilityConfig {
+    fn default() -> Self {
+        DurabilityConfig {
+            enabled: false,
+            snapshot_interval: 8,
+        }
+    }
+}
+
+impl DurabilityConfig {
+    /// Durability enabled with the default snapshot rhythm.
+    #[must_use]
+    pub fn enabled() -> Self {
+        DurabilityConfig {
+            enabled: true,
+            ..DurabilityConfig::default()
+        }
+    }
+
+    /// Overrides the snapshot period.
+    #[must_use]
+    pub fn with_snapshot_interval(mut self, interval: u64) -> Self {
+        self.snapshot_interval = interval;
+        self
+    }
+
+    /// Checks the snapshot rhythm is usable.
+    pub fn validate(&self) -> SbftResult<()> {
+        if self.enabled && self.snapshot_interval == 0 {
+            return Err(SbftError::InvalidConfig(
+                "durability needs a non-zero snapshot interval".into(),
+            ));
+        }
+        Ok(())
     }
 }
 
@@ -365,6 +421,8 @@ pub struct SystemConfig {
     pub batching_enabled: bool,
     /// Sharded-execution parameters for the verifier's commit path.
     pub sharding: ShardingConfig,
+    /// Write-ahead-log and snapshot parameters for shim replicas.
+    pub durability: DurabilityConfig,
 }
 
 impl SystemConfig {
@@ -396,6 +454,7 @@ impl SystemConfig {
             workload: WorkloadConfig::default(),
             batching_enabled: true,
             sharding: ShardingConfig::default(),
+            durability: DurabilityConfig::default(),
         }
     }
 
@@ -453,6 +512,7 @@ impl SystemConfig {
     pub fn validate(&self) -> SbftResult<()> {
         self.fault.validate()?;
         self.sharding.validate()?;
+        self.durability.validate()?;
         if self.shim_cores == 0 || self.verifier_cores == 0 {
             return Err(SbftError::InvalidConfig(
                 "shim and verifier need at least one core".into(),
@@ -605,6 +665,24 @@ mod tests {
         let mut cfg = SystemConfig::small_test();
         cfg.shim_cores = 0;
         assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn durability_defaults_off_and_validates_interval() {
+        let cfg = SystemConfig::servbft_8();
+        assert!(!cfg.durability.enabled);
+        assert!(DurabilityConfig::enabled().enabled);
+        let mut cfg = SystemConfig::small_test();
+        cfg.durability = DurabilityConfig::enabled().with_snapshot_interval(0);
+        assert!(cfg.validate().is_err());
+        cfg.durability = DurabilityConfig::enabled().with_snapshot_interval(4);
+        assert!(cfg.validate().is_ok());
+        // Disabled durability never rejects, whatever the interval.
+        cfg.durability = DurabilityConfig {
+            enabled: false,
+            snapshot_interval: 0,
+        };
+        assert!(cfg.validate().is_ok());
     }
 
     #[test]

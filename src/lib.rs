@@ -8,6 +8,8 @@
 //! * [`types`] — shared identifiers, transactions, configuration.
 //! * [`crypto`] — SHA-256, HMAC, simulated signatures, certificates.
 //! * [`storage`] — the on-premise versioned key-value store and YCSB table.
+//! * [`durability`] — the write-ahead log, featherweight snapshots and the
+//!   `recover()` path for crash-restarted replicas (see `RECOVERY.md`).
 //! * [`consensus`] — PBFT, the CFT baseline and the NoShim baseline.
 //! * [`serverless`] — the simulated serverless cloud, executors and billing.
 //! * [`core`] — the ServerlessBFT protocol roles (client, shim, verifier),
@@ -82,6 +84,7 @@
 pub use sbft_consensus as consensus;
 pub use sbft_core as core;
 pub use sbft_crypto as crypto;
+pub use sbft_durability as durability;
 pub use sbft_runtime as runtime;
 pub use sbft_serverless as serverless;
 pub use sbft_sharding as sharding;
