@@ -12,7 +12,9 @@ use sbft_core::system::ShimProtocol;
 use sbft_core::{ShimAttack, SystemBuilder};
 use sbft_serverless::cloud::CloudFaultPlan;
 use sbft_serverless::{CostModel, CrashRestart};
-use sbft_sim::{CpuModel, NetworkModel, RunMetrics, SimHarness, SimParams};
+use sbft_sim::{
+    CpuModel, DiskLag, FaultPlan, LinkFaults, NetworkModel, RunMetrics, SimHarness, SimParams,
+};
 use sbft_types::{NodeId, SimDuration, SystemConfig};
 
 /// One data point of an experiment.
@@ -55,6 +57,10 @@ pub struct PointConfig {
     /// When set, one shim node crashes and restarts mid-run (the
     /// `recovery_points` sweep's fault axis).
     pub crash: Option<CrashRestart>,
+    /// When set, the composed fault plan (link loss/duplication/delay,
+    /// directed partitions, disk-lag stragglers, multi-node crashes)
+    /// applied to the run — the `chaos_points` sweep's fault axis.
+    pub fault_plan: Option<FaultPlan>,
 }
 
 impl PointConfig {
@@ -83,6 +89,7 @@ impl PointConfig {
             cpu: None,
             zipf_theta: None,
             crash: None,
+            fault_plan: None,
         }
     }
 }
@@ -183,6 +190,9 @@ fn run_point_with_sink(
     );
     if let Some(sink) = sink {
         harness = harness.with_tracer(sink);
+    }
+    if let Some(plan) = point.fault_plan.clone() {
+        harness = harness.with_fault_plan(plan);
     }
     let metrics = harness.run();
 
@@ -399,6 +409,83 @@ pub fn recovery_points(snapshot_intervals: &[u64]) -> Vec<PointConfig> {
     points
 }
 
+/// Builds the chaos sweep: message-loss rate × partition window × number
+/// of concurrent crash-restarts, composed into one `FaultPlan` per point.
+/// Hostility is aimed at the *backup* side of the shim — lossy links and
+/// the partition around node 3, crashes of nodes 2 and 3, a disk-lag
+/// straggler at node 1 — so every point must stay live (the primary and a
+/// quorum survive) while the recovery machinery absorbs the abuse. The
+/// smoke assertions are on the fault and recovery counters: drops happen
+/// where loss is configured, the partition window actually drops traffic,
+/// every scheduled crash recovers, and committed work never diverges.
+#[must_use]
+pub fn chaos_points(
+    loss_rates: &[f64],
+    partition_windows: &[bool],
+    crash_counts: &[usize],
+) -> Vec<PointConfig> {
+    let mut points = Vec::new();
+    for &partition in partition_windows {
+        for &crashes in crash_counts {
+            for &loss in loss_rates {
+                let mut plan = FaultPlan::new().disk_lag(DiskLag {
+                    node: NodeId(1),
+                    extra: SimDuration::from_micros(200),
+                    jitter: SimDuration::from_micros(100),
+                });
+                if loss > 0.0 {
+                    plan = plan.lossy_node(
+                        NodeId(3),
+                        LinkFaults::lossy(loss)
+                            .with_duplicate(0.05)
+                            .with_delay(0.1, SimDuration::from_micros(300)),
+                    );
+                }
+                if partition {
+                    plan = plan.isolate(
+                        NodeId(3),
+                        SimDuration::from_millis(100),
+                        SimDuration::from_millis(140),
+                    );
+                }
+                // Backups only: the primary stays up so every point keeps
+                // committing while the crashed replicas are dark.
+                let schedule = [
+                    CrashRestart::of(
+                        NodeId(2),
+                        SimDuration::from_millis(150),
+                        SimDuration::from_millis(60),
+                    ),
+                    CrashRestart::of(
+                        NodeId(3),
+                        SimDuration::from_millis(170),
+                        SimDuration::from_millis(60),
+                    ),
+                ];
+                for crash in schedule.iter().take(crashes) {
+                    plan = plan.crash(*crash);
+                }
+                let mut config = SystemConfig::with_shim_size(4);
+                config.workload.num_records = 10_000;
+                config.workload.batch_size = 20;
+                config.durability = sbft_types::DurabilityConfig::enabled();
+                config.timers.client_timeout = SimDuration::from_millis(60);
+                config.timers.node_timeout = SimDuration::from_millis(40);
+                config.timers.retransmit_timeout = SimDuration::from_millis(40);
+                let series = format!("P{}-C{}", u8::from(partition), crashes);
+                let mut point = PointConfig::new("chaos", series, (loss * 100.0).round(), config);
+                point.clients = 200;
+                point.duration = SimDuration::from_millis(600);
+                point.warmup = SimDuration::from_millis(100);
+                point.seed = 3;
+                point.fault_plan = Some(plan);
+                points.push(point);
+            }
+        }
+    }
+    points
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -560,6 +647,26 @@ mod tests {
             pinned.metrics.avg_latency_secs(),
             rr.metrics.avg_latency_secs()
         );
+    }
+
+    #[test]
+    fn most_hostile_chaos_point_stays_live_and_safe() {
+        // The worst corner of the sweep: 20% loss on node 3's links, a
+        // partition window around it, and both backup crashes — commits
+        // must keep flowing, nothing may diverge, and every configured
+        // fault family must actually fire.
+        let mut point = chaos_points(&[0.20], &[true], &[2])
+            .pop()
+            .expect("one point");
+        point.clients = 80;
+        let result = run_point_silent(point);
+        let m = &result.metrics;
+        assert!(m.committed_txns > 0, "chaos must not stop the shim");
+        assert_eq!(m.divergent_aborts, 0);
+        assert_eq!(m.recoveries, 2, "both crashed backups must recover");
+        assert!(m.messages_dropped > 0);
+        assert!(m.partition_drops > 0);
+        assert!(m.fsync_lags > 0);
     }
 
     #[test]

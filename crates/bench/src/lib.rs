@@ -21,6 +21,7 @@
 pub mod experiment;
 
 pub use experiment::{
-    commit_path_points, divergence_points, placement_points, planner_points, print_header,
-    recovery_points, run_point, run_point_silent, run_point_traced, PointConfig, PointResult,
+    chaos_points, commit_path_points, divergence_points, placement_points, planner_points,
+    print_header, recovery_points, run_point, run_point_silent, run_point_traced, PointConfig,
+    PointResult,
 };

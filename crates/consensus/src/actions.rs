@@ -21,6 +21,12 @@ pub enum ConsensusTimer {
     /// A timer bounding how long a view change may take before the node
     /// escalates to the next view.
     ViewChange(ViewNumber),
+    /// The retransmission timer of a recovering replica's `STATEREQUEST`:
+    /// started when recovery broadcasts the request, re-armed with capped
+    /// exponential backoff on every expiry, and cancelled when a useful
+    /// `STATERESPONSE` arrives. Retries rotate through the peers one at a
+    /// time instead of re-broadcasting.
+    StateTransfer,
 }
 
 /// An action requested by a consensus state machine.

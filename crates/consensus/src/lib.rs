@@ -45,4 +45,4 @@ pub use messages::{
 };
 pub use noshim::NoShim;
 pub use pbft::PbftReplica;
-pub use traits::OrderingProtocol;
+pub use traits::{OrderingProtocol, RecoveryStats};

@@ -152,7 +152,11 @@ pub struct StateRequest {
 /// `STATERESPONSE`: a peer ships committed entries (batch + certificate)
 /// above the requested floor. Unsigned: each entry's `2f_R + 1`-signer
 /// commit certificate self-certifies, so the recovering replica verifies
-/// the certificates rather than trusting the sender.
+/// the certificates rather than trusting the sender. The receiver adopts
+/// each sequence at most once (duplicated or replayed responses are
+/// idempotent), rejects garbage entries per sender, and treats
+/// `stable_seq` as a checkpoint-floor claim for the catch-up path when
+/// its own floor fell below every peer's retention boundary.
 #[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
 pub struct StateResponse {
     /// The responding peer.

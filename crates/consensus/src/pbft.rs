@@ -29,7 +29,7 @@ use crate::messages::{
     batch_digest, header_digest, Checkpoint, Commit, ConsensusMessage, NewView, PrePrepare,
     Prepare, PreparedProof, StateRequest, StateResponse, ViewChange,
 };
-use crate::traits::OrderingProtocol;
+use crate::traits::{OrderingProtocol, RecoveryStats};
 use sbft_crypto::certificate::commit_digest;
 use sbft_crypto::{CommitCertificate, CryptoHandle};
 use sbft_durability::RecoveredEntry;
@@ -61,7 +61,32 @@ pub struct PbftReplica {
     checkpoint_votes: BTreeMap<SeqNum, BTreeMap<NodeId, Checkpoint>>,
     /// View-change votes collected, per target view.
     view_change_votes: BTreeMap<ViewNumber, BTreeMap<NodeId, ViewChange>>,
+
+    /// Retransmission attempts made for the in-flight `STATEREQUEST`;
+    /// `None` when no state transfer is pending. Bounded by
+    /// [`STATE_RETRY_BUDGET`].
+    state_transfer_attempt: Option<u32>,
+    /// Sequence numbers already adopted from a `STATERESPONSE` — the
+    /// adopt-once ledger: overlapping suffixes from several peers (or
+    /// duplicated responses on a lossy network) seat each entry exactly
+    /// once. Pruned below the stable floor at every checkpoint/catch-up.
+    adopted_from_peers: BTreeSet<SeqNum>,
+    /// Garbage `STATERESPONSE` entries rejected, per sender.
+    bad_responses: BTreeMap<NodeId, u64>,
+    /// Snapshot-floor claims observed in `STATERESPONSE`s, per sender:
+    /// `f_r + 1` claims at or above a floor prove at least one honest
+    /// replica garbage-collected it, authorising checkpoint catch-up.
+    floor_claims: BTreeMap<NodeId, SeqNum>,
+    /// Total `STATEREQUEST` retransmissions sent.
+    retries: u64,
+    /// Total checkpoint catch-ups performed.
+    catch_ups: u64,
 }
+
+/// How many times a recovering replica retransmits its `STATEREQUEST`
+/// (with capped exponential backoff, rotating through the peers) before
+/// giving up and relying on the regular protocol to make progress.
+const STATE_RETRY_BUDGET: u32 = 8;
 
 impl PbftReplica {
     /// Creates a replica.
@@ -90,7 +115,20 @@ impl PbftReplica {
             pending_certs: BTreeMap::new(),
             checkpoint_votes: BTreeMap::new(),
             view_change_votes: BTreeMap::new(),
+            state_transfer_attempt: None,
+            adopted_from_peers: BTreeSet::new(),
+            bad_responses: BTreeMap::new(),
+            floor_claims: BTreeMap::new(),
+            retries: 0,
+            catch_ups: 0,
         }
+    }
+
+    /// Garbage `STATERESPONSE` entries rejected from one specific peer
+    /// (tests pin the liar's tally through this).
+    #[must_use]
+    pub fn bad_state_responses_from(&self, peer: NodeId) -> u64 {
+        self.bad_responses.get(&peer).copied().unwrap_or(0)
     }
 
     /// The fault parameters this replica was configured with.
@@ -356,6 +394,7 @@ impl PbftReplica {
         self.log.collect_below(seq);
         self.pending_certs.retain(|s, _| *s > seq);
         self.checkpoint_votes.retain(|s, _| *s > seq);
+        self.adopted_from_peers.retain(|s| *s > seq);
         actions
     }
 
@@ -717,15 +756,28 @@ impl PbftReplica {
         if resp.sender != from {
             return Vec::new();
         }
-        let mut actions = Vec::new();
+        // First pass: validate. The response is unsigned; each entry must
+        // self-certify (the certificate carries a commit quorum and the
+        // batch must hash to the digest the quorum signed). Garbage —
+        // mismatched or invalid certificates, digest mismatches, a stale
+        // view claim contradicting the certificate — is rejected and
+        // counted against the sender, never seated. Entries already held
+        // (or already adopted from another peer's overlapping suffix) are
+        // skipped silently: the adopt-once ledger makes duplicated and
+        // overlapping responses idempotent.
+        let mut valid = Vec::new();
+        let mut duplicates = 0usize;
+        let mut garbage = 0u64;
         for e in resp.entries {
-            if e.seq <= self.log.stable_seq() || self.log.is_committed(e.seq) {
+            if e.seq <= self.log.stable_seq()
+                || self.log.is_committed(e.seq)
+                || self.adopted_from_peers.contains(&e.seq)
+            {
+                duplicates += 1;
                 continue;
             }
-            // The response is unsigned; each entry must self-certify: the
-            // certificate carries a commit quorum and the batch must hash
-            // to the digest the quorum signed.
             if e.certificate.seq != e.seq
+                || e.view != e.certificate.view
                 || e.certificate
                     .verify(
                         self.crypto.provider().key_store(),
@@ -735,6 +787,46 @@ impl PbftReplica {
                     .is_err()
                 || batch_digest(&e.batch) != e.certificate.batch_digest
             {
+                garbage += 1;
+                continue;
+            }
+            valid.push(e);
+        }
+        if garbage > 0 {
+            *self.bad_responses.entry(from).or_insert(0) += garbage;
+        }
+
+        let mut actions = Vec::new();
+        let mut useful = duplicates > 0 && garbage == 0;
+
+        // Checkpoint catch-up: the responder's snapshot floor is above
+        // everything we hold, so the suffix below it is gone from peer
+        // retention. Adopting the floor is safe once it is *proven* — a
+        // certified entry above it in the same response — or *vouched* by
+        // `f_r + 1` distinct peers claiming at least that floor (at least
+        // one of them honest).
+        let floor = resp.stable_seq;
+        let claim = self.floor_claims.entry(from).or_insert(SeqNum(0));
+        *claim = (*claim).max(floor);
+        if floor > self.log.max_committed().max(self.log.stable_seq()) {
+            let proven = valid.iter().any(|e| e.seq > floor);
+            let vouched =
+                self.floor_claims.values().filter(|s| **s >= floor).count() > self.params.f_r;
+            if proven || vouched {
+                self.log.collect_below(floor);
+                self.pending_certs.retain(|s, _| *s > floor);
+                self.checkpoint_votes.retain(|s, _| *s > floor);
+                self.adopted_from_peers.retain(|s| *s > floor);
+                self.next_seq = self.next_seq.max(SeqNum(floor.0 + 1));
+                self.catch_ups += 1;
+                useful = true;
+                actions.push(ConsensusAction::CaughtUp { up_to: floor });
+            }
+        }
+
+        for e in valid {
+            if e.seq <= self.log.stable_seq() {
+                // Covered by a floor adopted above.
                 continue;
             }
             let entry = self.log.entry_mut(e.seq);
@@ -745,7 +837,9 @@ impl PbftReplica {
             entry.batch = Some(e.batch.clone());
             entry.plan = e.plan;
             self.pending_certs.insert(e.seq, Arc::clone(&e.certificate));
+            self.adopted_from_peers.insert(e.seq);
             self.next_seq = self.next_seq.max(SeqNum(e.seq.0 + 1));
+            useful = true;
             actions.push(ConsensusAction::CancelTimer(ConsensusTimer::Request(e.seq)));
             actions.push(ConsensusAction::Committed {
                 view: e.certificate.view,
@@ -755,7 +849,71 @@ impl PbftReplica {
                 certificate: Some(e.certificate),
             });
         }
+
+        // A useful response ends the retransmission schedule.
+        if useful && self.state_transfer_attempt.take().is_some() {
+            actions.push(ConsensusAction::CancelTimer(ConsensusTimer::StateTransfer));
+        }
         actions
+    }
+
+    /// The highest sequence this replica can prove committed — what a
+    /// retransmitted `STATEREQUEST` asks above.
+    fn transfer_floor(&self) -> SeqNum {
+        self.log.max_committed().max(self.log.stable_seq())
+    }
+
+    /// Capped exponential backoff for the `STATEREQUEST` retransmission
+    /// timer: `node_timeout / 2` doubling per attempt, capped at
+    /// `4 × node_timeout`.
+    fn state_retry_backoff(&self, attempt: u32) -> SimDuration {
+        let base = (self.node_timeout.as_micros() / 2).max(1);
+        let cap = self.node_timeout.as_micros().saturating_mul(4).max(1);
+        SimDuration::from_micros(base.saturating_mul(1 << attempt.min(16)).min(cap))
+    }
+
+    /// The peer a retransmission attempt targets: retries rotate through
+    /// the other replicas one at a time, so a silent, partitioned or
+    /// lying peer cannot starve recovery.
+    fn rotation_peer(&self, attempt: u32) -> NodeId {
+        let n = self.params.n_r as u32;
+        let others = n.saturating_sub(1).max(1);
+        let k = attempt.saturating_sub(1) % others;
+        NodeId((self.me.0 + 1 + k) % n.max(1))
+    }
+
+    /// Expiry of the `STATEREQUEST` retransmission timer: re-sign the
+    /// request at the current transfer floor (adopted entries raise it,
+    /// shrinking retransmitted suffixes) and send it to the next peer in
+    /// rotation, backing off exponentially until the budget is spent.
+    fn retransmit_state_request(&mut self) -> Vec<ConsensusAction> {
+        let Some(attempt) = self.state_transfer_attempt else {
+            return Vec::new();
+        };
+        if attempt >= STATE_RETRY_BUDGET {
+            self.state_transfer_attempt = None;
+            return Vec::new();
+        }
+        let attempt = attempt + 1;
+        self.state_transfer_attempt = Some(attempt);
+        self.retries += 1;
+        let above = self.transfer_floor();
+        let digest = state_request_digest(self.me, above);
+        let req = StateRequest {
+            sender: self.me,
+            above,
+            signature: self.crypto.sign(&digest),
+        };
+        vec![
+            ConsensusAction::Send(
+                self.rotation_peer(attempt),
+                ConsensusMessage::StateRequest(req),
+            ),
+            ConsensusAction::StartTimer {
+                timer: ConsensusTimer::StateTransfer,
+                duration: self.state_retry_backoff(attempt),
+            },
+        ]
     }
 }
 
@@ -837,6 +995,7 @@ impl OrderingProtocol for PbftReplica {
                     self.start_view_change(target.next())
                 }
             }
+            ConsensusTimer::StateTransfer => self.retransmit_state_request(),
         }
     }
 
@@ -873,15 +1032,24 @@ impl OrderingProtocol for PbftReplica {
         }
         self.next_seq = self.next_seq.max(SeqNum(max_seq.0 + 1));
         // Everything above the durable suffix was lost with the process;
-        // ask the peers for it.
+        // ask the peers for it. The broadcast is backed by a
+        // retransmission timer: on a lossy or partitioned network the
+        // request is re-sent with capped exponential backoff, rotating
+        // through the peers, until a useful response lands or the retry
+        // budget is spent.
+        self.state_transfer_attempt = Some(0);
         let digest = state_request_digest(self.me, max_seq);
-        vec![ConsensusAction::Broadcast(ConsensusMessage::StateRequest(
-            StateRequest {
+        vec![
+            ConsensusAction::Broadcast(ConsensusMessage::StateRequest(StateRequest {
                 sender: self.me,
                 above: max_seq,
                 signature: self.crypto.sign(&digest),
+            })),
+            ConsensusAction::StartTimer {
+                timer: ConsensusTimer::StateTransfer,
+                duration: self.state_retry_backoff(0),
             },
-        ))]
+        ]
     }
 
     fn view(&self) -> ViewNumber {
@@ -894,6 +1062,14 @@ impl OrderingProtocol for PbftReplica {
 
     fn node_id(&self) -> NodeId {
         self.me
+    }
+
+    fn recovery_stats(&self) -> RecoveryStats {
+        RecoveryStats {
+            bad_state_responses: self.bad_responses.values().sum(),
+            state_request_retries: self.retries,
+            catch_ups: self.catch_ups,
+        }
     }
 
     fn name(&self) -> &'static str {
@@ -1555,6 +1731,209 @@ mod tests {
             shim.replicas[3].handle_message(NodeId(2), ConsensusMessage::StateResponse(evil));
         assert!(actions.is_empty());
         assert!(!shim.replicas[3].log().is_committed(SeqNum(1)));
+    }
+
+    /// A freshly constructed replica standing in for node `i` after a
+    /// crash that lost its entire durable state.
+    fn fresh_replica(shim: &TestShim, i: u32) -> PbftReplica {
+        PbftReplica::new(
+            NodeId(i),
+            FaultParams::for_shim_size(4),
+            shim.provider.handle(ComponentId::Node(NodeId(i))),
+            SimDuration::from_millis(100),
+            4,
+        )
+    }
+
+    /// A correctly signed `STATEREQUEST` from `sender` (tests play the
+    /// recovering node's part by hand to control message delivery).
+    fn signed_request(shim: &TestShim, sender: NodeId, above: SeqNum) -> StateRequest {
+        let digest = state_request_digest(sender, above);
+        StateRequest {
+            sender,
+            above,
+            signature: shim
+                .provider
+                .handle(ComponentId::Node(sender))
+                .sign(&digest),
+        }
+    }
+
+    /// Extracts the `STATERESPONSE` out of a peer's reply actions.
+    fn response_of(actions: &[ConsensusAction]) -> StateResponse {
+        actions
+            .iter()
+            .find_map(|a| match a {
+                ConsensusAction::Send(_, ConsensusMessage::StateResponse(r)) => Some(r.clone()),
+                _ => None,
+            })
+            .expect("peer must answer with a STATERESPONSE")
+    }
+
+    #[test]
+    fn state_request_is_retransmitted_with_rotation_and_backoff() {
+        let shim = TestShim::new(4);
+        let mut replica = fresh_replica(&shim, 3);
+        // Recovery arms the retransmission timer alongside the broadcast.
+        let actions = replica.install_recovered(Vec::new(), SeqNum(0), ViewNumber(0));
+        assert!(actions.iter().any(|a| matches!(
+            a,
+            ConsensusAction::StartTimer {
+                timer: ConsensusTimer::StateTransfer,
+                ..
+            }
+        )));
+        // Nobody answers (total loss). Each expiry re-sends to the next
+        // peer in rotation with an exponentially growing, capped backoff.
+        let mut targets = Vec::new();
+        let mut backoffs = Vec::new();
+        for _ in 0..STATE_RETRY_BUDGET {
+            let acts = replica.handle_timer(ConsensusTimer::StateTransfer);
+            for a in &acts {
+                match a {
+                    ConsensusAction::Send(to, ConsensusMessage::StateRequest(_)) => {
+                        targets.push(*to);
+                    }
+                    ConsensusAction::StartTimer {
+                        timer: ConsensusTimer::StateTransfer,
+                        duration,
+                    } => backoffs.push(*duration),
+                    _ => {}
+                }
+            }
+        }
+        // Rotation covers every peer, never the replica itself.
+        assert_eq!(
+            targets[..4],
+            [NodeId(0), NodeId(1), NodeId(2), NodeId(0)],
+            "retries must rotate through the peers"
+        );
+        // Doubling from node_timeout / 2, capped at 4 × node_timeout.
+        assert_eq!(backoffs[0], SimDuration::from_millis(100));
+        assert_eq!(backoffs[1], SimDuration::from_millis(200));
+        assert_eq!(backoffs[2], SimDuration::from_millis(400));
+        assert_eq!(backoffs[3], SimDuration::from_millis(400), "capped");
+        // The budget bounds the schedule: the next expiry is a no-op.
+        assert!(replica
+            .handle_timer(ConsensusTimer::StateTransfer)
+            .is_empty());
+        assert_eq!(
+            replica.recovery_stats().state_request_retries,
+            u64::from(STATE_RETRY_BUDGET)
+        );
+    }
+
+    #[test]
+    fn duplicate_and_overlapping_state_responses_adopt_once() {
+        let mut shim = TestShim::new(4);
+        for i in 0..2 {
+            shim.submit_to_primary(batch(i));
+        }
+        // Two peers answer the same request — overlapping suffixes, as a
+        // lossy network's retransmissions routinely produce.
+        let req = signed_request(&shim, NodeId(3), SeqNum(0));
+        let from_1 = response_of(
+            &shim.replicas[1].handle_message(NodeId(3), ConsensusMessage::StateRequest(req)),
+        );
+        let from_2 = response_of(
+            &shim.replicas[2].handle_message(NodeId(3), ConsensusMessage::StateRequest(req)),
+        );
+        shim.replicas[3] = fresh_replica(&shim, 3);
+        shim.replicas[3].install_recovered(Vec::new(), SeqNum(0), ViewNumber(0));
+        let first = shim.replicas[3]
+            .handle_message(NodeId(1), ConsensusMessage::StateResponse(from_1.clone()));
+        assert_eq!(committed_seqs(&first), vec![SeqNum(1), SeqNum(2)]);
+        // The overlapping response from the second peer — and a verbatim
+        // duplicate of the first — seat nothing again.
+        let second =
+            shim.replicas[3].handle_message(NodeId(2), ConsensusMessage::StateResponse(from_2));
+        assert!(committed_seqs(&second).is_empty(), "no double adoption");
+        let dup =
+            shim.replicas[3].handle_message(NodeId(1), ConsensusMessage::StateResponse(from_1));
+        assert!(dup.is_empty(), "duplicate response is fully idempotent");
+        assert_eq!(shim.replicas[3].recovery_stats().bad_state_responses, 0);
+    }
+
+    #[test]
+    fn garbage_state_response_entries_are_counted_per_sender() {
+        let mut shim = TestShim::new(4);
+        shim.submit_to_primary(batch(0));
+        let cert = Arc::clone(&shim.certificates[0]);
+        shim.replicas[3] = fresh_replica(&shim, 3);
+        shim.replicas[3].install_recovered(Vec::new(), SeqNum(0), ViewNumber(0));
+        // A valid certificate paired with the wrong batch (digest
+        // mismatch) and a stale view claim contradicting its certificate:
+        // both rejected, both charged to the lying sender.
+        let evil = StateResponse {
+            sender: NodeId(2),
+            stable_seq: SeqNum(0),
+            entries: vec![
+                RecoveredEntry {
+                    seq: cert.seq,
+                    view: cert.view,
+                    batch: batch(99),
+                    plan: ShardPlan::Unplanned,
+                    certificate: Arc::clone(&cert),
+                },
+                RecoveredEntry {
+                    seq: cert.seq,
+                    view: cert.view.next(),
+                    batch: batch(0),
+                    plan: ShardPlan::Unplanned,
+                    certificate: Arc::clone(&cert),
+                },
+            ],
+        };
+        let actions =
+            shim.replicas[3].handle_message(NodeId(2), ConsensusMessage::StateResponse(evil));
+        assert!(actions.is_empty(), "garbage must seat nothing");
+        assert!(!shim.replicas[3].log().is_committed(SeqNum(1)));
+        assert_eq!(shim.replicas[3].bad_state_responses_from(NodeId(2)), 2);
+        assert_eq!(shim.replicas[3].bad_state_responses_from(NodeId(1)), 0);
+        assert_eq!(shim.replicas[3].recovery_stats().bad_state_responses, 2);
+        // The honest suffix still lands afterwards: the liar burned no
+        // state, only its own tally.
+        let req = signed_request(&shim, NodeId(3), SeqNum(0));
+        let honest = response_of(
+            &shim.replicas[1].handle_message(NodeId(3), ConsensusMessage::StateRequest(req)),
+        );
+        let adopted =
+            shim.replicas[3].handle_message(NodeId(1), ConsensusMessage::StateResponse(honest));
+        assert_eq!(committed_seqs(&adopted), vec![SeqNum(1)]);
+    }
+
+    #[test]
+    fn recovering_replica_below_peer_retention_catches_up() {
+        let mut shim = TestShim::new(4);
+        // Node 3 is down while five batches commit; the checkpoint at
+        // seq 4 (interval = 4) stabilises on the live nodes and they
+        // garbage-collect below it — node 3's floor (0) is now beneath
+        // everyone's retention boundary.
+        shim.down.insert(NodeId(3));
+        for i in 0..5 {
+            shim.submit_to_primary(batch(i));
+        }
+        assert_eq!(shim.replicas[0].log().stable_seq(), SeqNum(4));
+        shim.down.clear();
+        shim.replicas[3] = fresh_replica(&shim, 3);
+        let actions = shim.replicas[3].install_recovered(Vec::new(), SeqNum(0), ViewNumber(0));
+        shim.run_actions(NodeId(3), actions);
+        // The recovering node adopted the peers' snapshot floor and the
+        // certified suffix above it — exactly once despite three
+        // overlapping responses.
+        assert!(
+            shim.caught_up
+                .iter()
+                .any(|(n, s)| *n == NodeId(3) && *s == SeqNum(4)),
+            "catch-up must be reported: {:?}",
+            shim.caught_up
+        );
+        assert_eq!(shim.replicas[3].recovery_stats().catch_ups, 1);
+        assert_eq!(shim.replicas[3].log().stable_seq(), SeqNum(4));
+        assert_eq!(shim.committed_by(NodeId(3)), vec![SeqNum(5)]);
+        // And it is live again at the right sequence number.
+        shim.submit_to_primary(batch(9));
+        assert!(shim.committed_by(NodeId(3)).contains(&SeqNum(6)));
     }
 
     #[test]

@@ -5,6 +5,21 @@ use crate::messages::ConsensusMessage;
 use sbft_durability::RecoveredEntry;
 use sbft_types::{Batch, NodeId, SeqNum, ShardPlan, ViewNumber};
 
+/// Counters describing how adversarial a replica's recovery was. All are
+/// cumulative over the replica's lifetime; the shim layer diffs
+/// successive snapshots into its registry counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RecoveryStats {
+    /// Garbage `STATERESPONSE` entries rejected (bad certificate, digest
+    /// mismatch, stale view), summed over senders.
+    pub bad_state_responses: u64,
+    /// `STATEREQUEST` retransmissions sent after the initial broadcast.
+    pub state_request_retries: u64,
+    /// Checkpoint catch-ups: times the replica adopted a peer's snapshot
+    /// floor because its own floor fell below peer retention.
+    pub catch_ups: u64,
+}
+
 /// A deterministic ordering-protocol state machine running on one shim
 /// node. `PbftReplica`, `CftReplica` and `NoShim` all implement this trait,
 /// which is what lets the Figure 7 baseline comparison swap the shim
@@ -55,6 +70,13 @@ pub trait OrderingProtocol {
     ) -> Vec<ConsensusAction> {
         let _ = (entries, stable, view);
         Vec::new()
+    }
+
+    /// Cumulative adversarial-recovery counters (garbage responses
+    /// rejected, request retransmissions, checkpoint catch-ups).
+    /// Protocols without a recovery path report zeros.
+    fn recovery_stats(&self) -> RecoveryStats {
+        RecoveryStats::default()
     }
 
     /// Short protocol name used in experiment output ("PBFT", "CFT",

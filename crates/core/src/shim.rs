@@ -19,7 +19,8 @@ use crate::events::{
 };
 use crate::planner::{home_shard, BatchFootprint, BestEffortPlanner};
 use sbft_consensus::{
-    Batcher, ConsensusAction, ConsensusMessage, OrderingProtocol, PbftReplica, SignedBatch,
+    Batcher, ConsensusAction, ConsensusMessage, OrderingProtocol, PbftReplica, RecoveryStats,
+    SignedBatch,
 };
 use sbft_crypto::{CommitCertificate, CryptoHandle};
 use sbft_durability::{codec as wal_codec, recover, MemWal, WalRecord, WriteAheadLog};
@@ -115,6 +116,13 @@ pub struct ShimNode {
     /// Sequence number of the last snapshot cut into the WAL; the log
     /// below it has been truncated.
     last_snapshot: SeqNum,
+    /// Whether this node is between a crash restart and the completion of
+    /// its peer state transfer. Gates the recovery-only WAL actions (the
+    /// checkpoint catch-up snapshot cut).
+    recovering: bool,
+    /// Last snapshot of the ordering protocol's adversarial-recovery
+    /// counters; successive deltas feed the `shim.<id>.faults.*` counters.
+    last_recovery_stats: RecoveryStats,
     batches_committed: Counter,
     executors_spawned: Counter,
     requests_forwarded: Counter,
@@ -124,6 +132,9 @@ pub struct ShimNode {
     replay_batches: Counter,
     state_transfers: Counter,
     region_outages_detected: Counter,
+    bad_state_responses: Counter,
+    state_request_retries: Counter,
+    catch_ups: Counter,
 }
 
 impl ShimNode {
@@ -186,6 +197,8 @@ impl ShimNode {
             retransmit_view: std::collections::HashMap::new(),
             wal,
             last_snapshot: SeqNum(0),
+            recovering: false,
+            last_recovery_stats: RecoveryStats::default(),
             batches_committed: Counter::new(),
             executors_spawned: Counter::new(),
             requests_forwarded: Counter::new(),
@@ -195,6 +208,9 @@ impl ShimNode {
             replay_batches: Counter::new(),
             state_transfers: Counter::new(),
             region_outages_detected: Counter::new(),
+            bad_state_responses: Counter::new(),
+            state_request_retries: Counter::new(),
+            catch_ups: Counter::new(),
         }
     }
 
@@ -277,6 +293,11 @@ impl ShimNode {
             registry.counter(&format!("shim.{id}.durability.state_transfer_batches"));
         self.region_outages_detected =
             registry.counter(&format!("shim.{id}.region_outages_detected"));
+        self.bad_state_responses =
+            registry.counter(&format!("shim.{id}.faults.bad_state_responses"));
+        self.state_request_retries =
+            registry.counter(&format!("shim.{id}.faults.state_request_retries"));
+        self.catch_ups = registry.counter(&format!("shim.{id}.faults.catch_ups"));
         self.batcher
             .register_metrics(registry, &format!("shim.{id}"));
         self.invoker.register_metrics(registry);
@@ -311,6 +332,33 @@ impl ShimNode {
     #[must_use]
     pub fn region_outages_detected(&self) -> u64 {
         self.region_outages_detected.get()
+    }
+
+    /// Garbage `STATERESPONSE` entries this node rejected during recovery
+    /// (bad certificate, digest mismatch, stale view).
+    #[must_use]
+    pub fn bad_state_responses(&self) -> u64 {
+        self.bad_state_responses.get()
+    }
+
+    /// `STATEREQUEST` retransmissions this node sent while recovering.
+    #[must_use]
+    pub fn state_request_retries(&self) -> u64 {
+        self.state_request_retries.get()
+    }
+
+    /// Checkpoint catch-ups: recoveries that adopted a peer's snapshot
+    /// floor because this node's log floor fell below peer retention.
+    #[must_use]
+    pub fn catch_ups(&self) -> u64 {
+        self.catch_ups.get()
+    }
+
+    /// Whether this node is still mid-recovery (restarted but its peer
+    /// state transfer has not completed yet).
+    #[must_use]
+    pub fn is_recovering(&self) -> bool {
+        self.recovering
     }
 
     /// Sequence number of the last snapshot cut into the WAL.
@@ -513,14 +561,45 @@ impl ShimNode {
     pub fn on_consensus_message(&mut self, from: NodeId, msg: ConsensusMessage) -> Vec<Action> {
         let is_state_response = matches!(msg, ConsensusMessage::StateResponse(_));
         let actions = self.ordering.handle_message(from, msg);
+        let mut transfer_done = false;
         if is_state_response {
             let adopted = actions
                 .iter()
                 .filter(|a| matches!(a, ConsensusAction::Committed { .. }))
                 .count();
             self.state_transfers.add(adopted as u64);
+            transfer_done = adopted > 0
+                || actions
+                    .iter()
+                    .any(|a| matches!(a, ConsensusAction::CaughtUp { .. }));
         }
-        self.translate(actions)
+        let out = self.translate(actions);
+        if transfer_done {
+            self.recovering = false;
+        }
+        self.sync_recovery_counters();
+        out
+    }
+
+    /// Diffs the ordering protocol's cumulative adversarial-recovery
+    /// counters into this node's registry counters. Called after every
+    /// consensus message and consensus timer.
+    fn sync_recovery_counters(&mut self) {
+        let stats = self.ordering.recovery_stats();
+        let prev = self.last_recovery_stats;
+        self.bad_state_responses.add(
+            stats
+                .bad_state_responses
+                .saturating_sub(prev.bad_state_responses),
+        );
+        self.state_request_retries.add(
+            stats
+                .state_request_retries
+                .saturating_sub(prev.state_request_retries),
+        );
+        self.catch_ups
+            .add(stats.catch_ups.saturating_sub(prev.catch_ups));
+        self.last_recovery_stats = stats;
     }
 
     fn translate(&mut self, actions: Vec<ConsensusAction>) -> Vec<Action> {
@@ -569,7 +648,9 @@ impl ShimNode {
                     out.extend(self.wal_on_view_installed(view));
                     out.extend(self.on_view_installed());
                 }
-                ConsensusAction::CaughtUp { .. } => {}
+                ConsensusAction::CaughtUp { up_to } => {
+                    out.extend(self.wal_on_caught_up(up_to));
+                }
             }
         }
         out
@@ -653,6 +734,29 @@ impl ShimNode {
         vec![Action::Persist { bytes, fsync: true }]
     }
 
+    /// A recovering node adopted a peer's checkpoint floor: cut a snapshot
+    /// at the adopted floor so the durable log agrees with the in-memory
+    /// state the catch-up installed. Gated on [`Self::is_recovering`] so the
+    /// nodes-in-dark `CaughtUp` path (which never lost its WAL) keeps its
+    /// normal checkpoint rhythm.
+    fn wal_on_caught_up(&mut self, up_to: SeqNum) -> Vec<Action> {
+        if !self.recovering || up_to <= self.last_snapshot {
+            return Vec::new();
+        }
+        let view = self.ordering.view();
+        let Some(wal) = self.wal.as_mut() else {
+            return Vec::new();
+        };
+        let bytes = wal.append(&WalRecord::SnapshotMark { upto: up_to, view });
+        self.wal_appends.inc();
+        wal.sync();
+        let dropped = wal.truncate_below(up_to);
+        self.snapshot_bytes.add(dropped);
+        self.last_snapshot = up_to;
+        self.max_validated = self.max_validated.max(up_to);
+        vec![Action::Persist { bytes, fsync: true }]
+    }
+
     /// Logs an installed view (buffered: losing it only costs rejoining
     /// in an older view, which the state transfer corrects).
     fn wal_on_view_installed(&mut self, view: ViewNumber) -> Vec<Action> {
@@ -714,6 +818,8 @@ impl ShimNode {
         let Some(wal) = self.wal.as_mut() else {
             return Vec::new();
         };
+        self.recovering = true;
+        self.last_recovery_stats = RecoveryStats::default();
         let records = wal.replay();
         let replay_bytes: u64 = records
             .iter()
@@ -1079,7 +1185,9 @@ impl ShimNode {
         match timer {
             ProtocolTimer::Consensus(t) => {
                 let actions = self.ordering.handle_timer(t);
-                self.translate(actions)
+                let out = self.translate(actions);
+                self.sync_recovery_counters();
+                out
             }
             ProtocolTimer::Retransmit(subject) => {
                 // The primary failed to resolve the verifier's ERROR before

@@ -209,7 +209,10 @@ pub struct FileWal {
 
 impl FileWal {
     /// Opens (or creates) the log at `path`, replaying any intact frames
-    /// already on disk.
+    /// already on disk. A torn or corrupt tail (a crash mid-write, a bit
+    /// flip) is physically truncated at the first bad frame, so later
+    /// appends land directly after the intact prefix instead of behind
+    /// unreachable garbage.
     ///
     /// # Errors
     /// Returns the I/O error if the file cannot be opened or read.
@@ -222,7 +225,12 @@ impl FileWal {
             .open(&path)?;
         let mut raw = Vec::new();
         file.read_to_end(&mut raw)?;
-        let durable = parse_frames(&raw);
+        let (durable, intact) = parse_frames(&raw);
+        if intact < raw.len() {
+            file.set_len(intact as u64)?;
+            file.seek(SeekFrom::End(0))?;
+            file.sync_data()?;
+        }
         Ok(FileWal {
             file,
             path,
@@ -256,7 +264,10 @@ impl FileWal {
     }
 }
 
-fn parse_frames(raw: &[u8]) -> Vec<(WalRecord, u64)> {
+/// Parses the intact frame prefix of `raw`, returning the records and the
+/// byte length of that prefix (where the first torn or corrupt frame — if
+/// any — begins).
+fn parse_frames(raw: &[u8]) -> (Vec<(WalRecord, u64)>, usize) {
     let mut records = Vec::new();
     let mut pos = 0usize;
     while raw.len() - pos >= 12 {
@@ -278,7 +289,7 @@ fn parse_frames(raw: &[u8]) -> Vec<(WalRecord, u64)> {
         records.push((record, payload.len() as u64));
         pos = end;
     }
-    records
+    (records, pos)
 }
 
 impl WriteAheadLog for FileWal {

@@ -7,6 +7,7 @@
 //! client population, and collects [`RunMetrics`].
 
 use crate::cpu::{CpuModel, ServiceStation};
+use crate::faults::{FaultPlan, FaultState};
 use crate::metrics::RunMetrics;
 use crate::network::NetworkModel;
 use sbft_core::events::{Action, Destination, Envelope, ProtocolMessage, ProtocolTimer};
@@ -171,6 +172,9 @@ pub struct SimHarness {
     /// Node indices currently crashed: deliveries and timer firings to
     /// them are dropped until their `Restart` event.
     down: std::collections::BTreeSet<usize>,
+    /// The instantiated chaos plan, when one was attached: consulted on
+    /// every node-to-node send and every fsync.
+    faults: Option<FaultState>,
     metrics: RunMetrics,
 }
 
@@ -252,6 +256,7 @@ impl SimHarness {
             tracer: Tracer::disabled(),
             ingest_times: HashMap::new(),
             down: std::collections::BTreeSet::new(),
+            faults: None,
             metrics,
         }
     }
@@ -261,6 +266,22 @@ impl SimHarness {
     #[must_use]
     pub fn with_tracer(mut self, sink: std::sync::Arc<dyn TraceSink>) -> Self {
         self.tracer = Tracer::new(sink);
+        self
+    }
+
+    /// Attaches a composable chaos plan: per-link loss / duplication /
+    /// extra delay, directed partition windows, disk-lag stragglers and
+    /// (possibly simultaneous) crash-restarts. The plan's random draws
+    /// derive from the run seed, so the full fault schedule is
+    /// reproducible; injections surface as `faults.*` counters.
+    #[must_use]
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(FaultState::new(
+            plan,
+            self.params.seed,
+            SimTime::ZERO,
+            &self.system.registry,
+        ));
         self
     }
 
@@ -315,8 +336,14 @@ impl SimHarness {
                 EventKind::BatchTick { node },
             );
         }
-        // The scheduled crash-restart fault, if any.
-        if let Some(crash) = self.params.crash {
+        // The scheduled crash-restart faults: the single `SimParams`
+        // crash plus everything the fault plan carries. The plan's
+        // entries may overlap in time (simultaneous multi-node crashes).
+        let mut crashes: Vec<CrashRestart> = self.params.crash.into_iter().collect();
+        if let Some(faults) = &self.faults {
+            crashes.extend_from_slice(faults.crashes());
+        }
+        for crash in crashes {
             let node = crash.node.0 as usize;
             if node < self.system.nodes.len() {
                 self.push_event(SimTime::ZERO + crash.at, EventKind::Crash { node });
@@ -364,6 +391,14 @@ impl SimHarness {
         self.metrics.state_transfer_batches =
             registry.sum_counters("durability.state_transfer_batches");
         self.metrics.recoveries = registry.counter_value("recovery.recoveries");
+        self.metrics.messages_dropped = registry.counter_value("faults.messages_dropped");
+        self.metrics.messages_duplicated = registry.counter_value("faults.messages_duplicated");
+        self.metrics.messages_delayed = registry.counter_value("faults.messages_delayed");
+        self.metrics.partition_drops = registry.counter_value("faults.partition_drops");
+        self.metrics.fsync_lags = registry.counter_value("faults.fsync_lags");
+        self.metrics.bad_state_responses = registry.sum_counters("faults.bad_state_responses");
+        self.metrics.state_request_retries = registry.sum_counters("faults.state_request_retries");
+        self.metrics.catch_ups = registry.sum_counters("faults.catch_ups");
         self.metrics
     }
 
@@ -727,14 +762,27 @@ impl SimHarness {
                     };
                     for target in targets {
                         let delay = self.network.local_delay(msg.wire_size());
-                        self.push_event(
-                            now + delay,
-                            EventKind::Deliver {
-                                from,
-                                to: target,
-                                msg: msg.clone(),
-                            },
-                        );
+                        // The chaos layer arbitrates node-to-node links
+                        // only: client, executor and verifier traffic is
+                        // out of scope for the fault plan. Each returned
+                        // entry is one delivered copy (empty = dropped).
+                        let copies: Vec<SimDuration> =
+                            match (self.faults.as_mut(), origin.as_node(), target) {
+                                (Some(faults), Some(src), ComponentId::Node(dst)) => {
+                                    faults.deliveries(src, dst, now)
+                                }
+                                _ => vec![SimDuration::ZERO],
+                            };
+                        for extra in copies {
+                            self.push_event(
+                                now + delay + extra,
+                                EventKind::Deliver {
+                                    from,
+                                    to: target,
+                                    msg: msg.clone(),
+                                },
+                            );
+                        }
                     }
                 }
                 Action::StartTimer { timer, duration } => {
@@ -756,9 +804,15 @@ impl SimHarness {
                 Action::Persist { bytes, fsync } => {
                     // WAL writes run on the component's own station and
                     // gate every later action in this list: a synced vote
-                    // is durable before its COMMIT leaves the node.
+                    // is durable before its COMMIT leaves the node. A
+                    // fault-plan disk-lag straggler stretches the fsync
+                    // beyond the CPU model's fixed cost.
+                    let lag = match (self.faults.as_mut(), fsync, origin.as_node()) {
+                        (Some(faults), true, Some(node)) => faults.fsync_extra(node),
+                        _ => SimDuration::ZERO,
+                    };
                     if let Some(station) = self.stations.get_mut(&origin) {
-                        let done = station.schedule(now, self.cpu.persist_cost(bytes, fsync));
+                        let done = station.schedule(now, self.cpu.persist_cost(bytes, fsync) + lag);
                         now = now.max(done);
                     }
                 }

@@ -127,6 +127,24 @@ pub struct RunMetrics {
     pub state_transfer_batches: u64,
     /// Crash-restart recoveries completed during the run.
     pub recoveries: u64,
+    /// Messages dropped by fault-plan link loss rules.
+    pub messages_dropped: u64,
+    /// Extra message copies injected by fault-plan duplication.
+    pub messages_duplicated: u64,
+    /// Message copies that drew fault-plan extra link delay.
+    pub messages_delayed: u64,
+    /// Messages cut by an active fault-plan partition window.
+    pub partition_drops: u64,
+    /// Fsyncs stretched by a fault-plan disk-lag straggler.
+    pub fsync_lags: u64,
+    /// Garbage `STATERESPONSE` entries rejected during recovery, summed
+    /// over the shim nodes.
+    pub bad_state_responses: u64,
+    /// `STATEREQUEST` retransmissions sent by recovering replicas.
+    pub state_request_retries: u64,
+    /// Checkpoint catch-ups: recoveries that adopted a peer's snapshot
+    /// floor because their own log floor fell below peer retention.
+    pub catch_ups: u64,
     /// Simulated time at which the run ended.
     pub end_time: SimTime,
 }

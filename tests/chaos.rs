@@ -1,0 +1,588 @@
+//! Adversarial recovery under composed fault plans.
+//!
+//! The recovery suite (`tests/recovery.rs`) proves a crash-restarted
+//! replica converges when the network cooperates. This suite removes that
+//! courtesy: state-transfer traffic is dropped, duplicated, reordered and
+//! partitioned; a byzantine peer answers `STATEREQUEST`s with garbage; a
+//! replica falls below everyone's checkpoint retention floor; and the
+//! discrete-event simulator composes loss, duplication, delay, directed
+//! partitions, disk-lag stragglers and simultaneous crash-restarts in one
+//! `FaultPlan`. In every case the recovered replica's observable outcome —
+//! commit order, derived KV state, client responses — must match a
+//! fault-free run (or its above-floor suffix, for checkpoint catch-up).
+
+use proptest::prelude::*;
+use serverless_bft::consensus::{ConsensusMessage, ConsensusTimer, OrderingProtocol, PbftReplica};
+use serverless_bft::core::{
+    Action, ClientRequest, Destination, ProtocolMessage, ProtocolTimer, ShimNode,
+};
+use serverless_bft::crypto::CryptoProvider;
+use serverless_bft::types::{
+    Batch, ClientId, ComponentId, DurabilityConfig, Key, NodeId, Operation, SeqNum, SimDuration,
+    SimTime, SystemConfig, Transaction, TxnId, Value,
+};
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::Arc;
+
+/// The backup replica whose adversarial recovery the suite watches.
+const OBSERVED: usize = 3;
+
+/// Drops the test may inject into state-transfer traffic before the retry
+/// budget (8 retransmissions) can no longer absorb them together with the
+/// partition window.
+const DROP_CAP: u64 = 4;
+
+/// SplitMix64: a tiny deterministic generator for the chaos decisions, so
+/// the proptest cases replay exactly from their seed.
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// True with probability `permille`/1000.
+    fn chance(&mut self, permille: u64) -> bool {
+        self.next() % 1_000 < permille
+    }
+}
+
+/// The hostility applied to state-transfer traffic (`STATEREQUEST` /
+/// `STATERESPONSE`) touching the observed node. Normal-case consensus
+/// traffic is untouched: the synchronous cluster below has no timers, so
+/// chaos there would test the harness rather than the recovery path.
+struct Chaos {
+    rng: SplitMix64,
+    loss_permille: u64,
+    dup_permille: u64,
+    reorder_permille: u64,
+    /// Random drops remaining (capped so recovery stays within the
+    /// retransmit budget).
+    drops_left: u64,
+    /// Reorders remaining (capped to rule out livelock).
+    reorders_left: u64,
+    /// While positive, ALL state-transfer traffic touching the observed
+    /// node is dropped; each retry round heals it by one. Models a
+    /// directed partition around the recovering replica.
+    partition_rounds: u64,
+    /// Peers whose state-transfer messages never arrive at all.
+    silenced: Vec<usize>,
+    /// A byzantine peer whose `STATERESPONSE`s are corrupted in flight
+    /// (standing in for a locally lying replica).
+    liar: Option<usize>,
+    /// Honest `STATERESPONSE`s to swallow before letting one through.
+    drop_first_responses: u64,
+}
+
+impl Chaos {
+    fn none() -> Self {
+        Chaos {
+            rng: SplitMix64(0),
+            loss_permille: 0,
+            dup_permille: 0,
+            reorder_permille: 0,
+            drops_left: 0,
+            reorders_left: 0,
+            partition_rounds: 0,
+            silenced: Vec::new(),
+            liar: None,
+            drop_first_responses: 0,
+        }
+    }
+}
+
+fn is_state_transfer(msg: &ConsensusMessage) -> bool {
+    matches!(
+        msg,
+        ConsensusMessage::StateRequest(_) | ConsensusMessage::StateResponse(_)
+    )
+}
+
+/// Replaces every entry's batch with unrelated content: the certificate's
+/// batch digest no longer matches, so an honest replica must reject the
+/// entry as garbage rather than adopt it.
+fn corrupt(msg: &mut ConsensusMessage) {
+    if let ConsensusMessage::StateResponse(sr) = msg {
+        for e in &mut sr.entries {
+            e.batch = Batch::single(Transaction::new(
+                TxnId::new(ClientId(9_999), 0),
+                vec![Operation::Write(Key(0), Value::new(0xdead))],
+            ));
+        }
+    }
+}
+
+fn config(snapshot_interval: u64, checkpoint_interval: u64) -> SystemConfig {
+    let mut config = SystemConfig::with_shim_size(4);
+    config.workload.batch_size = 2;
+    config.durability = DurabilityConfig::enabled().with_snapshot_interval(snapshot_interval);
+    config.timers.checkpoint_interval = checkpoint_interval;
+    config
+}
+
+/// Four PBFT-backed shim nodes driven synchronously with a chaos filter on
+/// state-transfer traffic; deliveries and commits at [`OBSERVED`] are
+/// recorded off the wire exactly as in `tests/recovery.rs`.
+struct ChaosCluster {
+    nodes: Vec<ShimNode>,
+    provider: Arc<CryptoProvider>,
+    batches: BTreeMap<SeqNum, Batch>,
+    committed: Vec<SeqNum>,
+    clock: SimTime,
+    chaos: Chaos,
+}
+
+impl ChaosCluster {
+    fn new(snapshot_interval: u64, checkpoint_interval: u64) -> Self {
+        let config = config(snapshot_interval, checkpoint_interval);
+        let provider = CryptoProvider::new(21);
+        let nodes = (0..config.fault.n_r as u32)
+            .map(|i| {
+                let ordering: Box<dyn OrderingProtocol + Send> = Box::new(PbftReplica::new(
+                    NodeId(i),
+                    config.fault,
+                    provider.handle(ComponentId::Node(NodeId(i))),
+                    config.timers.node_timeout,
+                    config.timers.checkpoint_interval,
+                ));
+                ShimNode::new(
+                    NodeId(i),
+                    config.clone(),
+                    provider.handle(ComponentId::Node(NodeId(i))),
+                    ordering,
+                )
+            })
+            .collect();
+        ChaosCluster {
+            nodes,
+            provider,
+            batches: BTreeMap::new(),
+            committed: Vec::new(),
+            clock: SimTime::ZERO,
+            chaos: Chaos::none(),
+        }
+    }
+
+    fn request(&self, i: u64) -> ClientRequest {
+        let client = ClientId(i as u32);
+        let txn = Transaction::new(
+            TxnId::new(client, 0),
+            vec![
+                Operation::Write(Key(i % 7), Value::new(i * 11 + 1)),
+                Operation::ReadModifyWrite(Key((i * 3) % 7), i + 5),
+            ],
+        )
+        .with_inferred_rwset();
+        let digest = ClientRequest::signing_digest(&txn);
+        ClientRequest {
+            signature: self
+                .provider
+                .handle(ComponentId::Client(client))
+                .sign(&digest),
+            txn,
+        }
+    }
+
+    /// Routes consensus messages to quiescence, passing state-transfer
+    /// traffic that touches the observed node through the chaos filter.
+    fn drive(&mut self, origin: usize, actions: Vec<Action>, down: &[usize]) {
+        let n = self.nodes.len();
+        let mut queue: VecDeque<(usize, usize, ConsensusMessage)> = VecDeque::new();
+        self.absorb(origin, actions, &mut queue, n);
+        while let Some((from, to, mut msg)) = queue.pop_front() {
+            if down.contains(&to) {
+                continue;
+            }
+            if is_state_transfer(&msg) && (from == OBSERVED || to == OBSERVED) {
+                if self.chaos.silenced.contains(&from) || self.chaos.partition_rounds > 0 {
+                    continue;
+                }
+                if to == OBSERVED && matches!(msg, ConsensusMessage::StateResponse(_)) {
+                    if Some(from) == self.chaos.liar {
+                        corrupt(&mut msg);
+                    } else if self.chaos.drop_first_responses > 0 {
+                        self.chaos.drop_first_responses -= 1;
+                        continue;
+                    }
+                }
+                if self.chaos.reorders_left > 0
+                    && !queue.is_empty()
+                    && self.chaos.rng.chance(self.chaos.reorder_permille)
+                {
+                    self.chaos.reorders_left -= 1;
+                    queue.push_back((from, to, msg));
+                    continue;
+                }
+                if self.chaos.drops_left > 0 && self.chaos.rng.chance(self.chaos.loss_permille) {
+                    self.chaos.drops_left -= 1;
+                    continue;
+                }
+                if self.chaos.rng.chance(self.chaos.dup_permille) {
+                    queue.push_back((from, to, msg.clone()));
+                }
+            }
+            if to == OBSERVED {
+                self.record(&msg);
+            }
+            let acts = self.nodes[to].on_consensus_message(NodeId(from as u32), msg);
+            self.absorb(to, acts, &mut queue, n);
+        }
+    }
+
+    fn absorb(
+        &mut self,
+        origin: usize,
+        actions: Vec<Action>,
+        queue: &mut VecDeque<(usize, usize, ConsensusMessage)>,
+        n: usize,
+    ) {
+        for a in actions {
+            match &a {
+                Action::Send(env) => match (&env.to, &env.msg) {
+                    (Destination::AllNodes, ProtocolMessage::Consensus(msg)) => {
+                        for to in 0..n {
+                            if to != origin {
+                                queue.push_back((origin, to, msg.clone()));
+                            }
+                        }
+                    }
+                    (Destination::Node(to), ProtocolMessage::Consensus(msg)) => {
+                        queue.push_back((origin, to.0 as usize, msg.clone()));
+                    }
+                    _ => {}
+                },
+                Action::BatchCommitted { seq, .. } if origin == OBSERVED => {
+                    self.committed.push(*seq);
+                }
+                _ => {}
+            }
+        }
+    }
+
+    fn record(&mut self, msg: &ConsensusMessage) {
+        match msg {
+            ConsensusMessage::PrePrepare(pp) => {
+                self.batches.insert(pp.seq, pp.batch.clone());
+            }
+            ConsensusMessage::StateResponse(sr) => {
+                for e in &sr.entries {
+                    self.batches.insert(e.seq, e.batch.clone());
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn submit_batch(&mut self, batch: u64, down: &[usize]) {
+        self.clock += SimDuration::from_millis(100);
+        let now = self.clock;
+        let r0 = self.request(batch * 2);
+        let a0 = self.nodes[0].on_client_request(&r0, now);
+        self.drive(0, a0, down);
+        let r1 = self.request(batch * 2 + 1);
+        let a1 = self.nodes[0].on_client_request(&r1, now);
+        self.drive(0, a1, down);
+        let polled = self.nodes[0].poll_batcher(now + SimDuration::from_millis(10));
+        self.drive(0, polled, down);
+    }
+
+    /// Fires the observed node's `STATEREQUEST` retransmission timer until
+    /// its state transfer completes (or the replica's retry budget is
+    /// spent). Each round heals the partition by one notch, exactly as
+    /// wall-clock time would in the event-driven runtimes.
+    fn pump_retries(&mut self) {
+        for _ in 0..12 {
+            if self.chaos.partition_rounds > 0 {
+                self.chaos.partition_rounds -= 1;
+            }
+            if !self.nodes[OBSERVED].is_recovering() {
+                break;
+            }
+            self.clock += SimDuration::from_millis(200);
+            let now = self.clock;
+            let acts = self.nodes[OBSERVED]
+                .on_timer(ProtocolTimer::Consensus(ConsensusTimer::StateTransfer), now);
+            self.drive(OBSERVED, acts, &[]);
+        }
+    }
+
+    fn outcome(&self) -> (Vec<SeqNum>, BTreeMap<u64, u64>, Vec<TxnId>) {
+        let mut kv: BTreeMap<u64, u64> = BTreeMap::new();
+        let mut responses = Vec::new();
+        for seq in &self.committed {
+            let batch = self
+                .batches
+                .get(seq)
+                .expect("observed node committed a batch it was never shown");
+            for txn in batch.txns() {
+                for op in &txn.ops {
+                    match op {
+                        Operation::Read(_) => {}
+                        Operation::Write(k, v) => {
+                            kv.insert(k.0, v.data);
+                        }
+                        Operation::ReadModifyWrite(k, s) => {
+                            let slot = kv.entry(k.0).or_insert(0);
+                            *slot = slot.wrapping_mul(31).wrapping_add(*s);
+                        }
+                    }
+                }
+                responses.push(txn.id);
+            }
+        }
+        (self.committed.clone(), kv, responses)
+    }
+}
+
+/// A crash-restart run whose recovery happens under `chaos`: the observed
+/// backup crashes after `crash_after` batches, misses `dark` batches, then
+/// restarts into the hostile network and must still converge before `tail`
+/// more batches commit.
+fn chaotic_run(
+    snapshot_interval: u64,
+    crash_after: u64,
+    dark: u64,
+    tail: u64,
+    chaos: Chaos,
+) -> ChaosCluster {
+    let mut cluster = ChaosCluster::new(snapshot_interval, 100);
+    let mut batch = 0;
+    for _ in 0..crash_after {
+        cluster.submit_batch(batch, &[]);
+        batch += 1;
+    }
+    cluster.nodes[OBSERVED].crash();
+    for _ in 0..dark {
+        cluster.submit_batch(batch, &[OBSERVED]);
+        batch += 1;
+    }
+    cluster.chaos = chaos;
+    let restart = cluster.nodes[OBSERVED].crash_restart();
+    cluster.drive(OBSERVED, restart, &[]);
+    cluster.pump_retries();
+    for _ in 0..tail {
+        cluster.submit_batch(batch, &[]);
+        batch += 1;
+    }
+    cluster
+}
+
+/// The same workload with no crash and no chaos.
+fn baseline_run(snapshot_interval: u64, total: u64) -> ChaosCluster {
+    let mut cluster = ChaosCluster::new(snapshot_interval, 100);
+    for batch in 0..total {
+        cluster.submit_batch(batch, &[]);
+    }
+    cluster
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Recovery equivalence survives a hostile network: with up to 20%
+    /// loss, duplication, reordering and a partition window around the
+    /// recovering replica's state-transfer traffic, the retransmission
+    /// schedule still converges and the recovered replica's commit order,
+    /// KV state and client responses stay byte-identical to the
+    /// fault-free run's.
+    #[test]
+    fn recovery_under_lossy_network_matches_fault_free_run(
+        crash_after in 0u64..3,
+        dark in 1u64..3,
+        tail in 1u64..3,
+        loss_permille in 0u64..201,
+        dup_permille in 0u64..151,
+        reorder_permille in 0u64..151,
+        partition_rounds in 0u64..3,
+        snapshot_interval in (0u64..4).prop_map(|i| if i == 0 { 1_000 } else { i }),
+        seed in any::<u64>(),
+    ) {
+        let chaos = Chaos {
+            rng: SplitMix64(seed),
+            loss_permille,
+            dup_permille,
+            reorder_permille,
+            drops_left: DROP_CAP,
+            reorders_left: 4,
+            partition_rounds,
+            ..Chaos::none()
+        };
+        let total = crash_after + dark + tail;
+        let chaotic = chaotic_run(snapshot_interval, crash_after, dark, tail, chaos);
+        let baseline = baseline_run(snapshot_interval, total);
+        prop_assert!(
+            !chaotic.nodes[OBSERVED].is_recovering(),
+            "state transfer must complete within the retry budget"
+        );
+        let (c_seqs, c_kv, c_resps) = chaotic.outcome();
+        let (b_seqs, b_kv, b_resps) = baseline.outcome();
+        prop_assert_eq!(c_seqs, b_seqs, "commit order diverged under chaos");
+        prop_assert_eq!(c_kv, b_kv, "derived KV state diverged under chaos");
+        prop_assert_eq!(c_resps, b_resps, "client responses diverged under chaos");
+        prop_assert_eq!(chaotic.batches, baseline.batches);
+    }
+}
+
+#[test]
+fn recovery_completes_despite_a_lying_peer_and_a_silenced_one() {
+    // The recovering replica's quorum is one honest node short: node 1
+    // never answers, node 2 answers with corrupted batches, and node 0's
+    // first response is swallowed. The replica must reject the garbage,
+    // rotate its retransmissions and finish from node 0's retry.
+    let chaos = Chaos {
+        silenced: vec![1],
+        liar: Some(2),
+        drop_first_responses: 1,
+        ..Chaos::none()
+    };
+    let chaotic = chaotic_run(1_000, 2, 2, 1, chaos);
+    let baseline = baseline_run(1_000, 5);
+    let node = &chaotic.nodes[OBSERVED];
+    assert!(!node.is_recovering(), "recovery must complete");
+    assert!(
+        node.bad_state_responses() >= 2,
+        "every corrupted entry is rejected and counted, got {}",
+        node.bad_state_responses()
+    );
+    assert!(
+        node.state_request_retries() >= 1,
+        "the swallowed response forces at least one retransmission"
+    );
+    assert_eq!(chaotic.outcome(), baseline.outcome());
+}
+
+#[test]
+fn replica_below_the_retention_floor_recovers_via_checkpoint_catch_up() {
+    // Featherweight checkpoints every 2 sequences and 4 batches missed:
+    // by restart time every peer has truncated its log below the floor
+    // the observed replica asks for, so plain suffix transfer is
+    // impossible. The replica must adopt a peer's checkpoint floor and
+    // resume from there.
+    let mut cluster = ChaosCluster::new(1_000, 2);
+    cluster.submit_batch(0, &[]);
+    cluster.nodes[OBSERVED].crash();
+    for batch in 1..5 {
+        cluster.submit_batch(batch, &[OBSERVED]);
+    }
+    let restart = cluster.nodes[OBSERVED].crash_restart();
+    cluster.drive(OBSERVED, restart, &[]);
+    cluster.pump_retries();
+    cluster.submit_batch(5, &[]);
+
+    let node = &cluster.nodes[OBSERVED];
+    assert!(!node.is_recovering(), "catch-up must complete recovery");
+    assert_eq!(node.catch_ups(), 1, "exactly one checkpoint catch-up");
+    // Sequences 2..=4 are permanently skipped (covered by the adopted
+    // checkpoint); everything above the floor matches the baseline.
+    assert_eq!(
+        cluster.committed,
+        vec![SeqNum(1), SeqNum(5), SeqNum(6)],
+        "commit stream = pre-crash prefix + above-floor suffix"
+    );
+    let baseline = baseline_run(1_000, 6);
+    for seq in [SeqNum(5), SeqNum(6)] {
+        assert_eq!(
+            cluster.batches.get(&seq),
+            baseline.batches.get(&seq),
+            "above-floor batch content must match the fault-free run"
+        );
+    }
+}
+
+#[test]
+fn composed_fault_plan_is_survivable_and_deterministic() {
+    use serverless_bft::core::SystemBuilder;
+    use serverless_bft::serverless::CrashRestart;
+    use serverless_bft::sim::{DiskLag, FaultPlan, LinkFaults, SimHarness, SimParams};
+
+    let plan = || {
+        FaultPlan::new()
+            .lossy_node(
+                NodeId(3),
+                LinkFaults::lossy(0.15)
+                    .with_duplicate(0.1)
+                    .with_delay(0.2, SimDuration::from_micros(500)),
+            )
+            .isolate(
+                NodeId(3),
+                SimDuration::from_millis(100),
+                SimDuration::from_millis(140),
+            )
+            .disk_lag(DiskLag {
+                node: NodeId(1),
+                extra: SimDuration::from_micros(200),
+                jitter: SimDuration::from_micros(100),
+            })
+            .crash(CrashRestart::of(
+                NodeId(2),
+                SimDuration::from_millis(150),
+                SimDuration::from_millis(80),
+            ))
+            .crash(CrashRestart::of(
+                NodeId(3),
+                SimDuration::from_millis(170),
+                SimDuration::from_millis(80),
+            ))
+    };
+    let run = || {
+        let mut cfg = SystemConfig::with_shim_size(4);
+        cfg.workload.num_records = 2_000;
+        cfg.workload.batch_size = 10;
+        cfg.workload.num_clients = 40;
+        cfg.durability = DurabilityConfig::enabled();
+        let system = SystemBuilder::new(cfg).clients(40).build();
+        let params = SimParams {
+            duration: SimDuration::from_millis(600),
+            warmup: SimDuration::from_millis(50),
+            num_clients: 40,
+            seed: 7,
+            ..SimParams::default()
+        };
+        SimHarness::new(system, params)
+            .with_fault_plan(plan())
+            .run()
+    };
+    let a = run();
+    // Liveness and safety under the composed plan: the shim keeps
+    // committing, never diverges, and both crashed replicas recover.
+    assert!(a.committed_txns > 0, "committed {}", a.committed_txns);
+    assert_eq!(a.divergent_aborts, 0);
+    assert_eq!(a.recoveries, 2, "both overlapping crashes must recover");
+    // Every fault family actually fired.
+    assert!(a.messages_dropped > 0, "loss must fire");
+    assert!(a.messages_duplicated > 0, "duplication must fire");
+    assert!(a.messages_delayed > 0, "extra delay must fire");
+    assert!(a.partition_drops > 0, "the isolate window must fire");
+    assert!(a.fsync_lags > 0, "the disk-lag straggler must fire");
+    // The whole composition is deterministic from the run seed.
+    let b = run();
+    assert_eq!(
+        (
+            a.committed_txns,
+            a.messages_dropped,
+            a.messages_duplicated,
+            a.messages_delayed,
+            a.partition_drops,
+            a.fsync_lags,
+            a.recoveries,
+            a.replay_batches,
+            a.state_transfer_batches,
+        ),
+        (
+            b.committed_txns,
+            b.messages_dropped,
+            b.messages_duplicated,
+            b.messages_delayed,
+            b.partition_drops,
+            b.fsync_lags,
+            b.recoveries,
+            b.replay_batches,
+            b.state_transfer_batches,
+        ),
+        "two runs with the same seed and fault plan must agree exactly"
+    );
+}
