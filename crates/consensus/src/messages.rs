@@ -10,7 +10,9 @@
 
 use sbft_crypto::{CommitCertificate, U64Hasher};
 use sbft_durability::RecoveredEntry;
-use sbft_types::{Batch, Digest, MacTag, NodeId, SeqNum, ShardPlan, Signature, ViewNumber};
+use sbft_types::{
+    Batch, Digest, MacTag, NodeId, SeqNum, ShardPlan, Signature, Transaction, TxnId, ViewNumber,
+};
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 
@@ -40,6 +42,151 @@ pub struct PrePrepare {
     pub plan: ShardPlan,
     /// MAC over the header fields from the primary.
     pub mac: MacTag,
+}
+
+/// A 512-bit bloom filter over the transaction ids of a proposed batch,
+/// carried inside [`DigestPrePrepare`] (the shape of Iroha's on-demand
+/// ordering proposals). Its job is proposal self-consistency: every id the
+/// proposal lists must be a member, so a replica can reject a malformed
+/// proposal before spending a fetch round-trip, and a replica holding
+/// bodies the primary never listed can cheaply see they are not part of
+/// the batch.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct TxnBloom {
+    bits: [u64; 8],
+}
+
+impl TxnBloom {
+    /// Number of bits in the filter (64 bytes on the wire).
+    pub const BITS: usize = 512;
+    /// Number of hash probes per id.
+    const K: u64 = 3;
+
+    /// An empty filter.
+    #[must_use]
+    pub fn new() -> Self {
+        TxnBloom { bits: [0; 8] }
+    }
+
+    /// A filter containing every id in `ids`.
+    #[must_use]
+    pub fn from_ids(ids: &[TxnId]) -> Self {
+        let mut bloom = TxnBloom::new();
+        for id in ids {
+            bloom.insert(*id);
+        }
+        bloom
+    }
+
+    /// Splitmix64 finalizer: the mixing function behind the probe indexes.
+    fn mix(mut x: u64) -> u64 {
+        x ^= x >> 30;
+        x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        x ^= x >> 27;
+        x = x.wrapping_mul(0x94d0_49bb_1331_11eb);
+        x ^ (x >> 31)
+    }
+
+    /// The double-hashing probe sequence for an id.
+    fn probes(id: TxnId) -> impl Iterator<Item = usize> {
+        let base = Self::mix(u64::from(id.client.0).wrapping_shl(32) ^ id.counter);
+        let step = Self::mix(base ^ 0x9e37_79b9_7f4a_7c15) | 1;
+        (0..Self::K).map(move |i| (base.wrapping_add(i.wrapping_mul(step)) % 512) as usize)
+    }
+
+    /// Inserts an id.
+    pub fn insert(&mut self, id: TxnId) {
+        for p in Self::probes(id) {
+            self.bits[p / 64] |= 1 << (p % 64);
+        }
+    }
+
+    /// Whether the id may be a member (no false negatives; false positives
+    /// at the usual bloom rate — harmless here, membership is only a
+    /// pre-check before the digest comparison).
+    #[must_use]
+    pub fn contains(&self, id: TxnId) -> bool {
+        Self::probes(id).all(|p| self.bits[p / 64] & (1 << (p % 64)) != 0)
+    }
+
+    /// Bytes this filter occupies on the wire.
+    #[must_use]
+    pub fn wire_size() -> usize {
+        Self::BITS / 8
+    }
+}
+
+impl Default for TxnBloom {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// `DIGEST-PREPREPARE(Δ, ids, bloom, k)`: the bandwidth-frugal form of the
+/// proposal. Instead of re-shipping every transaction body to every
+/// replica, the primary sends the batch digest, the ordered transaction
+/// ids (compact 4-byte delta encoding on the wire) and a bloom filter over
+/// them; replicas reconstruct the batch from the bodies they already hold
+/// from client submission and fetch only what they miss via
+/// [`BatchFetch`]/[`BatchFill`]. The digest pins the proposal exactly as
+/// in the full-body path: no vote is cast before the reconstructed batch
+/// hashes to `Δ`.
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub struct DigestPrePrepare {
+    /// Current view.
+    pub view: ViewNumber,
+    /// Proposed sequence number.
+    pub seq: SeqNum,
+    /// Digest of the proposed batch, `Δ = H(m)`.
+    pub digest: Digest,
+    /// Ids of the batch's transactions, in batch order.
+    pub txn_ids: Vec<TxnId>,
+    /// Bloom filter over `txn_ids` (proposal self-consistency check).
+    pub bloom: TxnBloom,
+    /// The ordering-time shard plan (same trust-but-verify rules as in
+    /// [`PrePrepare`]).
+    pub plan: ShardPlan,
+    /// MAC over the header fields from the primary.
+    pub mac: MacTag,
+}
+
+/// `BATCHFETCH`: a replica reconstructing a digest proposal asks the
+/// primary for the transaction bodies it misses — or, after a digest
+/// mismatch, for the full batch (`full = true`).
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub struct BatchFetch {
+    /// The requesting replica.
+    pub sender: NodeId,
+    /// View of the proposal being reconstructed.
+    pub view: ViewNumber,
+    /// Sequence number of the proposal.
+    pub seq: SeqNum,
+    /// The proposal digest the request is keyed on.
+    pub digest: Digest,
+    /// Ids of the bodies the sender misses (empty when `full`).
+    pub missing: Vec<TxnId>,
+    /// Request the entire batch instead of individual bodies (fallback
+    /// after a reconstruction digest mismatch).
+    pub full: bool,
+    /// MAC over the request header.
+    pub mac: MacTag,
+}
+
+/// `BATCHFILL`: the bodies answering a [`BatchFetch`]. Unauthenticated —
+/// the proposal digest self-certifies the reconstructed batch, so a
+/// poisoned fill can only fail the digest check, never corrupt state.
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub struct BatchFill {
+    /// The responding node.
+    pub sender: NodeId,
+    /// Sequence number of the proposal being filled.
+    pub seq: SeqNum,
+    /// The proposal digest the fill is keyed on.
+    pub digest: Digest,
+    /// The requested transaction bodies (the whole batch when `full`).
+    pub bodies: Vec<Transaction>,
+    /// Whether this fill carries the entire batch.
+    pub full: bool,
 }
 
 /// `PREPARE(Δ, k)`: a node supports ordering the batch with digest `Δ` at
@@ -213,6 +360,12 @@ pub struct CftDecide {
 pub enum ConsensusMessage {
     /// PBFT pre-prepare.
     PrePrepare(PrePrepare),
+    /// PBFT pre-prepare in digest-proposal mode (ids + bloom, no bodies).
+    DigestPrePrepare(DigestPrePrepare),
+    /// Request for missing transaction bodies of a digest proposal.
+    BatchFetch(BatchFetch),
+    /// Bodies answering a [`BatchFetch`].
+    BatchFill(BatchFill),
     /// PBFT prepare.
     Prepare(Prepare),
     /// PBFT commit.
@@ -241,6 +394,9 @@ impl ConsensusMessage {
     pub fn kind(&self) -> &'static str {
         match self {
             ConsensusMessage::PrePrepare(_) => "PREPREPARE",
+            ConsensusMessage::DigestPrePrepare(_) => "DIGEST-PREPREPARE",
+            ConsensusMessage::BatchFetch(_) => "BATCHFETCH",
+            ConsensusMessage::BatchFill(_) => "BATCHFILL",
             ConsensusMessage::Prepare(_) => "PREPARE",
             ConsensusMessage::Commit(_) => "COMMIT",
             ConsensusMessage::ViewChange(_) => "VIEWCHANGE",
@@ -263,20 +419,60 @@ impl ConsensusMessage {
             ConsensusMessage::PrePrepare(m) => {
                 FRAMING_OVERHEAD + 16 + 32 + 32 + 5 + m.batch.wire_size()
             }
+            ConsensusMessage::DigestPrePrepare(m) => {
+                // Header (view + seq) + digest + MAC + plan tag + id count
+                // + bloom + the id list. The ids ride as a compact 4-byte
+                // delta encoding against the batch's first id (consecutive
+                // counters from a bounded client set), not as full 12-byte
+                // ids — that compaction is the whole point of the message.
+                FRAMING_OVERHEAD
+                    + 16
+                    + 32
+                    + 32
+                    + 5
+                    + 8
+                    + TxnBloom::wire_size()
+                    + m.txn_ids.len() * 4
+            }
+            ConsensusMessage::BatchFetch(m) => {
+                // Header + sender + digest + MAC + full flag + id count +
+                // full 12-byte ids (no delta locality in a miss set).
+                FRAMING_OVERHEAD + 16 + 4 + 32 + 32 + 1 + 8 + m.missing.len() * 12
+            }
+            ConsensusMessage::BatchFill(m) => {
+                // Bodies ship in the batch's compact per-txn encoding —
+                // digest-verified on arrival, so no client signatures ride
+                // along.
+                FRAMING_OVERHEAD
+                    + 8
+                    + 4
+                    + 32
+                    + 1
+                    + 8
+                    + m.bodies
+                        .iter()
+                        .map(|t| 16 + t.ops.len() * 17 + 20)
+                        .sum::<usize>()
+            }
             ConsensusMessage::Prepare(_) => FRAMING_OVERHEAD + 16 + 32 + 4 + 32,
             ConsensusMessage::Commit(_) => FRAMING_OVERHEAD + 16 + 32 + 4 + 64,
             ConsensusMessage::ViewChange(m) => {
                 FRAMING_OVERHEAD + 16 + 4 + 64 + m.prepared.len() * 48
             }
             ConsensusMessage::NewView(m) => {
+                // Each justifying view-change sender is charged with the
+                // 64-byte signature that proves its VIEWCHANGE (id alone
+                // under-counted the proof); each reissued pre-prepare
+                // carries its MAC and replicated plan tag like the
+                // standalone message does.
                 FRAMING_OVERHEAD
                     + 16
                     + 4
                     + 64
-                    + m.view_change_senders.len() * 4
+                    + m.view_change_senders.len() * (4 + 64)
                     + m.reissued
                         .iter()
-                        .map(|pp| 48 + pp.batch.wire_size())
+                        .map(|pp| 48 + 32 + 5 + pp.batch.wire_size())
                         .sum::<usize>()
             }
             ConsensusMessage::Checkpoint(m) => {
@@ -293,7 +489,10 @@ impl ConsensusMessage {
                     + 8
                     + m.entries
                         .iter()
-                        .map(|e| 24 + e.batch.wire_size() + e.certificate.wire_size())
+                        // seq + view + entry framing + replicated plan tag,
+                        // then the batch and its self-certifying commit
+                        // certificate.
+                        .map(|e| 24 + 5 + e.batch.wire_size() + e.certificate.wire_size())
                         .sum::<usize>()
             }
             ConsensusMessage::CftAccept(m) => FRAMING_OVERHEAD + 16 + 32 + 5 + m.batch.wire_size(),
@@ -552,6 +751,151 @@ mod tests {
         assert!(commit.is_signed());
         assert_eq!(prepare.kind(), "PREPARE");
         assert_eq!(commit.kind(), "COMMIT");
+    }
+
+    #[test]
+    fn txn_bloom_has_no_false_negatives_and_few_false_positives() {
+        let ids: Vec<TxnId> = (0..100u64)
+            .map(|i| TxnId::new(ClientId(i as u32 % 7), i))
+            .collect();
+        let bloom = TxnBloom::from_ids(&ids);
+        for id in &ids {
+            assert!(bloom.contains(*id), "no false negatives: {id:?}");
+        }
+        // 100 ids in 512 bits with k = 3 gives a false-positive rate around
+        // 10%; well under half of a disjoint probe set must pass.
+        let false_positives = (1_000..3_000u64)
+            .map(|i| TxnId::new(ClientId(99), i))
+            .filter(|id| bloom.contains(*id))
+            .count();
+        assert!(
+            false_positives < 600,
+            "false-positive rate too high: {false_positives}/2000"
+        );
+        assert!(!TxnBloom::new().contains(ids[0]));
+        assert_eq!(TxnBloom::wire_size(), 64);
+    }
+
+    #[test]
+    fn digest_preprepare_is_far_smaller_than_full_preprepare() {
+        let b = batch(100);
+        let full = ConsensusMessage::PrePrepare(PrePrepare {
+            view: ViewNumber(0),
+            seq: SeqNum(1),
+            digest: batch_digest(&b),
+            batch: b.clone(),
+            plan: ShardPlan::Unplanned,
+            mac: MacTag::ZERO,
+        });
+        let ids = b.txn_ids();
+        let digest = ConsensusMessage::DigestPrePrepare(DigestPrePrepare {
+            view: ViewNumber(0),
+            seq: SeqNum(1),
+            digest: batch_digest(&b),
+            bloom: TxnBloom::from_ids(&ids),
+            txn_ids: ids,
+            plan: ShardPlan::Unplanned,
+            mac: MacTag::ZERO,
+        });
+        // Pinned: 120 framing + 16 header + 32 digest + 32 mac + 5 plan +
+        // 8 count + 64 bloom + 100 × 4 delta-encoded ids.
+        assert_eq!(digest.wire_size(), 677);
+        assert!(
+            full.wire_size() >= 5 * digest.wire_size(),
+            "digest proposal must be at least 5x smaller ({} vs {})",
+            full.wire_size(),
+            digest.wire_size()
+        );
+        assert_eq!(digest.kind(), "DIGEST-PREPREPARE");
+        assert!(!digest.is_signed(), "digest pre-prepares are MAC-only");
+    }
+
+    #[test]
+    fn fetch_and_fill_sizes_scale_with_the_missing_set() {
+        let b = batch(10);
+        let fetch = |missing: Vec<TxnId>| {
+            ConsensusMessage::BatchFetch(BatchFetch {
+                sender: NodeId(2),
+                view: ViewNumber(0),
+                seq: SeqNum(1),
+                digest: batch_digest(&b),
+                missing,
+                full: false,
+                mac: MacTag::ZERO,
+            })
+        };
+        let empty = fetch(Vec::new());
+        let three = fetch(b.txn_ids()[..3].to_vec());
+        assert_eq!(three.wire_size() - empty.wire_size(), 3 * 12);
+        assert_eq!(three.kind(), "BATCHFETCH");
+        let fill = ConsensusMessage::BatchFill(BatchFill {
+            sender: NodeId(0),
+            seq: SeqNum(1),
+            digest: batch_digest(&b),
+            bodies: b.txns()[..3].to_vec(),
+            full: false,
+        });
+        // Bodies ride in the batch's compact per-txn encoding (no client
+        // signatures): 16 + 17 + 20 per single-op body here.
+        assert_eq!(
+            fill.wire_size(),
+            FRAMING_OVERHEAD + 8 + 4 + 32 + 1 + 8 + 3 * 53
+        );
+        assert_eq!(fill.kind(), "BATCHFILL");
+        assert!(!fill.is_signed());
+    }
+
+    #[test]
+    fn newview_and_stateresponse_charge_plan_and_proof_bytes() {
+        // Regression for the byte-accounting fix: the replicated plan tag
+        // and the justifying certificate bytes used to be omitted, so the
+        // messages this crate re-ships batches in under-charged the wire.
+        let b = batch(10);
+        let pp = PrePrepare {
+            view: ViewNumber(1),
+            seq: SeqNum(1),
+            digest: batch_digest(&b),
+            batch: b.clone(),
+            plan: ShardPlan::Unplanned,
+            mac: MacTag::ZERO,
+        };
+        let nv = ConsensusMessage::NewView(NewView {
+            new_view: ViewNumber(1),
+            sender: NodeId(1),
+            view_change_senders: vec![NodeId(1), NodeId(2), NodeId(3)],
+            reissued: vec![pp.clone()],
+            signature: Signature::ZERO,
+        });
+        assert_eq!(
+            nv.wire_size(),
+            FRAMING_OVERHEAD + 16 + 4 + 64 + 3 * (4 + 64) + (48 + 32 + 5 + b.wire_size()),
+            "NEWVIEW must charge per-sender proof signatures and the \
+             reissued pre-prepares' MAC and plan tag"
+        );
+        // Signature validity is irrelevant to the wire model.
+        let cert = Arc::new(CommitCertificate::new(
+            ViewNumber(0),
+            SeqNum(1),
+            batch_digest(&b),
+            (0..3u32).map(|i| (NodeId(i), Signature::ZERO)).collect(),
+        ));
+        let entry = RecoveredEntry {
+            seq: SeqNum(1),
+            view: ViewNumber(0),
+            batch: b.clone(),
+            plan: ShardPlan::Unplanned,
+            certificate: Arc::clone(&cert),
+        };
+        let resp = ConsensusMessage::StateResponse(StateResponse {
+            sender: NodeId(0),
+            stable_seq: SeqNum(0),
+            entries: vec![entry],
+        });
+        assert_eq!(
+            resp.wire_size(),
+            FRAMING_OVERHEAD + 4 + 8 + (24 + 5 + b.wire_size() + cert.wire_size()),
+            "STATERESPONSE entries must charge the replicated plan tag"
+        );
     }
 
     #[test]

@@ -3,7 +3,9 @@
 use crate::actions::{ConsensusAction, ConsensusTimer};
 use crate::messages::ConsensusMessage;
 use sbft_durability::RecoveredEntry;
-use sbft_types::{Batch, NodeId, SeqNum, ShardPlan, ViewNumber};
+use sbft_telemetry::Registry;
+use sbft_types::{Batch, NodeId, SeqNum, ShardPlan, Transaction, TxnId, ViewNumber};
+use std::collections::HashSet;
 
 /// Counters describing how adversarial a replica's recovery was. All are
 /// cumulative over the replica's lifetime; the shim layer diffs
@@ -77,6 +79,44 @@ pub trait OrderingProtocol {
     /// Protocols without a recovery path report zeros.
     fn recovery_stats(&self) -> RecoveryStats {
         RecoveryStats::default()
+    }
+
+    /// Offers a transaction body observed from client submission to the
+    /// protocol's body cache, feeding digest-proposal reconstruction. May
+    /// return actions when the body completes an in-flight reconstruction
+    /// (the proposal can race ahead of the client broadcast). Protocols
+    /// without a digest mode ignore it.
+    fn offer_body(&mut self, txn: Transaction) -> Vec<ConsensusAction> {
+        let _ = txn;
+        Vec::new()
+    }
+
+    /// Garbage-collects cached transaction bodies, keeping only ids in
+    /// `protected` (the shim calls this on its checkpoint-rhythm GC).
+    /// Protocols without a body cache ignore it.
+    fn gc_bodies(&mut self, protected: &HashSet<TxnId>) {
+        let _ = protected;
+    }
+
+    /// Sequence numbers of digest proposals still waiting for bodies
+    /// (tests and the retransmission drivers). Empty for protocols
+    /// without a digest mode.
+    fn pending_reconstructions(&self) -> Vec<SeqNum> {
+        Vec::new()
+    }
+
+    /// Transaction bodies currently cached for digest reconstruction
+    /// (tests and memory accounting). Zero for protocols without a body
+    /// cache.
+    fn cached_bodies(&self) -> usize {
+        0
+    }
+
+    /// Re-homes the protocol's internal counters (body-cache hits/misses,
+    /// fetch traffic) into `registry` under `prefix`. Protocols without
+    /// counters ignore it.
+    fn register_metrics(&mut self, registry: &Registry, prefix: &str) {
+        let _ = (registry, prefix);
     }
 
     /// Short protocol name used in experiment output ("PBFT", "CFT",

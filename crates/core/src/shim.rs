@@ -123,6 +123,11 @@ pub struct ShimNode {
     /// Last snapshot of the ordering protocol's adversarial-recovery
     /// counters; successive deltas feed the `shim.<id>.faults.*` counters.
     last_recovery_stats: RecoveryStats,
+    /// The registry this node's counters were re-homed into, kept so a
+    /// crash restart can re-home the rebuilt ordering protocol's counters
+    /// under the same names (the registry re-uses counters by name, so
+    /// cumulative values survive the restart).
+    metrics_registry: Option<std::sync::Arc<Registry>>,
     batches_committed: Counter,
     executors_spawned: Counter,
     requests_forwarded: Counter,
@@ -199,6 +204,7 @@ impl ShimNode {
             last_snapshot: SeqNum(0),
             recovering: false,
             last_recovery_stats: RecoveryStats::default(),
+            metrics_registry: None,
             batches_committed: Counter::new(),
             executors_spawned: Counter::new(),
             requests_forwarded: Counter::new(),
@@ -280,7 +286,8 @@ impl ShimNode {
     /// into `registry` under `shim.<id>.*`. Called once by the system
     /// builder; nodes constructed without a registry keep standalone
     /// counters.
-    pub fn register_metrics(&mut self, registry: &Registry) {
+    pub fn register_metrics(&mut self, registry: &std::sync::Arc<Registry>) {
+        self.metrics_registry = Some(std::sync::Arc::clone(registry));
         let id = self.id().0;
         self.batches_committed = registry.counter(&format!("shim.{id}.batches_committed"));
         self.executors_spawned = registry.counter(&format!("shim.{id}.executors_spawned"));
@@ -301,6 +308,8 @@ impl ShimNode {
         self.batcher
             .register_metrics(registry, &format!("shim.{id}"));
         self.invoker.register_metrics(registry);
+        self.ordering
+            .register_metrics(registry, &format!("shim.{id}"));
     }
 
     /// Records appended to the write-ahead log.
@@ -381,6 +390,29 @@ impl ShimNode {
         self.seen_txns.len()
     }
 
+    /// Digest proposals still waiting for transaction bodies (empty when
+    /// digest proposals are off or the protocol has no digest mode).
+    #[must_use]
+    pub fn pending_reconstructions(&self) -> Vec<SeqNum> {
+        self.ordering.pending_reconstructions()
+    }
+
+    /// Transaction bodies cached for digest reconstruction (tests and
+    /// memory accounting).
+    #[must_use]
+    pub fn cached_bodies(&self) -> usize {
+        self.ordering.cached_bodies()
+    }
+
+    /// The batch this node committed at `seq`, while it is still tracked
+    /// (entries are released to `validated_txns` once the verifier reports
+    /// the batch validated). Lets equivalence tests compare committed
+    /// content across proposal modes without a wire-level batch copy.
+    #[must_use]
+    pub fn committed_batch(&self, seq: SeqNum) -> Option<&sbft_types::Batch> {
+        self.committed.get(&seq).map(|e| &e.batch)
+    }
+
     /// Whether this node runs the ordering-time shard planner (per-shard
     /// batching lanes).
     #[must_use]
@@ -437,6 +469,16 @@ impl ShimNode {
                 &req.signature,
             ) {
                 return Vec::new(); // not well-formed
+            }
+            if self.config.digest_proposals {
+                // Bandwidth-frugal ordering: clients broadcast their
+                // requests to every shim node, so a non-primary seeds its
+                // body cache instead of relaying to the primary. The offer
+                // may complete an in-flight digest reconstruction (the
+                // proposal can race ahead of the client broadcast), in
+                // which case consensus actions come back.
+                let actions = self.ordering.offer_body(req.txn.clone());
+                return self.translate(actions);
             }
             // Clients normally target the primary; a node that is not the
             // primary forwards the request (e.g. after a view change).
@@ -501,6 +543,14 @@ impl ShimNode {
                 .or_default()
                 .push(txn.id);
         }
+        let mut offered_actions = Vec::new();
+        if self.config.digest_proposals && newly_seen {
+            // The primary caches the body too: if the view changes before
+            // this transaction is proposed, the new primary's digest
+            // proposal finds the body locally instead of fetching it.
+            let actions = self.ordering.offer_body(txn.clone());
+            offered_actions = self.translate(actions);
+        }
         // Ordering-time shard planning: classify the transaction's
         // declared read-write set and steer it into its home lane.
         let plan = match &self.lane_router {
@@ -508,12 +558,17 @@ impl ShimNode {
             None => ShardPlan::Unplanned,
         };
         if !self.config.batching_enabled {
-            return self.submit_signed(SignedBatch::single_planned(txn, digest, signature, plan));
+            let mut out = offered_actions;
+            out.extend(
+                self.submit_signed(SignedBatch::single_planned(txn, digest, signature, plan)),
+            );
+            return out;
         }
-        match self.batcher.push_planned(txn, digest, signature, now, plan) {
-            Some(batch) => self.submit_signed(batch),
-            None => Vec::new(),
+        let mut out = offered_actions;
+        if let Some(batch) = self.batcher.push_planned(txn, digest, signature, now, plan) {
+            out.extend(self.submit_signed(batch));
         }
+        out
     }
 
     /// Periodic tick releasing partially filled batches (every stale
@@ -679,6 +734,21 @@ impl ShimNode {
                     fsync: false,
                 }]
             }
+            // A digest proposal releases the batch just like a full one —
+            // the WAL records the same (seq, view, digest) triple; the
+            // bodies are recoverable from peers either way.
+            ConsensusMessage::DigestPrePrepare(dp) => {
+                let bytes = wal.append(&WalRecord::Released {
+                    seq: dp.seq,
+                    view: dp.view,
+                    digest: dp.digest,
+                });
+                self.wal_appends.inc();
+                vec![Action::Persist {
+                    bytes,
+                    fsync: false,
+                }]
+            }
             ConsensusMessage::Commit(c) => {
                 let bytes = wal.append(&WalRecord::Vote {
                     seq: c.seq,
@@ -807,13 +877,20 @@ impl ShimNode {
             self.planner = Some(BestEffortPlanner::new());
         }
         if self.ordering.name() == "PBFT" {
-            self.ordering = Box::new(PbftReplica::new(
-                self.me,
-                self.config.fault,
-                self.crypto.provider().handle(self.component()),
-                self.config.timers.node_timeout,
-                self.config.timers.checkpoint_interval,
-            ));
+            self.ordering = Box::new(
+                PbftReplica::new(
+                    self.me,
+                    self.config.fault,
+                    self.crypto.provider().handle(self.component()),
+                    self.config.timers.node_timeout,
+                    self.config.timers.checkpoint_interval,
+                )
+                .with_digest_proposals(self.config.digest_proposals),
+            );
+            if let Some(registry) = self.metrics_registry.clone() {
+                self.ordering
+                    .register_metrics(&registry, &format!("shim.{}", self.me.0));
+            }
         }
         let Some(wal) = self.wal.as_mut() else {
             return Vec::new();
@@ -1133,6 +1210,22 @@ impl ShimNode {
             }
         }
         self.expire_never_validated(cutoff);
+        if self.config.digest_proposals {
+            // Body-cache retention rides the same checkpoint rhythm: keep
+            // bodies for ids the node still tracks (suppression window,
+            // retained validated batches, local commits, batcher lanes);
+            // anything older can no longer appear in a fresh proposal, and
+            // an unlucky drop just downgrades a cache hit to a fetch.
+            let protected: std::collections::HashSet<TxnId> = self
+                .seen_txns
+                .keys()
+                .copied()
+                .chain(self.validated_txns.values().flatten().copied())
+                .chain(self.committed.values().flat_map(|e| e.batch.txn_ids()))
+                .chain(self.batcher.pending_txn_ids())
+                .collect();
+            self.ordering.gc_bodies(&protected);
+        }
     }
 
     /// Expires duplicate-suppression entries whose batch never received a
@@ -2272,5 +2365,207 @@ mod tests {
         assert!(up.is_empty());
         assert!(!node.on_spawn_rejected(Region::Oregon).is_empty());
         assert_eq!(node.region_outages_detected(), 2);
+    }
+
+    // ---- digest proposals (bandwidth-frugal ordering) ----------------------
+
+    /// A 4-node PBFT shim with digest proposals on, counters re-homed into
+    /// a shared registry so tests can read the digest cache statistics.
+    fn make_digest_shim(mut config: SystemConfig) -> (Shim, Arc<Registry>) {
+        config.digest_proposals = true;
+        let provider = CryptoProvider::new(21);
+        let registry = Arc::new(Registry::new());
+        let nodes = (0..config.fault.n_r as u32)
+            .map(|i| {
+                let ordering: Box<dyn OrderingProtocol + Send> = Box::new(
+                    PbftReplica::new(
+                        NodeId(i),
+                        config.fault,
+                        provider.handle(ComponentId::Node(NodeId(i))),
+                        config.timers.node_timeout,
+                        config.timers.checkpoint_interval,
+                    )
+                    .with_digest_proposals(true),
+                );
+                let mut node = ShimNode::new(
+                    NodeId(i),
+                    config.clone(),
+                    provider.handle(ComponentId::Node(NodeId(i))),
+                    ordering,
+                );
+                node.register_metrics(&registry);
+                node
+            })
+            .collect();
+        (
+            Shim {
+                nodes,
+                provider,
+                config,
+            },
+            registry,
+        )
+    }
+
+    /// Delivers `req` to every shim node (digest-mode clients broadcast so
+    /// replicas can seed their body caches), returning the primary's
+    /// actions and asserting the replicas neither forward nor propose.
+    fn broadcast_request(shim: &mut Shim, req: &ClientRequest) -> Vec<Action> {
+        let mut primary_actions = Vec::new();
+        for i in 0..shim.nodes.len() {
+            let actions = shim.nodes[i].on_client_request(req, SimTime::ZERO);
+            if shim.nodes[i].is_primary() {
+                primary_actions = actions;
+            } else {
+                assert!(
+                    actions.is_empty(),
+                    "a replica offers the body locally, nothing goes on the wire"
+                );
+            }
+        }
+        primary_actions
+    }
+
+    #[test]
+    fn digest_mode_with_client_broadcast_commits_without_forwarding_or_fetching() {
+        let (mut shim, registry) = make_digest_shim(base_config());
+        let provider = Arc::clone(&shim.provider);
+        let _ = broadcast_request(&mut shim, &signed_request(&provider, 0, 0));
+        let actions = broadcast_request(&mut shim, &signed_request(&provider, 1, 0));
+        assert!(
+            actions.iter().any(|a| a.sends_kind("DIGEST-PREPREPARE")),
+            "the primary proposes by digest, not by body"
+        );
+        let external = run_consensus(&mut shim, 0, actions);
+        let commits = external
+            .iter()
+            .filter(|(_, a)| matches!(a, Action::BatchCommitted { .. }))
+            .count();
+        assert_eq!(commits, 4, "every node commits the reconstructed batch");
+        for node in &shim.nodes {
+            assert_eq!(
+                node.requests_forwarded(),
+                0,
+                "digest mode never relays request bodies to the primary"
+            );
+            assert!(node.pending_reconstructions().is_empty());
+        }
+        // Warm caches: every replica reconstructed from its own cache.
+        for i in 1..4 {
+            assert_eq!(
+                registry
+                    .counter(&format!("shim.{i}.digest.cache_hits"))
+                    .get(),
+                2
+            );
+            assert_eq!(
+                registry
+                    .counter(&format!("shim.{i}.digest.cache_misses"))
+                    .get(),
+                0
+            );
+            assert_eq!(
+                registry
+                    .counter(&format!("shim.{i}.digest.fetches_sent"))
+                    .get(),
+                0
+            );
+        }
+    }
+
+    #[test]
+    fn digest_mode_with_cold_replicas_fetches_bodies_and_commits() {
+        // Requests reach only the primary (the client broadcast was lost):
+        // replicas miss on every body, fetch them from the primary over
+        // BATCHFETCH/BATCHFILL, and still commit the identical batch.
+        let (mut shim, registry) = make_digest_shim(base_config());
+        let provider = Arc::clone(&shim.provider);
+        let _ = shim.nodes[0].on_client_request(&signed_request(&provider, 0, 0), SimTime::ZERO);
+        let actions =
+            shim.nodes[0].on_client_request(&signed_request(&provider, 1, 0), SimTime::ZERO);
+        assert!(actions.iter().any(|a| a.sends_kind("DIGEST-PREPREPARE")));
+        let external = run_consensus(&mut shim, 0, actions);
+        let commits = external
+            .iter()
+            .filter(|(_, a)| matches!(a, Action::BatchCommitted { .. }))
+            .count();
+        assert_eq!(commits, 4);
+        for i in 1..4u32 {
+            assert_eq!(
+                registry
+                    .counter(&format!("shim.{i}.digest.cache_misses"))
+                    .get(),
+                2
+            );
+            assert_eq!(
+                registry
+                    .counter(&format!("shim.{i}.digest.fetches_sent"))
+                    .get(),
+                1
+            );
+            assert!(shim.nodes[i as usize].pending_reconstructions().is_empty());
+        }
+        assert_eq!(
+            registry.counter("shim.0.digest.fills_served").get(),
+            3,
+            "the primary served one fill per cold replica"
+        );
+    }
+
+    #[test]
+    fn digest_proposal_is_wal_released_like_a_full_one() {
+        let mut config = base_config();
+        config.durability = sbft_types::DurabilityConfig::enabled();
+        let (mut shim, _registry) = make_digest_shim(config);
+        let provider = Arc::clone(&shim.provider);
+        let _ = broadcast_request(&mut shim, &signed_request(&provider, 0, 0));
+        assert_eq!(shim.nodes[0].wal_appends(), 0);
+        let actions = broadcast_request(&mut shim, &signed_request(&provider, 1, 0));
+        assert!(actions.iter().any(|a| a.sends_kind("DIGEST-PREPREPARE")));
+        // The digest proposal wrote a buffered Released record before the
+        // broadcast left (plus this node's own synced COMMIT vote later).
+        assert!(
+            shim.nodes[0].wal_appends() >= 1,
+            "a digest proposal must hit the WAL like a full PREPREPARE"
+        );
+        assert!(actions
+            .iter()
+            .any(|a| matches!(a, Action::Persist { fsync: false, .. })));
+    }
+
+    #[test]
+    fn body_cache_truncates_at_the_checkpoint_rhythm() {
+        // Long-run bound: with client broadcasts feeding every replica's
+        // body cache and BatchValidated notifications advancing the
+        // checkpoint rhythm, the cache must stay within the retained
+        // window instead of accumulating every body ever seen.
+        let mut config = base_config();
+        config.workload.batch_size = 1;
+        config.timers.checkpoint_interval = 4;
+        let (mut shim, _registry) = make_digest_shim(config);
+        let provider = Arc::clone(&shim.provider);
+        for i in 0..40u64 {
+            let actions = broadcast_request(&mut shim, &signed_request(&provider, 0, i));
+            let external = run_consensus(&mut shim, 0, actions);
+            assert!(external
+                .iter()
+                .any(|(_, a)| matches!(a, Action::BatchCommitted { .. })));
+            for node in &mut shim.nodes {
+                let _ = node.on_message(&ProtocolMessage::BatchValidated(BatchValidated {
+                    seq: SeqNum(i + 1),
+                    committed: 1,
+                    aborted: 0,
+                }));
+            }
+            for node in &shim.nodes {
+                assert!(
+                    node.cached_bodies() <= 3 * 4,
+                    "after {} batches node {} caches {} bodies",
+                    i + 1,
+                    node.id().0,
+                    node.cached_bodies()
+                );
+            }
+        }
     }
 }

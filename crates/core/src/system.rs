@@ -221,13 +221,16 @@ impl SystemBuilder {
             .map(|i| {
                 let id = NodeId(i);
                 let ordering: Box<dyn OrderingProtocol + Send> = match self.protocol {
-                    ShimProtocol::Pbft => Box::new(PbftReplica::new(
-                        id,
-                        self.config.fault,
-                        provider.handle(ComponentId::Node(id)),
-                        self.config.timers.node_timeout,
-                        self.config.timers.checkpoint_interval,
-                    )),
+                    ShimProtocol::Pbft => Box::new(
+                        PbftReplica::new(
+                            id,
+                            self.config.fault,
+                            provider.handle(ComponentId::Node(id)),
+                            self.config.timers.node_timeout,
+                            self.config.timers.checkpoint_interval,
+                        )
+                        .with_digest_proposals(self.config.digest_proposals),
+                    ),
                     ShimProtocol::Cft => Box::new(CftReplica::new(
                         id,
                         self.config.fault,

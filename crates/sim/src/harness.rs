@@ -399,6 +399,10 @@ impl SimHarness {
         self.metrics.bad_state_responses = registry.sum_counters("faults.bad_state_responses");
         self.metrics.state_request_retries = registry.sum_counters("faults.state_request_retries");
         self.metrics.catch_ups = registry.sum_counters("faults.catch_ups");
+        self.metrics.leader_egress_bytes = registry.counter_value("net.leader_egress_bytes");
+        self.metrics.body_cache_hits = registry.sum_counters("digest.cache_hits");
+        self.metrics.body_cache_misses = registry.sum_counters("digest.cache_misses");
+        self.metrics.batch_fetches = registry.sum_counters("digest.fetches_sent");
         self.metrics
     }
 
@@ -733,7 +737,7 @@ impl SimHarness {
                 }
                 Action::Send(Envelope { from, to, msg }) => {
                     if let ProtocolMessage::Consensus(c) = &msg {
-                        if let Some((seq, batch)) = ordering_batch(c) {
+                        if let Some((seq, txn_ids)) = ordering_release(c) {
                             // Releasing a batch into ordering is where the
                             // primary verifies the one aggregate signature
                             // covering the batch's client authentication
@@ -743,11 +747,25 @@ impl SimHarness {
                                 station.schedule(now, self.cpu.aggregate_batch_check_cost());
                             }
                             if self.tracer.enabled() {
-                                self.mark_batch_release(seq, batch, now);
+                                self.mark_batch_release(seq, &txn_ids, now);
                             }
                         }
                     }
                     let targets: Vec<ComponentId> = match to {
+                        // Digest-mode clients broadcast their requests to
+                        // every shim node so replicas can seed the body
+                        // caches that digest reconstruction reads from.
+                        Destination::Node(_)
+                            if self.system.config.digest_proposals
+                                && matches!(msg, ProtocolMessage::ClientRequest(_))
+                                && origin.as_node().is_none() =>
+                        {
+                            self.system
+                                .nodes
+                                .iter()
+                                .map(|n| ComponentId::Node(n.id()))
+                                .collect()
+                        }
                         Destination::Node(n) => vec![ComponentId::Node(n)],
                         Destination::AllNodes => self
                             .system
@@ -760,6 +778,31 @@ impl SimHarness {
                         Destination::Executor(e) => vec![ComponentId::Executor(e)],
                         Destination::Verifier => vec![ComponentId::Verifier],
                     };
+                    // Sender-side egress accounting for node-to-node
+                    // (ordering) traffic, charged per target before the
+                    // fault plan arbitrates delivery. The leader counter is
+                    // what the bandwidth-frugal mode exists to shrink.
+                    if let Some(src) = origin.as_node() {
+                        let node_targets = targets
+                            .iter()
+                            .filter(|t| matches!(t, ComponentId::Node(_)))
+                            .count();
+                        if node_targets > 0 {
+                            let bytes = (msg.wire_size() * node_targets) as u64;
+                            let registry = &self.system.registry;
+                            registry
+                                .counter(&format!("net.{}.egress_bytes", src.0))
+                                .add(bytes);
+                            let is_leader = self
+                                .system
+                                .nodes
+                                .get(src.0 as usize)
+                                .is_some_and(|n| n.primary() == src);
+                            if is_leader {
+                                registry.counter("net.leader_egress_bytes").add(bytes);
+                            }
+                        }
+                    }
                     for target in targets {
                         let delay = self.network.local_delay(msg.wire_size());
                         // The chaos layer arbitrates node-to-node links
@@ -912,11 +955,11 @@ impl SimHarness {
     /// Emits the batch-release markers: the batch's earliest member
     /// admission (shim ingest), earliest lane enqueue, and the release
     /// itself. The members' admission times are consumed here.
-    fn mark_batch_release(&mut self, seq: SeqNum, batch: &sbft_types::Batch, now: SimTime) {
+    fn mark_batch_release(&mut self, seq: SeqNum, txn_ids: &[TxnId], now: SimTime) {
         let mut first_arrival: Option<SimTime> = None;
         let mut first_enqueue: Option<SimTime> = None;
-        for txn in batch.iter() {
-            if let Some((arrival, enqueued)) = self.ingest_times.remove(&txn.id) {
+        for id in txn_ids {
+            if let Some((arrival, enqueued)) = self.ingest_times.remove(id) {
                 first_arrival = Some(first_arrival.map_or(arrival, |a| a.min(arrival)));
                 first_enqueue = Some(first_enqueue.map_or(enqueued, |e| e.min(enqueued)));
             }
@@ -931,19 +974,27 @@ impl SimHarness {
     }
 }
 
-/// The sequence number and batch of a batch-carrying ordering message
-/// (the batch-release edge of PBFT and CFT), if this is one.
-fn ordering_batch(msg: &sbft_consensus::ConsensusMessage) -> Option<(SeqNum, &sbft_types::Batch)> {
+/// The sequence number and transaction ids of a batch-releasing ordering
+/// message (the batch-release edge of PBFT, CFT and digest-mode PBFT), if
+/// this is one. A digest proposal releases the batch without carrying the
+/// bodies — the ids ride the message instead.
+fn ordering_release(msg: &sbft_consensus::ConsensusMessage) -> Option<(SeqNum, Vec<TxnId>)> {
     match msg {
-        sbft_consensus::ConsensusMessage::PrePrepare(p) => Some((p.seq, &p.batch)),
-        sbft_consensus::ConsensusMessage::CftAccept(a) => Some((a.seq, &a.batch)),
+        sbft_consensus::ConsensusMessage::PrePrepare(p) => Some((p.seq, p.batch.txn_ids())),
+        sbft_consensus::ConsensusMessage::CftAccept(a) => Some((a.seq, a.batch.txn_ids())),
+        sbft_consensus::ConsensusMessage::DigestPrePrepare(d) => Some((d.seq, d.txn_ids.clone())),
         _ => None,
     }
 }
 
-/// The sequence number of a batch-carrying ordering message, if any.
+/// The sequence number of a batch-releasing ordering message, if any.
 fn ordering_batch_seq(msg: &sbft_consensus::ConsensusMessage) -> Option<SeqNum> {
-    ordering_batch(msg).map(|(seq, _)| seq)
+    match msg {
+        sbft_consensus::ConsensusMessage::PrePrepare(p) => Some(p.seq),
+        sbft_consensus::ConsensusMessage::CftAccept(a) => Some(a.seq),
+        sbft_consensus::ConsensusMessage::DigestPrePrepare(d) => Some(d.seq),
+        _ => None,
+    }
 }
 
 /// The batches a verifier action list validated, identified by their
@@ -1016,6 +1067,50 @@ mod tests {
         assert!(metrics.latency.p99_secs() >= metrics.latency.p50_secs());
         assert!(metrics.executors_spawned > 0);
         assert!(metrics.messages_delivered > 100);
+    }
+
+    #[test]
+    fn digest_mode_commits_with_less_leader_egress_than_full_mode() {
+        // Bigger batches than `tiny_config` so transaction bodies dominate
+        // the PREPREPARE framing — the regime the digest mode targets.
+        let run = |digest: bool| {
+            let mut cfg = tiny_config();
+            cfg.digest_proposals = digest;
+            cfg.workload.batch_size = 40;
+            cfg.workload.num_clients = 80;
+            let system = SystemBuilder::new(cfg).clients(80).build();
+            SimHarness::new(
+                system,
+                SimParams {
+                    num_clients: 80,
+                    ..tiny_params()
+                },
+            )
+            .run()
+        };
+        let full = run(false);
+        let digest = run(true);
+        assert!(
+            digest.committed_txns > 50,
+            "digest mode makes progress, committed {}",
+            digest.committed_txns
+        );
+        assert_eq!(digest.aborted_txns, 0);
+        // The client broadcast keeps replica caches warm, so proposals
+        // reconstruct locally instead of shipping bodies.
+        assert!(
+            digest.body_cache_hits > 0,
+            "replicas reconstruct from their body caches"
+        );
+        assert_eq!(full.body_cache_hits, 0, "full mode never touches a cache");
+        // The whole point: the primary ships digests, not bodies.
+        assert!(full.leader_egress_bytes > 0);
+        assert!(
+            digest.leader_egress_bytes * 2 < full.leader_egress_bytes,
+            "digest egress {} must be well below full egress {}",
+            digest.leader_egress_bytes,
+            full.leader_egress_bytes
+        );
     }
 
     #[test]

@@ -108,6 +108,17 @@ pub struct RunMetrics {
     pub messages_delivered: u64,
     /// Total bytes moved over the network.
     pub bytes_delivered: u64,
+    /// Bytes sent node-to-node by whichever node was acting as primary at
+    /// send time (charged sender-side, before fault-plan loss). This is
+    /// the ordering-bandwidth bottleneck digest proposals shrink.
+    pub leader_egress_bytes: u64,
+    /// Digest reconstructions served from the local body cache, summed
+    /// over the shim nodes (transaction granularity).
+    pub body_cache_hits: u64,
+    /// Digest-proposal transaction bodies missing from the local cache.
+    pub body_cache_misses: u64,
+    /// `BATCHFETCH` requests sent to recover missing bodies.
+    pub batch_fetches: u64,
     /// Executors spawned during the whole run.
     pub executors_spawned: u64,
     /// Spawn requests rejected by the cloud's concurrency limit.

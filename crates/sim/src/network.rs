@@ -93,11 +93,20 @@ mod tests {
 
     #[test]
     fn transmission_grows_linearly_with_size() {
+        // Exact proportionality: 1000× the bytes must take 1000× the
+        // time. The earlier form of this assertion had an `|| big > small`
+        // escape hatch that made it a tautology. Sizes are large enough
+        // that `SimDuration`'s microsecond grid cannot mask a broken
+        // bytes→delay mapping (10 MB already transmits for ~7450 µs).
         let net = NetworkModel::default();
-        let small = net.transmission(1_000);
-        let big = net.transmission(1_000_000);
-        assert!(big.as_micros() >= 900 * small.as_micros() / 1000 * 1000 || big > small);
-        assert!(big.as_micros() > 500);
+        let small = net.transmission(10_000_000);
+        let big = net.transmission(10_000_000_000);
+        assert!(big > small);
+        let ratio = big.as_secs_f64() / small.as_secs_f64();
+        assert!(
+            (ratio - 1000.0).abs() < 1.0,
+            "transmission must scale linearly with size, got ratio {ratio}"
+        );
     }
 
     #[test]

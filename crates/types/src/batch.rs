@@ -19,7 +19,8 @@
 //!
 //! The batch also memoizes its wire digest `Δ = H(m)`: the consensus
 //! layer computes it once through [`Batch::digest_memo`] and every clone
-//! taken afterwards carries the cached value, so replicas never re-hash a
+//! — whether taken before or after the computation — shares the cache
+//! slot (it lives behind its own `Arc`), so replicas never re-hash a
 //! batch they already validated.
 
 use crate::digest::Digest;
@@ -46,8 +47,10 @@ pub struct Batch {
     /// The transactions, in the order chosen by the batching front-end.
     txns: Arc<[Transaction]>,
     /// Memoized wire digest `Δ = H(m)` (filled by the consensus layer on
-    /// first use; clones taken afterwards carry the value).
-    digest: OnceLock<Digest>,
+    /// first use). The slot is behind its own `Arc` so every clone of the
+    /// batch — including clones taken *before* the first computation —
+    /// shares one cache: a later fill is visible to all copies.
+    digest: Arc<OnceLock<Digest>>,
 }
 
 impl PartialEq for Batch {
@@ -72,7 +75,7 @@ impl Batch {
         );
         Batch {
             txns: txns.into(),
-            digest: OnceLock::new(),
+            digest: Arc::new(OnceLock::new()),
         }
     }
 
@@ -94,7 +97,7 @@ impl Batch {
         );
         Batch {
             txns,
-            digest: OnceLock::new(),
+            digest: Arc::new(OnceLock::new()),
         }
     }
 
@@ -295,6 +298,32 @@ mod tests {
         assert_eq!(computed, 1, "the digest must be computed exactly once");
         let clone = b.clone();
         assert_eq!(clone.cached_digest(), Some(d));
+    }
+
+    #[test]
+    fn clone_taken_before_fill_sees_a_later_fill() {
+        // Regression: the memo used to live in a per-value `OnceLock`, so a
+        // clone taken before the first digest computation carried an empty
+        // slot forever and re-hashed on its own. The slot is now shared
+        // through an `Arc`: filling any copy fills them all.
+        let b = Batch::single(txn(0, 0));
+        let early_clone = b.clone();
+        assert_eq!(early_clone.cached_digest(), None);
+        let d = b.digest_memo(|| Digest::from_bytes([3; 32]));
+        assert_eq!(
+            early_clone.cached_digest(),
+            Some(d),
+            "a pre-fill clone must share the memo slot"
+        );
+        // And symmetrically: filling through the clone is visible to the
+        // original (no second computation happens).
+        let mut computed = 0;
+        let again = early_clone.digest_memo(|| {
+            computed += 1;
+            Digest::from_bytes([4; 32])
+        });
+        assert_eq!(again, d);
+        assert_eq!(computed, 0);
     }
 
     #[test]

@@ -423,6 +423,11 @@ pub struct SystemConfig {
     pub sharding: ShardingConfig,
     /// Write-ahead-log and snapshot parameters for shim replicas.
     pub durability: DurabilityConfig,
+    /// Whether the primary proposes batches by digest (txn ids + bloom
+    /// filter) instead of shipping full bodies, with replicas
+    /// reconstructing from their body caches and fetching only the bodies
+    /// they miss. Bandwidth-frugal ordering; off by default.
+    pub digest_proposals: bool,
 }
 
 impl SystemConfig {
@@ -455,6 +460,7 @@ impl SystemConfig {
             batching_enabled: true,
             sharding: ShardingConfig::default(),
             durability: DurabilityConfig::default(),
+            digest_proposals: false,
         }
     }
 

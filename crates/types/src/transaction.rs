@@ -12,11 +12,12 @@
 //! The client-request signing digest `Δ = H(⟨T⟩_C)` is needed at several
 //! points of a transaction's life: the client signs it, the primary
 //! verifies it, and the verifier re-verifies it on client retries. The
-//! transaction therefore carries a [`OnceLock`] cache slot
+//! transaction therefore carries an `Arc<OnceLock>` cache slot
 //! ([`Transaction::signing_digest_memo`]): the digest is computed at most
-//! once per transaction, and — because clones copy the filled cache —
-//! every copy derived from a request that was already hashed reuses the
-//! value instead of re-hashing. The digest function itself lives in
+//! once per transaction, and — because every clone shares the same slot,
+//! whether the clone was taken before or after the first computation —
+//! every copy reuses the value instead of re-hashing. The digest function
+//! itself lives in
 //! `sbft-core` (it defines the signing format); this module only stores
 //! the result.
 
@@ -25,7 +26,7 @@ use crate::ids::TxnId;
 use crate::rwset::{Key, ReadWriteSet, RwSetKeys, Value};
 use crate::time::SimDuration;
 use serde::{Deserialize, Serialize};
-use std::sync::OnceLock;
+use std::sync::{Arc, OnceLock};
 
 /// A single key-value operation inside a transaction.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
@@ -80,9 +81,11 @@ pub struct Transaction {
     /// Logical payload size in bytes carried by the request (affects the
     /// wire size of `PREPREPARE` and `EXECUTE` messages).
     pub payload_len: u32,
-    /// Memoized client-request signing digest (see the module docs).
-    /// Derived state: excluded from equality.
-    signing_digest: OnceLock<Digest>,
+    /// Memoized client-request signing digest (see the module docs). The
+    /// slot is behind its own `Arc` so all clones share one cache, even
+    /// clones taken before the first fill. Derived state: excluded from
+    /// equality.
+    signing_digest: Arc<OnceLock<Digest>>,
 }
 
 impl PartialEq for Transaction {
@@ -132,7 +135,7 @@ impl Transaction {
             declared_rwset: None,
             execution_cost: SimDuration::ZERO,
             payload_len,
-            signing_digest: OnceLock::new(),
+            signing_digest: Arc::new(OnceLock::new()),
         }
     }
 
@@ -327,6 +330,25 @@ mod tests {
         // The cache never participates in equality.
         let fresh = txn(vec![Operation::Read(Key(1))]);
         assert_eq!(t, fresh);
+    }
+
+    #[test]
+    fn clone_taken_before_fill_shares_a_later_fill() {
+        // Regression: a clone used to copy the (empty) `OnceLock` slot and
+        // would never see a digest computed on the original afterwards. The
+        // slot is shared through an `Arc` now.
+        let t = txn(vec![Operation::Read(Key(1))]);
+        let early_clone = t.clone();
+        assert_eq!(early_clone.cached_signing_digest(), None);
+        let d = t.signing_digest_memo(|| Digest::from_bytes([2; 32]));
+        assert_eq!(early_clone.cached_signing_digest(), Some(d));
+        let mut computed = 0;
+        let again = early_clone.signing_digest_memo(|| {
+            computed += 1;
+            Digest::from_bytes([5; 32])
+        });
+        assert_eq!(again, d);
+        assert_eq!(computed, 0, "the shared memo must prevent a re-hash");
     }
 
     #[test]

@@ -493,6 +493,382 @@ fn replica_below_the_retention_floor_recovers_via_checkpoint_catch_up() {
     }
 }
 
+// ---- digest proposals: bandwidth-frugal mode equivalence -------------------
+
+/// Hostility applied to the digest-reconstruction fetch path
+/// (`BATCHFETCH` / `BATCHFILL`) plus control over how much of the client
+/// broadcast actually reaches each replica's body cache.
+struct DigestChaos {
+    rng: SplitMix64,
+    /// Probability (permille) that a replica hears a given client
+    /// broadcast — 1000 keeps every cache warm, 0 forces all-fetch.
+    feed_permille: u64,
+    /// Replicas that always hear the broadcast regardless of
+    /// `feed_permille` (a poisoner must be warm to have fills to poison:
+    /// fills are served from the log, and a still-cold replica holds
+    /// nothing).
+    warm: Vec<usize>,
+    /// Probability (permille) that a fetch/fill message is lost.
+    loss_permille: u64,
+    /// Random fetch-path drops remaining (capped inside the retry budget).
+    drops_left: u64,
+    /// Honest `BATCHFILL`s to swallow before letting one through.
+    drop_first_fills: u64,
+    /// A byzantine peer whose `BATCHFILL` bodies are corrupted in flight:
+    /// the ids match the proposal but the operations are garbage, so the
+    /// digest check must quarantine and refetch elsewhere.
+    poisoner: Option<usize>,
+}
+
+impl DigestChaos {
+    fn none(feed_permille: u64) -> Self {
+        DigestChaos {
+            rng: SplitMix64(0),
+            feed_permille,
+            warm: Vec::new(),
+            loss_permille: 0,
+            drops_left: 0,
+            drop_first_fills: 0,
+            poisoner: None,
+        }
+    }
+}
+
+fn is_fetch_path(msg: &ConsensusMessage) -> bool {
+    matches!(
+        msg,
+        ConsensusMessage::BatchFetch(_) | ConsensusMessage::BatchFill(_)
+    )
+}
+
+/// Keeps every transaction id but replaces the bodies' operations — the
+/// reconstruction digest can no longer match, so an honest replica must
+/// reject the fill, blame the sender and fetch elsewhere.
+fn poison_fill(msg: &mut ConsensusMessage) {
+    if let ConsensusMessage::BatchFill(bf) = msg {
+        bf.bodies = bf
+            .bodies
+            .iter()
+            .map(|t| Transaction::new(t.id, vec![Operation::Write(Key(63), Value::new(0xbad))]))
+            .collect();
+    }
+}
+
+/// Four digest-mode PBFT shim nodes driven synchronously, with a chaos
+/// filter on the fetch path and counters re-homed into a registry so the
+/// tests can read the digest cache statistics.
+struct DigestCluster {
+    nodes: Vec<ShimNode>,
+    provider: Arc<CryptoProvider>,
+    registry: Arc<serverless_bft::telemetry::Registry>,
+    committed: Vec<SeqNum>,
+    clock: SimTime,
+    chaos: DigestChaos,
+}
+
+impl DigestCluster {
+    fn new(snapshot_interval: u64, checkpoint_interval: u64, chaos: DigestChaos) -> Self {
+        let mut config = config(snapshot_interval, checkpoint_interval);
+        config.digest_proposals = true;
+        let provider = CryptoProvider::new(21);
+        let registry = Arc::new(serverless_bft::telemetry::Registry::new());
+        let nodes = (0..config.fault.n_r as u32)
+            .map(|i| {
+                let ordering: Box<dyn OrderingProtocol + Send> = Box::new(
+                    PbftReplica::new(
+                        NodeId(i),
+                        config.fault,
+                        provider.handle(ComponentId::Node(NodeId(i))),
+                        config.timers.node_timeout,
+                        config.timers.checkpoint_interval,
+                    )
+                    .with_digest_proposals(true),
+                );
+                let mut node = ShimNode::new(
+                    NodeId(i),
+                    config.clone(),
+                    provider.handle(ComponentId::Node(NodeId(i))),
+                    ordering,
+                );
+                node.register_metrics(&registry);
+                node
+            })
+            .collect();
+        DigestCluster {
+            nodes,
+            provider,
+            registry,
+            committed: Vec::new(),
+            clock: SimTime::ZERO,
+            chaos,
+        }
+    }
+
+    fn request(&self, i: u64) -> ClientRequest {
+        // Identical workload to [`ChaosCluster::request`], so outcomes are
+        // comparable across proposal modes.
+        let client = ClientId(i as u32);
+        let txn = Transaction::new(
+            TxnId::new(client, 0),
+            vec![
+                Operation::Write(Key(i % 7), Value::new(i * 11 + 1)),
+                Operation::ReadModifyWrite(Key((i * 3) % 7), i + 5),
+            ],
+        )
+        .with_inferred_rwset();
+        let digest = ClientRequest::signing_digest(&txn);
+        ClientRequest {
+            signature: self
+                .provider
+                .handle(ComponentId::Client(client))
+                .sign(&digest),
+            txn,
+        }
+    }
+
+    fn drive(&mut self, origin: usize, actions: Vec<Action>) {
+        let n = self.nodes.len();
+        let mut queue: VecDeque<(usize, usize, ConsensusMessage)> = VecDeque::new();
+        self.absorb(origin, actions, &mut queue, n);
+        while let Some((from, to, mut msg)) = queue.pop_front() {
+            if is_fetch_path(&msg) {
+                if matches!(msg, ConsensusMessage::BatchFill(_)) {
+                    if Some(from) == self.chaos.poisoner {
+                        poison_fill(&mut msg);
+                    } else if self.chaos.drop_first_fills > 0 {
+                        self.chaos.drop_first_fills -= 1;
+                        continue;
+                    }
+                }
+                if self.chaos.drops_left > 0 && self.chaos.rng.chance(self.chaos.loss_permille) {
+                    self.chaos.drops_left -= 1;
+                    continue;
+                }
+            }
+            let acts = self.nodes[to].on_consensus_message(NodeId(from as u32), msg);
+            self.absorb(to, acts, &mut queue, n);
+        }
+    }
+
+    fn absorb(
+        &mut self,
+        origin: usize,
+        actions: Vec<Action>,
+        queue: &mut VecDeque<(usize, usize, ConsensusMessage)>,
+        n: usize,
+    ) {
+        for a in actions {
+            match &a {
+                Action::Send(env) => match (&env.to, &env.msg) {
+                    (Destination::AllNodes, ProtocolMessage::Consensus(msg)) => {
+                        for to in 0..n {
+                            if to != origin {
+                                queue.push_back((origin, to, msg.clone()));
+                            }
+                        }
+                    }
+                    (Destination::Node(to), ProtocolMessage::Consensus(msg)) => {
+                        queue.push_back((origin, to.0 as usize, msg.clone()));
+                    }
+                    _ => {}
+                },
+                Action::BatchCommitted { seq, .. } if origin == OBSERVED => {
+                    self.committed.push(*seq);
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// Submits one 2-transaction batch. Digest-mode clients broadcast to
+    /// every node; the chaos feed decides which replicas actually hear it
+    /// (a missed broadcast is a forced cache miss).
+    fn submit_batch(&mut self, batch: u64) {
+        self.clock += SimDuration::from_millis(100);
+        let now = self.clock;
+        for r in [self.request(batch * 2), self.request(batch * 2 + 1)] {
+            for replica in 1..self.nodes.len() {
+                if self.chaos.warm.contains(&replica)
+                    || self.chaos.rng.chance(self.chaos.feed_permille)
+                {
+                    let fed = self.nodes[replica].on_client_request(&r, now);
+                    self.drive(replica, fed);
+                }
+            }
+            let actions = self.nodes[0].on_client_request(&r, now);
+            self.drive(0, actions);
+        }
+        let polled = self.nodes[0].poll_batcher(now + SimDuration::from_millis(10));
+        self.drive(0, polled);
+    }
+
+    /// Fires the `Request` retransmission timer for every reconstruction
+    /// still missing bodies, until the cluster is quiescent (or the
+    /// protocol's own retry budget escalates). Each round models one
+    /// timer period passing on every stuck replica.
+    fn pump_fetch_retries(&mut self) {
+        for _ in 0..16 {
+            let stuck: Vec<(usize, Vec<SeqNum>)> = self
+                .nodes
+                .iter()
+                .enumerate()
+                .map(|(i, n)| (i, n.pending_reconstructions()))
+                .filter(|(_, pending)| !pending.is_empty())
+                .collect();
+            if stuck.is_empty() {
+                break;
+            }
+            self.clock += SimDuration::from_millis(200);
+            let now = self.clock;
+            for (i, pending) in stuck {
+                for seq in pending {
+                    let acts = self.nodes[i]
+                        .on_timer(ProtocolTimer::Consensus(ConsensusTimer::Request(seq)), now);
+                    self.drive(i, acts);
+                }
+            }
+        }
+    }
+
+    /// Commit order, derived KV state and response ids at the observed
+    /// node, folded from the batches it actually committed (entries stay
+    /// tracked because no verifier runs in this cluster).
+    fn outcome(&self) -> (Vec<SeqNum>, BTreeMap<u64, u64>, Vec<TxnId>) {
+        let mut kv: BTreeMap<u64, u64> = BTreeMap::new();
+        let mut responses = Vec::new();
+        for seq in &self.committed {
+            let batch = self.nodes[OBSERVED]
+                .committed_batch(*seq)
+                .expect("observed node committed a batch it no longer tracks");
+            for txn in batch.txns() {
+                for op in &txn.ops {
+                    match op {
+                        Operation::Read(_) => {}
+                        Operation::Write(k, v) => {
+                            kv.insert(k.0, v.data);
+                        }
+                        Operation::ReadModifyWrite(k, s) => {
+                            let slot = kv.entry(k.0).or_insert(0);
+                            *slot = slot.wrapping_mul(31).wrapping_add(*s);
+                        }
+                    }
+                }
+                responses.push(txn.id);
+            }
+        }
+        (self.committed.clone(), kv, responses)
+    }
+
+    fn digest_counter(&self, node: usize, name: &str) -> u64 {
+        self.registry
+            .counter_value(&format!("shim.{node}.digest.{name}"))
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The equivalence obligation of the bandwidth-frugal mode: under any
+    /// mix of cold caches (replicas missing the client broadcast, down to
+    /// all-cold), loss on the fetch path and a fill poisoner, a digest-
+    /// mode run's committed order, derived KV state and client responses
+    /// are byte-identical to the full-body run on the same workload.
+    #[test]
+    fn digest_mode_equals_full_body_mode(
+        batches in 1u64..4,
+        // The first arm pins the all-cold case (every body fetched); the
+        // second sweeps the whole feed range.
+        feed_permille in prop_oneof![0u64..1, 0u64..1_001],
+        loss_permille in 0u64..301,
+        poison in any::<bool>(),
+        seed in any::<u64>(),
+    ) {
+        let chaos = DigestChaos {
+            rng: SplitMix64(seed),
+            feed_permille,
+            // A poisoner only bites once it holds the batch; warming it
+            // guarantees its garbage fills actually exist to reject.
+            warm: if poison { vec![1] } else { Vec::new() },
+            loss_permille,
+            drops_left: 3,
+            drop_first_fills: 0,
+            poisoner: poison.then_some(1),
+        };
+        let mut digest_run = DigestCluster::new(1_000, 100, chaos);
+        for batch in 0..batches {
+            digest_run.submit_batch(batch);
+            digest_run.pump_fetch_retries();
+        }
+        for (i, node) in digest_run.nodes.iter().enumerate() {
+            prop_assert!(
+                node.pending_reconstructions().is_empty(),
+                "node {} still reconstructing after the retry pump",
+                i
+            );
+        }
+        let baseline = baseline_run(1_000, batches);
+        let (d_seqs, d_kv, d_resps) = digest_run.outcome();
+        let (b_seqs, b_kv, b_resps) = baseline.outcome();
+        prop_assert_eq!(d_seqs, b_seqs, "commit order diverged across modes");
+        prop_assert_eq!(d_kv, b_kv, "derived KV state diverged across modes");
+        prop_assert_eq!(d_resps, b_resps, "client responses diverged across modes");
+    }
+}
+
+#[test]
+fn poisoned_fill_is_refetched_elsewhere_and_matches_full_mode() {
+    // Nodes 2 and 3 are cold; node 1 is warm AND poisons every fill it
+    // serves. The primary's two initial honest fills are swallowed, so
+    // both cold replicas retry into node 1 — the next target in the fetch
+    // rotation — and receive garbage bodies under the right ids. They
+    // must quarantine the garbage, blame node 1, fall back to a full
+    // fetch, and complete from an honest peer, committing exactly what
+    // the full-body run commits.
+    let chaos = DigestChaos {
+        warm: vec![1],
+        drop_first_fills: 2,
+        poisoner: Some(1),
+        ..DigestChaos::none(0)
+    };
+    let mut digest_run = DigestCluster::new(1_000, 100, chaos);
+    for batch in 0..3 {
+        digest_run.submit_batch(batch);
+        digest_run.pump_fetch_retries();
+    }
+    assert!(
+        digest_run.digest_counter(OBSERVED, "fallbacks") >= 1,
+        "the poisoned fill must be detected and counted, got {}",
+        digest_run.digest_counter(OBSERVED, "fallbacks")
+    );
+    assert!(
+        digest_run.digest_counter(OBSERVED, "cache_misses") > 0,
+        "cold replicas miss on every body"
+    );
+    let baseline = baseline_run(1_000, 3);
+    assert_eq!(digest_run.outcome(), baseline.outcome());
+}
+
+#[test]
+fn all_cold_digest_run_fetches_everything_and_matches_full_mode() {
+    // Zero feed: every body of every batch must travel the fetch path,
+    // and the outcome still matches the full-body run exactly.
+    let mut digest_run = DigestCluster::new(1_000, 100, DigestChaos::none(0));
+    for batch in 0..4 {
+        digest_run.submit_batch(batch);
+        digest_run.pump_fetch_retries();
+    }
+    for node in 1..4 {
+        assert_eq!(digest_run.digest_counter(node, "cache_hits"), 0);
+        assert_eq!(digest_run.digest_counter(node, "cache_misses"), 8);
+        assert!(digest_run.digest_counter(node, "fetches_sent") >= 4);
+    }
+    assert!(
+        digest_run.digest_counter(0, "fills_served") >= 12,
+        "the primary answers every cold replica's fetch"
+    );
+    assert_eq!(digest_run.outcome(), baseline_run(1_000, 4).outcome());
+}
+
 #[test]
 fn composed_fault_plan_is_survivable_and_deterministic() {
     use serverless_bft::core::SystemBuilder;
@@ -584,5 +960,85 @@ fn composed_fault_plan_is_survivable_and_deterministic() {
             b.state_transfer_batches,
         ),
         "two runs with the same seed and fault plan must agree exactly"
+    );
+}
+
+#[test]
+fn digest_mode_survives_faults_on_the_fetch_path() {
+    use serverless_bft::core::SystemBuilder;
+    use serverless_bft::serverless::CrashRestart;
+    use serverless_bft::sim::{FaultPlan, LinkFaults, SimHarness, SimParams};
+
+    // Digest proposals under a hostile simulator run: a lossy replica
+    // link chews on consensus traffic and a crash-restart wipes one
+    // replica's volatile body cache, so proposals referencing bodies
+    // broadcast while it was down can only complete through `BATCHFETCH`.
+    //
+    // The timing is deliberate. A body only travels the fetch path when
+    // the client broadcast is lost but the proposal is not, and those are
+    // separated by the batcher's residence time — so the batch size stays
+    // above the client count (timer-flushed batches), the poll interval
+    // stretches residence to 50 ms, and the restart lands between a
+    // closed-loop submission wave and the poll tick that proposes it: the
+    // wave's broadcasts die against the dark replica, the proposal
+    // arrives after it restarts, and its cold cache must fetch.
+    let run = || {
+        let mut cfg = SystemConfig::with_shim_size(4);
+        cfg.workload.num_records = 2_000;
+        cfg.workload.batch_size = 200;
+        cfg.workload.num_clients = 40;
+        cfg.durability = DurabilityConfig::enabled();
+        cfg.digest_proposals = true;
+        let system = SystemBuilder::new(cfg).clients(40).build();
+        let params = SimParams {
+            duration: SimDuration::from_millis(600),
+            warmup: SimDuration::from_millis(50),
+            num_clients: 40,
+            seed: 11,
+            batch_poll_interval: SimDuration::from_millis(50),
+            ..SimParams::default()
+        };
+        SimHarness::new(system, params)
+            .with_fault_plan(
+                FaultPlan::new()
+                    .lossy_node(NodeId(3), LinkFaults::lossy(0.15))
+                    .crash(CrashRestart::of(
+                        NodeId(2),
+                        SimDuration::from_millis(160),
+                        SimDuration::from_millis(70),
+                    )),
+            )
+            .run()
+    };
+    let a = run();
+    assert!(a.committed_txns > 0, "committed {}", a.committed_txns);
+    assert_eq!(a.divergent_aborts, 0, "digest mode must never diverge");
+    assert_eq!(a.recoveries, 1, "the crashed replica must recover");
+    assert!(
+        a.body_cache_hits > 0,
+        "the client broadcast keeps most caches warm"
+    );
+    assert!(
+        a.batch_fetches > 0,
+        "the restarted replica's cold cache must exercise the fetch path"
+    );
+    assert!(a.messages_dropped > 0, "loss must fire");
+    let b = run();
+    assert_eq!(
+        (
+            a.committed_txns,
+            a.body_cache_hits,
+            a.body_cache_misses,
+            a.batch_fetches,
+            a.recoveries,
+        ),
+        (
+            b.committed_txns,
+            b.body_cache_hits,
+            b.body_cache_misses,
+            b.batch_fetches,
+            b.recoveries,
+        ),
+        "digest-mode chaos must replay exactly from the seed"
     );
 }
